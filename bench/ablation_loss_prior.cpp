@@ -1,0 +1,39 @@
+// Ablation (DESIGN.md §5.2): the two weighting devices of the CT training
+// recipe — the 20/80 prior boost and the 10:1 false-alarm loss — swept
+// independently. Expected: the prior boost buys detection, the loss weight
+// buys back false alarms; the paper's (0.20, 10x) pair sits on the knee.
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "common/table.h"
+#include "core/predictor.h"
+
+using namespace hdd;
+
+int main(int argc, char** argv) {
+  const auto args = bench::BenchArgs::parse(argc, argv, 0.3);
+  bench::print_header("Ablation: failed prior x false-alarm loss (CT)",
+                      args);
+
+  const auto exp = bench::make_family_experiment(args, /*family=*/0);
+
+  Table t({"failed prior", "FA loss", "FAR (%)", "FDR (%)", "tree nodes"});
+  for (double prior : {0.0, 0.10, 0.20, 0.35}) {
+    for (double loss : {1.0, 5.0, 10.0, 20.0}) {
+      auto cfg = core::paper_ct_config();
+      cfg.training.failed_prior = prior;
+      cfg.training.loss_false_alarm = loss;
+      core::FailurePredictor p(cfg);
+      p.fit(exp.fleet, exp.split);
+      const auto r = p.evaluate(exp.fleet, exp.split);
+      t.row()
+          .cell(prior, 2)
+          .cell(loss, 0)
+          .cell(100.0 * r.far(), 3)
+          .cell(100.0 * r.fdr(), 2)
+          .cell(static_cast<long long>(p.tree()->node_count()));
+    }
+  }
+  t.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Shared helpers for the experiment benches.
+//
+// Every bench accepts:  [--scale S] [--seed N] [--interval H]
+// where S scales the paper's Table I fleet (drive counts), N seeds the
+// deterministic generator, and H is the sampling interval in hours.
+// Defaults keep each bench's wall-clock in the seconds-to-minutes range;
+// the EXPERIMENTS.md entries record the scale each measurement used.
+#pragma once
+
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "data/split.h"
+#include "sim/generator.h"
+
+namespace hdd::bench {
+
+struct BenchArgs {
+  double scale = 0.2;
+  std::uint64_t seed = 42;
+  int interval_hours = 1;
+
+  static BenchArgs parse(int argc, char** argv, double default_scale) {
+    BenchArgs args;
+    args.scale = default_scale;
+    for (int i = 1; i < argc; ++i) {
+      auto next = [&](const char* flag) -> const char* {
+        if (std::strcmp(argv[i], flag) == 0 && i + 1 < argc) {
+          return argv[++i];
+        }
+        return nullptr;
+      };
+      if (const char* v = next("--scale")) args.scale = std::atof(v);
+      else if (const char* v = next("--seed")) {
+        args.seed = std::strtoull(v, nullptr, 10);
+      } else if (const char* v = next("--interval")) {
+        args.interval_hours = std::atoi(v);
+      } else {
+        std::cerr << "usage: " << argv[0]
+                  << " [--scale S] [--seed N] [--interval H]\n";
+        std::exit(2);
+      }
+    }
+    return args;
+  }
+};
+
+// One family's single-week experiment (the Section V-A setup): good drives
+// observed for week 1, failed drives with their 20-day records.
+struct Experiment {
+  data::DriveDataset fleet;
+  data::DatasetSplit split;
+};
+
+inline Experiment make_family_experiment(const BenchArgs& args,
+                                         int family /*0=W, 1=Q*/) {
+  auto config = sim::paper_fleet_config(args.scale, args.seed,
+                                        args.interval_hours);
+  if (family == 0) {
+    config.families.resize(1);
+  } else {
+    config.families.erase(config.families.begin());
+  }
+  Experiment e;
+  e.fleet = sim::generate_fleet_window(config, 0, 1);
+  e.split = data::split_dataset(e.fleet, {});
+  return e;
+}
+
+inline void print_header(const std::string& title, const BenchArgs& args) {
+  std::cout << "==== " << title << " ====\n"
+            << "fleet scale " << args.scale << ", seed " << args.seed
+            << ", sampling every " << args.interval_hours << "h\n\n";
+}
+
+}  // namespace hdd::bench

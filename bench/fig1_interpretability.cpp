@@ -1,0 +1,39 @@
+// Figure 1 / Section V-B1 — interpretability: dump the learned
+// classification trees for both families and their feature importances.
+// Expected: family W keyed on Power On Hours / Temperature / Reported
+// Uncorrectable Errors; family Q on Power On Hours / Temperature / Seek
+// Error Rate.
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "common/table.h"
+#include "core/predictor.h"
+
+using namespace hdd;
+
+int main(int argc, char** argv) {
+  const auto args = bench::BenchArgs::parse(argc, argv, 0.3);
+  bench::print_header("Figure 1: tree interpretability per family", args);
+
+  for (int family = 0; family < 2; ++family) {
+    const auto exp = bench::make_family_experiment(args, family);
+    const auto cfg = core::paper_ct_config();
+    core::FailurePredictor predictor(cfg);
+    predictor.fit(exp.fleet, exp.split);
+
+    std::cout << "Family " << exp.fleet.family_names[0] << " — "
+              << predictor.describe() << "\n\n";
+    std::cout << predictor.tree()->to_text(&cfg.training.features) << '\n';
+
+    const auto importance = predictor.tree()->feature_importance();
+    Table t({"feature", "importance"});
+    for (std::size_t f = 0; f < importance.size(); ++f) {
+      if (importance[f] <= 0.0) continue;
+      t.row().cell(cfg.training.features.specs[f].name())
+             .cell(importance[f], 4);
+    }
+    t.print(std::cout);
+    std::cout << '\n';
+  }
+  return 0;
+}

@@ -1,0 +1,142 @@
+// Micro-benchmarks (google-benchmark): throughput of the hot paths — trace
+// generation, feature extraction, CART fit/predict, MLP fit/predict, the
+// rank-sum test, and the Markov solver. These bound how large a fleet one
+// monitoring node can score in real time.
+#include <benchmark/benchmark.h>
+
+#include "ann/mlp.h"
+#include "common/rng.h"
+#include "data/matrix.h"
+#include "reliability/raid.h"
+#include "sim/generator.h"
+#include "smart/features.h"
+#include "stats/nonparametric.h"
+#include "tree/tree.h"
+
+namespace {
+
+using namespace hdd;
+
+// Shared synthetic matrix: `rows` samples of 13 features, linearly
+// separable with noise.
+data::DataMatrix make_training_matrix(std::size_t rows) {
+  Rng rng(7);
+  data::DataMatrix m(13);
+  m.reserve(rows);
+  std::vector<float> row(13);
+  for (std::size_t i = 0; i < rows; ++i) {
+    for (auto& v : row) v = static_cast<float>(rng.uniform(0, 100));
+    const bool failed = row[0] + row[1] > 110.0f;
+    m.add_row(row, failed ? -1.0f : 1.0f, 1.0f);
+  }
+  return m;
+}
+
+void BM_GeneratorSampleAt(benchmark::State& state) {
+  const sim::TraceGenerator gen(sim::family_w_profile(), 42, 0);
+  const auto latent = gen.make_latent(3, true, 8 * 168);
+  std::int64_t hour = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gen.sample_at(latent, hour));
+    hour = (hour + 1) % 1344;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_GeneratorSampleAt);
+
+void BM_FeatureExtraction(benchmark::State& state) {
+  const sim::TraceGenerator gen(sim::family_w_profile(), 42, 0);
+  const auto latent = gen.make_latent(3, false, 8 * 168);
+  const auto record = gen.materialize(latent, 0, 1343, 1);
+  const auto fs = smart::stat13_features();
+  std::size_t i = 100;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(smart::extract_features(record, i, fs));
+    i = 100 + (i + 1) % (record.samples.size() - 100);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FeatureExtraction);
+
+void BM_TreeFit(benchmark::State& state) {
+  const auto m = make_training_matrix(
+      static_cast<std::size_t>(state.range(0)));
+  tree::TreeParams params;
+  for (auto _ : state) {
+    tree::DecisionTree t;
+    t.fit(m, tree::Task::kClassification, params);
+    benchmark::DoNotOptimize(t);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_TreeFit)->Arg(1000)->Arg(10000)->Arg(50000);
+
+void BM_TreePredict(benchmark::State& state) {
+  const auto m = make_training_matrix(20000);
+  tree::DecisionTree t;
+  t.fit(m, tree::Task::kClassification, tree::TreeParams{});
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(t.predict(m.row(i)));
+    i = (i + 1) % m.rows();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TreePredict);
+
+void BM_MlpFit(benchmark::State& state) {
+  const auto m = make_training_matrix(
+      static_cast<std::size_t>(state.range(0)));
+  ann::MlpConfig cfg;
+  cfg.epochs = 10;
+  for (auto _ : state) {
+    ann::MlpModel model;
+    model.fit(m, cfg);
+    benchmark::DoNotOptimize(model);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0) * cfg.epochs);
+}
+BENCHMARK(BM_MlpFit)->Arg(1000)->Arg(5000);
+
+void BM_MlpPredict(benchmark::State& state) {
+  const auto m = make_training_matrix(5000);
+  ann::MlpConfig cfg;
+  cfg.epochs = 5;
+  ann::MlpModel model;
+  model.fit(m, cfg);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.predict(m.row(i)));
+    i = (i + 1) % m.rows();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MlpPredict);
+
+void BM_RankSum(benchmark::State& state) {
+  Rng rng(9);
+  std::vector<double> xs, ys;
+  for (int i = 0; i < state.range(0); ++i) {
+    xs.push_back(rng.normal());
+    ys.push_back(rng.normal(0.2, 1.0));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stats::rank_sum_test(xs, ys));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0) * 2);
+}
+BENCHMARK(BM_RankSum)->Arg(1000)->Arg(10000);
+
+void BM_RaidCtmcSolve(benchmark::State& state) {
+  reliability::RaidPredictionParams p;
+  p.n_drives = static_cast<int>(state.range(0));
+  p.fdr = 0.9549;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(reliability::mttdl_raid_with_prediction(p));
+  }
+}
+BENCHMARK(BM_RaidCtmcSolve)->Arg(100)->Arg(1000)->Arg(2500);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,66 @@
+// Table III — effectiveness of three feature sets (12 basic / 19 expert /
+// 13 statistical) for both the BP ANN and CT models. Detection here is the
+// pre-voting rule of Section V-A2: a drive alarms if *any* test sample is
+// classified failed (voters = 1). Failed time window: 12 h, as in the paper.
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "common/table.h"
+#include "core/predictor.h"
+
+using namespace hdd;
+
+int main(int argc, char** argv) {
+  const auto args = bench::BenchArgs::parse(argc, argv, 0.5);
+  bench::print_header("Table III: effectiveness of three feature sets", args);
+
+  std::cout << "Paper:\n"
+            << "  BP ANN  12f: FAR 0.44  FDR 89.47  TIA 347.7\n"
+            << "          19f: FAR 0.25  FDR 90.23  TIA 345.5\n"
+            << "          13f: FAR 0.20  FDR 90.98  TIA 342.5\n"
+            << "  CT      12f: FAR 0.57  FDR 95.49  TIA 352.4\n"
+            << "          19f: FAR 0.63  FDR 94.74  TIA 351.4\n"
+            << "          13f: FAR 0.56  FDR 95.49  TIA 351.4\n\n";
+
+  const auto exp = bench::make_family_experiment(args, /*family=*/0);
+
+  struct Row {
+    const char* model;
+    smart::FeatureSet features;
+    int hidden;  // ANN hidden units (paper's topologies)
+  };
+  const Row rows[] = {
+      {"BP ANN", smart::basic12_features(), 20},
+      {"BP ANN", smart::expert19_features(), 30},
+      {"BP ANN", smart::stat13_features(), 13},
+      {"CT", smart::basic12_features(), 0},
+      {"CT", smart::expert19_features(), 0},
+      {"CT", smart::stat13_features(), 0},
+  };
+
+  Table t({"Model", "Features", "FAR (%)", "FDR (%)", "TIA (hours)"});
+  for (const auto& row : rows) {
+    core::PredictorConfig cfg;
+    if (row.hidden > 0) {
+      cfg = core::paper_ann_config();
+      cfg.ann.hidden = row.hidden;
+    } else {
+      cfg = core::paper_ct_config();
+      cfg.training.failed_window_hours = 12;  // Table III uses 12 h
+    }
+    cfg.training.features = row.features;
+    cfg.vote.voters = 1;  // "any failed sample" detection
+
+    core::FailurePredictor predictor(cfg);
+    predictor.fit(exp.fleet, exp.split);
+    const auto r = predictor.evaluate(exp.fleet, exp.split);
+    t.row()
+        .cell(row.model)
+        .cell(row.features.name)
+        .cell(100.0 * r.far(), 2)
+        .cell(100.0 * r.fdr(), 2)
+        .cell(r.mean_tia(), 1);
+  }
+  t.print(std::cout);
+  return 0;
+}

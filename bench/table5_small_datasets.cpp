@@ -1,0 +1,54 @@
+// Table V — prediction performance on small synthesized datasets A/B/C/D
+// (10/25/50/75% of the family-W drives), CT and BP ANN, 11 voters.
+// Expected shape: both models degrade as data shrinks, but CT keeps a
+// reasonably low FAR and both keep a ~2-week TIA.
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "common/table.h"
+#include "core/predictor.h"
+
+using namespace hdd;
+
+int main(int argc, char** argv) {
+  const auto args = bench::BenchArgs::parse(argc, argv, 1.0);
+  bench::print_header("Table V: small-sized datasets (family W)", args);
+
+  std::cout << "Paper: BP ANN A/B/C/D FAR 2.93/1.10/0.16/0.03, "
+               "FDR 88.24/90.63/84.38/81.82;\n"
+               "       CT     A/B/C/D FAR 0.22/0.07/0.11/0.09, "
+               "FDR 82.35/90.63/90.63/91.82\n"
+            << "(A/B/C/D = 10/25/50/75% of the base fleet at this bench's "
+               "scale)\n\n";
+
+  const auto base = bench::make_family_experiment(args, /*family=*/0);
+
+  struct Slice {
+    const char* name;
+    double fraction;
+  };
+  const Slice slices[] = {{"A", 0.10}, {"B", 0.25}, {"C", 0.50}, {"D", 0.75}};
+
+  for (const bool use_ct : {false, true}) {
+    std::cout << (use_ct ? "CT model" : "BP ANN model") << ":\n";
+    Table t({"Dataset", "FAR (%)", "FDR (%)", "TIA (hours)"});
+    for (const auto& slice : slices) {
+      const auto subset = data::subsample_drives(base.fleet, slice.fraction,
+                                                 args.seed + 100);
+      const auto split = data::split_dataset(subset, {});
+      auto cfg = use_ct ? core::paper_ct_config() : core::paper_ann_config();
+      cfg.vote.voters = 11;
+      core::FailurePredictor predictor(cfg);
+      predictor.fit(subset, split);
+      const auto r = predictor.evaluate(subset, split);
+      t.row()
+          .cell(slice.name)
+          .cell(100.0 * r.far(), 2)
+          .cell(100.0 * r.fdr(), 2)
+          .cell(r.mean_tia(), 1);
+    }
+    t.print(std::cout);
+    std::cout << '\n';
+  }
+  return 0;
+}

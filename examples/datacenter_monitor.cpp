@@ -1,0 +1,113 @@
+// Data-center monitoring scenario (the paper's Section I motivation):
+//
+// An operator trains the health-degree model on last week's telemetry,
+// then replays "today" hour by hour. Each drive whose averaged health
+// drops below the threshold raises a warning; warnings are handled from a
+// priority queue ordered by health degree, so the most at-risk drives get
+// migrated first and the operator's limited repair bandwidth is spent
+// where it matters (the paper's answer to false-alarm processing cost).
+//
+// Usage: datacenter_monitor [fleet_scale] [migrations_per_day]
+#include <cstdlib>
+#include <iomanip>
+#include <iostream>
+#include <map>
+
+#include "common/table.h"
+#include "core/health.h"
+#include "data/split.h"
+#include "sim/generator.h"
+
+int main(int argc, char** argv) {
+  const double scale = argc > 1 ? std::atof(argv[1]) : 0.1;
+  const int budget_per_day = argc > 2 ? std::atoi(argv[2]) : 3;
+
+  std::cout << "Training the health-degree model on one week of telemetry "
+               "(scale " << scale << ")...\n";
+  auto config = hdd::sim::paper_fleet_config(scale, 7);
+  config.families.resize(1);
+  const auto fleet = hdd::sim::generate_fleet_window(config, 0, 1);
+  const auto split = hdd::data::split_dataset(fleet, {});
+
+  hdd::core::HealthModelConfig model_cfg;
+  model_cfg.threshold = -0.2;
+  hdd::core::HealthDegreeModel model(model_cfg);
+  model.fit(fleet, split);
+  std::cout << "  trained RT with "
+            << model.regression_tree().node_count() << " nodes over "
+            << model.windows().size() << " personalized windows\n\n";
+
+  // Replay: walk the test drives, collect warnings with their health.
+  hdd::core::WarningQueue queue;
+  std::size_t failed_warned = 0, good_warned = 0, failed_total = 0;
+  std::map<std::string, bool> is_failed;
+  for (std::size_t di : split.test_failed) {
+    const auto& d = fleet.drives[di];
+    if (d.empty()) continue;
+    ++failed_total;
+    const auto outcome = model.detect(d);
+    if (outcome.alarmed) {
+      const auto idx = d.last_sample_at_or_before(outcome.alarm_hour);
+      queue.push({d.serial, model.health(d, static_cast<std::size_t>(idx)),
+                  outcome.alarm_hour});
+      is_failed[d.serial] = true;
+      ++failed_warned;
+    }
+  }
+  for (std::size_t k = 0; k < split.good_drives.size(); ++k) {
+    const auto& d = fleet.drives[split.good_drives[k]];
+    const std::size_t begin = split.good_test_begin[k];
+    if (begin >= d.samples.size()) continue;
+    const auto scores = hdd::eval::score_record(
+        d, begin, model.config().ct_config.training.features,
+        model.sample_model());
+    hdd::eval::VoteConfig vote;
+    vote.voters = model.config().voters;
+    vote.average_mode = true;
+    vote.threshold = model.config().threshold;
+    const auto outcome = hdd::eval::vote_drive(scores, vote);
+    if (outcome.alarmed) {
+      const auto idx = d.last_sample_at_or_before(outcome.alarm_hour);
+      queue.push({d.serial, model.health(d, static_cast<std::size_t>(idx)),
+                  outcome.alarm_hour});
+      is_failed[d.serial] = false;
+      ++good_warned;
+    }
+  }
+
+  std::cout << "Warnings raised: " << queue.size() << " ("
+            << failed_warned << "/" << failed_total
+            << " actually-failing drives, " << good_warned
+            << " false alarms)\n\n";
+
+  // Process warnings in health order under a daily migration budget.
+  std::cout << "Processing order (worst health first), budget "
+            << budget_per_day << " migrations/day:\n";
+  hdd::Table t({"day", "drive", "health", "really failing?"});
+  int day = 1, today = 0;
+  std::size_t failing_in_first_two_days = 0;
+  std::size_t processed = 0;
+  while (!queue.empty()) {
+    const auto w = queue.pop();
+    t.row()
+        .cell(static_cast<long long>(day))
+        .cell(w.serial)
+        .cell(w.health, 3)
+        .cell(is_failed[w.serial] ? "YES" : "no");
+    if (day <= 2 && is_failed[w.serial]) ++failing_in_first_two_days;
+    ++processed;
+    if (++today == budget_per_day) {
+      today = 0;
+      ++day;
+    }
+    if (processed >= 24) break;  // table stays readable
+  }
+  t.print(std::cout);
+
+  std::cout << "\nWith health-ordered processing, "
+            << failing_in_first_two_days
+            << " genuinely failing drives were handled in the first two "
+               "days;\nfalse alarms sink to the back of the queue instead "
+               "of blocking real failures.\n";
+  return 0;
+}

@@ -1,0 +1,216 @@
+#include "ann/mlp.h"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <string>
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace hdd::ann {
+
+void MlpConfig::validate() const {
+  HDD_REQUIRE(hidden >= 1, "hidden must be >= 1");
+  HDD_REQUIRE(learning_rate > 0.0, "learning_rate must be positive");
+  HDD_REQUIRE(epochs >= 1, "epochs must be >= 1");
+  HDD_REQUIRE(tol >= 0.0, "tol must be non-negative");
+}
+
+namespace {
+inline double sigmoid(double z) { return 1.0 / (1.0 + std::exp(-z)); }
+}  // namespace
+
+void MlpModel::fit(const data::DataMatrix& m, const MlpConfig& config) {
+  config.validate();
+  HDD_REQUIRE(!m.empty(), "cannot fit an MLP on an empty matrix");
+  inputs_ = m.cols();
+  hidden_ = config.hidden;
+
+  // Min-max scale features to [0, 1] over the observed training range,
+  // matching the original BP ANN implementation [11]. (This compresses
+  // heavy-tailed counters much more than z-scoring would — a real
+  // characteristic, and weakness, of the historical baseline.)
+  const auto ni = static_cast<std::size_t>(inputs_);
+  feat_mean_.assign(ni, 0.0);   // reused as the per-feature minimum
+  feat_scale_.assign(ni, 1.0);  // reused as 1 / (max - min)
+  std::vector<double> lo(ni, 1e300), hi(ni, -1e300);
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    const auto row = m.row(r);
+    for (std::size_t f = 0; f < ni; ++f) {
+      lo[f] = std::min(lo[f], static_cast<double>(row[f]));
+      hi[f] = std::max(hi[f], static_cast<double>(row[f]));
+    }
+  }
+  for (std::size_t f = 0; f < ni; ++f) {
+    feat_mean_[f] = lo[f];
+    const double range = hi[f] - lo[f];
+    feat_scale_[f] = range > 1e-9 ? 1.0 / range : 0.0;  // constant: drop
+  }
+
+  const auto nh = static_cast<std::size_t>(hidden_);
+  Rng rng(config.seed);
+  auto init = [&](std::size_t fan_in) {
+    return rng.uniform(-1.0, 1.0) / std::sqrt(static_cast<double>(fan_in));
+  };
+  w1_.resize(nh * ni);
+  b1_.assign(nh, 0.0);
+  w2_.resize(nh);
+  b2_ = 0.0;
+  for (double& w : w1_) w = init(ni);
+  for (double& w : w2_) w = init(nh);
+
+  // Normalize sample weights to mean 1 so the learning rate keeps its
+  // usual meaning regardless of the prior/loss reweighting.
+  double mean_w = 0.0;
+  for (std::size_t r = 0; r < m.rows(); ++r) mean_w += m.weight(r);
+  mean_w /= static_cast<double>(m.rows());
+  const double inv_mean_w = mean_w > 0.0 ? 1.0 / mean_w : 1.0;
+
+  std::vector<double> xbuf(ni), hact(nh);
+  double prev_mse = 1e300;
+  for (int epoch = 0; epoch < config.epochs; ++epoch) {
+    const auto order = rng.permutation(m.rows());
+    double se = 0.0, wsum = 0.0;
+    for (std::size_t k = 0; k < order.size(); ++k) {
+      const std::size_t r = order[k];
+      const auto row = m.row(r);
+      for (std::size_t f = 0; f < ni; ++f) {
+        xbuf[f] = (row[f] - feat_mean_[f]) * feat_scale_[f];
+      }
+      // Forward.
+      for (std::size_t h = 0; h < nh; ++h) {
+        double z = b1_[h];
+        const double* wrow = w1_.data() + h * ni;
+        for (std::size_t f = 0; f < ni; ++f) z += wrow[f] * xbuf[f];
+        hact[h] = sigmoid(z);
+      }
+      double zo = b2_;
+      for (std::size_t h = 0; h < nh; ++h) zo += w2_[h] * hact[h];
+      const double out = sigmoid(zo);
+
+      // Squared-error backprop; target mapped (+1 -> 1, -1 -> 0).
+      const double target = m.target(r) > 0.0f ? 1.0 : 0.0;
+      const double sw = m.weight(r) * inv_mean_w;
+      const double err = out - target;
+      se += sw * err * err;
+      wsum += sw;
+      const double delta_o = err * out * (1.0 - out) * sw;
+
+      const double lr = config.learning_rate;
+      for (std::size_t h = 0; h < nh; ++h) {
+        const double delta_h =
+            delta_o * w2_[h] * hact[h] * (1.0 - hact[h]);
+        w2_[h] -= lr * delta_o * hact[h];
+        double* wrow = w1_.data() + h * ni;
+        for (std::size_t f = 0; f < ni; ++f) {
+          wrow[f] -= lr * delta_h * xbuf[f];
+        }
+        b1_[h] -= lr * delta_h;
+      }
+      b2_ -= lr * delta_o;
+    }
+    const double mse = wsum > 0.0 ? se / wsum : 0.0;
+    if (config.tol > 0.0 && prev_mse - mse < config.tol && epoch > 10) break;
+    prev_mse = mse;
+  }
+}
+
+double MlpModel::forward(std::span<const float> x,
+                         std::vector<double>& hact) const {
+  const auto ni = static_cast<std::size_t>(inputs_);
+  const auto nh = static_cast<std::size_t>(hidden_);
+  hact.resize(nh);
+  for (std::size_t h = 0; h < nh; ++h) {
+    double z = b1_[h];
+    const double* wrow = w1_.data() + h * ni;
+    for (std::size_t f = 0; f < ni; ++f) {
+      z += wrow[f] * (x[f] - feat_mean_[f]) * feat_scale_[f];
+    }
+    hact[h] = sigmoid(z);
+  }
+  double zo = b2_;
+  for (std::size_t h = 0; h < nh; ++h) zo += w2_[h] * hact[h];
+  return sigmoid(zo);
+}
+
+namespace {
+void write_vector(std::ostream& os, const char* name,
+                  const std::vector<double>& v) {
+  os << name;
+  for (double x : v) os << ' ' << x;
+  os << '\n';
+}
+
+std::vector<double> read_vector(std::istream& is, const char* name,
+                                std::size_t expected) {
+  std::string line;
+  if (!std::getline(is, line)) throw DataError("mlp file truncated");
+  std::istringstream ls(line);
+  std::string label;
+  ls >> label;
+  if (label != name) throw DataError(std::string("expected ") + name);
+  std::vector<double> v(expected);
+  for (double& x : v) ls >> x;
+  if (ls.fail()) throw DataError(std::string("bad vector: ") + name);
+  return v;
+}
+}  // namespace
+
+void MlpModel::save(std::ostream& os) const {
+  HDD_REQUIRE(trained(), "cannot save an untrained MLP");
+  os << "hddpred-mlp v1\n";
+  os << "inputs " << inputs_ << " hidden " << hidden_ << '\n';
+  os << std::setprecision(17);
+  write_vector(os, "min", feat_mean_);
+  write_vector(os, "scale", feat_scale_);
+  write_vector(os, "w1", w1_);
+  write_vector(os, "b1", b1_);
+  write_vector(os, "w2", w2_);
+  os << "b2 " << b2_ << '\n';
+}
+
+MlpModel MlpModel::load(std::istream& is) {
+  std::string line;
+  if (!std::getline(is, line) || line != "hddpred-mlp v1") {
+    throw DataError("not a hddpred-mlp v1 file");
+  }
+  MlpModel m;
+  {
+    if (!std::getline(is, line)) throw DataError("mlp file truncated");
+    std::istringstream ls(line);
+    std::string a, b;
+    ls >> a >> m.inputs_ >> b >> m.hidden_;
+    if (ls.fail() || a != "inputs" || b != "hidden" || m.inputs_ <= 0 ||
+        m.hidden_ <= 0) {
+      throw DataError("bad mlp header");
+    }
+  }
+  const auto ni = static_cast<std::size_t>(m.inputs_);
+  const auto nh = static_cast<std::size_t>(m.hidden_);
+  m.feat_mean_ = read_vector(is, "min", ni);
+  m.feat_scale_ = read_vector(is, "scale", ni);
+  m.w1_ = read_vector(is, "w1", nh * ni);
+  m.b1_ = read_vector(is, "b1", nh);
+  m.w2_ = read_vector(is, "w2", nh);
+  {
+    if (!std::getline(is, line)) throw DataError("mlp file truncated");
+    std::istringstream ls(line);
+    std::string label;
+    ls >> label >> m.b2_;
+    if (ls.fail() || label != "b2") throw DataError("bad b2 line");
+  }
+  return m;
+}
+
+double MlpModel::predict(std::span<const float> x) const {
+  HDD_ASSERT_MSG(trained(), "predict on an untrained MLP");
+  HDD_ASSERT(static_cast<int>(x.size()) == inputs_);
+  std::vector<double> hact;
+  return 2.0 * forward(x, hact) - 1.0;
+}
+
+}  // namespace hdd::ann

@@ -1,0 +1,72 @@
+// Backpropagation artificial neural network — the paper's control model
+// (their previous state of the art, MSST'13 [11]).
+//
+// A single-hidden-layer sigmoid MLP trained with plain stochastic gradient
+// descent on squared error, matching the paper's setup: topology
+// input-hidden-1 (e.g. 13-13-1 for the statistical feature set, 12-20-1 and
+// 19-30-1 for the others), learning rate 0.1, at most 400 iterations.
+//
+// Inputs are standardized internally (the scaler is learned on the training
+// matrix); predict() returns a margin in [-1, 1] with the same sign
+// convention as the trees: negative = failed.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <span>
+#include <vector>
+
+#include "data/matrix.h"
+
+namespace hdd::ann {
+
+struct MlpConfig {
+  int hidden = 13;
+  double learning_rate = 0.1;
+  int epochs = 400;
+  // Early-stop when the epoch's mean weighted squared error improves by
+  // less than `tol` (0 disables).
+  double tol = 1e-6;
+  std::uint64_t seed = 2024;
+
+  void validate() const;
+};
+
+class MlpModel {
+ public:
+  MlpModel() = default;
+
+  // Trains on the weighted matrix; targets are the +1/-1 convention and are
+  // internally mapped to sigmoid range.
+  void fit(const data::DataMatrix& m, const MlpConfig& config);
+
+  bool trained() const { return !w1_.empty(); }
+  int num_features() const { return inputs_; }
+  int hidden_units() const { return hidden_; }
+
+  // Margin in [-1, 1]; negative = failed.
+  double predict(std::span<const float> x) const;
+
+  int predict_label(std::span<const float> x) const {
+    return predict(x) < 0.0 ? -1 : 1;
+  }
+
+  // Line-oriented text persistence ("hddpred-mlp v1").
+  void save(std::ostream& os) const;
+  static MlpModel load(std::istream& is);  // throws DataError on bad input
+
+ private:
+  double forward(std::span<const float> x, std::vector<double>& hidden_act)
+      const;
+
+  int inputs_ = 0;
+  int hidden_ = 0;
+  // Layer 1: hidden x inputs weights + hidden biases; layer 2: hidden
+  // weights + 1 bias.
+  std::vector<double> w1_, b1_, w2_;
+  double b2_ = 0.0;
+  // Standardization learned from the training matrix.
+  std::vector<double> feat_mean_, feat_scale_;
+};
+
+}  // namespace hdd::ann

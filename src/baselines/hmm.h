@@ -1,0 +1,99 @@
+// Hidden Markov model failure prediction — Zhao et al. [10]: treat an
+// attribute's recent readings as a time series, train one Gaussian-emission
+// HMM on good windows and one on pre-failure windows, and warn when the
+// log-likelihood ratio of a drive's latest window favours the failure
+// model ("46% detection at 0% FAR with the best single attribute").
+//
+// GaussianHmm is a complete scaled-forward / Baum-Welch implementation for
+// 1-D Gaussian emissions; HmmDetector packages the two-model likelihood
+// ratio test over sliding windows of a chosen SMART attribute.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "data/split.h"
+#include "eval/detection.h"
+#include "smart/attributes.h"
+
+namespace hdd::baselines {
+
+struct HmmConfig {
+  int states = 4;
+  int baum_welch_iters = 25;
+  // Convergence tolerance on the mean log-likelihood per observation.
+  double tol = 1e-4;
+  // Variance floor (quantized SMART readings can collapse a state).
+  double min_variance = 0.25;
+  std::uint64_t seed = 555;
+
+  void validate() const;
+};
+
+class GaussianHmm {
+ public:
+  GaussianHmm() = default;
+
+  // Trains with Baum-Welch over a set of observation sequences (each at
+  // least 2 observations; shorter ones are skipped).
+  void fit(const std::vector<std::vector<double>>& sequences,
+           const HmmConfig& config);
+
+  bool trained() const { return !means_.empty(); }
+  int states() const { return static_cast<int>(means_.size()); }
+
+  // Log-likelihood of a sequence under the model (scaled forward pass).
+  double log_likelihood(std::span<const double> seq) const;
+
+  // Per-observation log-likelihood (length-normalized, for comparing
+  // windows of different sizes).
+  double mean_log_likelihood(std::span<const double> seq) const;
+
+  std::span<const double> state_means() const { return means_; }
+
+ private:
+  // Row-major transition matrix, initial distribution, emissions.
+  std::vector<double> trans_;
+  std::vector<double> init_;
+  std::vector<double> means_;
+  std::vector<double> vars_;
+};
+
+struct HmmDetectorConfig {
+  smart::Attr attribute = smart::Attr::kTemperatureCelsius;
+  int window_samples = 24;
+  // Pre-failure training windows are taken this close to failure.
+  int failed_window_hours = 168;
+  // Warn when mean-LL(failed model) - mean-LL(good model) > margin.
+  double llr_margin = 0.5;
+  int max_training_windows = 4000;
+  HmmConfig hmm;
+
+  void validate() const;
+};
+
+class HmmDetector {
+ public:
+  HmmDetector() = default;
+
+  void fit(const data::DriveDataset& dataset, const data::DatasetSplit& split,
+           const HmmDetectorConfig& config);
+
+  bool trained() const { return good_.trained() && failed_.trained(); }
+
+  // Walks the record; alarms at the first window whose likelihood ratio
+  // favours the failure model.
+  eval::DriveOutcome detect(const smart::DriveRecord& drive,
+                            std::size_t begin = 0) const;
+
+  eval::EvalResult evaluate(const data::DriveDataset& dataset,
+                            const data::DatasetSplit& split) const;
+
+ private:
+  HmmDetectorConfig config_;
+  GaussianHmm good_;
+  GaussianHmm failed_;
+};
+
+}  // namespace hdd::baselines

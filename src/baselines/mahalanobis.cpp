@@ -1,0 +1,110 @@
+#include "baselines/mahalanobis.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+#include "common/math_util.h"
+
+namespace hdd::baselines {
+
+void MahalanobisConfig::validate() const {
+  HDD_REQUIRE(quantile > 0.0 && quantile < 0.5,
+              "quantile must be in (0, 0.5)");
+  HDD_REQUIRE(ridge >= 0.0, "ridge must be non-negative");
+}
+
+void MahalanobisDetector::fit(const data::DataMatrix& m,
+                              const MahalanobisConfig& config) {
+  config.validate();
+  HDD_REQUIRE(!m.empty(), "cannot fit Mahalanobis on an empty matrix");
+  dim_ = m.cols();
+  const auto d = static_cast<std::size_t>(dim_);
+
+  // Mean of the good rows.
+  mean_.assign(d, 0.0);
+  std::size_t n_good = 0;
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    if (m.target(r) <= 0.0f) continue;
+    const auto row = m.row(r);
+    for (std::size_t f = 0; f < d; ++f) mean_[f] += row[f];
+    ++n_good;
+  }
+  HDD_REQUIRE(n_good > d, "need more good rows than dimensions");
+  for (double& v : mean_) v /= static_cast<double>(n_good);
+
+  // Covariance of the good rows.
+  std::vector<double> cov(d * d, 0.0);
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    if (m.target(r) <= 0.0f) continue;
+    const auto row = m.row(r);
+    for (std::size_t i = 0; i < d; ++i) {
+      const double di = row[i] - mean_[i];
+      for (std::size_t j = 0; j <= i; ++j) {
+        cov[i * d + j] += di * (row[j] - mean_[j]);
+      }
+    }
+  }
+  double trace = 0.0;
+  for (std::size_t i = 0; i < d; ++i) {
+    trace += cov[i * d + i] / static_cast<double>(n_good - 1);
+  }
+  const double ridge = config.ridge * std::max(trace / static_cast<double>(d),
+                                               1e-9);
+  for (std::size_t i = 0; i < d; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      cov[i * d + j] /= static_cast<double>(n_good - 1);
+    }
+    cov[i * d + i] += ridge;
+  }
+
+  // Cholesky: cov = L L^T (lower triangle stored in chol_).
+  chol_.assign(d * d, 0.0);
+  for (std::size_t i = 0; i < d; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      double sum = cov[i * d + j];
+      for (std::size_t k = 0; k < j; ++k) {
+        sum -= chol_[i * d + k] * chol_[j * d + k];
+      }
+      if (i == j) {
+        HDD_REQUIRE(sum > 0.0,
+                    "covariance not positive definite; raise the ridge");
+        chol_[i * d + i] = std::sqrt(sum);
+      } else {
+        chol_[i * d + j] = sum / chol_[j * d + j];
+      }
+    }
+  }
+
+  // Threshold: extreme quantile of the good distances.
+  std::vector<double> dists;
+  dists.reserve(n_good);
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    if (m.target(r) > 0.0f) dists.push_back(distance2(m.row(r)));
+  }
+  threshold2_ = percentile(dists, 100.0 * (1.0 - config.quantile));
+  HDD_ASSERT(threshold2_ > 0.0);
+}
+
+double MahalanobisDetector::distance2(std::span<const float> x) const {
+  HDD_ASSERT_MSG(trained(), "distance on an untrained MahalanobisDetector");
+  HDD_ASSERT(static_cast<int>(x.size()) == dim_);
+  const auto d = static_cast<std::size_t>(dim_);
+  // Solve L y = (x - mean); then distance^2 = |y|^2.
+  std::vector<double> y(d);
+  for (std::size_t i = 0; i < d; ++i) {
+    double sum = x[i] - mean_[i];
+    for (std::size_t k = 0; k < i; ++k) sum -= chol_[i * d + k] * y[k];
+    y[i] = sum / chol_[i * d + i];
+  }
+  double total = 0.0;
+  for (double v : y) total += v * v;
+  return total;
+}
+
+double MahalanobisDetector::predict(std::span<const float> x) const {
+  const double ratio = distance2(x) / threshold2_;
+  return clamp(1.0 - ratio, -1.0, 1.0);
+}
+
+}  // namespace hdd::baselines

@@ -1,0 +1,74 @@
+#include "baselines/naive_bayes.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace hdd::baselines {
+
+void NaiveBayesConfig::validate() const {
+  HDD_REQUIRE(min_stddev > 0.0, "min_stddev must be positive");
+}
+
+void NaiveBayes::fit(const data::DataMatrix& m,
+                     const NaiveBayesConfig& config) {
+  config.validate();
+  HDD_REQUIRE(!m.empty(), "cannot fit naive Bayes on an empty matrix");
+  const auto cols = static_cast<std::size_t>(m.cols());
+
+  mean_good_.assign(cols, 0.0);
+  mean_failed_.assign(cols, 0.0);
+  var_good_.assign(cols, 0.0);
+  var_failed_.assign(cols, 0.0);
+
+  double w_good = 0.0, w_failed = 0.0;
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    const bool failed = m.target(r) < 0.0f;
+    const double w = m.weight(r);
+    (failed ? w_failed : w_good) += w;
+    auto& mean = failed ? mean_failed_ : mean_good_;
+    const auto row = m.row(r);
+    for (std::size_t f = 0; f < cols; ++f) mean[f] += w * row[f];
+  }
+  HDD_REQUIRE(w_good > 0.0 && w_failed > 0.0,
+              "naive Bayes needs both classes");
+  for (std::size_t f = 0; f < cols; ++f) {
+    mean_good_[f] /= w_good;
+    mean_failed_[f] /= w_failed;
+  }
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    const bool failed = m.target(r) < 0.0f;
+    const double w = m.weight(r);
+    const auto& mean = failed ? mean_failed_ : mean_good_;
+    auto& var = failed ? var_failed_ : var_good_;
+    const auto row = m.row(r);
+    for (std::size_t f = 0; f < cols; ++f) {
+      const double d = row[f] - mean[f];
+      var[f] += w * d * d;
+    }
+  }
+  const double floor = config.min_stddev * config.min_stddev;
+  for (std::size_t f = 0; f < cols; ++f) {
+    var_good_[f] = std::max(var_good_[f] / w_good, floor);
+    var_failed_[f] = std::max(var_failed_[f] / w_failed, floor);
+  }
+  log_prior_good_ = std::log(w_good / (w_good + w_failed));
+  log_prior_failed_ = std::log(w_failed / (w_good + w_failed));
+}
+
+double NaiveBayes::predict(std::span<const float> x) const {
+  HDD_ASSERT_MSG(trained(), "predict on an untrained NaiveBayes");
+  HDD_ASSERT(x.size() == mean_good_.size());
+  double log_good = log_prior_good_, log_failed = log_prior_failed_;
+  for (std::size_t f = 0; f < x.size(); ++f) {
+    const double dg = x[f] - mean_good_[f];
+    const double df = x[f] - mean_failed_[f];
+    log_good -= 0.5 * (dg * dg / var_good_[f] + std::log(var_good_[f]));
+    log_failed -= 0.5 * (df * df / var_failed_[f] + std::log(var_failed_[f]));
+  }
+  // Margin via the posterior: tanh of half the log-odds equals
+  // p(good) - p(failed).
+  return std::tanh(0.5 * (log_good - log_failed));
+}
+
+}  // namespace hdd::baselines

@@ -1,0 +1,45 @@
+// Supervised naive Bayes classifier — Hamerly & Elkan's second approach [7]
+// ("55% accuracy at about 1% FAR" on the Quantum dataset).
+//
+// Gaussian class-conditional model per feature with a variance floor;
+// class priors come from the (weighted) training distribution. The output
+// is the posterior margin p(good|x) - p(failed|x) in [-1, 1], so the model
+// plugs into the same voting detector as the trees.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "data/matrix.h"
+
+namespace hdd::baselines {
+
+struct NaiveBayesConfig {
+  // Floor on per-feature standard deviation (SMART values are quantized;
+  // a zero-variance feature would otherwise dominate the likelihood).
+  double min_stddev = 0.5;
+
+  void validate() const;
+};
+
+class NaiveBayes {
+ public:
+  NaiveBayes() = default;
+
+  void fit(const data::DataMatrix& m, const NaiveBayesConfig& config = {});
+
+  bool trained() const { return !mean_good_.empty(); }
+
+  // Posterior margin p(good|x) - p(failed|x).
+  double predict(std::span<const float> x) const;
+  int predict_label(std::span<const float> x) const {
+    return predict(x) < 0.0 ? -1 : 1;
+  }
+
+ private:
+  std::vector<double> mean_good_, var_good_;
+  std::vector<double> mean_failed_, var_failed_;
+  double log_prior_good_ = 0.0, log_prior_failed_ = 0.0;
+};
+
+}  // namespace hdd::baselines

@@ -1,0 +1,131 @@
+#include "baselines/ranksum_detector.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "stats/nonparametric.h"
+
+namespace hdd::baselines {
+
+void RankSumConfig::validate() const {
+  HDD_REQUIRE(window_samples >= 3, "window_samples must be >= 3");
+  HDD_REQUIRE(reference_size >= 10, "reference_size must be >= 10");
+  HDD_REQUIRE(z_critical > 0.0, "z_critical must be positive");
+}
+
+void RankSumDetector::fit(const data::DataMatrix& m,
+                          const smart::FeatureSet& features,
+                          const RankSumConfig& config) {
+  config.validate();
+  HDD_REQUIRE(m.cols() == features.size(),
+              "matrix layout does not match the feature set");
+  features_ = features;
+  config_ = config;
+
+  // Indices of good rows; subsample down to reference_size.
+  std::vector<std::size_t> good;
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    if (m.target(r) > 0.0f) good.push_back(r);
+  }
+  HDD_REQUIRE(!good.empty(), "no good rows for the reference");
+  Rng rng(config.seed);
+  if (good.size() > static_cast<std::size_t>(config.reference_size)) {
+    const auto perm = rng.permutation(good.size());
+    std::vector<std::size_t> pick;
+    pick.reserve(static_cast<std::size_t>(config.reference_size));
+    for (int i = 0; i < config.reference_size; ++i) {
+      pick.push_back(good[perm[static_cast<std::size_t>(i)]]);
+    }
+    good = std::move(pick);
+  }
+
+  const auto cols = static_cast<std::size_t>(m.cols());
+  reference_.assign(cols, {});
+  for (std::size_t f = 0; f < cols; ++f) {
+    auto& ref = reference_[f];
+    ref.reserve(good.size());
+    for (std::size_t r : good) ref.push_back(m.row(r)[f]);
+    std::sort(ref.begin(), ref.end());
+  }
+}
+
+eval::DriveOutcome RankSumDetector::detect(const smart::DriveRecord& drive,
+                                           std::size_t begin) const {
+  HDD_REQUIRE(trained(), "detect on an untrained RankSumDetector");
+  eval::DriveOutcome outcome;
+  const std::size_t n = drive.samples.size();
+  if (begin >= n) return outcome;
+
+  // Extract all feature rows once.
+  std::vector<std::vector<double>> series(reference_.size());
+  std::vector<std::int64_t> hours;
+  for (std::size_t i = begin; i < n; ++i) {
+    const auto row = smart::extract_features(drive, i, features_);
+    for (std::size_t f = 0; f < series.size(); ++f) {
+      series[f].push_back((*row)[f]);
+    }
+    hours.push_back(drive.samples[i].hour);
+  }
+
+  const auto window = static_cast<std::size_t>(config_.window_samples);
+  for (std::size_t t = 0; t + begin < n; ++t) {
+    if (t + 1 < window) continue;  // window not yet filled
+    for (std::size_t f = 0; f < series.size(); ++f) {
+      const std::span<const double> recent(series[f].data() + (t + 1 - window),
+                                           window);
+      const auto result = stats::rank_sum_test(recent, reference_[f]);
+      // Health attributes drop as drives deteriorate: one-sided low test.
+      if (result.z < -config_.z_critical) {
+        outcome.alarmed = true;
+        outcome.alarm_hour = hours[t];
+        return outcome;
+      }
+    }
+  }
+  return outcome;
+}
+
+eval::EvalResult RankSumDetector::evaluate(
+    const data::DriveDataset& dataset, const data::DatasetSplit& split) const {
+  struct Job {
+    std::size_t drive;
+    std::size_t begin;
+  };
+  std::vector<Job> jobs;
+  for (std::size_t k = 0; k < split.good_drives.size(); ++k) {
+    if (split.good_test_begin[k] >=
+        dataset.drives[split.good_drives[k]].samples.size()) {
+      continue;
+    }
+    jobs.push_back({split.good_drives[k], split.good_test_begin[k]});
+  }
+  for (std::size_t di : split.test_failed) {
+    if (!dataset.drives[di].empty()) jobs.push_back({di, 0});
+  }
+
+  std::vector<eval::DriveOutcome> outcomes(jobs.size());
+  ThreadPool::global().parallel_for(0, jobs.size(), [&](std::size_t j) {
+    outcomes[j] = detect(dataset.drives[jobs[j].drive], jobs[j].begin);
+  });
+
+  eval::EvalResult r;
+  for (std::size_t j = 0; j < jobs.size(); ++j) {
+    const auto& d = dataset.drives[jobs[j].drive];
+    if (d.failed) {
+      ++r.n_failed;
+      if (outcomes[j].alarmed) {
+        ++r.detections;
+        r.tia_hours.push_back(
+            static_cast<double>(d.fail_hour - outcomes[j].alarm_hour));
+      }
+    } else {
+      ++r.n_good;
+      if (outcomes[j].alarmed) ++r.false_alarms;
+    }
+  }
+  return r;
+}
+
+}  // namespace hdd::baselines

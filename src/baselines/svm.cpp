@@ -1,0 +1,91 @@
+#include "baselines/svm.h"
+
+#include <cmath>
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace hdd::baselines {
+
+void SvmConfig::validate() const {
+  HDD_REQUIRE(lambda > 0.0, "lambda must be positive");
+  HDD_REQUIRE(epochs >= 1, "epochs must be >= 1");
+}
+
+void LinearSvm::fit(const data::DataMatrix& m, const SvmConfig& config) {
+  config.validate();
+  HDD_REQUIRE(!m.empty(), "cannot fit an SVM on an empty matrix");
+  const auto d = static_cast<std::size_t>(m.cols());
+
+  // Standardize (hinge-loss SGD on raw SMART scales would not converge).
+  mean_.assign(d, 0.0);
+  scale_.assign(d, 1.0);
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    const auto row = m.row(r);
+    for (std::size_t f = 0; f < d; ++f) mean_[f] += row[f];
+  }
+  for (double& v : mean_) v /= static_cast<double>(m.rows());
+  std::vector<double> var(d, 0.0);
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    const auto row = m.row(r);
+    for (std::size_t f = 0; f < d; ++f) {
+      const double diff = row[f] - mean_[f];
+      var[f] += diff * diff;
+    }
+  }
+  for (std::size_t f = 0; f < d; ++f) {
+    const double sd = std::sqrt(var[f] / static_cast<double>(m.rows()));
+    scale_[f] = sd > 1e-9 ? 1.0 / sd : 0.0;
+  }
+
+  // Mean sample weight -> 1 so lambda keeps its meaning under reweighting.
+  double mean_w = 0.0;
+  for (std::size_t r = 0; r < m.rows(); ++r) mean_w += m.weight(r);
+  mean_w /= static_cast<double>(m.rows());
+  const double inv_mean_w = mean_w > 0.0 ? 1.0 / mean_w : 1.0;
+
+  w_.assign(d, 0.0);
+  b_ = 0.0;
+  Rng rng(config.seed);
+  std::vector<double> x(d);
+  std::size_t step = 0;
+  for (int epoch = 0; epoch < config.epochs; ++epoch) {
+    const auto order = rng.permutation(m.rows());
+    for (std::size_t r : order) {
+      ++step;
+      const double lr = 1.0 / (config.lambda * static_cast<double>(step));
+      const auto row = m.row(r);
+      for (std::size_t f = 0; f < d; ++f) {
+        x[f] = (row[f] - mean_[f]) * scale_[f];
+      }
+      const double y = m.target(r) > 0.0f ? 1.0 : -1.0;
+      const double sw = m.weight(r) * inv_mean_w;
+      double dot = b_;
+      for (std::size_t f = 0; f < d; ++f) dot += w_[f] * x[f];
+
+      // Pegasos subgradient step.
+      const double shrink = 1.0 - lr * config.lambda;
+      for (double& v : w_) v *= shrink;
+      if (y * dot < 1.0) {
+        for (std::size_t f = 0; f < d; ++f) w_[f] += lr * sw * y * x[f];
+        b_ += lr * sw * y * 0.1;  // lightly-regularized bias
+      }
+    }
+  }
+}
+
+double LinearSvm::decision(std::span<const float> x) const {
+  HDD_ASSERT_MSG(trained(), "decision on an untrained SVM");
+  HDD_ASSERT(x.size() == w_.size());
+  double dot = b_;
+  for (std::size_t f = 0; f < w_.size(); ++f) {
+    dot += w_[f] * (x[f] - mean_[f]) * scale_[f];
+  }
+  return dot;
+}
+
+double LinearSvm::predict(std::span<const float> x) const {
+  return std::tanh(decision(x));
+}
+
+}  // namespace hdd::baselines

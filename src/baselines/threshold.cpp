@@ -1,0 +1,63 @@
+#include "baselines/threshold.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/error.h"
+
+namespace hdd::baselines {
+
+void ThresholdConfig::validate() const {
+  HDD_REQUIRE(quantile > 0.0 && quantile < 0.5,
+              "quantile must be in (0, 0.5)");
+  HDD_REQUIRE(margin_iqr >= 0.0, "margin_iqr must be non-negative");
+}
+
+void ThresholdDetector::fit(const data::DataMatrix& m,
+                            const ThresholdConfig& config) {
+  config.validate();
+  HDD_REQUIRE(!m.empty(), "cannot fit thresholds on an empty matrix");
+  const auto cols = static_cast<std::size_t>(m.cols());
+
+  increasing_.assign(cols, false);
+  for (int f : config.increasing_features) {
+    HDD_REQUIRE(f >= 0 && f < m.cols(), "increasing feature out of range");
+    increasing_[static_cast<std::size_t>(f)] = true;
+  }
+
+  lower_.assign(cols, -std::numeric_limits<float>::infinity());
+  upper_.assign(cols, std::numeric_limits<float>::infinity());
+
+  std::vector<float> column;
+  for (std::size_t f = 0; f < cols; ++f) {
+    column.clear();
+    for (std::size_t r = 0; r < m.rows(); ++r) {
+      if (m.target(r) > 0.0f) column.push_back(m.row(r)[f]);
+    }
+    HDD_REQUIRE(!column.empty(), "no good rows to learn thresholds from");
+    std::sort(column.begin(), column.end());
+    const auto n = column.size();
+    const auto idx = static_cast<std::size_t>(
+        config.quantile * static_cast<double>(n - 1));
+    const float iqr = column[n * 3 / 4] - column[n / 4];
+    const float margin =
+        std::max(static_cast<float>(config.margin_iqr) * iqr,
+                 static_cast<float>(config.margin_abs));
+    if (increasing_[f]) {
+      upper_[f] = column[n - 1 - idx] + margin;
+    } else {
+      lower_[f] = column[idx] - margin;
+    }
+  }
+}
+
+double ThresholdDetector::predict(std::span<const float> x) const {
+  HDD_ASSERT_MSG(trained(), "predict on an untrained ThresholdDetector");
+  HDD_ASSERT(x.size() == lower_.size());
+  for (std::size_t f = 0; f < x.size(); ++f) {
+    if (x[f] < lower_[f] || x[f] > upper_[f]) return -1.0;
+  }
+  return 1.0;
+}
+
+}  // namespace hdd::baselines

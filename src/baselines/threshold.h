@@ -1,0 +1,63 @@
+// The industry baseline: firmware-style per-attribute thresholds.
+//
+// Section II of the paper: "hard drive manufacturers estimate that the
+// threshold-based algorithm implemented in drives can only obtain a failure
+// detection rate of 3-10% with a low false alarm rate on the order of 0.1%",
+// because thresholds are set conservatively. This detector reproduces that
+// design: each feature gets a lower threshold at an extreme quantile of the
+// *good* training population (SMART normalized values drop as health
+// worsens), and a sample is flagged when any feature crosses its threshold.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "data/matrix.h"
+
+namespace hdd::baselines {
+
+struct ThresholdConfig {
+  // Quantile of the good population used as the trip point. The smaller it
+  // is, the more conservative the detector (the firmware regime).
+  double quantile = 1e-4;
+  // Extra safety margin below/above the quantile, in units of the good
+  // population's interquartile range. Vendors set trip points well beyond
+  // anything a healthy drive reports — this is how the firmware algorithm
+  // ends up at 3-10% detection.
+  double margin_iqr = 1.5;
+  // Absolute floor on the margin (normalized-value points). Counters that
+  // are constant for healthy drives (zero IQR) would otherwise trip on the
+  // first reallocated sector, which no vendor firmware does.
+  double margin_abs = 45.0;
+  // Features whose *increase* means trouble (raw counters) trip on the
+  // upper (1 - quantile) tail instead.
+  std::vector<int> increasing_features;
+
+  void validate() const;
+};
+
+class ThresholdDetector {
+ public:
+  ThresholdDetector() = default;
+
+  // Learns thresholds from the good rows (target > 0) of the matrix.
+  void fit(const data::DataMatrix& m, const ThresholdConfig& config);
+
+  bool trained() const { return !lower_.empty(); }
+
+  // Margin convention: -1 if any feature trips its threshold, else +1.
+  double predict(std::span<const float> x) const;
+  int predict_label(std::span<const float> x) const {
+    return predict(x) < 0.0 ? -1 : 1;
+  }
+
+  std::span<const float> lower_thresholds() const { return lower_; }
+  std::span<const float> upper_thresholds() const { return upper_; }
+
+ private:
+  std::vector<float> lower_;  // trip when value < lower (NaN-free sentinel)
+  std::vector<float> upper_;  // trip when value > upper
+  std::vector<bool> increasing_;
+};
+
+}  // namespace hdd::baselines

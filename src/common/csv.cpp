@@ -1,0 +1,78 @@
+#include "common/csv.h"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+namespace hdd {
+
+std::string csv_escape(const std::string& cell) {
+  const bool needs_quote =
+      cell.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quote) return cell;
+  std::string out = "\"";
+  for (char ch : cell) {
+    if (ch == '"') out += "\"\"";
+    else out += ch;
+  }
+  out += '"';
+  return out;
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& cells) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i) os_ << ',';
+    os_ << csv_escape(cells[i]);
+  }
+  os_ << '\n';
+}
+
+bool CsvReader::read_row(std::vector<std::string>& cells) {
+  cells.clear();
+  std::string cell;
+  bool in_quotes = false;
+  bool saw_any = false;
+  int ch;
+  while ((ch = is_.get()) != std::char_traits<char>::eof()) {
+    saw_any = true;
+    const char c = static_cast<char>(ch);
+    if (in_quotes) {
+      if (c == '"') {
+        if (is_.peek() == '"') {
+          cell += '"';
+          is_.get();
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        cell += c;
+      }
+    } else if (c == '"') {
+      in_quotes = true;
+    } else if (c == ',') {
+      cells.push_back(std::move(cell));
+      cell.clear();
+    } else if (c == '\n') {
+      cells.push_back(std::move(cell));
+      return true;
+    } else if (c == '\r') {
+      // Swallow; the following '\n' (if any) terminates the row.
+    } else {
+      cell += c;
+    }
+  }
+  if (!saw_any) return false;
+  cells.push_back(std::move(cell));
+  return true;
+}
+
+std::vector<std::vector<std::string>> parse_csv(const std::string& text) {
+  std::istringstream is(text);
+  CsvReader reader(is);
+  std::vector<std::vector<std::string>> rows;
+  std::vector<std::string> row;
+  while (reader.read_row(row)) rows.push_back(row);
+  return rows;
+}
+
+}  // namespace hdd

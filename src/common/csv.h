@@ -1,0 +1,44 @@
+// Minimal CSV reader/writer.
+//
+// Supports the subset of RFC 4180 the library needs: comma separation,
+// double-quote quoting with embedded commas/quotes/newlines, and a header
+// row. Used by data/csv_io.{h,cpp} to import/export drive datasets so users
+// can plug real SMART dumps (e.g. Backblaze exports) into the pipeline.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace hdd {
+
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::ostream& os) : os_(os) {}
+
+  // Writes one row, quoting cells as needed.
+  void write_row(const std::vector<std::string>& cells);
+
+ private:
+  std::ostream& os_;
+};
+
+class CsvReader {
+ public:
+  explicit CsvReader(std::istream& is) : is_(is) {}
+
+  // Reads the next record (which may span multiple physical lines if
+  // quoted). Returns false at end of input.
+  bool read_row(std::vector<std::string>& cells);
+
+ private:
+  std::istream& is_;
+};
+
+// Escapes a single CSV cell per RFC 4180.
+std::string csv_escape(const std::string& cell);
+
+// Parses one CSV text blob into rows (convenience for tests).
+std::vector<std::vector<std::string>> parse_csv(const std::string& text);
+
+}  // namespace hdd

@@ -1,0 +1,57 @@
+// Error-handling helpers shared across the hddpred library.
+//
+// The library favours exceptions for contract violations that a caller can
+// plausibly recover from (bad configuration, malformed input files) and
+// HDD_ASSERT for internal invariants that indicate a programming error.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace hdd {
+
+// Thrown when a user-supplied configuration value is out of range or
+// internally inconsistent (e.g. minbucket > minsplit, empty feature set).
+class ConfigError : public std::runtime_error {
+ public:
+  explicit ConfigError(const std::string& what) : std::runtime_error(what) {}
+};
+
+// Thrown when input data cannot be parsed or violates the documented schema.
+class DataError : public std::runtime_error {
+ public:
+  explicit DataError(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void assert_fail(const char* expr, const char* file,
+                                     int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "HDD_ASSERT failed: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw std::logic_error(os.str());
+}
+}  // namespace detail
+
+}  // namespace hdd
+
+// Internal invariant check. Always on: the library is not perf-bound on
+// these checks and silent corruption is worse than an exception.
+#define HDD_ASSERT(expr)                                              \
+  do {                                                                \
+    if (!(expr))                                                      \
+      ::hdd::detail::assert_fail(#expr, __FILE__, __LINE__, "");      \
+  } while (0)
+
+#define HDD_ASSERT_MSG(expr, msg)                                     \
+  do {                                                                \
+    if (!(expr))                                                      \
+      ::hdd::detail::assert_fail(#expr, __FILE__, __LINE__, (msg));   \
+  } while (0)
+
+// Validates a user-facing precondition; throws ConfigError on failure.
+#define HDD_REQUIRE(expr, msg)                                        \
+  do {                                                                \
+    if (!(expr)) throw ::hdd::ConfigError(msg);                       \
+  } while (0)

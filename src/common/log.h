@@ -1,0 +1,40 @@
+// Tiny leveled logger. Benches default to kInfo; tests to kWarn.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace hdd {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+// Sets/gets the global threshold (messages below it are dropped).
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+// Emits one line ("[level] message") to stderr if enabled.
+void log_message(LogLevel level, const std::string& message);
+
+namespace detail {
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { log_message(level_, os_.str()); }
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+}  // namespace detail
+
+inline detail::LogLine log_debug() { return detail::LogLine(LogLevel::kDebug); }
+inline detail::LogLine log_info() { return detail::LogLine(LogLevel::kInfo); }
+inline detail::LogLine log_warn() { return detail::LogLine(LogLevel::kWarn); }
+inline detail::LogLine log_error() { return detail::LogLine(LogLevel::kError); }
+
+}  // namespace hdd

@@ -1,0 +1,84 @@
+#include "common/math_util.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace hdd {
+
+double mean(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : xs) s += x;
+  return s / static_cast<double>(xs.size());
+}
+
+double variance(std::span<const double> xs) {
+  if (xs.size() < 2) return 0.0;
+  const double m = mean(xs);
+  double s = 0.0;
+  for (double x : xs) s += (x - m) * (x - m);
+  return s / static_cast<double>(xs.size() - 1);
+}
+
+double stddev(std::span<const double> xs) { return std::sqrt(variance(xs)); }
+
+double percentile(std::span<const double> xs, double p) {
+  HDD_REQUIRE(!xs.empty(), "percentile of empty span");
+  HDD_REQUIRE(p >= 0.0 && p <= 100.0, "percentile p out of range");
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  if (sorted.size() == 1) return sorted[0];
+  const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+double correlation(std::span<const double> xs, std::span<const double> ys) {
+  HDD_REQUIRE(xs.size() == ys.size(), "correlation size mismatch");
+  if (xs.size() < 2) return 0.0;
+  const double mx = mean(xs), my = mean(ys);
+  double sxy = 0.0, sxx = 0.0, syy = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double dx = xs[i] - mx, dy = ys[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx <= 0.0 || syy <= 0.0) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+double normal_cdf(double z) { return 0.5 * std::erfc(-z / std::sqrt(2.0)); }
+
+double normal_two_sided_p(double z) {
+  return std::erfc(std::fabs(z) / std::sqrt(2.0));
+}
+
+double xlog2x(double x) {
+  if (x <= 0.0) return 0.0;
+  return x * std::log2(x);
+}
+
+double binary_entropy(double p) { return -xlog2x(p) - xlog2x(1.0 - p); }
+
+std::vector<double> linspace(double lo, double hi, std::size_t n) {
+  HDD_REQUIRE(n >= 2, "linspace needs n >= 2");
+  std::vector<double> out(n);
+  for (std::size_t i = 0; i < n; ++i)
+    out[i] = lo + (hi - lo) * static_cast<double>(i) /
+                      static_cast<double>(n - 1);
+  return out;
+}
+
+std::vector<double> logspace(double lo, double hi, std::size_t n) {
+  HDD_REQUIRE(lo > 0.0 && hi > 0.0, "logspace needs positive bounds");
+  auto exps = linspace(std::log10(lo), std::log10(hi), n);
+  for (double& e : exps) e = std::pow(10.0, e);
+  return exps;
+}
+
+}  // namespace hdd

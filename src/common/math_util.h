@@ -1,0 +1,48 @@
+// Small numeric helpers shared across modules.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace hdd {
+
+// Clamps v into [lo, hi].
+constexpr double clamp(double v, double lo, double hi) {
+  return v < lo ? lo : (v > hi ? hi : v);
+}
+
+// Arithmetic mean; returns 0 for an empty span.
+double mean(std::span<const double> xs);
+
+// Unbiased sample variance (n-1 denominator); returns 0 for n < 2.
+double variance(std::span<const double> xs);
+
+// Sample standard deviation.
+double stddev(std::span<const double> xs);
+
+// p-th percentile (linear interpolation), p in [0, 100]. Sorts a copy.
+double percentile(std::span<const double> xs, double p);
+
+// Pearson correlation; returns 0 when either side is constant.
+double correlation(std::span<const double> xs, std::span<const double> ys);
+
+// Standard normal CDF.
+double normal_cdf(double z);
+
+// Two-sided p-value for a standard normal statistic.
+double normal_two_sided_p(double z);
+
+// x * log2(x) with the 0 * log 0 = 0 convention.
+double xlog2x(double x);
+
+// Binary entropy of a Bernoulli(p); 0 at p in {0, 1}.
+double binary_entropy(double p);
+
+// Linearly spaced values from lo to hi inclusive (n >= 2).
+std::vector<double> linspace(double lo, double hi, std::size_t n);
+
+// Logarithmically spaced values (lo, hi > 0, n >= 2).
+std::vector<double> logspace(double lo, double hi, std::size_t n);
+
+}  // namespace hdd

@@ -1,0 +1,61 @@
+#include "common/rng.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/error.h"
+
+namespace hdd {
+
+std::uint64_t Rng::uniform_int(std::uint64_t n) {
+  HDD_ASSERT(n > 0);
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t limit = max() - max() % n;
+  std::uint64_t v;
+  do {
+    v = (*this)();
+  } while (v >= limit);
+  return v % n;
+}
+
+double Rng::normal() {
+  // Box–Muller; guard against log(0).
+  double u1 = uniform();
+  if (u1 <= 0.0) u1 = 0x1.0p-53;
+  const double u2 = uniform();
+  return std::sqrt(-2.0 * std::log(u1)) *
+         std::cos(2.0 * std::numbers::pi * u2);
+}
+
+double Rng::lognormal(double mu, double sigma) {
+  return std::exp(normal(mu, sigma));
+}
+
+double Rng::exponential(double rate) {
+  HDD_ASSERT(rate > 0.0);
+  double u = uniform();
+  if (u <= 0.0) u = 0x1.0p-53;
+  return -std::log(u) / rate;
+}
+
+std::vector<std::size_t> Rng::permutation(std::size_t n) {
+  std::vector<std::size_t> p(n);
+  for (std::size_t i = 0; i < n; ++i) p[i] = i;
+  for (std::size_t i = n; i > 1; --i) {
+    const std::size_t j = uniform_int(i);
+    std::swap(p[i - 1], p[j]);
+  }
+  return p;
+}
+
+double CounterRng::normal(std::uint64_t a, std::uint64_t b,
+                          std::uint64_t c) const {
+  // Two independent uniforms derived from adjacent keys in the c-dimension.
+  double u1 = uniform(a, b, c * 2 + 1);
+  if (u1 <= 0.0) u1 = 0x1.0p-53;
+  const double u2 = uniform(a, b, c * 2 + 2);
+  return std::sqrt(-2.0 * std::log(u1)) *
+         std::cos(2.0 * std::numbers::pi * u2);
+}
+
+}  // namespace hdd

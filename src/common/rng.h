@@ -1,0 +1,124 @@
+// Deterministic random-number utilities.
+//
+// Two generators are provided:
+//
+//  * Rng        — a sequential SplitMix64 stream, used wherever ordinary
+//                 seeded randomness is enough (shuffles, bootstrap draws).
+//  * CounterRng — a *counter-based* generator: the value at key
+//                 (seed, a, b, c) is a pure function of its arguments.
+//                 The SMART trace simulator uses it so any sample
+//                 (drive, hour, attribute) can be regenerated in O(1)
+//                 without storing traces; this is what makes the 8-week
+//                 fleet experiments feasible in memory (DESIGN.md §5.1).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace hdd {
+
+// Mixes 64 bits thoroughly (finalizer from SplitMix64 / MurmurHash3).
+constexpr std::uint64_t mix64(std::uint64_t z) {
+  z += 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+// Combines two 64-bit values into one well-mixed key.
+constexpr std::uint64_t hash_combine(std::uint64_t a, std::uint64_t b) {
+  return mix64(a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 6) + (a >> 2)));
+}
+
+// Sequential PRNG (SplitMix64). Satisfies UniformRandomBitGenerator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x853c49e6748fea9bULL) : state_(seed) {}
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() {
+    state_ += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = state_;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  // Uniform double in [0, 1).
+  double uniform() {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  // Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  // Uniform integer in [0, n). n must be > 0.
+  std::uint64_t uniform_int(std::uint64_t n);
+
+  // Standard normal via Box–Muller (no cached spare: keeps state minimal).
+  double normal();
+
+  double normal(double mean, double stddev) {
+    return mean + stddev * normal();
+  }
+
+  // Log-normal with the given mean/stddev of the *underlying* normal.
+  double lognormal(double mu, double sigma);
+
+  // Bernoulli trial.
+  bool chance(double p) { return uniform() < p; }
+
+  // Exponential with the given rate (mean 1/rate).
+  double exponential(double rate);
+
+  // Fisher–Yates shuffle of indices [0, n); returns the permutation.
+  std::vector<std::size_t> permutation(std::size_t n);
+
+ private:
+  std::uint64_t state_;
+};
+
+// Counter-based generator: value = f(seed, key...). Stateless by design.
+class CounterRng {
+ public:
+  explicit CounterRng(std::uint64_t seed) : seed_(seed) {}
+
+  std::uint64_t bits(std::uint64_t a, std::uint64_t b = 0,
+                     std::uint64_t c = 0) const {
+    return mix64(hash_combine(hash_combine(hash_combine(seed_, a), b), c));
+  }
+
+  // Uniform double in [0, 1) at the given key.
+  double uniform(std::uint64_t a, std::uint64_t b = 0,
+                 std::uint64_t c = 0) const {
+    return static_cast<double>(bits(a, b, c) >> 11) * 0x1.0p-53;
+  }
+
+  // Standard normal at the given key (Box–Muller over two derived keys).
+  double normal(std::uint64_t a, std::uint64_t b = 0,
+                std::uint64_t c = 0) const;
+
+  bool chance(double p, std::uint64_t a, std::uint64_t b = 0,
+              std::uint64_t c = 0) const {
+    return uniform(a, b, c) < p;
+  }
+
+  std::uint64_t seed() const { return seed_; }
+
+  // Derives a child CounterRng (e.g. one per drive).
+  CounterRng child(std::uint64_t key) const {
+    return CounterRng(hash_combine(seed_, key));
+  }
+
+ private:
+  std::uint64_t seed_;
+};
+
+}  // namespace hdd

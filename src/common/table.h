@@ -1,0 +1,54 @@
+// Aligned ASCII table printer used by the bench harnesses to emit the
+// paper's tables and figure series in a readable, diffable format.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace hdd {
+
+class Table {
+ public:
+  // Creates a table with the given column headers.
+  explicit Table(std::vector<std::string> headers);
+
+  // Appends one row; the cell count must match the header count.
+  void add_row(std::vector<std::string> cells);
+
+  // Convenience: formats each cell with fixed precision.
+  // Strings pass through; doubles are formatted with `precision` decimals.
+  class RowBuilder {
+   public:
+    explicit RowBuilder(Table& t) : table_(t) {}
+    RowBuilder& cell(const std::string& s);
+    RowBuilder& cell(double v, int precision = 2);
+    RowBuilder& cell(long long v);
+    ~RowBuilder();
+
+    RowBuilder(const RowBuilder&) = delete;
+    RowBuilder& operator=(const RowBuilder&) = delete;
+
+   private:
+    Table& table_;
+    std::vector<std::string> cells_;
+  };
+
+  RowBuilder row() { return RowBuilder(*this); }
+
+  // Renders the table with a separator line under the header.
+  std::string to_string() const;
+  void print(std::ostream& os) const;
+
+  std::size_t num_rows() const { return rows_.size(); }
+  std::size_t num_cols() const { return headers_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Formats a double with the given number of decimals (locale-independent).
+std::string format_double(double v, int precision);
+
+}  // namespace hdd

@@ -1,0 +1,51 @@
+// Fixed-size thread pool with a parallel_for helper.
+//
+// Training is embarrassingly parallel across model configurations and ROC
+// sweep points; the bench harnesses use parallel_for to keep wall-clock
+// times low without per-call thread churn.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace hdd {
+
+class ThreadPool {
+ public:
+  // n_threads == 0 selects hardware_concurrency (at least 1).
+  explicit ThreadPool(std::size_t n_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  // Enqueues a task; the returned future reports completion/exception.
+  std::future<void> submit(std::function<void()> task);
+
+  // Runs fn(i) for i in [begin, end) across the pool and waits for all.
+  // Exceptions from tasks are rethrown (the first one encountered).
+  void parallel_for(std::size_t begin, std::size_t end,
+                    const std::function<void(std::size_t)>& fn);
+
+  // Returns a process-wide shared pool.
+  static ThreadPool& global();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::packaged_task<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+}  // namespace hdd

@@ -1,0 +1,29 @@
+#include "core/model_io.h"
+
+#include <fstream>
+
+#include "common/error.h"
+
+namespace hdd::core {
+
+void save_tree(const tree::DecisionTree& tree, std::ostream& os) {
+  tree.save(os);
+}
+
+void save_tree_file(const tree::DecisionTree& tree, const std::string& path) {
+  std::ofstream os(path);
+  HDD_REQUIRE(os.good(), "cannot open for writing: " + path);
+  save_tree(tree, os);
+}
+
+tree::DecisionTree load_tree(std::istream& is) {
+  return tree::DecisionTree::load(is);
+}
+
+tree::DecisionTree load_tree_file(const std::string& path) {
+  std::ifstream is(path);
+  HDD_REQUIRE(is.good(), "cannot open for reading: " + path);
+  return load_tree(is);
+}
+
+}  // namespace hdd::core

@@ -1,0 +1,27 @@
+// Model persistence: a line-oriented text format for decision trees so a
+// trained predictor can be shipped to the monitoring hosts.
+//
+// Format:
+//   hddpred-tree v1
+//   task <classification|regression>
+//   features <n>
+//   nodes <count>
+//   <left> <right> <feature> <threshold> <value> <weight> <count> <gain>
+//   ... one line per node, preorder, root first ...
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "tree/tree.h"
+
+namespace hdd::core {
+
+void save_tree(const tree::DecisionTree& tree, std::ostream& os);
+void save_tree_file(const tree::DecisionTree& tree, const std::string& path);
+
+// Throws DataError on malformed input.
+tree::DecisionTree load_tree(std::istream& is);
+tree::DecisionTree load_tree_file(const std::string& path);
+
+}  // namespace hdd::core

@@ -1,0 +1,160 @@
+#include "core/predictor.h"
+
+#include <sstream>
+
+#include "common/error.h"
+
+namespace hdd::core {
+
+const char* model_type_name(ModelType t) {
+  switch (t) {
+    case ModelType::kClassificationTree: return "CT";
+    case ModelType::kRegressionTree: return "RT";
+    case ModelType::kBpAnn: return "BP ANN";
+    case ModelType::kRandomForest: return "RandomForest";
+    case ModelType::kAdaBoost: return "AdaBoost";
+  }
+  return "?";
+}
+
+PredictorConfig paper_ct_config() {
+  PredictorConfig c;
+  c.model = ModelType::kClassificationTree;
+  c.training.features = smart::stat13_features();
+  c.training.good_samples_per_drive = 3;
+  c.training.failed_window_hours = 168;
+  c.training.failed_prior = 0.20;
+  c.training.loss_false_alarm = 10.0;
+  c.tree_params.min_split = 20;
+  c.tree_params.min_bucket = 7;
+  c.tree_params.cp = 0.001;
+  c.vote.voters = 11;
+  return c;
+}
+
+PredictorConfig paper_ann_config() {
+  PredictorConfig c;
+  c.model = ModelType::kBpAnn;
+  c.training.features = smart::stat13_features();
+  c.training.good_samples_per_drive = 3;
+  c.training.failed_window_hours = 12;  // [11]'s window
+  c.training.failed_prior = 0.0;        // the ANN paper did not reweight
+  c.training.loss_false_alarm = 1.0;
+  c.ann.hidden = c.training.features.size();  // 13-13-1
+  c.ann.learning_rate = 0.1;
+  c.ann.epochs = 400;
+  c.vote.voters = 11;
+  return c;
+}
+
+PredictorConfig paper_rt_classifier_config() {
+  PredictorConfig c = paper_ct_config();
+  c.model = ModelType::kRegressionTree;
+  c.vote.average_mode = true;
+  c.vote.threshold = 0.0;
+  return c;
+}
+
+FailurePredictor::FailurePredictor(PredictorConfig config)
+    : config_(std::move(config)) {
+  HDD_REQUIRE(!config_.training.features.specs.empty(),
+              "predictor needs a non-empty feature set");
+}
+
+void FailurePredictor::fit(const data::DriveDataset& dataset,
+                           const data::DatasetSplit& split) {
+  const auto matrix =
+      data::build_training_matrix(dataset, split, config_.training);
+  tree_.reset();
+  ann_.reset();
+  forest_.reset();
+  adaboost_.reset();
+  switch (config_.model) {
+    case ModelType::kClassificationTree:
+      tree_.emplace();
+      tree_->fit(matrix, tree::Task::kClassification, config_.tree_params);
+      break;
+    case ModelType::kRegressionTree:
+      tree_.emplace();
+      tree_->fit(matrix, tree::Task::kRegression, config_.tree_params);
+      break;
+    case ModelType::kBpAnn:
+      ann_.emplace();
+      ann_->fit(matrix, config_.ann);
+      break;
+    case ModelType::kRandomForest:
+      forest_.emplace();
+      forest_->fit(matrix, tree::Task::kClassification, config_.forest);
+      break;
+    case ModelType::kAdaBoost:
+      adaboost_.emplace();
+      adaboost_->fit(matrix, config_.adaboost);
+      break;
+  }
+}
+
+bool FailurePredictor::trained() const {
+  return tree_.has_value() || ann_.has_value() || forest_.has_value() ||
+         adaboost_.has_value();
+}
+
+eval::SampleModel FailurePredictor::sample_model() const {
+  HDD_REQUIRE(trained(), "predictor is not trained");
+  if (tree_) {
+    const tree::DecisionTree* t = &*tree_;
+    return [t](std::span<const float> x) { return t->predict(x); };
+  }
+  if (ann_) {
+    const ann::MlpModel* m = &*ann_;
+    return [m](std::span<const float> x) { return m->predict(x); };
+  }
+  if (forest_) {
+    const forest::RandomForest* f = &*forest_;
+    return [f](std::span<const float> x) { return f->predict(x); };
+  }
+  const forest::AdaBoost* a = &*adaboost_;
+  return [a](std::span<const float> x) { return a->predict(x); };
+}
+
+double FailurePredictor::score_sample(const smart::DriveRecord& drive,
+                                      std::size_t sample_index) const {
+  const auto row = smart::extract_features(drive, sample_index,
+                                           config_.training.features);
+  HDD_REQUIRE(row.has_value(), "sample index out of range");
+  return sample_model()(*row);
+}
+
+eval::DriveOutcome FailurePredictor::detect(const smart::DriveRecord& drive,
+                                            std::size_t begin_index) const {
+  const auto scores = eval::score_record(drive, begin_index,
+                                         config_.training.features,
+                                         sample_model());
+  return eval::vote_drive(scores, config_.vote);
+}
+
+eval::EvalResult FailurePredictor::evaluate(
+    const data::DriveDataset& dataset,
+    const data::DatasetSplit& split) const {
+  return eval::evaluate(dataset, split, config_.training.features,
+                        sample_model(), config_.vote);
+}
+
+const tree::DecisionTree* FailurePredictor::tree() const {
+  return tree_ ? &*tree_ : nullptr;
+}
+
+std::string FailurePredictor::describe() const {
+  std::ostringstream os;
+  os << model_type_name(config_.model) << " on "
+     << config_.training.features.name << " ("
+     << config_.training.features.size() << " features), failed window "
+     << config_.training.failed_window_hours << "h, voters "
+     << config_.vote.voters;
+  if (tree_ && tree_->trained()) {
+    os << "; tree: " << tree_->node_count() << " nodes, depth "
+       << tree_->depth();
+  }
+  return os.str();
+}
+
+}  // namespace hdd::core

@@ -1,0 +1,83 @@
+#include "data/cross_validation.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace hdd::data {
+
+void CrossValidationConfig::validate() const {
+  HDD_REQUIRE(folds >= 2, "need at least 2 folds");
+}
+
+std::vector<DatasetSplit> make_folds(const DriveDataset& dataset,
+                                     const CrossValidationConfig& config) {
+  config.validate();
+
+  std::vector<std::size_t> good, failed;
+  for (std::size_t i = 0; i < dataset.drives.size(); ++i) {
+    if (dataset.drives[i].empty()) continue;
+    (dataset.drives[i].failed ? failed : good).push_back(i);
+  }
+  HDD_REQUIRE(good.size() >= static_cast<std::size_t>(config.folds) &&
+                  failed.size() >= static_cast<std::size_t>(config.folds),
+              "each fold needs at least one drive of each class");
+
+  // Shuffle then deal round-robin: stratified, balanced folds.
+  Rng rng(config.seed);
+  auto deal = [&](std::vector<std::size_t>& pool) {
+    const auto perm = rng.permutation(pool.size());
+    std::vector<std::vector<std::size_t>> folds(
+        static_cast<std::size_t>(config.folds));
+    for (std::size_t k = 0; k < pool.size(); ++k) {
+      folds[k % static_cast<std::size_t>(config.folds)].push_back(
+          pool[perm[k]]);
+    }
+    return folds;
+  };
+  const auto good_folds = deal(good);
+  const auto failed_folds = deal(failed);
+
+  std::vector<DatasetSplit> splits;
+  splits.reserve(static_cast<std::size_t>(config.folds));
+  for (int f = 0; f < config.folds; ++f) {
+    DatasetSplit split;
+    // Good drives: this fold's drives are pure test — no sample of theirs
+    // trains (unlike the production time-split, CV must be leak-free).
+    // The other folds' drives are pure train: their whole records feed the
+    // good-sample draw and they are never scored (test_begin == n).
+    for (int other = 0; other < config.folds; ++other) {
+      for (std::size_t di : good_folds[static_cast<std::size_t>(other)]) {
+        const auto n = dataset.drives[di].samples.size();
+        split.good_drives.push_back(di);
+        split.good_test_begin.push_back(other == f ? 0 : n);
+      }
+    }
+    for (int other = 0; other < config.folds; ++other) {
+      for (std::size_t di : failed_folds[static_cast<std::size_t>(other)]) {
+        (other == f ? split.test_failed : split.train_failed).push_back(di);
+      }
+    }
+    std::sort(split.train_failed.begin(), split.train_failed.end());
+    std::sort(split.test_failed.begin(), split.test_failed.end());
+    splits.push_back(std::move(split));
+  }
+  return splits;
+}
+
+std::vector<double> cross_validate(
+    const DriveDataset& dataset, const CrossValidationConfig& config,
+    const std::function<double(const DatasetSplit&)>& evaluate) {
+  HDD_REQUIRE(static_cast<bool>(evaluate), "null evaluate callback");
+  const auto folds = make_folds(dataset, config);
+  std::vector<double> values;
+  values.reserve(folds.size());
+  for (const auto& split : folds) {
+    values.push_back(evaluate(split));
+  }
+  return values;
+}
+
+}  // namespace hdd::data

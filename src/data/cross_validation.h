@@ -1,0 +1,37 @@
+// Drive-stratified k-fold cross-validation.
+//
+// Hyper-parameter selection (time window, CP, loss weights...) must split
+// *by drive*, never by sample — samples of one drive are heavily
+// correlated, and the paper's own protocol keeps drives intact across the
+// train/test boundary. Folds are stratified so each holds ~1/k of the good
+// drives and ~1/k of the failed drives; good drives additionally keep the
+// chronological train/test cut inside each fold.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "data/split.h"
+
+namespace hdd::data {
+
+struct CrossValidationConfig {
+  int folds = 5;
+  std::uint64_t seed = 4242;
+
+  void validate() const;
+};
+
+// One fold: a DatasetSplit whose train side is the other k-1 folds and
+// whose test side is this fold's drives.
+std::vector<DatasetSplit> make_folds(const DriveDataset& dataset,
+                                     const CrossValidationConfig& config);
+
+// Convenience: runs `evaluate(fold_split)` for every fold and returns the
+// per-fold values (e.g. FDR or FAR), for mean/stddev reporting.
+std::vector<double> cross_validate(
+    const DriveDataset& dataset, const CrossValidationConfig& config,
+    const std::function<double(const DatasetSplit&)>& evaluate);
+
+}  // namespace hdd::data

@@ -1,0 +1,117 @@
+#include "data/csv_io.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/csv.h"
+#include "common/error.h"
+
+namespace hdd::data {
+
+namespace {
+
+std::vector<std::string> header_row() {
+  std::vector<std::string> h = {"serial", "family", "failed", "fail_hour",
+                                "hour"};
+  for (const auto& info : smart::attribute_table()) h.push_back(info.abbrev);
+  return h;
+}
+
+}  // namespace
+
+void save_csv(const DriveDataset& dataset, std::ostream& os) {
+  CsvWriter w(os);
+  w.write_row(header_row());
+  std::vector<std::string> row;
+  for (const auto& d : dataset.drives) {
+    const std::string family =
+        dataset.family_names[static_cast<std::size_t>(d.family)];
+    for (const auto& s : d.samples) {
+      row.clear();
+      row.push_back(d.serial);
+      row.push_back(family);
+      row.push_back(d.failed ? "1" : "0");
+      row.push_back(std::to_string(d.fail_hour));
+      row.push_back(std::to_string(s.hour));
+      for (float v : s.attrs) {
+        std::ostringstream cell;
+        cell << v;
+        row.push_back(cell.str());
+      }
+      w.write_row(row);
+    }
+  }
+}
+
+void save_csv_file(const DriveDataset& dataset, const std::string& path) {
+  std::ofstream os(path);
+  HDD_REQUIRE(os.good(), "cannot open for writing: " + path);
+  save_csv(dataset, os);
+}
+
+DriveDataset load_csv(std::istream& is) {
+  CsvReader reader(is);
+  std::vector<std::string> row;
+  HDD_REQUIRE(reader.read_row(row), "empty CSV");
+  const auto expected = header_row();
+  if (row != expected) {
+    throw DataError("CSV header does not match the dataset schema");
+  }
+
+  DriveDataset ds;
+  smart::DriveRecord* current = nullptr;
+  std::size_t line = 1;
+  while (reader.read_row(row)) {
+    ++line;
+    if (row.size() == 1 && row[0].empty()) continue;  // trailing newline
+    if (row.size() != expected.size()) {
+      throw DataError("CSV row " + std::to_string(line) +
+                      " has wrong column count");
+    }
+    try {
+      const std::string& serial = row[0];
+      const std::string& family = row[1];
+      if (current == nullptr || current->serial != serial) {
+        // New drive: resolve/create the family index.
+        int fam = -1;
+        for (std::size_t i = 0; i < ds.family_names.size(); ++i) {
+          if (ds.family_names[i] == family) fam = static_cast<int>(i);
+        }
+        if (fam < 0) {
+          fam = static_cast<int>(ds.family_names.size());
+          ds.family_names.push_back(family);
+        }
+        ds.drives.emplace_back();
+        current = &ds.drives.back();
+        current->serial = serial;
+        current->family = fam;
+        current->failed = row[2] == "1";
+        current->fail_hour = std::stoll(row[3]);
+      }
+      smart::Sample s;
+      s.hour = std::stoll(row[4]);
+      for (int a = 0; a < smart::kNumAttributes; ++a) {
+        s.attrs[static_cast<std::size_t>(a)] =
+            std::stof(row[static_cast<std::size_t>(5 + a)]);
+      }
+      if (!current->samples.empty() &&
+          s.hour <= current->samples.back().hour) {
+        throw DataError("samples out of chronological order");
+      }
+      current->samples.push_back(s);
+    } catch (const DataError&) {
+      throw;
+    } catch (const std::exception& e) {
+      throw DataError("CSV row " + std::to_string(line) + ": " + e.what());
+    }
+  }
+  return ds;
+}
+
+DriveDataset load_csv_file(const std::string& path) {
+  std::ifstream is(path);
+  HDD_REQUIRE(is.good(), "cannot open for reading: " + path);
+  return load_csv(is);
+}
+
+}  // namespace hdd::data

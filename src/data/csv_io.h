@@ -1,0 +1,26 @@
+// Dataset import/export.
+//
+// Schema (one row per sample, header required):
+//   serial,family,failed,fail_hour,hour,RRER,SUT,RSC,SER,POH,RUE,HFW,TC,
+//   HER,CPS,RSC_raw,CPS_raw
+//
+// `family` is the family name (e.g. "W"); `failed` is 0/1; `fail_hour` is
+// empty or -1 for good drives. Rows for one drive must be contiguous and
+// chronological. This is the bridge for feeding real SMART dumps (e.g.
+// Backblaze daily exports resampled to hours) into the pipeline.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "data/dataset.h"
+
+namespace hdd::data {
+
+void save_csv(const DriveDataset& dataset, std::ostream& os);
+void save_csv_file(const DriveDataset& dataset, const std::string& path);
+
+DriveDataset load_csv(std::istream& is);
+DriveDataset load_csv_file(const std::string& path);
+
+}  // namespace hdd::data

@@ -1,0 +1,56 @@
+#include "data/dataset.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace hdd::data {
+
+std::size_t DriveDataset::count_good(int family) const {
+  std::size_t n = 0;
+  for (const auto& d : drives)
+    if (!d.failed && (family < 0 || d.family == family)) ++n;
+  return n;
+}
+
+std::size_t DriveDataset::count_failed(int family) const {
+  std::size_t n = 0;
+  for (const auto& d : drives)
+    if (d.failed && (family < 0 || d.family == family)) ++n;
+  return n;
+}
+
+std::size_t DriveDataset::count_samples(bool failed, int family) const {
+  std::size_t n = 0;
+  for (const auto& d : drives)
+    if (d.failed == failed && (family < 0 || d.family == family))
+      n += d.samples.size();
+  return n;
+}
+
+DriveDataset DriveDataset::family_subset(int family) const {
+  HDD_REQUIRE(family >= 0 &&
+                  family < static_cast<int>(family_names.size()),
+              "family index out of range");
+  DriveDataset out;
+  out.family_names = {family_names[static_cast<std::size_t>(family)]};
+  for (const auto& d : drives) {
+    if (d.family == family) {
+      out.drives.push_back(d);
+      out.drives.back().family = 0;
+    }
+  }
+  return out;
+}
+
+void DriveDataset::append(const DriveDataset& other) {
+  const int offset = static_cast<int>(family_names.size());
+  family_names.insert(family_names.end(), other.family_names.begin(),
+                      other.family_names.end());
+  for (const auto& d : other.drives) {
+    drives.push_back(d);
+    drives.back().family += offset;
+  }
+}
+
+}  // namespace hdd::data

@@ -1,0 +1,31 @@
+// Dataset container: a fleet of drive observation records.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "smart/drive.h"
+
+namespace hdd::data {
+
+// A collection of drive records plus family metadata. This is the unit the
+// splitting / training / evaluation pipeline operates on.
+struct DriveDataset {
+  std::vector<std::string> family_names;  // e.g. {"W", "Q"}
+  std::vector<smart::DriveRecord> drives;
+
+  std::size_t size() const { return drives.size(); }
+
+  std::size_t count_good(int family = -1) const;
+  std::size_t count_failed(int family = -1) const;
+  std::size_t count_samples(bool failed, int family = -1) const;
+
+  // Returns the subset belonging to one family (copies records).
+  DriveDataset family_subset(int family) const;
+
+  // Appends all drives of another dataset (family indices are remapped).
+  void append(const DriveDataset& other);
+};
+
+}  // namespace hdd::data

@@ -1,0 +1,36 @@
+#include "data/matrix.h"
+
+#include "common/error.h"
+
+namespace hdd::data {
+
+void DataMatrix::reserve(std::size_t rows) {
+  x_.reserve(rows * static_cast<std::size_t>(cols_));
+  y_.reserve(rows);
+  w_.reserve(rows);
+}
+
+void DataMatrix::add_row(std::span<const float> x, float y, float w) {
+  HDD_ASSERT(static_cast<int>(x.size()) == cols_);
+  x_.insert(x_.end(), x.begin(), x.end());
+  y_.push_back(y);
+  w_.push_back(w);
+}
+
+double DataMatrix::weight_of_class(bool failed) const {
+  double total = 0.0;
+  for (std::size_t i = 0; i < rows(); ++i) {
+    if ((y_[i] < 0.0f) == failed) total += w_[i];
+  }
+  return total;
+}
+
+void DataMatrix::scale_class_weight(bool failed, double factor) {
+  for (std::size_t i = 0; i < rows(); ++i) {
+    if ((y_[i] < 0.0f) == failed) {
+      w_[i] = static_cast<float>(w_[i] * factor);
+    }
+  }
+}
+
+}  // namespace hdd::data

@@ -1,0 +1,51 @@
+// Row-major feature matrix with targets and per-sample weights — the input
+// to every trainer (tree, forest, ANN).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace hdd::data {
+
+class DataMatrix {
+ public:
+  DataMatrix() = default;
+  explicit DataMatrix(int cols) : cols_(cols) {}
+
+  int cols() const { return cols_; }
+  std::size_t rows() const { return y_.size(); }
+  bool empty() const { return y_.empty(); }
+
+  void reserve(std::size_t rows);
+
+  // Appends one sample. `x.size()` must equal cols().
+  void add_row(std::span<const float> x, float y, float w = 1.0f);
+
+  std::span<const float> row(std::size_t i) const {
+    return {x_.data() + i * static_cast<std::size_t>(cols_),
+            static_cast<std::size_t>(cols_)};
+  }
+  float target(std::size_t i) const { return y_[i]; }
+  float weight(std::size_t i) const { return w_[i]; }
+  void set_weight(std::size_t i, float w) { w_[i] = w; }
+  void set_target(std::size_t i, float y) { y_[i] = y; }
+
+  std::span<const float> targets() const { return y_; }
+  std::span<const float> weights() const { return w_; }
+
+  // Sum of weights of rows with target < 0 / >= 0 (class masses for the
+  // binary convention: failed = -1, good = +1).
+  double weight_of_class(bool failed) const;
+
+  // Multiplies the weight of every row in the given class.
+  void scale_class_weight(bool failed, double factor);
+
+ private:
+  int cols_ = 0;
+  std::vector<float> x_;
+  std::vector<float> y_;
+  std::vector<float> w_;
+};
+
+}  // namespace hdd::data

@@ -1,0 +1,74 @@
+#include "data/split.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace hdd::data {
+
+DatasetSplit split_dataset(const DriveDataset& dataset,
+                           const SplitConfig& config) {
+  HDD_REQUIRE(config.train_fraction > 0.0 && config.train_fraction < 1.0,
+              "train_fraction must be in (0,1)");
+  DatasetSplit split;
+  std::vector<std::size_t> failed;
+  for (std::size_t i = 0; i < dataset.drives.size(); ++i) {
+    const auto& d = dataset.drives[i];
+    if (d.empty()) continue;
+    if (d.failed) {
+      failed.push_back(i);
+    } else {
+      split.good_drives.push_back(i);
+      const auto n = d.samples.size();
+      auto cut = static_cast<std::size_t>(
+          std::floor(static_cast<double>(n) * config.train_fraction));
+      cut = std::min(cut, n);  // all-train degenerate case guarded below
+      split.good_test_begin.push_back(cut);
+    }
+  }
+
+  Rng rng(config.seed);
+  const auto perm = rng.permutation(failed.size());
+  const auto n_train = static_cast<std::size_t>(
+      std::round(static_cast<double>(failed.size()) * config.train_fraction));
+  for (std::size_t k = 0; k < failed.size(); ++k) {
+    if (k < n_train) {
+      split.train_failed.push_back(failed[perm[k]]);
+    } else {
+      split.test_failed.push_back(failed[perm[k]]);
+    }
+  }
+  std::sort(split.train_failed.begin(), split.train_failed.end());
+  std::sort(split.test_failed.begin(), split.test_failed.end());
+  return split;
+}
+
+DriveDataset subsample_drives(const DriveDataset& dataset, double fraction,
+                              std::uint64_t seed) {
+  HDD_REQUIRE(fraction > 0.0 && fraction <= 1.0,
+              "fraction must be in (0,1]");
+  std::vector<std::size_t> good, failed;
+  for (std::size_t i = 0; i < dataset.drives.size(); ++i) {
+    (dataset.drives[i].failed ? failed : good).push_back(i);
+  }
+  Rng rng(seed);
+  auto pick = [&](std::vector<std::size_t>& pool) {
+    const auto keep = static_cast<std::size_t>(
+        std::round(static_cast<double>(pool.size()) * fraction));
+    const auto perm = rng.permutation(pool.size());
+    std::vector<std::size_t> chosen;
+    chosen.reserve(keep);
+    for (std::size_t k = 0; k < keep; ++k) chosen.push_back(pool[perm[k]]);
+    std::sort(chosen.begin(), chosen.end());
+    return chosen;
+  };
+  DriveDataset out;
+  out.family_names = dataset.family_names;
+  for (std::size_t i : pick(good)) out.drives.push_back(dataset.drives[i]);
+  for (std::size_t i : pick(failed)) out.drives.push_back(dataset.drives[i]);
+  return out;
+}
+
+}  // namespace hdd::data

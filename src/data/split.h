@@ -1,0 +1,41 @@
+// Train/test splitting the way the paper does it (Section V-A1):
+//
+//  * good drives are split *chronologically*: the earlier `train_fraction`
+//    of each drive's samples train, the later part tests — models must
+//    predict the future, not interpolate it;
+//  * failed drives are split *by drive* at random (their chronological
+//    order was not recorded), 70/30.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "data/dataset.h"
+
+namespace hdd::data {
+
+struct SplitConfig {
+  double train_fraction = 0.7;
+  std::uint64_t seed = 7;
+};
+
+struct DatasetSplit {
+  // Parallel arrays over good drives: dataset index + the first sample
+  // index that belongs to the test period.
+  std::vector<std::size_t> good_drives;
+  std::vector<std::size_t> good_test_begin;
+
+  // Failed drives by dataset index.
+  std::vector<std::size_t> train_failed;
+  std::vector<std::size_t> test_failed;
+};
+
+DatasetSplit split_dataset(const DriveDataset& dataset,
+                           const SplitConfig& config);
+
+// Random drive subset for the small-data-center experiments (Table V):
+// keeps `fraction` of good and failed drives independently.
+DriveDataset subsample_drives(const DriveDataset& dataset, double fraction,
+                              std::uint64_t seed);
+
+}  // namespace hdd::data

@@ -1,0 +1,59 @@
+// Training-set construction (Section V-A1 and V-A3):
+//
+//  * 3 random samples per good drive from its train period — eliminates the
+//    bias of any single hour while describing the drive's health;
+//  * failed samples from the last `failed_window_hours` before the failure
+//    (the "time window" of Table IV), optionally thinned to a fixed count
+//    per drive (the RT model uses 12 evenly spaced samples);
+//  * class reweighting: failed samples boosted to `failed_prior` of total
+//    weight, then good samples scaled by the false-alarm loss weight
+//    (the paper's 10:1 loss matrix, encoded as altered priors).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "data/dataset.h"
+#include "data/matrix.h"
+#include "data/split.h"
+#include "smart/features.h"
+
+namespace hdd::data {
+
+struct TrainingConfig {
+  smart::FeatureSet features;
+
+  int good_samples_per_drive = 3;
+  int failed_window_hours = 168;
+  // 0 = every sample inside the window; >0 = this many, evenly spaced.
+  int failed_samples_per_drive = 0;
+
+  // Weighting. failed_prior <= 0 disables prior adjustment.
+  double failed_prior = 0.20;
+  double loss_false_alarm = 10.0;  // multiplies good-sample weights
+  double loss_missed_detection = 1.0;
+
+  float good_target = 1.0f;
+  float failed_target = -1.0f;
+
+  std::uint64_t seed = 99;
+};
+
+// Optional override for failed-sample targets (used by the health-degree
+// model, Eq. 5/6): receives the drive and the hours-before-failure of the
+// sample, returns the regression target.
+using FailedTargetFn =
+    std::function<float(const smart::DriveRecord&, std::int64_t hours_before)>;
+
+// Optional per-drive override of the failed time window (the personalized
+// deterioration window of Eq. 6). Returns the window in hours.
+using FailedWindowFn = std::function<int(const smart::DriveRecord&)>;
+
+// Builds the weighted training matrix from the train side of `split`.
+DataMatrix build_training_matrix(const DriveDataset& dataset,
+                                 const DatasetSplit& split,
+                                 const TrainingConfig& config,
+                                 const FailedTargetFn& failed_target = {},
+                                 const FailedWindowFn& failed_window = {});
+
+}  // namespace hdd::data

@@ -1,0 +1,179 @@
+#include "eval/detection.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+#include "common/math_util.h"
+#include "common/thread_pool.h"
+
+namespace hdd::eval {
+
+std::vector<DriveScores> score_dataset(const data::DriveDataset& dataset,
+                                       const data::DatasetSplit& split,
+                                       const smart::FeatureSet& features,
+                                       const SampleModel& model) {
+  HDD_REQUIRE(static_cast<bool>(model), "null model");
+
+  struct Job {
+    std::size_t drive;
+    std::size_t begin;  // first sample index to score
+  };
+  std::vector<Job> jobs;
+  for (std::size_t k = 0; k < split.good_drives.size(); ++k) {
+    const auto& d = dataset.drives[split.good_drives[k]];
+    const std::size_t begin = split.good_test_begin[k];
+    if (begin >= d.samples.size()) continue;  // no test samples
+    jobs.push_back({split.good_drives[k], begin});
+  }
+  for (std::size_t di : split.test_failed) {
+    if (dataset.drives[di].empty()) continue;
+    jobs.push_back({di, 0});
+  }
+
+  std::vector<DriveScores> out(jobs.size());
+  ThreadPool::global().parallel_for(0, jobs.size(), [&](std::size_t j) {
+    out[j] = score_record(dataset.drives[jobs[j].drive], jobs[j].begin,
+                          features, model);
+  });
+  return out;
+}
+
+DriveScores score_record(const smart::DriveRecord& drive, std::size_t begin,
+                         const smart::FeatureSet& features,
+                         const SampleModel& model) {
+  DriveScores s;
+  s.failed = drive.failed;
+  s.fail_hour = drive.fail_hour;
+  const std::size_t n = drive.samples.size();
+  if (begin >= n) return s;
+  s.hours.reserve(n - begin);
+  s.outputs.reserve(n - begin);
+  for (std::size_t i = begin; i < n; ++i) {
+    const auto row = smart::extract_features(drive, i, features);
+    s.hours.push_back(drive.samples[i].hour);
+    s.outputs.push_back(static_cast<float>(model(*row)));
+  }
+  return s;
+}
+
+DriveOutcome vote_drive(const DriveScores& scores, const VoteConfig& config) {
+  HDD_REQUIRE(config.voters >= 1, "voters must be >= 1");
+  DriveOutcome outcome;
+  const std::size_t n = scores.outputs.size();
+  if (n == 0) return outcome;
+  const std::size_t want = static_cast<std::size_t>(config.voters);
+
+  // Maintain a running window: count of failed votes / sum of outputs.
+  std::size_t failed_votes = 0;
+  double output_sum = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double v = scores.outputs[i];
+    if (v < 0.0) ++failed_votes;
+    output_sum += v;
+    if (i >= want) {
+      const double old = scores.outputs[i - want];
+      if (old < 0.0) --failed_votes;
+      output_sum -= old;
+    }
+    const std::size_t w = std::min(i + 1, want);
+    // Drives shorter than N vote over what they have, but only once the
+    // full (possibly short) record is visible.
+    if (w < want && i + 1 < n) continue;
+    bool alarm;
+    if (config.average_mode) {
+      alarm = output_sum / static_cast<double>(w) < config.threshold;
+    } else {
+      alarm = static_cast<double>(failed_votes) >
+              static_cast<double>(w) / 2.0;
+    }
+    if (alarm) {
+      outcome.alarmed = true;
+      outcome.alarm_hour = scores.hours[i];
+      return outcome;
+    }
+  }
+  return outcome;
+}
+
+double EvalResult::mean_tia() const {
+  if (tia_hours.empty()) return 0.0;
+  double s = 0.0;
+  for (double t : tia_hours) s += t;
+  return s / static_cast<double>(tia_hours.size());
+}
+
+EvalResult evaluate_votes(const std::vector<DriveScores>& scores,
+                          const VoteConfig& config) {
+  EvalResult r;
+  for (const auto& s : scores) {
+    const DriveOutcome o = vote_drive(s, config);
+    if (s.failed) {
+      ++r.n_failed;
+      if (o.alarmed) {
+        ++r.detections;
+        r.tia_hours.push_back(
+            static_cast<double>(s.fail_hour - o.alarm_hour));
+      }
+    } else {
+      ++r.n_good;
+      if (o.alarmed) ++r.false_alarms;
+    }
+  }
+  return r;
+}
+
+EvalResult evaluate(const data::DriveDataset& dataset,
+                    const data::DatasetSplit& split,
+                    const smart::FeatureSet& features,
+                    const SampleModel& model, const VoteConfig& config) {
+  return evaluate_votes(score_dataset(dataset, split, features, model),
+                        config);
+}
+
+const char* const kTiaBucketLabels[5] = {"0-24", "25-72", "73-168", "169-336",
+                                         "337-450+"};
+
+std::vector<std::size_t> tia_histogram(std::span<const double> tia_hours) {
+  std::vector<std::size_t> buckets(5, 0);
+  for (double t : tia_hours) {
+    if (t <= 24.0) ++buckets[0];
+    else if (t <= 72.0) ++buckets[1];
+    else if (t <= 168.0) ++buckets[2];
+    else if (t <= 336.0) ++buckets[3];
+    else ++buckets[4];
+  }
+  return buckets;
+}
+
+std::vector<RocPoint> roc_over_voters(const std::vector<DriveScores>& scores,
+                                      std::span<const int> voter_counts) {
+  std::vector<RocPoint> points;
+  points.reserve(voter_counts.size());
+  for (int n : voter_counts) {
+    VoteConfig cfg;
+    cfg.voters = n;
+    const EvalResult r = evaluate_votes(scores, cfg);
+    points.push_back({r.far(), r.fdr(), static_cast<double>(n),
+                      r.mean_tia()});
+  }
+  return points;
+}
+
+std::vector<RocPoint> roc_over_thresholds(
+    const std::vector<DriveScores>& scores, int voters,
+    std::span<const double> thresholds) {
+  std::vector<RocPoint> points;
+  points.reserve(thresholds.size());
+  for (double t : thresholds) {
+    VoteConfig cfg;
+    cfg.voters = voters;
+    cfg.average_mode = true;
+    cfg.threshold = t;
+    const EvalResult r = evaluate_votes(scores, cfg);
+    points.push_back({r.far(), r.fdr(), t, r.mean_tia()});
+  }
+  return points;
+}
+
+}  // namespace hdd::eval

@@ -1,0 +1,116 @@
+// Drive-level failure detection and evaluation (Section V-A).
+//
+// Models classify individual samples; a *drive* is predicted to fail via the
+// paper's voting scheme: at each time point, look at the last N samples
+// (voters) — for binary models alarm when more than N/2 are classified
+// failed; for the health-degree model alarm when the mean output drops
+// below a threshold. The first alarming time point fixes the time in
+// advance (TIA = failure hour - alarm hour).
+//
+// Metrics (per drive, matching the paper):
+//   FDR — fraction of failed test drives alarmed during their record;
+//   FAR — fraction of good test drives alarmed during their test period;
+//   TIA — hours between alarm and actual failure, for correct detections.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "data/dataset.h"
+#include "data/split.h"
+#include "smart/features.h"
+
+namespace hdd::eval {
+
+// A sample-level model: margin/health output, negative = failing.
+using SampleModel = std::function<double(std::span<const float>)>;
+
+// Precomputed model outputs over one drive's evaluation range. Scoring is
+// separated from voting so that ROC sweeps over N / thresholds do not
+// re-extract features or re-run the model.
+struct DriveScores {
+  bool failed = false;
+  std::int64_t fail_hour = -1;
+  std::vector<std::int64_t> hours;
+  std::vector<float> outputs;
+};
+
+// Scores one drive record from sample index `begin` to the end.
+DriveScores score_record(const smart::DriveRecord& drive, std::size_t begin,
+                         const smart::FeatureSet& features,
+                         const SampleModel& model);
+
+// Scores every test drive: good drives over their chronological test
+// portion, failed drives over their whole record. Parallelized.
+std::vector<DriveScores> score_dataset(const data::DriveDataset& dataset,
+                                       const data::DatasetSplit& split,
+                                       const smart::FeatureSet& features,
+                                       const SampleModel& model);
+
+struct VoteConfig {
+  int voters = 11;           // N
+  bool average_mode = false; // true: mean-output threshold (RT health model)
+  double threshold = 0.0;    // alarm when mean output < threshold
+};
+
+struct DriveOutcome {
+  bool alarmed = false;
+  std::int64_t alarm_hour = -1;
+};
+
+// Applies the voting rule to one drive's scores. Drives with fewer samples
+// than N vote over what they have.
+DriveOutcome vote_drive(const DriveScores& scores, const VoteConfig& config);
+
+struct EvalResult {
+  std::size_t n_good = 0;
+  std::size_t n_failed = 0;
+  std::size_t false_alarms = 0;
+  std::size_t detections = 0;
+  std::vector<double> tia_hours;  // one entry per correct detection
+
+  double far() const {
+    return n_good ? static_cast<double>(false_alarms) /
+                        static_cast<double>(n_good)
+                  : 0.0;
+  }
+  double fdr() const {
+    return n_failed ? static_cast<double>(detections) /
+                          static_cast<double>(n_failed)
+                    : 0.0;
+  }
+  double mean_tia() const;
+};
+
+EvalResult evaluate_votes(const std::vector<DriveScores>& scores,
+                          const VoteConfig& config);
+
+// One-call convenience: score + vote.
+EvalResult evaluate(const data::DriveDataset& dataset,
+                    const data::DatasetSplit& split,
+                    const smart::FeatureSet& features,
+                    const SampleModel& model, const VoteConfig& config);
+
+// The paper's TIA histogram buckets (Figures 3-4): 0-24, 25-72, 73-168,
+// 169-336, 337-450+ hours. Returns counts per bucket.
+std::vector<std::size_t> tia_histogram(std::span<const double> tia_hours);
+extern const char* const kTiaBucketLabels[5];
+
+// ROC sweep over voter counts (binary models, Figure 2/5).
+struct RocPoint {
+  double x = 0.0;  // FAR
+  double y = 0.0;  // FDR
+  double param = 0.0;  // N or threshold
+  double mean_tia = 0.0;
+};
+std::vector<RocPoint> roc_over_voters(const std::vector<DriveScores>& scores,
+                                      std::span<const int> voter_counts);
+
+// ROC sweep over detection thresholds at fixed N (health model, Figure 10).
+std::vector<RocPoint> roc_over_thresholds(
+    const std::vector<DriveScores>& scores, int voters,
+    std::span<const double> thresholds);
+
+}  // namespace hdd::eval

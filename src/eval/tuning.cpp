@@ -1,0 +1,53 @@
+#include "eval/tuning.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace hdd::eval {
+
+std::optional<OperatingPoint> tune_voters(
+    const std::vector<DriveScores>& validation_scores,
+    std::span<const int> voter_counts, double far_budget) {
+  HDD_REQUIRE(!voter_counts.empty(), "no voter counts to try");
+  HDD_REQUIRE(far_budget >= 0.0, "far_budget must be non-negative");
+  std::optional<OperatingPoint> best;
+  for (int n : voter_counts) {
+    VoteConfig cfg;
+    cfg.voters = n;
+    EvalResult r = evaluate_votes(validation_scores, cfg);
+    if (r.far() > far_budget) continue;
+    if (!best || r.fdr() > best->result.fdr() ||
+        (r.fdr() == best->result.fdr() && n < best->vote.voters)) {
+      best = OperatingPoint{cfg, std::move(r)};
+    }
+  }
+  return best;
+}
+
+std::optional<OperatingPoint> tune_threshold(
+    const std::vector<DriveScores>& validation_scores, int voters,
+    std::span<const double> thresholds, double far_budget) {
+  HDD_REQUIRE(!thresholds.empty(), "no thresholds to try");
+  HDD_REQUIRE(voters >= 1, "voters must be >= 1");
+  HDD_REQUIRE(far_budget >= 0.0, "far_budget must be non-negative");
+
+  // Sort loose (high threshold = most alarms) to strict so the first
+  // candidate inside the budget is the highest-FDR one.
+  std::vector<double> sorted(thresholds.begin(), thresholds.end());
+  std::sort(sorted.begin(), sorted.end(), std::greater<double>());
+
+  for (double t : sorted) {
+    VoteConfig cfg;
+    cfg.voters = voters;
+    cfg.average_mode = true;
+    cfg.threshold = t;
+    EvalResult r = evaluate_votes(validation_scores, cfg);
+    if (r.far() <= far_budget) {
+      return OperatingPoint{cfg, std::move(r)};
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace hdd::eval

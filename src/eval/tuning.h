@@ -1,0 +1,36 @@
+// Operating-point selection: pick detection parameters against a target
+// false-alarm budget on held-out data.
+//
+// The paper adjusts N (voters) and the RT threshold by hand; a deployment
+// wants this automated: "give me the most detection I can have while
+// staying under X false alarms per thousand drives per week".
+#pragma once
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "eval/detection.h"
+
+namespace hdd::eval {
+
+struct OperatingPoint {
+  VoteConfig vote;
+  EvalResult result;
+};
+
+// Over the given voter counts, returns the configuration with the highest
+// FDR whose FAR is <= far_budget; ties break toward fewer voters (earlier
+// alarms). nullopt when no candidate meets the budget.
+std::optional<OperatingPoint> tune_voters(
+    const std::vector<DriveScores>& validation_scores,
+    std::span<const int> voter_counts, double far_budget);
+
+// For average-mode detection at fixed N: scans thresholds from loose to
+// strict and returns the loosest threshold (highest FDR) meeting the FAR
+// budget. nullopt when even the strictest candidate violates it.
+std::optional<OperatingPoint> tune_threshold(
+    const std::vector<DriveScores>& validation_scores, int voters,
+    std::span<const double> thresholds, double far_budget);
+
+}  // namespace hdd::eval

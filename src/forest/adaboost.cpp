@@ -1,0 +1,82 @@
+#include "forest/adaboost.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace hdd::forest {
+
+void AdaBoostConfig::validate() const {
+  HDD_REQUIRE(n_rounds >= 1, "n_rounds must be >= 1");
+  weak_params.validate();
+}
+
+void AdaBoost::fit(const data::DataMatrix& m, const AdaBoostConfig& config) {
+  config.validate();
+  HDD_REQUIRE(!m.empty(), "cannot fit AdaBoost on an empty matrix");
+  members_.clear();
+
+  // Working copy of the matrix whose weights evolve round to round.
+  data::DataMatrix work(m.cols());
+  work.reserve(m.rows());
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    work.add_row(m.row(r), m.target(r), m.weight(r));
+  }
+
+  for (int round = 0; round < config.n_rounds; ++round) {
+    Member member;
+    member.tree.fit(work, tree::Task::kClassification, config.weak_params);
+
+    // Weighted error of the weak learner.
+    double err = 0.0, total = 0.0;
+    std::vector<int> labels(work.rows());
+    for (std::size_t r = 0; r < work.rows(); ++r) {
+      labels[r] = member.tree.predict_label(work.row(r));
+      const bool wrong = (labels[r] < 0) != (work.target(r) < 0.0f);
+      total += work.weight(r);
+      if (wrong) err += work.weight(r);
+    }
+    if (total <= 0.0) break;
+    err /= total;
+    if (err >= 0.5) break;                      // weak learner no better than chance
+    err = std::max(err, 1e-10);
+    member.alpha = 0.5 * std::log((1.0 - err) / err);
+
+    // Reweight: boost the misclassified.
+    double new_total = 0.0;
+    for (std::size_t r = 0; r < work.rows(); ++r) {
+      const bool wrong = (labels[r] < 0) != (work.target(r) < 0.0f);
+      const double w = work.weight(r) *
+                       std::exp(wrong ? member.alpha : -member.alpha);
+      work.set_weight(r, static_cast<float>(w));
+      new_total += w;
+    }
+    // Normalize to keep weights in a sane float range.
+    if (new_total > 0.0) {
+      const double scale = total / new_total;
+      for (std::size_t r = 0; r < work.rows(); ++r) {
+        work.set_weight(r, static_cast<float>(work.weight(r) * scale));
+      }
+    }
+
+    const bool perfect = err <= 1e-9;
+    members_.push_back(std::move(member));
+    if (perfect) break;
+  }
+  HDD_REQUIRE(!members_.empty(),
+              "AdaBoost found no weak learner better than chance");
+}
+
+double AdaBoost::predict(std::span<const float> x) const {
+  HDD_ASSERT_MSG(trained(), "predict on an untrained AdaBoost");
+  double vote = 0.0, norm = 0.0;
+  for (const Member& member : members_) {
+    vote += member.alpha *
+            static_cast<double>(member.tree.predict_label(x));
+    norm += member.alpha;
+  }
+  return norm > 0.0 ? vote / norm : 0.0;
+}
+
+}  // namespace hdd::forest

@@ -1,0 +1,48 @@
+// AdaBoost.M1 over shallow CARTs — the boosting approach the paper's
+// predecessor [11] evaluated (and found costly for little gain); included
+// so the comparison can be reproduced as an ablation.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "tree/tree.h"
+
+namespace hdd::forest {
+
+struct AdaBoostConfig {
+  int n_rounds = 30;
+  tree::TreeParams weak_params;  // depth-limited weak learner
+  std::uint64_t seed = 777;
+
+  AdaBoostConfig() { weak_params.max_depth = 3; }
+  void validate() const;
+};
+
+class AdaBoost {
+ public:
+  AdaBoost() = default;
+
+  // Binary classification only (targets +1/-1). Initial sample weights are
+  // taken from the matrix, so prior/loss adjustments carry through.
+  void fit(const data::DataMatrix& m, const AdaBoostConfig& config);
+
+  bool trained() const { return !members_.empty(); }
+  std::size_t round_count() const { return members_.size(); }
+
+  // Weighted-vote margin normalized to [-1, 1]; negative = failed.
+  double predict(std::span<const float> x) const;
+  int predict_label(std::span<const float> x) const {
+    return predict(x) < 0.0 ? -1 : 1;
+  }
+
+ private:
+  struct Member {
+    tree::DecisionTree tree;
+    double alpha = 0.0;
+  };
+  std::vector<Member> members_;
+};
+
+}  // namespace hdd::forest

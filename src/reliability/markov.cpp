@@ -1,0 +1,113 @@
+#include "reliability/markov.h"
+
+#include <cmath>
+#include <vector>
+
+#include "common/error.h"
+
+namespace hdd::reliability {
+
+int MarkovChain::add_state() {
+  absorbing_.push_back(false);
+  return static_cast<int>(absorbing_.size()) - 1;
+}
+
+int MarkovChain::add_states(int count) {
+  HDD_REQUIRE(count > 0, "add_states needs a positive count");
+  const int first = static_cast<int>(absorbing_.size());
+  absorbing_.resize(absorbing_.size() + static_cast<std::size_t>(count),
+                    false);
+  return first;
+}
+
+void MarkovChain::set_absorbing(int state) {
+  HDD_ASSERT(state >= 0 && state < num_states());
+  absorbing_[static_cast<std::size_t>(state)] = true;
+}
+
+void MarkovChain::add_transition(int from, int to, double rate) {
+  HDD_ASSERT(from >= 0 && from < num_states());
+  HDD_ASSERT(to >= 0 && to < num_states());
+  HDD_REQUIRE(rate > 0.0, "transition rate must be positive");
+  HDD_REQUIRE(from != to, "self-transitions are meaningless in a CTMC");
+  transitions_.push_back({from, to, rate});
+}
+
+double MarkovChain::mean_time_to_absorption(int start) const {
+  HDD_ASSERT(start >= 0 && start < num_states());
+  if (absorbing_[static_cast<std::size_t>(start)]) return 0.0;
+
+  // Index the transient states.
+  const int n = num_states();
+  std::vector<int> transient_index(static_cast<std::size_t>(n), -1);
+  int nt = 0;
+  for (int s = 0; s < n; ++s) {
+    if (!absorbing_[static_cast<std::size_t>(s)]) {
+      transient_index[static_cast<std::size_t>(s)] = nt++;
+    }
+  }
+
+  // Assemble Q_TT (dense) and the right-hand side -1.
+  const auto size = static_cast<std::size_t>(nt);
+  std::vector<double> a(size * size, 0.0);
+  std::vector<double> b(size, -1.0);
+  for (const auto& t : transitions_) {
+    if (absorbing_[static_cast<std::size_t>(t.from)]) continue;
+    const auto i = static_cast<std::size_t>(
+        transient_index[static_cast<std::size_t>(t.from)]);
+    a[i * size + i] -= t.rate;  // diagonal: total exit rate
+    if (!absorbing_[static_cast<std::size_t>(t.to)]) {
+      const auto j = static_cast<std::size_t>(
+          transient_index[static_cast<std::size_t>(t.to)]);
+      a[i * size + j] += t.rate;
+    }
+  }
+
+  // Gaussian elimination with partial pivoting.
+  std::vector<std::size_t> perm(size);
+  for (std::size_t i = 0; i < size; ++i) perm[i] = i;
+  for (std::size_t col = 0; col < size; ++col) {
+    std::size_t pivot = col;
+    double best = std::fabs(a[perm[col] * size + col]);
+    for (std::size_t r = col + 1; r < size; ++r) {
+      const double v = std::fabs(a[perm[r] * size + col]);
+      if (v > best) {
+        best = v;
+        pivot = r;
+      }
+    }
+    HDD_REQUIRE(best > 1e-300,
+                "singular generator: some transient state cannot reach an "
+                "absorbing state");
+    std::swap(perm[col], perm[pivot]);
+    const std::size_t prow = perm[col];
+    const double diag = a[prow * size + col];
+    for (std::size_t r = col + 1; r < size; ++r) {
+      const std::size_t row = perm[r];
+      const double factor = a[row * size + col] / diag;
+      if (factor == 0.0) continue;
+      for (std::size_t c = col; c < size; ++c) {
+        a[row * size + c] -= factor * a[prow * size + c];
+      }
+      b[row] -= factor * b[prow];
+    }
+  }
+  // Back substitution.
+  std::vector<double> x(size, 0.0);
+  for (std::size_t col = size; col-- > 0;) {
+    const std::size_t row = perm[col];
+    double acc = b[row];
+    for (std::size_t c = col + 1; c < size; ++c) {
+      acc -= a[row * size + c] * x[c];
+    }
+    x[col] = acc / a[row * size + col];
+  }
+
+  const double result = x[static_cast<std::size_t>(
+      transient_index[static_cast<std::size_t>(start)])];
+  HDD_REQUIRE(result >= 0.0 && std::isfinite(result),
+              "absorption time came out non-finite; check the model");
+  return result;
+}
+
+}  // namespace hdd::reliability

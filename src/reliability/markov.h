@@ -1,0 +1,46 @@
+// Continuous-time Markov chain with mean-time-to-absorption solving.
+//
+// The reliability analysis of Section VI builds absorbing CTMCs (Figure 11)
+// and reports MTTDL = the expected hitting time of the data-loss state.
+// For transient states T with generator block Q_TT, the vector of mean
+// absorption times t solves  Q_TT · t = -1;  we solve it with partially
+// pivoted Gaussian elimination (state counts here are tiny: O(100)).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace hdd::reliability {
+
+class MarkovChain {
+ public:
+  // Adds a state; returns its index.
+  int add_state();
+
+  // Adds `count` states; returns the index of the first.
+  int add_states(int count);
+
+  // Marks a state absorbing (transitions out of it are ignored).
+  void set_absorbing(int state);
+
+  // Adds a transition with the given rate (must be positive).
+  void add_transition(int from, int to, double rate);
+
+  int num_states() const { return static_cast<int>(absorbing_.size()); }
+
+  // Expected time to reach any absorbing state from `start`. Requires at
+  // least one absorbing state reachable from every transient state
+  // (otherwise the linear system is singular and this throws).
+  double mean_time_to_absorption(int start) const;
+
+ private:
+  struct Transition {
+    int from;
+    int to;
+    double rate;
+  };
+  std::vector<Transition> transitions_;
+  std::vector<bool> absorbing_;
+};
+
+}  // namespace hdd::reliability

@@ -1,0 +1,104 @@
+#include "reliability/raid.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "reliability/markov.h"
+
+namespace hdd::reliability {
+
+double mttdl_single_drive_with_prediction(double mttf_hours,
+                                          double mttr_hours, double fdr,
+                                          double tia_hours) {
+  HDD_REQUIRE(mttf_hours > 0 && mttr_hours > 0 && tia_hours > 0,
+              "times must be positive");
+  HDD_REQUIRE(fdr >= 0.0 && fdr <= 1.0, "fdr must be in [0,1]");
+  const double mu = 1.0 / mttr_hours;
+  const double gamma = 1.0 / tia_hours;
+  const double denom = 1.0 - fdr * mu / (mu + gamma);
+  HDD_REQUIRE(denom > 0.0, "degenerate parameters (perfect prediction)");
+  return mttf_hours / denom;
+}
+
+double mttdl_raid6_no_prediction(double mttf_hours, double mttr_hours,
+                                 int n) {
+  HDD_REQUIRE(n >= 3, "RAID-6 needs at least 3 drives");
+  const double dn = static_cast<double>(n);
+  return mttf_hours * mttf_hours * mttf_hours /
+         (dn * (dn - 1.0) * (dn - 2.0) * mttr_hours * mttr_hours);
+}
+
+double mttdl_raid5_no_prediction(double mttf_hours, double mttr_hours,
+                                 int n) {
+  HDD_REQUIRE(n >= 2, "RAID-5 needs at least 2 drives");
+  const double dn = static_cast<double>(n);
+  return mttf_hours * mttf_hours / (dn * (dn - 1.0) * mttr_hours);
+}
+
+void RaidPredictionParams::validate() const {
+  HDD_REQUIRE(tolerated_failures >= 1 && tolerated_failures <= 3,
+              "tolerated_failures must be 1..3");
+  HDD_REQUIRE(n_drives > tolerated_failures,
+              "array must be larger than its redundancy");
+  HDD_REQUIRE(mttf_hours > 0 && mttr_hours > 0 && tia_hours > 0,
+              "times must be positive");
+  HDD_REQUIRE(fdr >= 0.0 && fdr <= 1.0, "fdr must be in [0,1]");
+  HDD_REQUIRE(max_predicted >= 1, "max_predicted must be >= 1");
+}
+
+double mttdl_raid_with_prediction(const RaidPredictionParams& params) {
+  params.validate();
+  const int n = params.n_drives;
+  const int tol = params.tolerated_failures;
+  const int cap = std::min(params.max_predicted, n - 1);
+  const double lambda = 1.0 / params.mttf_hours;
+  const double mu = 1.0 / params.mttr_hours;
+  const double gamma = 1.0 / params.tia_hours;
+  const double k = params.fdr;
+  const double l = 1.0 - k;
+
+  // State layout: (j, i) -> j*(cap+1) + i for j in [0, tol], i in [0, cap];
+  // one absorbing data-loss state at the end.
+  MarkovChain chain;
+  const int grid = chain.add_states((tol + 1) * (cap + 1));
+  const int loss = chain.add_state();
+  chain.set_absorbing(loss);
+  auto id = [&](int j, int i) { return grid + j * (cap + 1) + i; };
+
+  for (int j = 0; j <= tol; ++j) {
+    for (int i = 0; i <= cap; ++i) {
+      const int healthy = n - j - i;
+      if (healthy < 0) {
+        // Unreachable corner of the rectangular grid (more predicted +
+        // failed drives than exist). Give it an exit so the generator stays
+        // non-singular; it never affects the start state's hitting time.
+        chain.add_transition(id(j, i), loss, 1.0);
+        continue;
+      }
+      const double m = static_cast<double>(healthy);
+      const double pi = static_cast<double>(i);
+
+      if (healthy > 0 && k > 0.0 && i < cap) {
+        chain.add_transition(id(j, i), id(j, i + 1), m * lambda * k);
+      }
+      if (healthy > 0 && l > 0.0) {
+        chain.add_transition(id(j, i), j == tol ? loss : id(j + 1, i),
+                             m * lambda * l);
+      }
+      if (i > 0) {
+        // Predicted drive actually fails before it could be handled.
+        chain.add_transition(id(j, i), j == tol ? loss : id(j + 1, i - 1),
+                             pi * gamma);
+        // Predicted drive migrated and replaced in time.
+        chain.add_transition(id(j, i), id(j, i - 1), pi * mu);
+      }
+      if (j > 0) {
+        // Rebuild of one failed drive (single repair crew).
+        chain.add_transition(id(j, i), id(j - 1, i), mu);
+      }
+    }
+  }
+  return chain.mean_time_to_absorption(id(0, 0));
+}
+
+}  // namespace hdd::reliability

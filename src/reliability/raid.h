@@ -1,0 +1,54 @@
+// RAID reliability models with and without proactive fault tolerance
+// (Section VI of the paper).
+//
+// Closed forms:
+//   Eq. 7 — single drive with failure prediction (Eckart et al. [17]):
+//           MTTDL ≈ MTTF / (1 - k·μ/(μ+γ)),
+//           k = failure detection rate, γ = 1/TIA, μ = 1/MTTR.
+//   Eq. 8 — RAID-6 without prediction (Gibson/Patterson [18]):
+//           MTTDL ≈ MTTF³ / (N(N-1)(N-2)·MTTR²),
+//   and the matching classic RAID-5 form MTTF²/(N(N-1)·MTTR).
+//
+// CTMC (Figure 11): for an N-drive array tolerating `tolerated_failures`
+// erasures, states are (j failed, i predicted-to-fail) with transitions
+//   (N-j-i)·λ·k      → (j, i+1)   a failure is predicted in advance
+//   (N-j-i)·λ·(1-k)  → (j+1, i)   a failure arrives unpredicted (l = 1-k)
+//   i·γ              → (j+1, i-1) a predicted drive actually fails
+//   i·μ              → (j, i-1)   a predicted drive is migrated & replaced
+//   μ (when j > 0)   → (j-1, i)   rebuild completes (single repair crew,
+//                                 matching Eq. 8's shape)
+// and data loss when j exceeds the tolerated erasures. The prediction
+// dimension is truncated at `max_predicted` concurrent warnings; because
+// λk ≪ μ, γ the truncation error is negligible (validated in tests against
+// the untruncated chain for small N).
+#pragma once
+
+namespace hdd::reliability {
+
+// Eq. 7. All times in hours; returns hours.
+double mttdl_single_drive_with_prediction(double mttf_hours,
+                                          double mttr_hours, double fdr,
+                                          double tia_hours);
+
+// Eq. 8 and the RAID-5 analogue. Returns hours.
+double mttdl_raid6_no_prediction(double mttf_hours, double mttr_hours, int n);
+double mttdl_raid5_no_prediction(double mttf_hours, double mttr_hours, int n);
+
+struct RaidPredictionParams {
+  int n_drives = 8;
+  int tolerated_failures = 2;  // 1 = RAID-5, 2 = RAID-6
+  double mttf_hours = 1.39e6;
+  double mttr_hours = 8.0;
+  double fdr = 0.95;       // k
+  double tia_hours = 355;  // 1/γ
+  int max_predicted = 30;  // truncation of the prediction dimension
+
+  void validate() const;
+};
+
+// Solves the Figure 11 CTMC; returns MTTDL in hours.
+double mttdl_raid_with_prediction(const RaidPredictionParams& params);
+
+constexpr double kHoursPerYear = 24.0 * 365.0;
+
+}  // namespace hdd::reliability

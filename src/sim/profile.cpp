@@ -1,0 +1,156 @@
+#include "sim/profile.h"
+
+namespace hdd::sim {
+
+using smart::Attr;
+
+namespace {
+
+// Baselines shared by both families; family-specific deviations are applied
+// on top. Values imitate the normalized scales commonly reported by vendor
+// firmware (most attributes idle near 100 and drop as health worsens;
+// Seagate-style error-rate attributes hover lower and noisier).
+std::array<AttrBehavior, smart::kNumAttributes> default_behavior() {
+  std::array<AttrBehavior, smart::kNumAttributes> b{};
+  // Raw Read Error Rate: noisy Seagate-style logarithmic rate.
+  b[smart::index_of(Attr::kRawReadErrorRate)] = {108, 8, 7.0, 0.0, 0.0, 1, 253};
+  // Spin Up Time: very stable.
+  b[smart::index_of(Attr::kSpinUpTime)] = {97, 2.0, 0.8, 0.0, 0.0, 1, 253};
+  // Reallocated Sectors (normalized): derived from the raw counter at
+  // sample time; base here is the healthy ceiling.
+  b[smart::index_of(Attr::kReallocatedSectors)] = {100, 0.0, 0.0, 0.0, 0.0, 1, 100};
+  // Seek Error Rate: moderately noisy.
+  b[smart::index_of(Attr::kSeekErrorRate)] = {78, 6, 3.0, 0.0, 0.0, 1, 253};
+  // Power On Hours: derived from drive age; see generator.
+  b[smart::index_of(Attr::kPowerOnHours)] = {100, 0.0, 0.0, 0.0, 0.0, 1, 100};
+  // Reported Uncorrectable Errors: derived from an event counter.
+  b[smart::index_of(Attr::kReportedUncorrectable)] = {100, 0.0, 0.0, 0.0, 0.0, 1, 100};
+  // High Fly Writes: derived from an event counter.
+  b[smart::index_of(Attr::kHighFlyWrites)] = {100, 0.0, 0.0, 0.0, 0.0, 1, 100};
+  // Temperature (normalized = 100 - Celsius): diurnal cycle + ambient drift.
+  b[smart::index_of(Attr::kTemperatureCelsius)] = {63, 4.0, 1.2, 1.5, 0.0, 1, 100};
+  // Hardware ECC Recovered: the noisiest attribute.
+  b[smart::index_of(Attr::kHardwareEccRecovered)] = {60, 10, 9.0, 0.0, 0.0, 1, 253};
+  // Current Pending Sector (normalized): derived from the raw counter.
+  b[smart::index_of(Attr::kCurrentPendingSector)] = {100, 0.0, 0.0, 0.0, 0.0, 1, 100};
+  // Raw counters: behaviour handled by the counter model; clamp only.
+  b[smart::index_of(Attr::kReallocatedSectorsRaw)] = {0, 0, 0, 0, 0, 0, 65535};
+  b[smart::index_of(Attr::kCurrentPendingSectorRaw)] = {0, 0, 0, 0, 0, 0, 65535};
+  return b;
+}
+
+}  // namespace
+
+FamilyProfile family_w_profile() {
+  FamilyProfile p;
+  p.name = "W";
+  p.behavior = default_behavior();
+
+  // Population drift: fleet-wide ambient temperature creep, slow firmware
+  // recalibration of the error-rate attributes, and fleet aging (Power On
+  // Hours drifts inside the generator via age). These shifts are what make
+  // a week-1 model stale by week 8 (Figures 6-9).
+  p.behavior[smart::index_of(Attr::kTemperatureCelsius)].drift_per_week = -0.9;
+  p.behavior[smart::index_of(Attr::kRawReadErrorRate)].drift_per_week = -2.2;
+  p.behavior[smart::index_of(Attr::kHardwareEccRecovered)].drift_per_week = -2.6;
+
+  // Failure mixture. Interpretability finding for "W" (Section V-B1): long
+  // power-on hours, high temperature, or many reported uncorrectable errors.
+  FailureSignature media;  // degrading media: RUE + pending/reallocated
+  media.name = "media_errors";
+  media.weight = 0.45;
+  media.effects = {
+      {Attr::kReportedUncorrectable, -55.0, 14.0},
+      {Attr::kRawReadErrorRate, -30.0, 20.0},
+      {Attr::kTemperatureCelsius, -14.0, 5.0},
+  };
+  media.counters = {
+      {Attr::kCurrentPendingSectorRaw, 60.0},
+      {Attr::kReallocatedSectorsRaw, 180.0},
+  };
+
+  FailureSignature surface;  // surface wear: reallocations dominate
+  surface.name = "surface_wear";
+  surface.weight = 0.35;
+  surface.effects = {
+      {Attr::kHardwareEccRecovered, -28.0, 22.0},
+      {Attr::kTemperatureCelsius, -10.0, 4.0},
+  };
+  surface.counters = {
+      {Attr::kReallocatedSectorsRaw, 650.0},
+      {Attr::kCurrentPendingSectorRaw, 25.0},
+  };
+
+  FailureSignature mechanical;  // head/servo wear
+  mechanical.name = "mechanical";
+  mechanical.weight = 0.20;
+  mechanical.effects = {
+      {Attr::kSeekErrorRate, -22.0, 13.0},
+      {Attr::kSpinUpTime, -12.0, 6.0},
+      {Attr::kHighFlyWrites, -35.0, 12.0},
+      {Attr::kTemperatureCelsius, -17.0, 5.0},
+  };
+
+  p.signatures = {media, surface, mechanical};
+  return p;
+}
+
+FamilyProfile family_q_profile() {
+  FamilyProfile p;
+  p.name = "Q";
+  p.behavior = default_behavior();
+
+  // "Q" runs hotter and noisier (a smaller, cheaper family) — this is what
+  // makes its ROC visibly worse (Figure 5: FAR 0.16-0.82%).
+  p.behavior[smart::index_of(Attr::kTemperatureCelsius)].base_mean = 58;
+  p.behavior[smart::index_of(Attr::kTemperatureCelsius)].base_sd = 3.0;
+  p.behavior[smart::index_of(Attr::kSeekErrorRate)].base_sd = 5.0;
+  p.behavior[smart::index_of(Attr::kSeekErrorRate)].noise_sd = 4.5;
+  p.behavior[smart::index_of(Attr::kHardwareEccRecovered)].noise_sd = 11.0;
+
+  p.behavior[smart::index_of(Attr::kTemperatureCelsius)].drift_per_week = -1.0;
+  p.behavior[smart::index_of(Attr::kRawReadErrorRate)].drift_per_week = -1.8;
+  p.behavior[smart::index_of(Attr::kHardwareEccRecovered)].drift_per_week = -2.2;
+
+  p.spike_start_prob = 5e-4;    // noisier telemetry
+  p.severity_min = 0.7;         // Q failures are blunter
+  p.borderline_frac = 0.015;
+
+  // Interpretability finding for "Q": long power-on hours, high temperature,
+  // or high seek error rate.
+  FailureSignature servo;
+  servo.name = "servo_wear";
+  servo.weight = 0.50;
+  servo.effects = {
+      {Attr::kSeekErrorRate, -40.0, 13.0},
+      {Attr::kTemperatureCelsius, -20.0, 5.0},
+  };
+
+  FailureSignature media;
+  media.name = "media_errors";
+  media.weight = 0.30;
+  media.effects = {
+      {Attr::kReportedUncorrectable, -45.0, 13.0},
+      {Attr::kRawReadErrorRate, -26.0, 18.0},
+      {Attr::kTemperatureCelsius, -11.0, 4.0},
+  };
+  media.counters = {
+      {Attr::kCurrentPendingSectorRaw, 45.0},
+  };
+
+  FailureSignature surface;
+  surface.name = "surface_wear";
+  surface.weight = 0.20;
+  surface.effects = {
+      {Attr::kHardwareEccRecovered, -24.0, 20.0},
+      {Attr::kTemperatureCelsius, -10.0, 4.0},
+  };
+  surface.counters = {
+      {Attr::kReallocatedSectorsRaw, 450.0},
+  };
+
+  p.signatures = {servo, media, surface};
+  return p;
+}
+
+}  // namespace hdd::sim

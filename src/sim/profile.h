@@ -1,0 +1,121 @@
+// Family profiles for the synthetic SMART fleet.
+//
+// This module is the documented substitution for the paper's proprietary
+// data-center dataset (DESIGN.md §2). A FamilyProfile captures everything
+// that differs between drive families ("W" and "Q" in the paper):
+//
+//  * per-attribute healthy behaviour (baseline spread, measurement noise,
+//    diurnal cycles, slow population drift — the cause of model aging in
+//    Section V-B3);
+//  * a mixture of failure signatures: which attributes deteriorate, how
+//    strongly, and whether they act through raw event counters
+//    (reallocations, pending sectors, reported uncorrectable errors) that
+//    are mirrored into the corresponding normalized values;
+//  * population structure: drive ages, a small "borderline" subpopulation
+//    of good drives with elevated counters (the source of persistent false
+//    alarms), transient spike episodes (the source of voting-suppressible
+//    false alarms), and missing samples.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "smart/attributes.h"
+
+namespace hdd::sim {
+
+// Healthy-state behaviour of one normalized SMART attribute.
+struct AttrBehavior {
+  double base_mean = 100.0;  // mean of the per-drive baseline draw
+  double base_sd = 0.0;      // spread of baselines across drives
+  double noise_sd = 0.0;     // per-sample measurement noise
+  double diurnal_amp = 0.0;  // amplitude of the 24h cycle (load/thermal)
+  double drift_per_week = 0.0;  // population-level drift (model aging)
+  double lo = 1.0;           // clamp range of the reported value
+  double hi = 253.0;
+};
+
+// One attribute's deterioration under a failure signature.
+struct SignatureEffect {
+  smart::Attr attr = smart::Attr::kRawReadErrorRate;
+  // Shift of the normalized value at full ramp (negative = value drops).
+  double delta = 0.0;
+  // Extra per-sample noise while deteriorating (failing drives get erratic).
+  double jitter = 0.0;
+};
+
+// Event-counter deterioration (raw values that only ever accumulate).
+struct CounterEffect {
+  smart::Attr raw_attr = smart::Attr::kReallocatedSectorsRaw;
+  double count_at_full_ramp = 0.0;  // expected raw count at the failure hour
+};
+
+struct FailureSignature {
+  std::string name;
+  double weight = 1.0;  // mixture weight within the family
+  std::vector<SignatureEffect> effects;
+  std::vector<CounterEffect> counters;
+};
+
+struct FamilyProfile {
+  std::string name;
+
+  std::array<AttrBehavior, smart::kNumAttributes> behavior{};
+
+  // Failure mixture. A drive's signature is drawn once, at "manufacture".
+  std::vector<FailureSignature> signatures;
+
+  // Fraction of failed drives that die with no SMART warning at all
+  // (electronics failures): their deterioration window is ~0.
+  double sudden_death_frac = 0.04;
+
+  // Deterioration window w_d (hours before failure when degradation starts):
+  // lognormal(log_mu, log_sigma) clamped to [min, max]. Drives deteriorate
+  // with severity s(t) = ((t - onset)/w_d)^ramp_power.
+  double window_log_mu = 6.05;   // exp(6.05) ≈ 424 h
+  double window_log_sigma = 0.35;
+  double window_min_hours = 8.0;
+  double window_max_hours = 470.0;
+  double ramp_power_min = 0.3;   // sub-linear: symptoms appear early
+  double ramp_power_max = 0.6;
+  double severity_min = 0.5;     // per-drive amplitude multiplier; the low
+  double severity_max = 1.5;     // end gives barely-symptomatic failures
+
+  // Drive age at the observation epoch (hours), uniform in [min, max].
+  // Failed drives are drawn from an older distribution — old age is part of
+  // the paper's interpreted failure causes ("long power on hours").
+  double age_good_min = 500.0, age_good_max = 28000.0;
+  double age_failed_min = 4000.0, age_failed_max = 45000.0;
+
+  // Borderline good drives: elevated counters and mildly degraded health
+  // but not failing. These straddle the decision boundary and are the main
+  // source of persistent false alarms.
+  double borderline_frac = 0.012;
+  double borderline_rsc_max = 100.0;  // raw reallocated sectors
+  double borderline_rue_max = 1.5;    // reported uncorrectable errors
+  double borderline_cps_max = 8.0;   // pending sectors
+  double borderline_tc_shift = 3.5;   // runs hotter (normalized TC drop)
+  double borderline_ser_shift = 5.0;  // elevated seek errors
+
+  // Transient spike episodes on good drives (measurement noise bursts,
+  // thermal events, scrub-triggered pending sectors). Episodes up to a day
+  // long are what the voting detector (Figure 2) has to suppress.
+  double spike_start_prob = 3.5e-4;  // per sampled hour
+  double spike_mean_len_hours = 2.5;
+  int spike_max_len_hours = 18;
+  double spike_magnitude = 2.0;    // multiple of the failure-level deviation
+
+  // Telemetry loss.
+  double missing_prob = 0.02;
+};
+
+// The two families of the paper's Table I. "W" is the large fleet whose
+// failures are driven by age/temperature/reported-uncorrectable-errors;
+// "Q" is the smaller, noisier fleet whose failures are driven by
+// age/temperature/seek errors (Section V-B1's interpretability findings).
+FamilyProfile family_w_profile();
+FamilyProfile family_q_profile();
+
+}  // namespace hdd::sim

@@ -1,0 +1,50 @@
+#include "smart/attributes.h"
+
+#include "common/error.h"
+
+namespace hdd::smart {
+
+namespace {
+constexpr std::array<AttributeInfo, kNumAttributes> kTable = {{
+    {Attr::kRawReadErrorRate, 1, "Raw Read Error Rate", "RRER", false},
+    {Attr::kSpinUpTime, 3, "Spin Up Time", "SUT", false},
+    {Attr::kReallocatedSectors, 5, "Reallocated Sectors Count", "RSC", false},
+    {Attr::kSeekErrorRate, 7, "Seek Error Rate", "SER", false},
+    {Attr::kPowerOnHours, 9, "Power On Hours", "POH", false},
+    {Attr::kReportedUncorrectable, 187, "Reported Uncorrectable Errors",
+     "RUE", false},
+    {Attr::kHighFlyWrites, 189, "High Fly Writes", "HFW", false},
+    {Attr::kTemperatureCelsius, 194, "Temperature Celsius", "TC", false},
+    {Attr::kHardwareEccRecovered, 195, "Hardware ECC Recovered", "HER",
+     false},
+    {Attr::kCurrentPendingSector, 197, "Current Pending Sector Count", "CPS",
+     false},
+    {Attr::kReallocatedSectorsRaw, 5, "Reallocated Sectors Count (raw value)",
+     "RSC_raw", true},
+    {Attr::kCurrentPendingSectorRaw, 197,
+     "Current Pending Sector Count (raw value)", "CPS_raw", true},
+}};
+}  // namespace
+
+const std::array<AttributeInfo, kNumAttributes>& attribute_table() {
+  return kTable;
+}
+
+const AttributeInfo& attribute_info(Attr a) {
+  const int i = index_of(a);
+  HDD_ASSERT(i >= 0 && i < kNumAttributes);
+  return kTable[static_cast<std::size_t>(i)];
+}
+
+std::string attribute_name(Attr a) { return attribute_info(a).name; }
+
+std::optional<Attr> parse_attribute(const std::string& name_or_abbrev) {
+  for (const auto& info : kTable) {
+    if (name_or_abbrev == info.name || name_or_abbrev == info.abbrev) {
+      return info.attr;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace hdd::smart

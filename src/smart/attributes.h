@@ -1,0 +1,55 @@
+// SMART attribute catalogue.
+//
+// The paper's Table II lists twelve "basic features": ten normalized SMART
+// values (1–253 scale, larger = healthier for most attributes) plus the raw
+// values of Reallocated Sectors Count and Current Pending Sector Count.
+// Every dataset sample in this library carries exactly these twelve values;
+// features (levels and change rates) are derived views over them.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace hdd::smart {
+
+// Order matches Table II of the paper.
+enum class Attr : std::uint8_t {
+  kRawReadErrorRate = 0,        // SMART 1, normalized
+  kSpinUpTime = 1,              // SMART 3, normalized
+  kReallocatedSectors = 2,      // SMART 5, normalized
+  kSeekErrorRate = 3,           // SMART 7, normalized
+  kPowerOnHours = 4,            // SMART 9, normalized
+  kReportedUncorrectable = 5,   // SMART 187, normalized
+  kHighFlyWrites = 6,           // SMART 189, normalized
+  kTemperatureCelsius = 7,      // SMART 194, normalized
+  kHardwareEccRecovered = 8,    // SMART 195, normalized
+  kCurrentPendingSector = 9,    // SMART 197, normalized
+  kReallocatedSectorsRaw = 10,  // SMART 5, raw
+  kCurrentPendingSectorRaw = 11 // SMART 197, raw
+};
+
+inline constexpr int kNumAttributes = 12;
+
+struct AttributeInfo {
+  Attr attr;
+  int smart_id;          // vendor SMART register id
+  const char* name;      // human-readable name (as in Table II)
+  const char* abbrev;    // short code used in tree dumps (Fig. 1 style)
+  bool raw;              // raw value (unbounded counter) vs normalized
+};
+
+// The full Table II catalogue, indexed by static_cast<int>(Attr).
+const std::array<AttributeInfo, kNumAttributes>& attribute_table();
+
+// Info for one attribute.
+const AttributeInfo& attribute_info(Attr a);
+
+// Name/abbrev lookups; parse returns nullopt for unknown names.
+std::string attribute_name(Attr a);
+std::optional<Attr> parse_attribute(const std::string& name_or_abbrev);
+
+constexpr int index_of(Attr a) { return static_cast<int>(a); }
+
+}  // namespace hdd::smart

@@ -1,0 +1,15 @@
+#include "smart/drive.h"
+
+#include <algorithm>
+
+namespace hdd::smart {
+
+std::int64_t DriveRecord::last_sample_at_or_before(std::int64_t h) const {
+  auto it = std::upper_bound(
+      samples.begin(), samples.end(), h,
+      [](std::int64_t hour, const Sample& s) { return hour < s.hour; });
+  if (it == samples.begin()) return -1;
+  return static_cast<std::int64_t>(std::distance(samples.begin(), it)) - 1;
+}
+
+}  // namespace hdd::smart

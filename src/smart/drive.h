@@ -1,0 +1,44 @@
+// Core telemetry records: one SMART sample, one drive's observation history.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "smart/attributes.h"
+
+namespace hdd::smart {
+
+// One SMART reading. `hour` is hours since the observation epoch (the start
+// of data collection); samples are stored in chronological order.
+struct Sample {
+  std::int64_t hour = 0;
+  std::array<float, kNumAttributes> attrs{};
+
+  float value(Attr a) const { return attrs[static_cast<std::size_t>(index_of(a))]; }
+  void set(Attr a, float v) { attrs[static_cast<std::size_t>(index_of(a))] = v; }
+};
+
+// A drive's full observation record, as collected by the telemetry system.
+//
+// Good drives carry samples over the whole observation period; failed drives
+// carry samples from a window before the actual failure (20 days in the
+// paper, truncated if the drive failed early in the collection period).
+struct DriveRecord {
+  std::string serial;
+  int family = 0;               // index into DriveDataset::family_names
+  bool failed = false;
+  std::int64_t fail_hour = -1;  // hour of actual failure; -1 for good drives
+  std::vector<Sample> samples;  // chronological, possibly with gaps
+
+  bool empty() const { return samples.empty(); }
+  std::int64_t first_hour() const { return samples.front().hour; }
+  std::int64_t last_hour() const { return samples.back().hour; }
+
+  // Index of the last sample with hour <= h, or -1 if none.
+  // O(log n) binary search over the chronological samples.
+  std::int64_t last_sample_at_or_before(std::int64_t h) const;
+};
+
+}  // namespace hdd::smart

@@ -1,0 +1,92 @@
+#include "stats/nonparametric.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/error.h"
+#include "common/math_util.h"
+
+namespace hdd::stats {
+
+TestResult rank_sum_test(std::span<const double> xs,
+                         std::span<const double> ys) {
+  HDD_REQUIRE(!xs.empty() && !ys.empty(), "rank_sum_test needs both samples");
+  const std::size_t n1 = xs.size(), n2 = ys.size();
+  const std::size_t n = n1 + n2;
+
+  // Pool, sort, assign mid-ranks for ties.
+  struct Tagged {
+    double v;
+    bool from_x;
+  };
+  std::vector<Tagged> pool;
+  pool.reserve(n);
+  for (double v : xs) pool.push_back({v, true});
+  for (double v : ys) pool.push_back({v, false});
+  std::sort(pool.begin(), pool.end(),
+            [](const Tagged& a, const Tagged& b) { return a.v < b.v; });
+
+  double rank_sum_x = 0.0;
+  double tie_term = 0.0;  // sum of (t^3 - t) over tie groups
+  std::size_t i = 0;
+  while (i < n) {
+    std::size_t j = i;
+    while (j < n && pool[j].v == pool[i].v) ++j;
+    const double t = static_cast<double>(j - i);
+    // Mid-rank of the tie group (ranks are 1-based).
+    const double mid_rank = (static_cast<double>(i + 1) +
+                             static_cast<double>(j)) / 2.0;
+    for (std::size_t k = i; k < j; ++k) {
+      if (pool[k].from_x) rank_sum_x += mid_rank;
+    }
+    tie_term += t * t * t - t;
+    i = j;
+  }
+
+  const double dn1 = static_cast<double>(n1), dn2 = static_cast<double>(n2);
+  const double dn = static_cast<double>(n);
+  const double mean_rank = dn1 * (dn + 1.0) / 2.0;
+  double var = dn1 * dn2 / 12.0 *
+               ((dn + 1.0) - tie_term / (dn * (dn - 1.0)));
+  TestResult r;
+  if (var <= 0.0) {
+    // All values identical: no evidence of a difference.
+    return r;
+  }
+  r.z = (rank_sum_x - mean_rank) / std::sqrt(var);
+  r.p_value = normal_two_sided_p(r.z);
+  return r;
+}
+
+TestResult reverse_arrangements_test(std::span<const double> series) {
+  HDD_REQUIRE(series.size() >= 3,
+              "reverse_arrangements_test needs >= 3 observations");
+  const std::size_t n = series.size();
+  std::size_t reversals = 0;
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      if (series[i] > series[j]) ++reversals;
+    }
+  }
+  const double dn = static_cast<double>(n);
+  const double mean = dn * (dn - 1.0) / 4.0;
+  const double var = dn * (2.0 * dn + 5.0) * (dn - 1.0) / 72.0;
+  TestResult r;
+  r.z = (static_cast<double>(reversals) - mean) / std::sqrt(var);
+  r.p_value = normal_two_sided_p(r.z);
+  return r;
+}
+
+double mean_abs_zscore(std::span<const double> xs,
+                       std::span<const double> ref) {
+  if (xs.empty() || ref.size() < 2) return 0.0;
+  const double m = mean(ref);
+  const double sd = stddev(ref);
+  if (sd <= 0.0) return 0.0;
+  double total = 0.0;
+  for (double x : xs) total += std::fabs((x - m) / sd);
+  return total / static_cast<double>(xs.size());
+}
+
+}  // namespace hdd::stats

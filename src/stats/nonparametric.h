@@ -1,0 +1,50 @@
+// Non-parametric statistical tests used for feature selection (Section IV-B
+// of the paper; originally applied to SMART data by Hughes et al. [8] and
+// Murray et al. [6]).
+//
+// SMART attributes are not normally distributed, so discriminability between
+// the good and failed populations is measured with rank statistics:
+//
+//  * Wilcoxon rank-sum test — do failed-drive samples of an attribute come
+//    from the same distribution as good-drive samples?
+//  * Reverse arrangements test — does a failed drive's attribute series
+//    trend (deteriorate) over time?
+//  * z-scores — how far outside the good population do failed samples sit?
+#pragma once
+
+#include <span>
+
+namespace hdd::stats {
+
+// Result of a two-sample test, as a normal-approximation z statistic with
+// its two-sided p-value.
+struct TestResult {
+  double z = 0.0;
+  double p_value = 1.0;
+};
+
+// Wilcoxon rank-sum (Mann–Whitney) test with tie correction.
+//
+// Returns the z statistic of the rank sum of `xs` against `ys` under the
+// null hypothesis of identical distributions (positive z: xs ranks higher).
+// Requires both samples non-empty; the normal approximation is used
+// unconditionally (sample sizes here are in the thousands).
+TestResult rank_sum_test(std::span<const double> xs,
+                         std::span<const double> ys);
+
+// Reverse arrangements test for trend in a time series.
+//
+// Counts pairs (i < j) with series[i] > series[j] (a "reverse arrangement")
+// and compares against the count expected under exchangeability,
+// n(n-1)/4, using the normal approximation with variance
+// n(2n+5)(n-1)/72. Negative z: increasing trend; positive z: decreasing.
+// Requires at least 3 observations.
+TestResult reverse_arrangements_test(std::span<const double> series);
+
+// Mean absolute z-score of `xs` relative to the empirical mean/stddev of
+// the reference population `ref` (Murray et al.'s z-score method). Returns
+// 0 when the reference is degenerate.
+double mean_abs_zscore(std::span<const double> xs,
+                       std::span<const double> ref);
+
+}  // namespace hdd::stats

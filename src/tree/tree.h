@@ -1,0 +1,120 @@
+// CART — classification and regression trees, implemented exactly as the
+// paper's Algorithm 1 (classification, information-gain splits) and
+// Algorithm 2 (regression, within-node sum-of-squares splits), with
+// Minsplit / Minbucket stopping and Complexity-Parameter pruning.
+//
+// Conventions:
+//  * binary targets use +1 (good) / -1 (failed); regression targets are the
+//    health degrees of Eq. 5/6 (good = +1, failed in [-1, 0));
+//  * predict() returns the leaf value: for classification the *signed
+//    weighted margin* p_good - p_failed in [-1, 1] (so sign() is the label
+//    under the loss-adjusted weights), for regression the weighted mean
+//    target. predict_label() thresholds at 0;
+//  * sample weights carry both the prior adjustment and the loss matrix
+//    (data::build_training_matrix), so weighted-majority leaf labels are
+//    exactly the paper's minimum-expected-loss labels.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "data/matrix.h"
+#include "smart/features.h"
+
+namespace hdd::tree {
+
+enum class Task { kClassification, kRegression };
+
+struct TreeParams {
+  // Minimum samples (by count) a node needs before a split is attempted.
+  int min_split = 20;
+  // Minimum samples (by count) in any leaf.
+  int min_bucket = 7;
+  // Complexity parameter: an internal node whose split gain is below
+  // cp * root_scale is pruned back (Algorithm 1 line 19 / Algorithm 2
+  // line 20). For classification the gain is information gain in bits and
+  // root_scale = 1; for regression the gain is the within-node
+  // sum-of-squares reduction and root_scale is the root's sum of squares,
+  // making cp scale-free in both tasks.
+  double cp = 0.001;
+  // Safety rails beyond the paper (the paper relies on min_split/cp only).
+  int max_depth = 30;
+  int max_nodes = 32768;
+
+  void validate() const;
+};
+
+struct Node {
+  // Internal node: feature/threshold with children; leaf: children = -1.
+  std::int32_t left = -1;
+  std::int32_t right = -1;
+  std::int32_t feature = -1;
+  float threshold = 0.0f;  // goes left when x[feature] < threshold
+
+  double value = 0.0;       // leaf output (margin or mean target)
+  double weight = 0.0;      // total sample weight at the node
+  std::int64_t count = 0;   // raw sample count at the node
+  double gain = 0.0;        // split gain (0 for leaves)
+
+  bool is_leaf() const { return left < 0; }
+};
+
+class DecisionTree {
+ public:
+  DecisionTree() = default;
+
+  // Grows and prunes a tree on the weighted matrix. Throws ConfigError on
+  // invalid parameters or an empty matrix.
+  void fit(const data::DataMatrix& m, Task task, const TreeParams& params);
+
+  bool trained() const { return !nodes_.empty(); }
+  Task task() const { return task_; }
+  int num_features() const { return num_features_; }
+  std::size_t node_count() const { return nodes_.size(); }
+  std::size_t leaf_count() const;
+  int depth() const;
+
+  // Leaf value for one feature row (see header comment for semantics).
+  double predict(std::span<const float> x) const;
+
+  // +1 (good) / -1 (failed).
+  int predict_label(std::span<const float> x) const {
+    return predict(x) < 0.0 ? -1 : 1;
+  }
+
+  // Total split gain attributed to each feature, normalized to sum to 1
+  // (all-zero if the tree is a stump).
+  std::vector<double> feature_importance() const;
+
+  // Figure-1-style rule dump. Feature names come from `features` when
+  // given, else "f<i>".
+  std::string to_text(const smart::FeatureSet* features = nullptr) const;
+
+  // Flat node access (serialization, tests).
+  const std::vector<Node>& nodes() const { return nodes_; }
+
+  // Rebuilds a tree from serialized nodes (validated).
+  static DecisionTree from_nodes(std::vector<Node> nodes, Task task,
+                                 int num_features);
+
+  // Line-oriented text persistence ("hddpred-tree v1"): header lines
+  // (task/features/nodes) followed by one line per node in preorder.
+  // Implemented in tree_io.cpp; load() throws DataError on bad input.
+  void save(std::ostream& os) const;
+  static DecisionTree load(std::istream& is);
+
+ private:
+  struct Builder;
+
+  // Drops nodes orphaned by pruning and renumbers children.
+  void compact();
+
+  std::vector<Node> nodes_;
+  Task task_ = Task::kClassification;
+  int num_features_ = 0;
+};
+
+}  // namespace hdd::tree

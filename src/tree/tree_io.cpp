@@ -1,0 +1,82 @@
+// Text persistence for decision trees (format documented in tree.h).
+#include <iomanip>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "common/error.h"
+#include "tree/tree.h"
+
+namespace hdd::tree {
+
+void DecisionTree::save(std::ostream& os) const {
+  HDD_REQUIRE(trained(), "cannot save an untrained tree");
+  os << "hddpred-tree v1\n";
+  os << "task "
+     << (task_ == Task::kClassification ? "classification" : "regression")
+     << '\n';
+  os << "features " << num_features_ << '\n';
+  os << "nodes " << nodes_.size() << '\n';
+  os << std::setprecision(17);
+  for (const auto& n : nodes_) {
+    os << n.left << ' ' << n.right << ' ' << n.feature << ' ' << n.threshold
+       << ' ' << n.value << ' ' << n.weight << ' ' << n.count << ' '
+       << n.gain << '\n';
+  }
+}
+
+DecisionTree DecisionTree::load(std::istream& is) {
+  std::string line;
+  auto next_line = [&]() -> std::string& {
+    if (!std::getline(is, line)) throw DataError("tree file truncated");
+    return line;
+  };
+  if (next_line() != "hddpred-tree v1") {
+    throw DataError("not a hddpred-tree v1 file");
+  }
+  std::string word, task_name;
+  {
+    std::istringstream ls(next_line());
+    ls >> word >> task_name;
+    if (word != "task" ||
+        (task_name != "classification" && task_name != "regression")) {
+      throw DataError("bad task line");
+    }
+  }
+  int features = 0;
+  {
+    std::istringstream ls(next_line());
+    ls >> word >> features;
+    if (word != "features" || features <= 0) {
+      throw DataError("bad features line");
+    }
+  }
+  std::size_t count = 0;
+  {
+    std::istringstream ls(next_line());
+    ls >> word >> count;
+    if (word != "nodes" || count == 0) throw DataError("bad nodes line");
+  }
+  std::vector<Node> nodes;
+  nodes.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    std::istringstream ls(next_line());
+    Node n;
+    ls >> n.left >> n.right >> n.feature >> n.threshold >> n.value >>
+        n.weight >> n.count >> n.gain;
+    if (ls.fail()) {
+      throw DataError("bad node line " + std::to_string(i));
+    }
+    nodes.push_back(n);
+  }
+  try {
+    return from_nodes(std::move(nodes),
+                      task_name == "classification" ? Task::kClassification
+                                                    : Task::kRegression,
+                      features);
+  } catch (const ConfigError& e) {
+    throw DataError(std::string("inconsistent tree: ") + e.what());
+  }
+}
+
+}  // namespace hdd::tree

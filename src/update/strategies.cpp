@@ -1,0 +1,161 @@
+#include "update/strategies.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+#include "common/log.h"
+#include "common/rng.h"
+#include "common/thread_pool.h"
+
+namespace hdd::update {
+
+const char* strategy_name(Strategy s) {
+  switch (s) {
+    case Strategy::kFixed: return "fixed";
+    case Strategy::kAccumulation: return "accumulation";
+    case Strategy::kReplacing: return "replacing";
+  }
+  return "?";
+}
+
+namespace {
+
+// Materializes all good drives of the (single) family over the given week
+// range [from_week, to_week).
+std::vector<smart::DriveRecord> good_window(const sim::FleetConfig& fleet,
+                                            const sim::TraceGenerator& gen,
+                                            int from_week, int to_week) {
+  const sim::FamilySpec& fam = fleet.families.front();
+  const std::int64_t horizon =
+      static_cast<std::int64_t>(fleet.observation_weeks) * 168;
+  std::vector<smart::DriveRecord> out(fam.n_good);
+  ThreadPool::global().parallel_for(0, fam.n_good, [&](std::size_t i) {
+    const auto latent = gen.make_latent(i, /*failed=*/false, horizon);
+    out[i] = gen.materialize(latent,
+                             static_cast<std::int64_t>(from_week) * 168,
+                             static_cast<std::int64_t>(to_week) * 168 - 1,
+                             fleet.sample_interval_hours);
+    out[i].serial = fam.profile.name + "-G" + std::to_string(i);
+  });
+  return out;
+}
+
+// The training weeks a strategy uses before predicting test week `w`
+// (1-based weeks; test weeks run 2..last). Returns [from, to) in weeks.
+std::pair<int, int> training_range(const LongTermConfig& config,
+                                   int test_week) {
+  switch (config.strategy) {
+    case Strategy::kFixed:
+      return {0, 1};
+    case Strategy::kAccumulation:
+      return {0, test_week - 1};
+    case Strategy::kReplacing: {
+      const int c = config.replace_cycle_weeks;
+      // Use the last fully observed cycle; until one completes, fall back
+      // to everything observed so far (only past weeks — never the test
+      // week itself).
+      const int completed = (test_week - 1) / c;
+      if (completed == 0) return {0, test_week - 1};
+      return {(completed - 1) * c, completed * c};
+    }
+  }
+  return {0, 1};
+}
+
+}  // namespace
+
+std::vector<WeeklyResult> simulate_long_term(const sim::FleetConfig& fleet,
+                                             const ModelTrainer& trainer,
+                                             const LongTermConfig& config) {
+  HDD_REQUIRE(fleet.families.size() == 1,
+              "simulate_long_term expects exactly one family");
+  HDD_REQUIRE(fleet.observation_weeks >= 2, "need at least two weeks");
+  HDD_REQUIRE(static_cast<bool>(trainer), "null trainer");
+  if (config.strategy == Strategy::kReplacing) {
+    HDD_REQUIRE(config.replace_cycle_weeks >= 1,
+                "replace cycle must be >= 1 week");
+  }
+
+  const sim::FamilySpec& fam = fleet.families.front();
+  const sim::TraceGenerator gen(fam.profile, fleet.seed, 0);
+  const std::int64_t horizon =
+      static_cast<std::int64_t>(fleet.observation_weeks) * 168;
+  const std::int64_t failed_span =
+      static_cast<std::int64_t>(fleet.failed_record_days) * 24;
+
+  // Failed drives: materialized once, split once, shared by all weeks.
+  std::vector<smart::DriveRecord> failed(fam.n_failed);
+  ThreadPool::global().parallel_for(0, fam.n_failed, [&](std::size_t i) {
+    const auto latent = gen.make_latent(i, /*failed=*/true, horizon);
+    failed[i] = gen.materialize(
+        latent, std::max<std::int64_t>(0, latent.fail_hour - failed_span),
+        latent.fail_hour, fleet.sample_interval_hours);
+    failed[i].serial = fam.profile.name + "-F" + std::to_string(i);
+  });
+
+  Rng rng(config.seed);
+  const auto perm = rng.permutation(failed.size());
+  const auto n_train_failed = static_cast<std::size_t>(std::round(
+      static_cast<double>(failed.size()) * config.train_fraction));
+
+  std::vector<WeeklyResult> results;
+  eval::SampleModel model;
+  std::pair<int, int> trained_range{-1, -1};
+
+  for (int week = 2; week <= fleet.observation_weeks; ++week) {
+    const auto range = training_range(config, week);
+    if (range != trained_range) {
+      // (Re)train on the strategy's window.
+      data::DriveDataset train_ds;
+      train_ds.family_names = {fam.profile.name};
+      data::DatasetSplit split;
+      auto goods = good_window(fleet, gen, range.first, range.second);
+      for (auto& g : goods) {
+        if (g.empty()) continue;
+        split.good_drives.push_back(train_ds.drives.size());
+        split.good_test_begin.push_back(g.samples.size());  // all train
+        train_ds.drives.push_back(std::move(g));
+      }
+      for (std::size_t k = 0; k < n_train_failed; ++k) {
+        split.train_failed.push_back(train_ds.drives.size());
+        train_ds.drives.push_back(failed[perm[k]]);
+      }
+
+      data::TrainingConfig tc = config.training;
+      // Keep the per-week good sampling density constant as windows grow.
+      tc.good_samples_per_drive = config.training.good_samples_per_drive *
+                                  (range.second - range.first);
+      const auto matrix = data::build_training_matrix(train_ds, split, tc);
+      model = trainer(matrix);
+      trained_range = range;
+      log_debug() << "trained " << strategy_name(config.strategy)
+                  << " model on weeks [" << range.first << ","
+                  << range.second << ") with " << matrix.rows() << " rows";
+    }
+
+    // Test on week `week` (1-based: hours [(week-1)*168, week*168)).
+    data::DriveDataset test_ds;
+    test_ds.family_names = {fam.profile.name};
+    data::DatasetSplit split;
+    auto goods = good_window(fleet, gen, week - 1, week);
+    for (auto& g : goods) {
+      if (g.empty()) continue;
+      split.good_drives.push_back(test_ds.drives.size());
+      split.good_test_begin.push_back(0);  // the whole week is test data
+      test_ds.drives.push_back(std::move(g));
+    }
+    for (std::size_t k = n_train_failed; k < failed.size(); ++k) {
+      if (failed[perm[k]].empty()) continue;
+      split.test_failed.push_back(test_ds.drives.size());
+      test_ds.drives.push_back(failed[perm[k]]);
+    }
+
+    const auto result = eval::evaluate(test_ds, split, config.training.features,
+                                       model, config.vote);
+    results.push_back({week, result.far(), result.fdr()});
+  }
+  return results;
+}
+
+}  // namespace hdd::update

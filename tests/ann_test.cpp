@@ -1,0 +1,206 @@
+// Tests for src/ann: the BP ANN baseline — configuration validation,
+// learnability of simple concepts, determinism, weighting, and scaling.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.h"
+#include "common/rng.h"
+
+#include "ann/mlp.h"
+
+namespace hdd::ann {
+namespace {
+
+data::DataMatrix make_matrix(const std::vector<std::vector<float>>& xs,
+                             const std::vector<float>& ys,
+                             const std::vector<float>& ws = {}) {
+  data::DataMatrix m(static_cast<int>(xs[0].size()));
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    m.add_row(xs[i], ys[i], ws.empty() ? 1.0f : ws[i]);
+  }
+  return m;
+}
+
+double accuracy(const MlpModel& model,
+                const std::vector<std::vector<float>>& xs,
+                const std::vector<float>& ys) {
+  int correct = 0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    correct += model.predict_label(xs[i]) == (ys[i] > 0 ? 1 : -1);
+  }
+  return static_cast<double>(correct) / static_cast<double>(xs.size());
+}
+
+TEST(MlpConfig, ValidateRejectsBadValues) {
+  MlpConfig c;
+  c.hidden = 0;
+  EXPECT_THROW(c.validate(), ConfigError);
+  c = MlpConfig{};
+  c.learning_rate = 0.0;
+  EXPECT_THROW(c.validate(), ConfigError);
+  c = MlpConfig{};
+  c.epochs = 0;
+  EXPECT_THROW(c.validate(), ConfigError);
+  c = MlpConfig{};
+  c.tol = -1.0;
+  EXPECT_THROW(c.validate(), ConfigError);
+  EXPECT_NO_THROW(MlpConfig{}.validate());
+}
+
+TEST(Mlp, RejectsEmptyMatrix) {
+  data::DataMatrix m(2);
+  MlpModel model;
+  EXPECT_THROW(model.fit(m, MlpConfig{}), ConfigError);
+  EXPECT_FALSE(model.trained());
+}
+
+TEST(Mlp, LearnsLinearBoundary) {
+  Rng rng(1);
+  std::vector<std::vector<float>> xs;
+  std::vector<float> ys;
+  for (int i = 0; i < 400; ++i) {
+    const float a = static_cast<float>(rng.uniform(0, 100));
+    const float b = static_cast<float>(rng.uniform(0, 100));
+    xs.push_back({a, b});
+    ys.push_back(a + b > 100.0f ? 1.0f : -1.0f);
+  }
+  MlpConfig cfg;
+  cfg.hidden = 4;
+  cfg.epochs = 200;
+  MlpModel model;
+  model.fit(make_matrix(xs, ys), cfg);
+  EXPECT_TRUE(model.trained());
+  EXPECT_EQ(model.num_features(), 2);
+  EXPECT_EQ(model.hidden_units(), 4);
+  EXPECT_GE(accuracy(model, xs, ys), 0.95);
+}
+
+TEST(Mlp, LearnsXorUnlikeGreedyTrees) {
+  std::vector<std::vector<float>> xs;
+  std::vector<float> ys;
+  Rng rng(2);
+  for (int i = 0; i < 400; ++i) {
+    const float a = rng.chance(0.5) ? 1.0f : 0.0f;
+    const float b = rng.chance(0.5) ? 1.0f : 0.0f;
+    xs.push_back({a, b});
+    ys.push_back((a > 0.5f) != (b > 0.5f) ? 1.0f : -1.0f);
+  }
+  MlpConfig cfg;
+  cfg.hidden = 8;
+  cfg.epochs = 400;
+  cfg.learning_rate = 0.5;
+  cfg.tol = 0.0;
+  MlpModel model;
+  model.fit(make_matrix(xs, ys), cfg);
+  EXPECT_GE(accuracy(model, xs, ys), 0.95);
+}
+
+TEST(Mlp, OutputIsBoundedMargin) {
+  Rng rng(3);
+  std::vector<std::vector<float>> xs;
+  std::vector<float> ys;
+  for (int i = 0; i < 100; ++i) {
+    xs.push_back({static_cast<float>(rng.uniform())});
+    ys.push_back(rng.chance(0.5) ? 1.0f : -1.0f);
+  }
+  MlpModel model;
+  MlpConfig cfg;
+  cfg.epochs = 20;
+  model.fit(make_matrix(xs, ys), cfg);
+  for (const auto& x : xs) {
+    const double out = model.predict(x);
+    EXPECT_GE(out, -1.0);
+    EXPECT_LE(out, 1.0);
+  }
+}
+
+TEST(Mlp, DeterministicGivenSeed) {
+  Rng rng(4);
+  std::vector<std::vector<float>> xs;
+  std::vector<float> ys;
+  for (int i = 0; i < 200; ++i) {
+    xs.push_back({static_cast<float>(rng.uniform()),
+                  static_cast<float>(rng.uniform())});
+    ys.push_back(xs.back()[0] > 0.5f ? 1.0f : -1.0f);
+  }
+  MlpConfig cfg;
+  cfg.epochs = 50;
+  MlpModel a, b;
+  a.fit(make_matrix(xs, ys), cfg);
+  b.fit(make_matrix(xs, ys), cfg);
+  for (const auto& x : xs) {
+    EXPECT_DOUBLE_EQ(a.predict(x), b.predict(x));
+  }
+  cfg.seed = 999;
+  MlpModel c;
+  c.fit(make_matrix(xs, ys), cfg);
+  bool any_different = false;
+  for (const auto& x : xs) {
+    if (a.predict(x) != c.predict(x)) any_different = true;
+  }
+  EXPECT_TRUE(any_different);
+}
+
+TEST(Mlp, SampleWeightsShiftTheBoundary) {
+  // Overlapping blobs; upweighting the good class pushes predictions good.
+  Rng rng(5);
+  std::vector<std::vector<float>> xs;
+  std::vector<float> ys, heavy_good;
+  for (int i = 0; i < 600; ++i) {
+    const bool failed = i % 2 == 0;
+    xs.push_back({static_cast<float>(failed ? rng.normal(1.5, 1.0)
+                                            : rng.normal(0.0, 1.0))});
+    ys.push_back(failed ? -1.0f : 1.0f);
+    heavy_good.push_back(failed ? 1.0f : 15.0f);
+  }
+  MlpConfig cfg;
+  cfg.hidden = 4;
+  cfg.epochs = 150;
+  MlpModel plain, weighted;
+  plain.fit(make_matrix(xs, ys), cfg);
+  weighted.fit(make_matrix(xs, ys, heavy_good), cfg);
+  int plain_failed = 0, weighted_failed = 0;
+  for (double x = 0.0; x <= 1.5; x += 0.05) {
+    const std::vector<float> row{static_cast<float>(x)};
+    plain_failed += plain.predict_label(row) < 0;
+    weighted_failed += weighted.predict_label(row) < 0;
+  }
+  EXPECT_LT(weighted_failed, plain_failed);
+}
+
+TEST(Mlp, HandlesConstantFeatures) {
+  // A constant column must not produce NaNs (its scale is dropped).
+  std::vector<std::vector<float>> xs;
+  std::vector<float> ys;
+  Rng rng(6);
+  for (int i = 0; i < 100; ++i) {
+    const float x = static_cast<float>(rng.uniform());
+    xs.push_back({7.0f, x});
+    ys.push_back(x > 0.5f ? 1.0f : -1.0f);
+  }
+  MlpConfig cfg;
+  cfg.epochs = 100;
+  MlpModel model;
+  model.fit(make_matrix(xs, ys), cfg);
+  for (const auto& x : xs) {
+    EXPECT_FALSE(std::isnan(model.predict(x)));
+  }
+  EXPECT_GE(accuracy(model, xs, ys), 0.9);
+}
+
+TEST(Mlp, EarlyStoppingTerminates) {
+  // With a huge tol the fit must stop long before the epoch limit and the
+  // model must still be usable.
+  std::vector<std::vector<float>> xs{{0}, {1}};
+  std::vector<float> ys{-1, 1};
+  MlpConfig cfg;
+  cfg.epochs = 100000;  // would take forever without early stop
+  cfg.tol = 1.0;
+  MlpModel model;
+  model.fit(make_matrix(xs, ys), cfg);
+  EXPECT_TRUE(model.trained());
+}
+
+}  // namespace
+}  // namespace hdd::ann

@@ -1,0 +1,291 @@
+// Tests for src/baselines: the related-work detectors — firmware
+// thresholds, naive Bayes, Mahalanobis distance, and the rank-sum detector.
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/rng.h"
+
+#include "baselines/mahalanobis.h"
+#include "baselines/naive_bayes.h"
+#include "baselines/ranksum_detector.h"
+#include "baselines/threshold.h"
+#include "data/split.h"
+#include "sim/generator.h"
+
+namespace hdd::baselines {
+namespace {
+
+data::DataMatrix make_matrix(const std::vector<std::vector<float>>& xs,
+                             const std::vector<float>& ys) {
+  data::DataMatrix m(static_cast<int>(xs[0].size()));
+  for (std::size_t i = 0; i < xs.size(); ++i) m.add_row(xs[i], ys[i], 1.0f);
+  return m;
+}
+
+// Good blob at 100, failed blob at 60 on feature 0; feature 1 is noise.
+data::DataMatrix blob_matrix(std::uint64_t seed, int n_good, int n_failed) {
+  Rng rng(seed);
+  std::vector<std::vector<float>> xs;
+  std::vector<float> ys;
+  for (int i = 0; i < n_good; ++i) {
+    xs.push_back({static_cast<float>(rng.normal(100, 3)),
+                  static_cast<float>(rng.normal(50, 10))});
+    ys.push_back(1.0f);
+  }
+  for (int i = 0; i < n_failed; ++i) {
+    xs.push_back({static_cast<float>(rng.normal(60, 5)),
+                  static_cast<float>(rng.normal(50, 10))});
+    ys.push_back(-1.0f);
+  }
+  return make_matrix(xs, ys);
+}
+
+TEST(ThresholdConfig, Validation) {
+  ThresholdConfig c;
+  c.quantile = 0.0;
+  EXPECT_THROW(c.validate(), ConfigError);
+  c.quantile = 0.6;
+  EXPECT_THROW(c.validate(), ConfigError);
+  EXPECT_NO_THROW(ThresholdConfig{}.validate());
+}
+
+TEST(Threshold, LearnsFromGoodRowsOnly) {
+  const auto m = blob_matrix(1, 2000, 100);
+  ThresholdConfig cfg;
+  cfg.quantile = 0.001;
+  cfg.margin_iqr = 0.0;  // isolate the quantile logic
+  cfg.margin_abs = 0.0;
+  ThresholdDetector det;
+  det.fit(m, cfg);
+  ASSERT_TRUE(det.trained());
+  // Threshold sits below the good blob but above the failed blob.
+  EXPECT_LT(det.lower_thresholds()[0], 95.0f);
+  EXPECT_GT(det.lower_thresholds()[0], 70.0f);
+  // Classification follows.
+  EXPECT_EQ(det.predict_label(std::vector<float>{100, 50}), 1);
+  EXPECT_EQ(det.predict_label(std::vector<float>{60, 50}), -1);
+}
+
+TEST(Threshold, ConservativeQuantileMeansFewAlarms) {
+  const auto m = blob_matrix(2, 3000, 50);
+  ThresholdConfig tight;
+  tight.quantile = 1e-4;
+  tight.margin_iqr = tight.margin_abs = 0.0;
+  ThresholdConfig loose;
+  loose.quantile = 0.05;
+  loose.margin_iqr = loose.margin_abs = 0.0;
+  ThresholdDetector a, b;
+  a.fit(m, tight);
+  b.fit(m, loose);
+  // The conservative detector's trip point is strictly lower.
+  EXPECT_LT(a.lower_thresholds()[0], b.lower_thresholds()[0]);
+}
+
+TEST(Threshold, IncreasingFeaturesTripOnUpperTail) {
+  Rng rng(3);
+  std::vector<std::vector<float>> xs;
+  std::vector<float> ys;
+  for (int i = 0; i < 1000; ++i) {
+    xs.push_back({static_cast<float>(rng.normal(10, 2))});
+    ys.push_back(1.0f);
+  }
+  ThresholdConfig cfg;
+  cfg.margin_iqr = cfg.margin_abs = 0.0;
+  cfg.increasing_features = {0};
+  ThresholdDetector det;
+  det.fit(make_matrix(xs, ys), cfg);
+  EXPECT_EQ(det.predict_label(std::vector<float>{10}), 1);
+  EXPECT_EQ(det.predict_label(std::vector<float>{100}), -1);  // counter blew up
+  EXPECT_EQ(det.predict_label(std::vector<float>{0}), 1);     // low is fine
+}
+
+TEST(Threshold, SafetyMarginMakesFirmwareConservative) {
+  // With the default margins, the trip point sits far below anything the
+  // good population reports — the firmware regime of Section II.
+  const auto m = blob_matrix(12, 2000, 0);
+  ThresholdDetector det;
+  det.fit(m, ThresholdConfig{});
+  EXPECT_LT(det.lower_thresholds()[0], 60.0f);
+  // A mildly degraded reading does not trip; a catastrophic one does.
+  EXPECT_EQ(det.predict_label(std::vector<float>{80, 50}), 1);
+  EXPECT_EQ(det.predict_label(std::vector<float>{20, 50}), -1);
+}
+
+TEST(Threshold, RejectsBadIncreasingIndex) {
+  const auto m = blob_matrix(4, 100, 10);
+  ThresholdConfig cfg;
+  cfg.increasing_features = {5};
+  ThresholdDetector det;
+  EXPECT_THROW(det.fit(m, cfg), ConfigError);
+}
+
+TEST(NaiveBayes, SeparatesBlobs) {
+  const auto m = blob_matrix(5, 1000, 1000);
+  NaiveBayes nb;
+  nb.fit(m);
+  ASSERT_TRUE(nb.trained());
+  EXPECT_GT(nb.predict(std::vector<float>{100, 50}), 0.5);
+  EXPECT_LT(nb.predict(std::vector<float>{60, 50}), -0.5);
+  // Margin bounded.
+  EXPECT_LE(nb.predict(std::vector<float>{100, 50}), 1.0);
+  EXPECT_GE(nb.predict(std::vector<float>{60, 50}), -1.0);
+}
+
+TEST(NaiveBayes, PriorsShiftTheBoundary) {
+  // Same blobs, but failed samples are rare: the midpoint leans good.
+  const auto balanced = blob_matrix(6, 1000, 1000);
+  const auto skewed = blob_matrix(6, 1000, 20);
+  NaiveBayes nb_bal, nb_skew;
+  nb_bal.fit(balanced);
+  nb_skew.fit(skewed);
+  const std::vector<float> midpoint{80, 50};
+  EXPECT_GT(nb_skew.predict(midpoint), nb_bal.predict(midpoint));
+}
+
+TEST(NaiveBayes, RequiresBothClasses) {
+  Rng rng(7);
+  std::vector<std::vector<float>> xs;
+  std::vector<float> ys;
+  for (int i = 0; i < 50; ++i) {
+    xs.push_back({static_cast<float>(rng.uniform())});
+    ys.push_back(1.0f);
+  }
+  NaiveBayes nb;
+  EXPECT_THROW(nb.fit(make_matrix(xs, ys)), ConfigError);
+}
+
+TEST(NaiveBayes, VarianceFloorPreventsDegeneracy) {
+  // A constant feature would give zero variance without the floor.
+  const auto m = make_matrix({{5, 1}, {5, 2}, {5, 10}, {5, 11}},
+                             {1, 1, -1, -1});
+  NaiveBayes nb;
+  nb.fit(m);
+  EXPECT_EQ(nb.predict_label(std::vector<float>{5, 1.5f}), 1);
+  EXPECT_EQ(nb.predict_label(std::vector<float>{5, 10.5f}), -1);
+}
+
+TEST(Mahalanobis, DistanceIsZeroAtTheMeanAndGrows) {
+  const auto m = blob_matrix(8, 3000, 0);
+  MahalanobisDetector det;
+  det.fit(m);
+  ASSERT_TRUE(det.trained());
+  const double at_mean = det.distance2(std::vector<float>{100, 50});
+  const double far_away = det.distance2(std::vector<float>{60, 50});
+  EXPECT_LT(at_mean, 1.0);
+  EXPECT_GT(far_away, 50.0);
+}
+
+TEST(Mahalanobis, AccountsForCorrelation) {
+  // Strongly correlated features: a point off the correlation ridge is far
+  // even when both marginals look typical.
+  Rng rng(9);
+  std::vector<std::vector<float>> xs;
+  std::vector<float> ys;
+  for (int i = 0; i < 4000; ++i) {
+    const double a = rng.normal(0, 10);
+    const double b = a + rng.normal(0, 1);  // b ~ a
+    xs.push_back({static_cast<float>(a), static_cast<float>(b)});
+    ys.push_back(1.0f);
+  }
+  MahalanobisDetector det;
+  det.fit(make_matrix(xs, ys));
+  const double on_ridge = det.distance2(std::vector<float>{8, 8});
+  const double off_ridge = det.distance2(std::vector<float>{8, -8});
+  EXPECT_GT(off_ridge, 20.0 * on_ridge);
+}
+
+TEST(Mahalanobis, PredictMarginRespectsThreshold) {
+  const auto m = blob_matrix(10, 3000, 50);
+  MahalanobisDetector det;
+  MahalanobisConfig cfg;
+  cfg.quantile = 0.01;
+  det.fit(m, cfg);
+  EXPECT_GT(det.predict(std::vector<float>{100, 50}), 0.0);
+  EXPECT_EQ(det.predict_label(std::vector<float>{60, 50}), -1);
+}
+
+TEST(Mahalanobis, NeedsEnoughGoodRows) {
+  const auto m = make_matrix({{1, 2}, {3, 4}}, {1, 1});
+  MahalanobisDetector det;
+  EXPECT_THROW(det.fit(m), ConfigError);
+}
+
+TEST(RankSumConfig, Validation) {
+  RankSumConfig c;
+  c.window_samples = 2;
+  EXPECT_THROW(c.validate(), ConfigError);
+  c = RankSumConfig{};
+  c.reference_size = 5;
+  EXPECT_THROW(c.validate(), ConfigError);
+  c = RankSumConfig{};
+  c.z_critical = 0.0;
+  EXPECT_THROW(c.validate(), ConfigError);
+}
+
+TEST(RankSumDetector, DetectsDeterioratingDriveNotHealthyOne) {
+  // Reference population around 100 on one feature.
+  Rng rng(11);
+  std::vector<std::vector<float>> xs;
+  std::vector<float> ys;
+  for (int i = 0; i < 3000; ++i) {
+    xs.push_back({static_cast<float>(rng.normal(100, 4))});
+    ys.push_back(1.0f);
+  }
+  // Matrix layout must match the feature set; use a single-level feature.
+  const smart::FeatureSet fs{
+      "one", {{smart::Attr::kSeekErrorRate, 0}}};
+  RankSumConfig cfg;
+  cfg.window_samples = 12;
+  // Continuous (tie-free) values cap |z| at ~6 for a 12-sample window, so
+  // the fleet-calibrated default critical value is out of reach here.
+  cfg.z_critical = 5.0;
+  RankSumDetector det;
+  det.fit(make_matrix(xs, ys), fs, cfg);
+  ASSERT_TRUE(det.trained());
+
+  auto make_drive = [&](bool deteriorate) {
+    smart::DriveRecord d;
+    d.failed = deteriorate;
+    Rng noise(deteriorate ? 21u : 22u);
+    for (int h = 0; h < 120; ++h) {
+      smart::Sample s;
+      s.hour = h;
+      double level = 100.0;
+      if (deteriorate && h > 60) level -= (h - 60) * 0.8;  // ramp down
+      s.set(smart::Attr::kSeekErrorRate,
+            static_cast<float>(level + noise.normal(0, 4)));
+      d.samples.push_back(s);
+    }
+    if (deteriorate) d.fail_hour = 119;
+    return d;
+  };
+
+  const auto healthy = det.detect(make_drive(false));
+  EXPECT_FALSE(healthy.alarmed);
+  const auto failing = det.detect(make_drive(true));
+  ASSERT_TRUE(failing.alarmed);
+  EXPECT_GT(failing.alarm_hour, 60);  // after deterioration starts
+}
+
+TEST(RankSumDetector, EvaluateOnSyntheticFleet) {
+  auto config = sim::paper_fleet_config(0.02, 5);
+  config.families.resize(1);
+  const auto fleet = sim::generate_fleet_window(config, 0, 1);
+  const auto split = data::split_dataset(fleet, {});
+  data::TrainingConfig tc;
+  tc.features = smart::stat13_features();
+  tc.failed_prior = 0.0;
+  tc.loss_false_alarm = 1.0;
+  const auto matrix = data::build_training_matrix(fleet, split, tc);
+
+  RankSumDetector det;
+  det.fit(matrix, tc.features, RankSumConfig{});
+  const auto r = det.evaluate(fleet, split);
+  EXPECT_GT(r.n_good, 0u);
+  EXPECT_GT(r.n_failed, 0u);
+  EXPECT_GT(r.fdr(), 0.3);  // the literature's mid-range detection
+  EXPECT_LT(r.far(), 0.25);
+}
+
+}  // namespace
+}  // namespace hdd::baselines

@@ -1,0 +1,111 @@
+// Integration tests for the hddpredict CLI: each subcommand is spawned as a
+// real process against a small generated fleet. The binary path is injected
+// by CMake (HDDPREDICT_BINARY).
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdio>
+#include <string>
+
+namespace {
+
+struct CommandResult {
+  int exit_code = -1;
+  std::string output;
+};
+
+CommandResult run_cli(const std::string& args) {
+  const std::string cmd = std::string(HDDPREDICT_BINARY) + " " + args +
+                          " 2>&1";
+  std::array<char, 4096> buffer{};
+  CommandResult result;
+  FILE* pipe = popen(cmd.c_str(), "r");
+  if (pipe == nullptr) return result;
+  while (fgets(buffer.data(), buffer.size(), pipe) != nullptr) {
+    result.output += buffer.data();
+  }
+  const int status = pclose(pipe);
+  result.exit_code = WEXITSTATUS(status);
+  return result;
+}
+
+const char* kCsv = "/tmp/hddpred_cli_fleet.csv";
+const char* kModel = "/tmp/hddpred_cli_model.tree";
+
+// One test for the whole generate->train->evaluate->predict->features flow:
+// ctest runs each TEST in its own process, so steps that share files on
+// disk must live in one test body.
+TEST(CliFlow, EndToEnd) {
+  std::remove(kCsv);
+  std::remove(kModel);
+
+  // generate
+  auto r = run_cli(std::string("generate --out ") + kCsv +
+                   " --scale 0.02 --family W --seed 11");
+  ASSERT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("good"), std::string::npos);
+
+  // train
+  r = run_cli(std::string("train --data ") + kCsv + " --model " + kModel);
+  ASSERT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("FDR"), std::string::npos);
+
+  // evaluate
+  r = run_cli(std::string("evaluate --data ") + kCsv + " --model " +
+              kModel + " --voters 5");
+  ASSERT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("FAR (%)"), std::string::npos);
+  EXPECT_NE(r.output.find("mean TIA"), std::string::npos);
+
+  // predict
+  r = run_cli(std::string("predict --data ") + kCsv + " --model " + kModel +
+              " --top 3");
+  ASSERT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("most at risk"), std::string::npos);
+
+  // tune (loose budget so the tiny fleet can satisfy it)
+  r = run_cli(std::string("tune --data ") + kCsv + " --model " + kModel +
+              " --budget 0.05");
+  ASSERT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("chosen voters"), std::string::npos);
+
+  // features
+  r = run_cli(std::string("features --data ") + kCsv +
+              " --levels 6 --rates 2");
+  ASSERT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("selected 8 features"), std::string::npos);
+
+  std::remove(kCsv);
+  std::remove(kModel);
+}
+
+TEST(Cli, ReliabilityNeedsNoData) {
+  const auto r = run_cli("reliability --drives 100 --fdr 0.95 --tia 300");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("improvement"), std::string::npos);
+}
+
+TEST(Cli, UnknownCommandFails) {
+  const auto r = run_cli("frobnicate");
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.output.find("usage"), std::string::npos);
+}
+
+TEST(Cli, MissingRequiredFlagFails) {
+  const auto r = run_cli("train --data /nonexistent.csv");
+  EXPECT_NE(r.exit_code, 0);
+}
+
+TEST(Cli, MissingFileReportsCleanError) {
+  const auto r = run_cli("evaluate --data /nonexistent.csv --model /none");
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.output.find("error:"), std::string::npos);
+}
+
+TEST(Cli, NoArgumentsPrintsUsage) {
+  const auto r = run_cli("");
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.output.find("usage"), std::string::npos);
+}
+
+}  // namespace

@@ -1,0 +1,283 @@
+// Tests for src/core: the FailurePredictor facade (all model types), paper
+// preset configurations, the health-degree model (Eq. 5/6), the warning
+// queue, and tree persistence.
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+#include <sstream>
+
+#include "core/health.h"
+#include "core/model_io.h"
+#include "core/predictor.h"
+#include "data/split.h"
+#include "sim/generator.h"
+
+namespace hdd::core {
+namespace {
+
+// A tiny family-W fleet shared by the suite (kept small for speed).
+class CoreFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    auto config = sim::paper_fleet_config(0.05, 12);
+    config.families.resize(1);
+    fleet_ = new data::DriveDataset(sim::generate_fleet_window(config, 0, 1));
+    split_ = new data::DatasetSplit(data::split_dataset(*fleet_, {}));
+  }
+  static void TearDownTestSuite() {
+    delete fleet_;
+    delete split_;
+    fleet_ = nullptr;
+    split_ = nullptr;
+  }
+  static data::DriveDataset* fleet_;
+  static data::DatasetSplit* split_;
+};
+
+data::DriveDataset* CoreFixture::fleet_ = nullptr;
+data::DatasetSplit* CoreFixture::split_ = nullptr;
+
+TEST(PaperConfigs, MatchPublishedSettings) {
+  const auto ct = paper_ct_config();
+  EXPECT_EQ(ct.model, ModelType::kClassificationTree);
+  EXPECT_EQ(ct.training.features.name, "stat13");
+  EXPECT_EQ(ct.training.failed_window_hours, 168);
+  EXPECT_DOUBLE_EQ(ct.training.failed_prior, 0.20);
+  EXPECT_DOUBLE_EQ(ct.training.loss_false_alarm, 10.0);
+  EXPECT_EQ(ct.tree_params.min_split, 20);
+  EXPECT_EQ(ct.tree_params.min_bucket, 7);
+  EXPECT_DOUBLE_EQ(ct.tree_params.cp, 0.001);
+  EXPECT_EQ(ct.vote.voters, 11);
+
+  const auto ann = paper_ann_config();
+  EXPECT_EQ(ann.model, ModelType::kBpAnn);
+  EXPECT_EQ(ann.training.failed_window_hours, 12);
+  EXPECT_EQ(ann.ann.hidden, 13);  // 13-13-1 topology
+  EXPECT_DOUBLE_EQ(ann.ann.learning_rate, 0.1);
+  EXPECT_EQ(ann.ann.epochs, 400);
+
+  const auto rt = paper_rt_classifier_config();
+  EXPECT_EQ(rt.model, ModelType::kRegressionTree);
+  EXPECT_TRUE(rt.vote.average_mode);
+}
+
+TEST(PredictorCtor, RejectsEmptyFeatures) {
+  PredictorConfig cfg;
+  cfg.training.features.specs.clear();
+  EXPECT_THROW(FailurePredictor{cfg}, ConfigError);
+}
+
+TEST(ModelTypeNames, AllDistinct) {
+  EXPECT_STREQ(model_type_name(ModelType::kClassificationTree), "CT");
+  EXPECT_STREQ(model_type_name(ModelType::kRegressionTree), "RT");
+  EXPECT_STREQ(model_type_name(ModelType::kBpAnn), "BP ANN");
+  EXPECT_STREQ(model_type_name(ModelType::kRandomForest), "RandomForest");
+  EXPECT_STREQ(model_type_name(ModelType::kAdaBoost), "AdaBoost");
+}
+
+TEST_F(CoreFixture, CtModelTrainsAndDetects) {
+  FailurePredictor p(paper_ct_config());
+  EXPECT_FALSE(p.trained());
+  p.fit(*fleet_, *split_);
+  EXPECT_TRUE(p.trained());
+  ASSERT_NE(p.tree(), nullptr);
+  EXPECT_GT(p.tree()->node_count(), 1u);
+
+  const auto r = p.evaluate(*fleet_, *split_);
+  EXPECT_GT(r.fdr(), 0.7);
+  EXPECT_LT(r.far(), 0.05);
+  EXPECT_GT(r.mean_tia(), 100.0);
+}
+
+TEST_F(CoreFixture, EveryModelTypeTrainsThroughTheFacade) {
+  for (const auto type :
+       {ModelType::kClassificationTree, ModelType::kRegressionTree,
+        ModelType::kBpAnn, ModelType::kRandomForest, ModelType::kAdaBoost}) {
+    auto cfg = paper_ct_config();
+    cfg.model = type;
+    cfg.ann.epochs = 30;        // keep the suite fast
+    cfg.forest.n_trees = 8;
+    cfg.adaboost.n_rounds = 5;
+    FailurePredictor p(cfg);
+    p.fit(*fleet_, *split_);
+    EXPECT_TRUE(p.trained()) << model_type_name(type);
+    const auto r = p.evaluate(*fleet_, *split_);
+    EXPECT_GT(r.fdr(), 0.5) << model_type_name(type);
+    // The facade exposes the tree only for tree-based models.
+    if (type == ModelType::kClassificationTree ||
+        type == ModelType::kRegressionTree) {
+      EXPECT_NE(p.tree(), nullptr);
+    } else {
+      EXPECT_EQ(p.tree(), nullptr);
+    }
+    EXPECT_FALSE(p.describe().empty());
+  }
+}
+
+TEST_F(CoreFixture, ScoreSampleAndDetectAgree) {
+  FailurePredictor p(paper_ct_config());
+  p.fit(*fleet_, *split_);
+  // Find a failed test drive that the model alarms on.
+  for (std::size_t di : split_->test_failed) {
+    const auto& d = fleet_->drives[di];
+    if (d.empty()) continue;
+    const auto outcome = p.detect(d);
+    if (!outcome.alarmed) continue;
+    // At the alarm hour, a majority of the last N sample scores are bad.
+    const auto idx = d.last_sample_at_or_before(outcome.alarm_hour);
+    ASSERT_GE(idx, 0);
+    int bad = 0, total = 0;
+    for (std::int64_t i = idx;
+         i >= 0 && total < p.config().vote.voters; --i, ++total) {
+      bad += p.score_sample(d, static_cast<std::size_t>(i)) < 0.0;
+    }
+    EXPECT_GT(2 * bad, total);
+    return;
+  }
+  GTEST_SKIP() << "no alarmed failed drive in this tiny fixture";
+}
+
+TEST_F(CoreFixture, UntrainedPredictorRefusesToPredict) {
+  FailurePredictor p(paper_ct_config());
+  EXPECT_THROW(p.sample_model(), ConfigError);
+  EXPECT_THROW(p.detect(fleet_->drives[0]), ConfigError);
+}
+
+// --- Health-degree model ----------------------------------------------------
+
+TEST_F(CoreFixture, HealthModelPersonalizedWindows) {
+  HealthModelConfig cfg;
+  cfg.personalized = true;
+  HealthDegreeModel model(cfg);
+  model.fit(*fleet_, *split_);
+  EXPECT_TRUE(model.trained());
+  // One window per failed training drive, each positive and <= record span.
+  EXPECT_EQ(model.windows().size(), split_->train_failed.size());
+  for (const auto& [serial, w] : model.windows()) {
+    EXPECT_GT(w, 0);
+    EXPECT_LE(w, 20 * 24 + 1);
+  }
+}
+
+TEST_F(CoreFixture, HealthModelGlobalMode) {
+  HealthModelConfig cfg;
+  cfg.personalized = false;
+  cfg.global_window_hours = 96;
+  HealthDegreeModel model(cfg);
+  model.fit(*fleet_, *split_);
+  EXPECT_TRUE(model.trained());
+  EXPECT_TRUE(model.windows().empty());
+}
+
+TEST_F(CoreFixture, HealthOutputsAreBoundedAndOrdered) {
+  HealthDegreeModel model;
+  model.fit(*fleet_, *split_);
+  // Health degree lies in [-1, 1]; failed drives trend downward toward
+  // failure (on average over the population).
+  double early_sum = 0.0, late_sum = 0.0;
+  int counted = 0;
+  for (std::size_t di : split_->test_failed) {
+    const auto& d = fleet_->drives[di];
+    if (d.samples.size() < 40) continue;
+    const double early = model.health(d, 0);
+    const double late = model.health(d, d.samples.size() - 1);
+    EXPECT_GE(early, -1.0);
+    EXPECT_LE(early, 1.0);
+    early_sum += early;
+    late_sum += late;
+    ++counted;
+  }
+  ASSERT_GT(counted, 0);
+  EXPECT_LT(late_sum / counted, early_sum / counted);
+}
+
+TEST_F(CoreFixture, HealthThresholdTradesOffDetection) {
+  HealthDegreeModel model;
+  model.fit(*fleet_, *split_);
+  const auto strict = model.evaluate(*fleet_, *split_, -0.6);
+  const auto loose = model.evaluate(*fleet_, *split_, 0.0);
+  EXPECT_GE(loose.fdr(), strict.fdr());
+  EXPECT_GE(loose.far(), strict.far());
+}
+
+TEST(HealthConfig, Validation) {
+  HealthModelConfig cfg;
+  cfg.global_window_hours = 0;
+  EXPECT_THROW(HealthDegreeModel{cfg}, ConfigError);
+  cfg = HealthModelConfig{};
+  cfg.failed_samples_per_drive = 0;
+  EXPECT_THROW(HealthDegreeModel{cfg}, ConfigError);
+}
+
+TEST(WarningQueue, OrdersByHealthWorstFirst) {
+  WarningQueue q;
+  EXPECT_TRUE(q.empty());
+  q.push({"a", -0.2, 0});
+  q.push({"b", -0.9, 1});
+  q.push({"c", 0.5, 2});
+  q.push({"d", -0.5, 3});
+  EXPECT_EQ(q.size(), 4u);
+  EXPECT_EQ(q.pop().serial, "b");
+  EXPECT_EQ(q.pop().serial, "d");
+  EXPECT_EQ(q.pop().serial, "a");
+  EXPECT_EQ(q.pop().serial, "c");
+  EXPECT_TRUE(q.empty());
+  EXPECT_THROW(q.pop(), ConfigError);
+}
+
+// --- Model persistence ------------------------------------------------------
+
+TEST_F(CoreFixture, TreeSaveLoadRoundTrip) {
+  FailurePredictor p(paper_ct_config());
+  p.fit(*fleet_, *split_);
+  std::ostringstream os;
+  save_tree(*p.tree(), os);
+
+  std::istringstream is(os.str());
+  const auto loaded = load_tree(is);
+  EXPECT_EQ(loaded.task(), tree::Task::kClassification);
+  EXPECT_EQ(loaded.num_features(), p.tree()->num_features());
+  EXPECT_EQ(loaded.node_count(), p.tree()->node_count());
+
+  // Identical predictions on live telemetry.
+  const auto& d = fleet_->drives[0];
+  const auto& features = p.config().training.features;
+  for (std::size_t i = 0; i < std::min<std::size_t>(d.samples.size(), 20);
+       ++i) {
+    const auto row = smart::extract_features(d, i, features);
+    EXPECT_DOUBLE_EQ(loaded.predict(*row), p.tree()->predict(*row));
+  }
+}
+
+TEST(ModelIo, RejectsMalformedInput) {
+  {
+    std::istringstream is("not a tree file\n");
+    EXPECT_THROW(load_tree(is), DataError);
+  }
+  {
+    std::istringstream is("hddpred-tree v1\ntask banana\n");
+    EXPECT_THROW(load_tree(is), DataError);
+  }
+  {
+    std::istringstream is(
+        "hddpred-tree v1\ntask classification\nfeatures 2\nnodes 1\n");
+    EXPECT_THROW(load_tree(is), DataError);  // truncated node list
+  }
+  {
+    // Node referencing an out-of-range child.
+    std::istringstream is(
+        "hddpred-tree v1\ntask classification\nfeatures 2\nnodes 1\n"
+        "5 6 0 0.5 0 1 1 0\n");
+    EXPECT_THROW(load_tree(is), DataError);
+  }
+}
+
+TEST(ModelIo, SaveRejectsUntrainedTree) {
+  tree::DecisionTree t;
+  std::ostringstream os;
+  EXPECT_THROW(save_tree(t, os), ConfigError);
+}
+
+}  // namespace
+}  // namespace hdd::core

@@ -1,0 +1,368 @@
+// Tests for src/data: the dataset container, DataMatrix, chronological
+// splitting, training-matrix construction (sampling, windows, priors,
+// loss), drive subsampling, and CSV round trips.
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+#include <cmath>
+#include <set>
+#include <sstream>
+
+#include "data/csv_io.h"
+#include "data/dataset.h"
+#include "data/matrix.h"
+#include "data/split.h"
+#include "data/training.h"
+
+namespace hdd::data {
+namespace {
+
+using smart::Attr;
+
+smart::DriveRecord make_drive(const std::string& serial, bool failed,
+                              int n_samples, std::int64_t start_hour = 0,
+                              int family = 0) {
+  smart::DriveRecord d;
+  d.serial = serial;
+  d.failed = failed;
+  d.family = family;
+  for (int i = 0; i < n_samples; ++i) {
+    smart::Sample s;
+    s.hour = start_hour + i;
+    s.set(Attr::kPowerOnHours, static_cast<float>(90 - i));
+    s.set(Attr::kTemperatureCelsius, failed ? 40.0f : 60.0f);
+    d.samples.push_back(s);
+  }
+  if (failed) d.fail_hour = start_hour + n_samples - 1;
+  return d;
+}
+
+DriveDataset make_dataset(int n_good, int n_failed, int samples_per_drive) {
+  DriveDataset ds;
+  ds.family_names = {"W"};
+  for (int i = 0; i < n_good; ++i) {
+    ds.drives.push_back(make_drive("G" + std::to_string(i), false,
+                                   samples_per_drive));
+  }
+  for (int i = 0; i < n_failed; ++i) {
+    ds.drives.push_back(make_drive("F" + std::to_string(i), true,
+                                   samples_per_drive));
+  }
+  return ds;
+}
+
+TEST(Dataset, CountsByClassAndFamily) {
+  auto ds = make_dataset(5, 3, 10);
+  ds.family_names.push_back("Q");
+  ds.drives.push_back(make_drive("Q0", false, 4, 0, 1));
+  EXPECT_EQ(ds.count_good(), 6u);
+  EXPECT_EQ(ds.count_failed(), 3u);
+  EXPECT_EQ(ds.count_good(0), 5u);
+  EXPECT_EQ(ds.count_good(1), 1u);
+  EXPECT_EQ(ds.count_samples(false, 1), 4u);
+  EXPECT_EQ(ds.count_samples(true), 30u);
+}
+
+TEST(Dataset, FamilySubsetRemapsIndices) {
+  auto ds = make_dataset(2, 1, 5);
+  ds.family_names.push_back("Q");
+  ds.drives.push_back(make_drive("Q0", true, 5, 0, 1));
+  const auto q = ds.family_subset(1);
+  ASSERT_EQ(q.drives.size(), 1u);
+  EXPECT_EQ(q.drives[0].family, 0);
+  EXPECT_EQ(q.family_names[0], "Q");
+  EXPECT_THROW(ds.family_subset(7), ConfigError);
+}
+
+TEST(Dataset, AppendMergesFamilies) {
+  auto a = make_dataset(2, 0, 3);
+  auto b = make_dataset(1, 1, 3);
+  b.family_names = {"Q"};
+  a.append(b);
+  EXPECT_EQ(a.family_names.size(), 2u);
+  EXPECT_EQ(a.count_good(1), 1u);
+  EXPECT_EQ(a.count_failed(1), 1u);
+}
+
+TEST(Matrix, AddRowAndAccessors) {
+  DataMatrix m(2);
+  m.add_row(std::vector<float>{1, 2}, -1.0f, 2.0f);
+  m.add_row(std::vector<float>{3, 4}, 1.0f);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 2);
+  EXPECT_FLOAT_EQ(m.row(1)[0], 3.0f);
+  EXPECT_FLOAT_EQ(m.target(0), -1.0f);
+  EXPECT_FLOAT_EQ(m.weight(0), 2.0f);
+  EXPECT_FLOAT_EQ(m.weight(1), 1.0f);
+}
+
+TEST(Matrix, ClassWeightHelpers) {
+  DataMatrix m(1);
+  m.add_row(std::vector<float>{0}, -1.0f, 2.0f);
+  m.add_row(std::vector<float>{0}, 1.0f, 3.0f);
+  m.add_row(std::vector<float>{0}, 1.0f, 1.0f);
+  EXPECT_DOUBLE_EQ(m.weight_of_class(true), 2.0);
+  EXPECT_DOUBLE_EQ(m.weight_of_class(false), 4.0);
+  m.scale_class_weight(false, 10.0);
+  EXPECT_DOUBLE_EQ(m.weight_of_class(false), 40.0);
+  EXPECT_DOUBLE_EQ(m.weight_of_class(true), 2.0);
+}
+
+TEST(Split, GoodDrivesSplitChronologically) {
+  const auto ds = make_dataset(4, 2, 10);
+  const auto split = split_dataset(ds, {});
+  ASSERT_EQ(split.good_drives.size(), 4u);
+  for (std::size_t k = 0; k < split.good_drives.size(); ++k) {
+    EXPECT_EQ(split.good_test_begin[k], 7u);  // floor(10 * 0.7)
+  }
+}
+
+TEST(Split, FailedDrivesPartitionedDisjointly) {
+  const auto ds = make_dataset(2, 10, 5);
+  const auto split = split_dataset(ds, {});
+  EXPECT_EQ(split.train_failed.size(), 7u);
+  EXPECT_EQ(split.test_failed.size(), 3u);
+  std::set<std::size_t> all(split.train_failed.begin(),
+                            split.train_failed.end());
+  all.insert(split.test_failed.begin(), split.test_failed.end());
+  EXPECT_EQ(all.size(), 10u);
+  for (std::size_t i : all) EXPECT_TRUE(ds.drives[i].failed);
+}
+
+TEST(Split, SeedControlsFailedAssignment) {
+  const auto ds = make_dataset(0, 20, 5);
+  SplitConfig a{0.7, 1}, b{0.7, 2};
+  const auto sa = split_dataset(ds, a);
+  const auto sb = split_dataset(ds, b);
+  EXPECT_EQ(split_dataset(ds, a).train_failed, sa.train_failed);
+  EXPECT_NE(sa.train_failed, sb.train_failed);
+}
+
+TEST(Split, RejectsBadFraction) {
+  const auto ds = make_dataset(1, 1, 5);
+  EXPECT_THROW(split_dataset(ds, {0.0, 1}), ConfigError);
+  EXPECT_THROW(split_dataset(ds, {1.0, 1}), ConfigError);
+}
+
+TEST(Subsample, KeepsRequestedFractionPerClass) {
+  const auto ds = make_dataset(100, 40, 3);
+  const auto sub = subsample_drives(ds, 0.25, 9);
+  EXPECT_EQ(sub.count_good(), 25u);
+  EXPECT_EQ(sub.count_failed(), 10u);
+  EXPECT_THROW(subsample_drives(ds, 0.0, 9), ConfigError);
+  EXPECT_THROW(subsample_drives(ds, 1.5, 9), ConfigError);
+}
+
+TEST(Subsample, FullFractionKeepsEverything) {
+  const auto ds = make_dataset(10, 5, 3);
+  const auto sub = subsample_drives(ds, 1.0, 9);
+  EXPECT_EQ(sub.size(), ds.size());
+}
+
+smart::FeatureSet tiny_features() {
+  return {"tiny",
+          {{Attr::kPowerOnHours, 0}, {Attr::kTemperatureCelsius, 0}}};
+}
+
+TrainingConfig tiny_config() {
+  TrainingConfig cfg;
+  cfg.features = tiny_features();
+  cfg.good_samples_per_drive = 2;
+  cfg.failed_window_hours = 5;
+  cfg.failed_prior = 0.0;
+  cfg.loss_false_alarm = 1.0;
+  return cfg;
+}
+
+TEST(TrainingMatrix, RowCountsMatchConfig) {
+  const auto ds = make_dataset(10, 4, 20);
+  const auto split = split_dataset(ds, {});
+  const auto m = build_training_matrix(ds, split, tiny_config());
+  // 10 good drives x 2 samples + ~3 train failed drives x 6 samples
+  // (hours fail-5..fail inclusive).
+  const std::size_t failed_rows = split.train_failed.size() * 6;
+  EXPECT_EQ(m.rows(), 20u + failed_rows);
+}
+
+TEST(TrainingMatrix, GoodSamplesComeFromTrainPeriodOnly) {
+  // Good POH decreases with sample index; train period = first 14 of 20
+  // samples, so all good rows must have POH >= 90 - 13 = 77.
+  const auto ds = make_dataset(6, 2, 20);
+  const auto split = split_dataset(ds, {});
+  const auto m = build_training_matrix(ds, split, tiny_config());
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    if (m.target(r) > 0) {
+      EXPECT_GE(m.row(r)[0], 77.0f);
+    }
+  }
+}
+
+TEST(TrainingMatrix, FailedWindowFiltersSamples) {
+  const auto ds = make_dataset(2, 2, 30);
+  const auto split = split_dataset(ds, {});
+  auto cfg = tiny_config();
+  cfg.failed_window_hours = 3;
+  const auto m = build_training_matrix(ds, split, cfg);
+  // Failed samples: hours fail-3..fail => POH in [61, 64].
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    if (m.target(r) < 0) {
+      EXPECT_LE(m.row(r)[0], 64.0f);
+      EXPECT_GE(m.row(r)[0], 61.0f);
+    }
+  }
+}
+
+TEST(TrainingMatrix, EvenSubsetSelectsEndpoints) {
+  const auto ds = make_dataset(1, 2, 30);
+  const auto split = split_dataset(ds, {});
+  auto cfg = tiny_config();
+  cfg.failed_window_hours = 20;
+  cfg.failed_samples_per_drive = 3;
+  const auto m = build_training_matrix(ds, split, cfg);
+  std::vector<float> failed_poh;
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    if (m.target(r) < 0) failed_poh.push_back(m.row(r)[0]);
+  }
+  // One train failed drive, 3 samples: first and last of the window.
+  ASSERT_EQ(failed_poh.size(), 3u);
+  EXPECT_FLOAT_EQ(failed_poh.front(), 81.0f);  // fail-20
+  EXPECT_FLOAT_EQ(failed_poh.back(), 61.0f);   // fail hour
+}
+
+TEST(TrainingMatrix, PriorAdjustmentHitsTargetFraction) {
+  const auto ds = make_dataset(50, 4, 20);
+  const auto split = split_dataset(ds, {});
+  auto cfg = tiny_config();
+  cfg.failed_prior = 0.20;
+  const auto m = build_training_matrix(ds, split, cfg);
+  const double wf = m.weight_of_class(true);
+  const double wg = m.weight_of_class(false);
+  EXPECT_NEAR(wf / (wf + wg), 0.20, 1e-6);
+}
+
+TEST(TrainingMatrix, LossWeightScalesGoodClass) {
+  const auto ds = make_dataset(10, 4, 20);
+  const auto split = split_dataset(ds, {});
+  auto cfg = tiny_config();
+  cfg.loss_false_alarm = 10.0;
+  const auto base = build_training_matrix(ds, split, tiny_config());
+  const auto weighted = build_training_matrix(ds, split, cfg);
+  EXPECT_NEAR(weighted.weight_of_class(false),
+              10.0 * base.weight_of_class(false), 1e-3);
+  EXPECT_NEAR(weighted.weight_of_class(true), base.weight_of_class(true),
+              1e-6);
+}
+
+TEST(TrainingMatrix, TargetFnOverridesFailedTargets) {
+  const auto ds = make_dataset(2, 2, 30);
+  const auto split = split_dataset(ds, {});
+  auto cfg = tiny_config();
+  cfg.failed_window_hours = 10;
+  const auto m = build_training_matrix(
+      ds, split, cfg,
+      [](const smart::DriveRecord&, std::int64_t hours_before) {
+        return static_cast<float>(-1.0 + hours_before / 10.0);
+      });
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    if (m.target(r) <= 0.0f) {
+      EXPECT_GE(m.target(r), -1.0f);
+      EXPECT_LE(m.target(r), 0.0f);
+    }
+  }
+}
+
+TEST(TrainingMatrix, WindowFnOverridesPerDrive) {
+  const auto ds = make_dataset(1, 2, 30);
+  const auto split = split_dataset(ds, {});
+  auto cfg = tiny_config();
+  cfg.failed_window_hours = 25;
+  std::size_t calls = 0;
+  const auto m = build_training_matrix(
+      ds, split, cfg, {},
+      [&calls](const smart::DriveRecord&) {
+        ++calls;
+        return 2;  // only 3 samples per failed drive
+      });
+  EXPECT_EQ(calls, split.train_failed.size());
+  std::size_t failed_rows = 0;
+  for (std::size_t r = 0; r < m.rows(); ++r) failed_rows += m.target(r) < 0;
+  EXPECT_EQ(failed_rows, split.train_failed.size() * 3);
+}
+
+TEST(TrainingMatrix, ValidatesConfig) {
+  const auto ds = make_dataset(2, 2, 10);
+  const auto split = split_dataset(ds, {});
+  auto cfg = tiny_config();
+  cfg.features.specs.clear();
+  EXPECT_THROW(build_training_matrix(ds, split, cfg), ConfigError);
+  cfg = tiny_config();
+  cfg.good_samples_per_drive = 0;
+  EXPECT_THROW(build_training_matrix(ds, split, cfg), ConfigError);
+  cfg = tiny_config();
+  cfg.failed_window_hours = 0;
+  EXPECT_THROW(build_training_matrix(ds, split, cfg), ConfigError);
+}
+
+TEST(CsvIo, RoundTripsADataset) {
+  auto ds = make_dataset(2, 1, 4);
+  ds.family_names = {"W"};
+  std::ostringstream os;
+  save_csv(ds, os);
+  std::istringstream is(os.str());
+  const auto back = load_csv(is);
+  ASSERT_EQ(back.drives.size(), ds.drives.size());
+  for (std::size_t i = 0; i < ds.drives.size(); ++i) {
+    EXPECT_EQ(back.drives[i].serial, ds.drives[i].serial);
+    EXPECT_EQ(back.drives[i].failed, ds.drives[i].failed);
+    EXPECT_EQ(back.drives[i].fail_hour, ds.drives[i].fail_hour);
+    ASSERT_EQ(back.drives[i].samples.size(), ds.drives[i].samples.size());
+    for (std::size_t s = 0; s < ds.drives[i].samples.size(); ++s) {
+      EXPECT_EQ(back.drives[i].samples[s].hour, ds.drives[i].samples[s].hour);
+      EXPECT_EQ(back.drives[i].samples[s].attrs,
+                ds.drives[i].samples[s].attrs);
+    }
+  }
+}
+
+TEST(CsvIo, RejectsWrongHeader) {
+  std::istringstream is("a,b,c\n1,2,3\n");
+  EXPECT_THROW(load_csv(is), DataError);
+}
+
+TEST(CsvIo, RejectsOutOfOrderSamples) {
+  auto ds = make_dataset(1, 0, 2);
+  std::ostringstream os;
+  save_csv(ds, os);
+  std::string text = os.str();
+  // Duplicate the last sample row to break chronology.
+  const auto last_line_start = text.rfind('\n', text.size() - 2);
+  text += text.substr(last_line_start + 1);
+  std::istringstream is(text);
+  EXPECT_THROW(load_csv(is), DataError);
+}
+
+TEST(CsvIo, RejectsMalformedNumbers) {
+  auto ds = make_dataset(1, 0, 1);
+  std::ostringstream os;
+  save_csv(ds, os);
+  std::string text = os.str();
+  text.replace(text.rfind("90"), 2, "xx");
+  std::istringstream is(text);
+  EXPECT_THROW(load_csv(is), DataError);
+}
+
+TEST(CsvIo, MultipleFamiliesResolved) {
+  auto ds = make_dataset(1, 0, 2);
+  ds.family_names.push_back("Q");
+  ds.drives.push_back(make_drive("Q0", false, 2, 0, 1));
+  std::ostringstream os;
+  save_csv(ds, os);
+  std::istringstream is(os.str());
+  const auto back = load_csv(is);
+  ASSERT_EQ(back.family_names.size(), 2u);
+  EXPECT_EQ(back.drives[1].family, 1);
+}
+
+}  // namespace
+}  // namespace hdd::data

@@ -1,0 +1,234 @@
+// Tests for src/forest: random forest (bagging + subspaces) and AdaBoost —
+// the paper's future-work / prior-work ensemble extensions.
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/rng.h"
+
+#include "forest/adaboost.h"
+#include "forest/random_forest.h"
+
+namespace hdd::forest {
+namespace {
+
+data::DataMatrix make_matrix(const std::vector<std::vector<float>>& xs,
+                             const std::vector<float>& ys) {
+  data::DataMatrix m(static_cast<int>(xs[0].size()));
+  for (std::size_t i = 0; i < xs.size(); ++i) m.add_row(xs[i], ys[i], 1.0f);
+  return m;
+}
+
+// Noisy two-feature task: informative feature 0, pure-noise feature 1.
+void make_noisy_task(std::uint64_t seed, int n,
+                     std::vector<std::vector<float>>& xs,
+                     std::vector<float>& ys, double flip = 0.15) {
+  Rng rng(seed);
+  for (int i = 0; i < n; ++i) {
+    const float a = static_cast<float>(rng.uniform());
+    const float b = static_cast<float>(rng.uniform());
+    bool failed = a > 0.6f;
+    if (rng.chance(flip)) failed = !failed;
+    xs.push_back({a, b});
+    ys.push_back(failed ? -1.0f : 1.0f);
+  }
+}
+
+double accuracy(const std::function<int(std::span<const float>)>& predict,
+                const std::vector<std::vector<float>>& xs,
+                const std::vector<float>& ys) {
+  int correct = 0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    correct += predict(xs[i]) == (ys[i] > 0 ? 1 : -1);
+  }
+  return static_cast<double>(correct) / static_cast<double>(xs.size());
+}
+
+TEST(ForestConfig, Validation) {
+  ForestConfig c;
+  c.n_trees = 0;
+  EXPECT_THROW(c.validate(), ConfigError);
+  c = ForestConfig{};
+  c.feature_fraction = 0.0;
+  EXPECT_THROW(c.validate(), ConfigError);
+  c = ForestConfig{};
+  c.sample_fraction = 1.5;
+  EXPECT_THROW(c.validate(), ConfigError);
+  EXPECT_NO_THROW(ForestConfig{}.validate());
+}
+
+TEST(RandomForest, RejectsEmptyMatrix) {
+  data::DataMatrix m(2);
+  RandomForest f;
+  EXPECT_THROW(f.fit(m, tree::Task::kClassification, ForestConfig{}),
+               ConfigError);
+}
+
+TEST(RandomForest, TrainsRequestedNumberOfTrees) {
+  std::vector<std::vector<float>> xs;
+  std::vector<float> ys;
+  make_noisy_task(1, 300, xs, ys);
+  ForestConfig cfg;
+  cfg.n_trees = 7;
+  RandomForest f;
+  f.fit(make_matrix(xs, ys), tree::Task::kClassification, cfg);
+  EXPECT_EQ(f.tree_count(), 7u);
+  EXPECT_TRUE(f.trained());
+}
+
+TEST(RandomForest, GoodAccuracyOnNoisyTask) {
+  std::vector<std::vector<float>> xs, test_xs;
+  std::vector<float> ys, test_ys;
+  make_noisy_task(2, 800, xs, ys);
+  make_noisy_task(3, 400, test_xs, test_ys, 0.0);  // clean test labels
+  ForestConfig cfg;
+  cfg.n_trees = 30;
+  RandomForest f;
+  f.fit(make_matrix(xs, ys), tree::Task::kClassification, cfg);
+  EXPECT_GE(accuracy([&](std::span<const float> x) {
+              return f.predict_label(x);
+            }, test_xs, test_ys),
+            0.9);
+}
+
+TEST(RandomForest, OutputIsMeanOfTreeMargins) {
+  std::vector<std::vector<float>> xs;
+  std::vector<float> ys;
+  make_noisy_task(4, 300, xs, ys);
+  ForestConfig cfg;
+  cfg.n_trees = 15;
+  RandomForest f;
+  f.fit(make_matrix(xs, ys), tree::Task::kClassification, cfg);
+  for (const auto& x : xs) {
+    const double out = f.predict(x);
+    EXPECT_GE(out, -1.0);
+    EXPECT_LE(out, 1.0);
+  }
+}
+
+TEST(RandomForest, DeterministicGivenSeed) {
+  std::vector<std::vector<float>> xs;
+  std::vector<float> ys;
+  make_noisy_task(5, 200, xs, ys);
+  ForestConfig cfg;
+  cfg.n_trees = 5;
+  RandomForest a, b;
+  a.fit(make_matrix(xs, ys), tree::Task::kClassification, cfg);
+  b.fit(make_matrix(xs, ys), tree::Task::kClassification, cfg);
+  for (const auto& x : xs) EXPECT_DOUBLE_EQ(a.predict(x), b.predict(x));
+}
+
+TEST(RandomForest, ImportanceMapsBackToFullSpace) {
+  std::vector<std::vector<float>> xs;
+  std::vector<float> ys;
+  make_noisy_task(6, 600, xs, ys, 0.05);
+  ForestConfig cfg;
+  cfg.n_trees = 20;
+  cfg.feature_fraction = 0.5;  // each tree sees one of the two features
+  cfg.tree_params.cp = 0.02;   // suppress noise splits
+  RandomForest f;
+  f.fit(make_matrix(xs, ys), tree::Task::kClassification, cfg);
+  const auto imp = f.feature_importance();
+  ASSERT_EQ(imp.size(), 2u);
+  EXPECT_GT(imp[0], imp[1]);  // informative feature dominates
+  EXPECT_NEAR(imp[0] + imp[1], 1.0, 1e-9);
+}
+
+TEST(RandomForest, RegressionModeAveragesValues) {
+  std::vector<std::vector<float>> xs;
+  std::vector<float> ys;
+  Rng rng(7);
+  for (int i = 0; i < 400; ++i) {
+    const float x = static_cast<float>(rng.uniform());
+    xs.push_back({x});
+    ys.push_back(x > 0.5f ? 2.0f : 1.0f);
+  }
+  ForestConfig cfg;
+  cfg.n_trees = 10;
+  cfg.feature_fraction = 1.0;
+  RandomForest f;
+  f.fit(make_matrix(xs, ys), tree::Task::kRegression, cfg);
+  EXPECT_NEAR(f.predict(std::vector<float>{0.1f}), 1.0, 0.15);
+  EXPECT_NEAR(f.predict(std::vector<float>{0.9f}), 2.0, 0.15);
+}
+
+TEST(AdaBoostConfig, Validation) {
+  AdaBoostConfig c;
+  c.n_rounds = 0;
+  EXPECT_THROW(c.validate(), ConfigError);
+  EXPECT_NO_THROW(AdaBoostConfig{}.validate());
+  EXPECT_EQ(AdaBoostConfig{}.weak_params.max_depth, 3);
+}
+
+TEST(AdaBoost, LearnsSeparableData) {
+  std::vector<std::vector<float>> xs;
+  std::vector<float> ys;
+  make_noisy_task(8, 500, xs, ys, 0.0);
+  AdaBoost boost;
+  boost.fit(make_matrix(xs, ys), AdaBoostConfig{});
+  EXPECT_TRUE(boost.trained());
+  EXPECT_GE(accuracy([&](std::span<const float> x) {
+              return boost.predict_label(x);
+            }, xs, ys),
+            0.98);
+}
+
+TEST(AdaBoost, BoostingImprovesOverSingleStump) {
+  // Diagonal boundary: one depth-2 stump underfits, boosting gets closer.
+  Rng rng(9);
+  std::vector<std::vector<float>> xs;
+  std::vector<float> ys;
+  for (int i = 0; i < 800; ++i) {
+    const float a = static_cast<float>(rng.uniform());
+    const float b = static_cast<float>(rng.uniform());
+    xs.push_back({a, b});
+    ys.push_back(a + b > 1.0f ? 1.0f : -1.0f);
+  }
+  const auto m = make_matrix(xs, ys);
+
+  AdaBoostConfig weak_cfg;
+  weak_cfg.n_rounds = 1;
+  weak_cfg.weak_params.max_depth = 2;
+  AdaBoost stump;
+  stump.fit(m, weak_cfg);
+
+  AdaBoostConfig strong_cfg;
+  strong_cfg.n_rounds = 40;
+  strong_cfg.weak_params.max_depth = 2;
+  AdaBoost boosted;
+  boosted.fit(m, strong_cfg);
+
+  const double acc_stump = accuracy(
+      [&](std::span<const float> x) { return stump.predict_label(x); }, xs,
+      ys);
+  const double acc_boost = accuracy(
+      [&](std::span<const float> x) { return boosted.predict_label(x); },
+      xs, ys);
+  EXPECT_GT(acc_boost, acc_stump + 0.03);
+}
+
+TEST(AdaBoost, StopsEarlyOnPerfectWeakLearner) {
+  const auto m = make_matrix({{0}, {1}, {2}, {3}}, {-1, -1, 1, 1});
+  AdaBoostConfig cfg;
+  cfg.n_rounds = 50;
+  cfg.weak_params.min_split = 2;
+  cfg.weak_params.min_bucket = 1;
+  AdaBoost boost;
+  boost.fit(m, cfg);
+  EXPECT_EQ(boost.round_count(), 1u);  // first tree is perfect
+}
+
+TEST(AdaBoost, MarginIsNormalized) {
+  std::vector<std::vector<float>> xs;
+  std::vector<float> ys;
+  make_noisy_task(10, 300, xs, ys);
+  AdaBoost boost;
+  boost.fit(make_matrix(xs, ys), AdaBoostConfig{});
+  for (const auto& x : xs) {
+    const double out = boost.predict(x);
+    EXPECT_GE(out, -1.0);
+    EXPECT_LE(out, 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace hdd::forest

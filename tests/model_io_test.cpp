@@ -1,0 +1,138 @@
+// Persistence round-trip tests for every serializable model: tree (via the
+// tree module and the core delegate), random forest, and MLP.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "ann/mlp.h"
+#include "common/error.h"
+#include "common/rng.h"
+#include "forest/random_forest.h"
+#include "tree/tree.h"
+
+namespace hdd {
+namespace {
+
+data::DataMatrix random_matrix(std::uint64_t seed, int cols, int rows) {
+  Rng rng(seed);
+  data::DataMatrix m(cols);
+  std::vector<float> row(static_cast<std::size_t>(cols));
+  for (int i = 0; i < rows; ++i) {
+    for (auto& v : row) v = static_cast<float>(rng.uniform(0, 100));
+    m.add_row(row, row[0] > 50.0f ? -1.0f : 1.0f, 1.0f);
+  }
+  return m;
+}
+
+TEST(TreeIo, RoundTripsBothTasks) {
+  for (const auto task : {tree::Task::kClassification,
+                          tree::Task::kRegression}) {
+    const auto m = random_matrix(1, 4, 400);
+    tree::DecisionTree t;
+    t.fit(m, task, tree::TreeParams{});
+    std::ostringstream os;
+    t.save(os);
+    std::istringstream is(os.str());
+    const auto back = tree::DecisionTree::load(is);
+    EXPECT_EQ(back.task(), task);
+    EXPECT_EQ(back.node_count(), t.node_count());
+    Rng rng(2);
+    std::vector<float> x(4);
+    for (int i = 0; i < 100; ++i) {
+      for (auto& v : x) v = static_cast<float>(rng.uniform(0, 100));
+      EXPECT_DOUBLE_EQ(back.predict(x), t.predict(x));
+    }
+  }
+}
+
+TEST(TreeIo, SaveRequiresTraining) {
+  tree::DecisionTree t;
+  std::ostringstream os;
+  EXPECT_THROW(t.save(os), ConfigError);
+}
+
+TEST(ForestIo, RoundTripsPredictions) {
+  const auto m = random_matrix(3, 5, 600);
+  forest::ForestConfig cfg;
+  cfg.n_trees = 9;
+  cfg.feature_fraction = 0.6;
+  forest::RandomForest f;
+  f.fit(m, tree::Task::kClassification, cfg);
+
+  std::ostringstream os;
+  f.save(os);
+  std::istringstream is(os.str());
+  const auto back = forest::RandomForest::load(is);
+  EXPECT_EQ(back.tree_count(), f.tree_count());
+
+  Rng rng(4);
+  std::vector<float> x(5);
+  for (int i = 0; i < 100; ++i) {
+    for (auto& v : x) v = static_cast<float>(rng.uniform(0, 100));
+    EXPECT_DOUBLE_EQ(back.predict(x), f.predict(x));
+  }
+}
+
+TEST(ForestIo, RejectsMalformedInput) {
+  {
+    std::istringstream is("nope\n");
+    EXPECT_THROW(forest::RandomForest::load(is), DataError);
+  }
+  {
+    std::istringstream is("hddpred-forest v1\nfeatures 2\ntrees 1\n");
+    EXPECT_THROW(forest::RandomForest::load(is), DataError);  // truncated
+  }
+  {
+    // Subspace index beyond the declared feature count.
+    std::istringstream is(
+        "hddpred-forest v1\nfeatures 2\ntrees 1\nsubspace 0 7\n");
+    EXPECT_THROW(forest::RandomForest::load(is), DataError);
+  }
+}
+
+TEST(MlpIo, RoundTripsPredictions) {
+  const auto m = random_matrix(5, 3, 500);
+  ann::MlpConfig cfg;
+  cfg.hidden = 6;
+  cfg.epochs = 40;
+  ann::MlpModel model;
+  model.fit(m, cfg);
+
+  std::ostringstream os;
+  model.save(os);
+  std::istringstream is(os.str());
+  const auto back = ann::MlpModel::load(is);
+  EXPECT_EQ(back.num_features(), 3);
+  EXPECT_EQ(back.hidden_units(), 6);
+
+  Rng rng(6);
+  std::vector<float> x(3);
+  for (int i = 0; i < 100; ++i) {
+    for (auto& v : x) v = static_cast<float>(rng.uniform(0, 100));
+    EXPECT_DOUBLE_EQ(back.predict(x), model.predict(x));
+  }
+}
+
+TEST(MlpIo, RejectsMalformedInput) {
+  {
+    std::istringstream is("garbage\n");
+    EXPECT_THROW(ann::MlpModel::load(is), DataError);
+  }
+  {
+    std::istringstream is("hddpred-mlp v1\ninputs 0 hidden 3\n");
+    EXPECT_THROW(ann::MlpModel::load(is), DataError);
+  }
+  {
+    std::istringstream is("hddpred-mlp v1\ninputs 2 hidden 2\nmin 1 2\n");
+    EXPECT_THROW(ann::MlpModel::load(is), DataError);  // truncated
+  }
+}
+
+TEST(MlpIo, SaveRequiresTraining) {
+  ann::MlpModel model;
+  std::ostringstream os;
+  EXPECT_THROW(model.save(os), ConfigError);
+}
+
+}  // namespace
+}  // namespace hdd

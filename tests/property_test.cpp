@@ -1,0 +1,266 @@
+// Cross-cutting property tests: each checks an implementation against an
+// independent reference — a brute-force re-implementation, an algebraic
+// identity, or a Monte Carlo estimate.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "eval/detection.h"
+#include "reliability/markov.h"
+#include "reliability/raid.h"
+#include "stats/nonparametric.h"
+#include "tree/tree.h"
+
+namespace hdd {
+namespace {
+
+// --- Voting detector vs a brute-force reference ----------------------------
+
+// Reference implementation: for every time point, recount the window from
+// scratch (the production code maintains a sliding window incrementally).
+eval::DriveOutcome vote_reference(const eval::DriveScores& s,
+                                  const eval::VoteConfig& cfg) {
+  eval::DriveOutcome out;
+  const std::size_t n = s.outputs.size();
+  const auto want = static_cast<std::size_t>(cfg.voters);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t w = std::min(i + 1, want);
+    if (w < want && i + 1 < n) continue;
+    std::size_t bad = 0;
+    double sum = 0.0;
+    for (std::size_t j = i + 1 - w; j <= i; ++j) {
+      if (s.outputs[j] < 0.0f) ++bad;
+      sum += s.outputs[j];
+    }
+    const bool alarm = cfg.average_mode
+                           ? sum / static_cast<double>(w) < cfg.threshold
+                           : 2 * bad > w;
+    if (alarm) {
+      out.alarmed = true;
+      out.alarm_hour = s.hours[i];
+      return out;
+    }
+  }
+  return out;
+}
+
+class VotingProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(VotingProperty, MatchesBruteForceOnRandomSequences) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 200; ++trial) {
+    eval::DriveScores s;
+    const auto len = rng.uniform_int(40);
+    for (std::size_t i = 0; i < len; ++i) {
+      s.outputs.push_back(static_cast<float>(rng.uniform(-1.0, 1.0)));
+      s.hours.push_back(static_cast<std::int64_t>(i * 2));
+    }
+    eval::VoteConfig cfg;
+    cfg.voters = 1 + static_cast<int>(rng.uniform_int(15));
+    cfg.average_mode = rng.chance(0.5);
+    cfg.threshold = rng.uniform(-0.5, 0.5);
+
+    const auto fast = eval::vote_drive(s, cfg);
+    const auto slow = vote_reference(s, cfg);
+    ASSERT_EQ(fast.alarmed, slow.alarmed)
+        << "trial " << trial << " len " << len << " N " << cfg.voters;
+    if (fast.alarmed) {
+      ASSERT_EQ(fast.alarm_hour, slow.alarm_hour) << "trial " << trial;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, VotingProperty,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u));
+
+// --- Tree: integer weights == replicated rows -------------------------------
+
+TEST(TreeWeightProperty, IntegerWeightsEquivalentToReplication) {
+  Rng rng(42);
+  data::DataMatrix weighted(2), replicated(2);
+  for (int i = 0; i < 300; ++i) {
+    const std::vector<float> row{static_cast<float>(rng.uniform()),
+                                 static_cast<float>(rng.uniform())};
+    const float y = rng.chance(0.4 + 0.4 * row[0]) ? 1.0f : -1.0f;
+    const int w = 1 + static_cast<int>(rng.uniform_int(3));
+    weighted.add_row(row, y, static_cast<float>(w));
+    for (int c = 0; c < w; ++c) replicated.add_row(row, y, 1.0f);
+  }
+  // min_bucket/min_split count raw rows, which differ between the two
+  // encodings — disable them so only the weighted statistics matter.
+  tree::TreeParams p;
+  p.min_split = 2;
+  p.min_bucket = 1;
+  p.cp = 0.01;
+  tree::DecisionTree a, b;
+  a.fit(weighted, tree::Task::kClassification, p);
+  b.fit(replicated, tree::Task::kClassification, p);
+  for (int i = 0; i < 200; ++i) {
+    const std::vector<float> x{static_cast<float>(rng.uniform()),
+                               static_cast<float>(rng.uniform())};
+    EXPECT_NEAR(a.predict(x), b.predict(x), 1e-9);
+  }
+}
+
+TEST(TreeRegressionWeightProperty, IntegerWeightsEquivalentToReplication) {
+  Rng rng(43);
+  data::DataMatrix weighted(1), replicated(1);
+  for (int i = 0; i < 200; ++i) {
+    const std::vector<float> row{static_cast<float>(rng.uniform())};
+    const float y = row[0] * 3.0f + static_cast<float>(rng.normal(0, 0.1));
+    const int w = 1 + static_cast<int>(rng.uniform_int(3));
+    weighted.add_row(row, y, static_cast<float>(w));
+    for (int c = 0; c < w; ++c) replicated.add_row(row, y, 1.0f);
+  }
+  tree::TreeParams p;
+  p.min_split = 2;
+  p.min_bucket = 1;
+  p.cp = 0.01;
+  tree::DecisionTree a, b;
+  a.fit(weighted, tree::Task::kRegression, p);
+  b.fit(replicated, tree::Task::kRegression, p);
+  for (int i = 0; i < 100; ++i) {
+    const std::vector<float> x{static_cast<float>(rng.uniform())};
+    EXPECT_NEAR(a.predict(x), b.predict(x), 1e-6);
+  }
+}
+
+// --- Tree: prediction respects the stored split structure ------------------
+
+TEST(TreeTraversalProperty, PredictMatchesManualDescent) {
+  Rng rng(44);
+  data::DataMatrix m(3);
+  for (int i = 0; i < 500; ++i) {
+    std::vector<float> row{static_cast<float>(rng.uniform()),
+                           static_cast<float>(rng.uniform()),
+                           static_cast<float>(rng.uniform())};
+    m.add_row(row, rng.chance(row[1]) ? 1.0f : -1.0f, 1.0f);
+  }
+  tree::DecisionTree t;
+  tree::TreeParams p;
+  p.min_split = 10;
+  p.min_bucket = 5;
+  t.fit(m, tree::Task::kClassification, p);
+  ASSERT_GT(t.node_count(), 1u);
+
+  for (int i = 0; i < 200; ++i) {
+    const std::vector<float> x{static_cast<float>(rng.uniform()),
+                               static_cast<float>(rng.uniform()),
+                               static_cast<float>(rng.uniform())};
+    std::int32_t idx = 0;
+    while (!t.nodes()[static_cast<std::size_t>(idx)].is_leaf()) {
+      const auto& node = t.nodes()[static_cast<std::size_t>(idx)];
+      idx = x[static_cast<std::size_t>(node.feature)] < node.threshold
+                ? node.left
+                : node.right;
+    }
+    EXPECT_DOUBLE_EQ(t.predict(x),
+                     t.nodes()[static_cast<std::size_t>(idx)].value);
+  }
+}
+
+// --- Rank-sum test vs brute-force U statistic --------------------------------
+
+TEST(RankSumProperty, MatchesBruteForceUStatistic) {
+  Rng rng(45);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<double> xs, ys;
+    const auto nx = 3 + rng.uniform_int(40);
+    const auto ny = 3 + rng.uniform_int(40);
+    for (std::size_t i = 0; i < nx; ++i) {
+      xs.push_back(std::round(rng.uniform(0, 20)));  // force ties
+    }
+    for (std::size_t i = 0; i < ny; ++i) {
+      ys.push_back(std::round(rng.uniform(0, 20)));
+    }
+    // Brute force: U = #pairs (x > y) + 0.5 #ties; W = U + nx(nx+1)/2.
+    double u = 0.0;
+    for (double x : xs) {
+      for (double y : ys) {
+        if (x > y) u += 1.0;
+        else if (x == y) u += 0.5;
+      }
+    }
+    const double w = u + static_cast<double>(nx * (nx + 1)) / 2.0;
+    const double mean_w =
+        static_cast<double>(nx) * static_cast<double>(nx + ny + 1) / 2.0;
+    const auto result = stats::rank_sum_test(xs, ys);
+    // The production z must have the same sign and reproduce W - E[W]
+    // (variance handled by the tie-corrected formula).
+    if (std::fabs(w - mean_w) > 1e-9) {
+      EXPECT_GT(result.z * (w - mean_w), 0.0) << "trial " << trial;
+    } else {
+      EXPECT_NEAR(result.z, 0.0, 1e-9);
+    }
+  }
+}
+
+// --- CTMC solver vs Monte Carlo ---------------------------------------------
+
+TEST(MarkovProperty, MeanAbsorptionMatchesMonteCarlo) {
+  // A small 3-transient-state chain with competing rates.
+  reliability::MarkovChain chain;
+  const int a = chain.add_state();
+  const int b = chain.add_state();
+  const int c = chain.add_state();
+  const int f = chain.add_state();
+  chain.set_absorbing(f);
+  chain.add_transition(a, b, 1.0);
+  chain.add_transition(a, c, 0.5);
+  chain.add_transition(b, a, 2.0);
+  chain.add_transition(b, f, 0.3);
+  chain.add_transition(c, f, 0.2);
+  chain.add_transition(c, b, 1.0);
+  const double exact = chain.mean_time_to_absorption(a);
+
+  // Monte Carlo simulation of the same chain.
+  struct Exit {
+    int to;
+    double rate;
+  };
+  const std::vector<std::vector<Exit>> exits{
+      {{b, 1.0}, {c, 0.5}}, {{a, 2.0}, {f, 0.3}}, {{b, 1.0}, {f, 0.2}}};
+  Rng rng(46);
+  double total = 0.0;
+  const int runs = 20000;
+  for (int run = 0; run < runs; ++run) {
+    int state = a;
+    double t = 0.0;
+    while (state != f) {
+      double rate_sum = 0.0;
+      for (const auto& e : exits[static_cast<std::size_t>(state)]) {
+        rate_sum += e.rate;
+      }
+      t += rng.exponential(rate_sum);
+      double pick = rng.uniform(0.0, rate_sum);
+      for (const auto& e : exits[static_cast<std::size_t>(state)]) {
+        pick -= e.rate;
+        if (pick <= 0.0) {
+          state = e.to;
+          break;
+        }
+      }
+    }
+    total += t;
+  }
+  const double mc = total / runs;
+  EXPECT_NEAR(mc / exact, 1.0, 0.05);
+}
+
+TEST(RaidCtmcProperty, SingleToleratedFailureMatchesClassicFormulaScan) {
+  // k = 0 RAID-5 CTMC vs the closic closed form across a size sweep.
+  for (int n : {4, 8, 16, 64, 256}) {
+    reliability::RaidPredictionParams p;
+    p.n_drives = n;
+    p.tolerated_failures = 1;
+    p.fdr = 0.0;
+    const double ctmc = reliability::mttdl_raid_with_prediction(p);
+    const double formula = reliability::mttdl_raid5_no_prediction(
+        p.mttf_hours, p.mttr_hours, n);
+    EXPECT_NEAR(ctmc / formula, 1.0, 0.05) << "n = " << n;
+  }
+}
+
+}  // namespace
+}  // namespace hdd

@@ -1,0 +1,266 @@
+// Tests for src/reliability: the CTMC mean-absorption-time solver against
+// closed forms, the Eq. 7/8 formulas against the paper's Table VI numbers,
+// and the Figure 11 RAID model (limits, monotonicity, truncation error).
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+#include <cmath>
+
+#include "reliability/markov.h"
+#include "reliability/raid.h"
+
+namespace hdd::reliability {
+namespace {
+
+TEST(Markov, SingleExponentialStep) {
+  MarkovChain c;
+  const int a = c.add_state();
+  const int f = c.add_state();
+  c.set_absorbing(f);
+  c.add_transition(a, f, 0.5);
+  EXPECT_NEAR(c.mean_time_to_absorption(a), 2.0, 1e-12);
+}
+
+TEST(Markov, TwoSequentialSteps) {
+  MarkovChain c;
+  const int a = c.add_state();
+  const int b = c.add_state();
+  const int f = c.add_state();
+  c.set_absorbing(f);
+  c.add_transition(a, b, 1.0);
+  c.add_transition(b, f, 2.0);
+  EXPECT_NEAR(c.mean_time_to_absorption(a), 1.0 + 0.5, 1e-12);
+}
+
+TEST(Markov, BirthDeathWithRepair) {
+  // Classic RAID-1-like chain: 0 ->(2l) 1 ->(l) F, 1 ->(mu) 0.
+  // MTTDL = (3l + mu) / (2 l^2).
+  const double l = 0.01, mu = 1.0;
+  MarkovChain c;
+  const int s0 = c.add_state();
+  const int s1 = c.add_state();
+  const int f = c.add_state();
+  c.set_absorbing(f);
+  c.add_transition(s0, s1, 2 * l);
+  c.add_transition(s1, f, l);
+  c.add_transition(s1, s0, mu);
+  EXPECT_NEAR(c.mean_time_to_absorption(s0), (3 * l + mu) / (2 * l * l),
+              1e-6);
+}
+
+TEST(Markov, StartingAbsorbedIsZero) {
+  MarkovChain c;
+  const int f = c.add_state();
+  c.set_absorbing(f);
+  EXPECT_DOUBLE_EQ(c.mean_time_to_absorption(f), 0.0);
+}
+
+TEST(Markov, UnreachableAbsorptionThrows) {
+  MarkovChain c;
+  const int a = c.add_state();
+  const int b = c.add_state();
+  const int f = c.add_state();
+  c.set_absorbing(f);
+  c.add_transition(a, b, 1.0);
+  c.add_transition(b, a, 1.0);  // f unreachable
+  EXPECT_THROW(c.mean_time_to_absorption(a), ConfigError);
+}
+
+TEST(Markov, RejectsBadTransitions) {
+  MarkovChain c;
+  const int a = c.add_state();
+  const int b = c.add_state();
+  EXPECT_THROW(c.add_transition(a, a, 1.0), ConfigError);
+  EXPECT_THROW(c.add_transition(a, b, 0.0), ConfigError);
+  EXPECT_THROW(c.add_transition(a, b, -1.0), ConfigError);
+}
+
+TEST(Markov, AddStatesBulk) {
+  MarkovChain c;
+  const int first = c.add_states(5);
+  EXPECT_EQ(first, 0);
+  EXPECT_EQ(c.num_states(), 5);
+  EXPECT_THROW(c.add_states(0), ConfigError);
+}
+
+TEST(Eq7, ReproducesPaperTableVI) {
+  const double years = 24.0 * 365.0;
+  // No prediction: MTTF itself = 158.67 years.
+  EXPECT_NEAR(1.39e6 / years, 158.67, 0.05);
+  // BP ANN: k = 0.9098, TIA = 343 h -> 1430.33 years.
+  EXPECT_NEAR(
+      mttdl_single_drive_with_prediction(1.39e6, 8.0, 0.9098, 343) / years,
+      1430.33, 2.0);
+  // CT: k = 0.9549, TIA = 355 h -> 2398.92 years.
+  EXPECT_NEAR(
+      mttdl_single_drive_with_prediction(1.39e6, 8.0, 0.9549, 355) / years,
+      2398.92, 3.0);
+  // RT: k = 0.9624, TIA = 351 h -> 2687.31 years.
+  EXPECT_NEAR(
+      mttdl_single_drive_with_prediction(1.39e6, 8.0, 0.9624, 351) / years,
+      2687.31, 3.0);
+}
+
+TEST(Eq7, ZeroFdrIsNoImprovement) {
+  EXPECT_NEAR(mttdl_single_drive_with_prediction(1.39e6, 8.0, 0.0, 355),
+              1.39e6, 1e-6);
+}
+
+TEST(Eq7, ImprovementIsSuperlinearInK) {
+  const double a = mttdl_single_drive_with_prediction(1.39e6, 8.0, 0.90, 355);
+  const double b = mttdl_single_drive_with_prediction(1.39e6, 8.0, 0.95, 355);
+  const double c = mttdl_single_drive_with_prediction(1.39e6, 8.0, 0.99, 355);
+  EXPECT_GT(b - a, 0.0);
+  EXPECT_GT(c - b, b - a);  // superlinear growth (paper Section VI)
+}
+
+TEST(Eq7, RejectsBadParameters) {
+  EXPECT_THROW(mttdl_single_drive_with_prediction(-1, 8, 0.9, 355),
+               ConfigError);
+  EXPECT_THROW(mttdl_single_drive_with_prediction(1e6, 8, 1.5, 355),
+               ConfigError);
+}
+
+TEST(Eq8, MatchesHandComputation) {
+  const double mttf = 1.39e6, mttr = 8.0;
+  const int n = 100;
+  const double expected =
+      mttf * mttf * mttf / (100.0 * 99.0 * 98.0 * mttr * mttr);
+  EXPECT_NEAR(mttdl_raid6_no_prediction(mttf, mttr, n), expected, 1e-3);
+  EXPECT_THROW(mttdl_raid6_no_prediction(mttf, mttr, 2), ConfigError);
+}
+
+TEST(Raid5Formula, MatchesHandComputation) {
+  const double mttf = 1.0e6, mttr = 10.0;
+  EXPECT_NEAR(mttdl_raid5_no_prediction(mttf, mttr, 10),
+              mttf * mttf / (10.0 * 9.0 * mttr), 1e-6);
+}
+
+TEST(RaidCtmc, ZeroFdrMatchesClassicRaid6) {
+  // With k = 0 the prediction dimension vanishes and the chain reduces to
+  // the classic three-state model; Eq. 8 approximates it within ~1%.
+  RaidPredictionParams p;
+  p.n_drives = 20;
+  p.tolerated_failures = 2;
+  p.fdr = 0.0;
+  const double ctmc = mttdl_raid_with_prediction(p);
+  const double formula = mttdl_raid6_no_prediction(p.mttf_hours,
+                                                   p.mttr_hours, 20);
+  EXPECT_NEAR(ctmc / formula, 1.0, 0.02);
+}
+
+TEST(RaidCtmc, ZeroFdrMatchesClassicRaid5) {
+  RaidPredictionParams p;
+  p.n_drives = 12;
+  p.tolerated_failures = 1;
+  p.fdr = 0.0;
+  const double ctmc = mttdl_raid_with_prediction(p);
+  const double formula = mttdl_raid5_no_prediction(p.mttf_hours,
+                                                   p.mttr_hours, 12);
+  EXPECT_NEAR(ctmc / formula, 1.0, 0.02);
+}
+
+TEST(RaidCtmc, PredictionImprovesReliability) {
+  RaidPredictionParams p;
+  p.n_drives = 50;
+  p.fdr = 0.0;
+  const double without = mttdl_raid_with_prediction(p);
+  p.fdr = 0.9549;
+  const double with = mttdl_raid_with_prediction(p);
+  EXPECT_GT(with, 100.0 * without);  // orders of magnitude (Figure 12)
+}
+
+TEST(RaidCtmc, MonotoneInFdr) {
+  RaidPredictionParams p;
+  p.n_drives = 30;
+  double prev = 0.0;
+  for (double k : {0.0, 0.5, 0.9, 0.95, 0.99}) {
+    p.fdr = k;
+    const double mttdl = mttdl_raid_with_prediction(p);
+    EXPECT_GT(mttdl, prev);
+    prev = mttdl;
+  }
+}
+
+TEST(RaidCtmc, MonotoneDecreasingInFleetSize) {
+  RaidPredictionParams p;
+  p.fdr = 0.9549;
+  double prev = 1e300;
+  for (int n : {10, 50, 200, 1000}) {
+    p.n_drives = n;
+    const double mttdl = mttdl_raid_with_prediction(p);
+    EXPECT_LT(mttdl, prev);
+    prev = mttdl;
+  }
+}
+
+TEST(RaidCtmc, LongerTiaHelps) {
+  // More warning time means more predicted drives are migrated in time.
+  RaidPredictionParams p;
+  p.n_drives = 40;
+  p.tia_hours = 24.0;
+  const double short_tia = mttdl_raid_with_prediction(p);
+  p.tia_hours = 355.0;
+  const double long_tia = mttdl_raid_with_prediction(p);
+  EXPECT_GT(long_tia, short_tia);
+}
+
+TEST(RaidCtmc, TruncationErrorIsNegligible) {
+  // Small fleet solved exactly (cap = n-1) vs the default truncation.
+  RaidPredictionParams exact;
+  exact.n_drives = 12;
+  exact.fdr = 0.9549;
+  exact.max_predicted = 11;  // untruncated
+  RaidPredictionParams truncated = exact;
+  truncated.max_predicted = 3;
+  EXPECT_NEAR(mttdl_raid_with_prediction(truncated) /
+                  mttdl_raid_with_prediction(exact),
+              1.0, 1e-3);
+}
+
+TEST(RaidCtmc, ValidatesParameters) {
+  RaidPredictionParams p;
+  p.tolerated_failures = 0;
+  EXPECT_THROW(mttdl_raid_with_prediction(p), ConfigError);
+  p = RaidPredictionParams{};
+  p.n_drives = 2;  // not > tolerated
+  EXPECT_THROW(mttdl_raid_with_prediction(p), ConfigError);
+  p = RaidPredictionParams{};
+  p.fdr = 2.0;
+  EXPECT_THROW(mttdl_raid_with_prediction(p), ConfigError);
+}
+
+TEST(RaidCtmc, SataRaid6WithCtBeatsSasWithout) {
+  // The paper's headline reliability claim (Figure 12).
+  const double sas = mttdl_raid6_no_prediction(1.99e6, 8.0, 500);
+  RaidPredictionParams p;
+  p.n_drives = 500;
+  p.mttf_hours = 1.39e6;
+  p.fdr = 0.9549;
+  p.tia_hours = 355.0;
+  EXPECT_GT(mttdl_raid_with_prediction(p), sas * 100.0);
+}
+
+class FleetSizeSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(FleetSizeSweep, Raid5WithCtTracksRaid6WithoutPrediction) {
+  // Figure 12: the SATA RAID-5 + CT curve stays within two orders of
+  // magnitude of the unpredicted SATA RAID-6 curve across fleet sizes.
+  const int n = GetParam();
+  RaidPredictionParams p;
+  p.n_drives = n;
+  p.tolerated_failures = 1;
+  p.fdr = 0.9549;
+  p.tia_hours = 355.0;
+  const double r5ct = mttdl_raid_with_prediction(p);
+  const double r6 = mttdl_raid6_no_prediction(1.39e6, 8.0, n);
+  EXPECT_GT(r5ct, r6 / 100.0);
+  EXPECT_LT(r5ct, r6 * 100.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, FleetSizeSweep,
+                         ::testing::Values(100, 500, 1000, 2000, 2500));
+
+}  // namespace
+}  // namespace hdd::reliability

@@ -1,0 +1,256 @@
+// Tests for src/stats: the Wilcoxon rank-sum test, reverse arrangements
+// test, z-scores, and the statistical feature-selection pipeline of
+// Section IV-B.
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "sim/generator.h"
+#include "stats/feature_select.h"
+#include "stats/nonparametric.h"
+
+namespace hdd::stats {
+namespace {
+
+TEST(RankSum, RequiresNonEmptySamples) {
+  const std::vector<double> xs{1, 2, 3};
+  EXPECT_THROW(rank_sum_test({}, xs), ConfigError);
+  EXPECT_THROW(rank_sum_test(xs, {}), ConfigError);
+}
+
+TEST(RankSum, IdenticalDistributionsGiveSmallZ) {
+  Rng rng(5);
+  std::vector<double> xs, ys;
+  for (int i = 0; i < 500; ++i) {
+    xs.push_back(rng.normal());
+    ys.push_back(rng.normal());
+  }
+  const auto r = rank_sum_test(xs, ys);
+  EXPECT_LT(std::fabs(r.z), 3.0);
+  EXPECT_GT(r.p_value, 0.001);
+}
+
+TEST(RankSum, ShiftedDistributionDetected) {
+  Rng rng(6);
+  std::vector<double> xs, ys;
+  for (int i = 0; i < 300; ++i) {
+    xs.push_back(rng.normal(1.0, 1.0));  // shifted up
+    ys.push_back(rng.normal(0.0, 1.0));
+  }
+  const auto r = rank_sum_test(xs, ys);
+  EXPECT_GT(r.z, 5.0);  // xs ranks higher
+  EXPECT_LT(r.p_value, 1e-6);
+}
+
+TEST(RankSum, AntisymmetricInArguments) {
+  Rng rng(7);
+  std::vector<double> xs, ys;
+  for (int i = 0; i < 200; ++i) {
+    xs.push_back(rng.normal(0.5, 1.0));
+    ys.push_back(rng.normal(0.0, 1.0));
+  }
+  const auto ab = rank_sum_test(xs, ys);
+  const auto ba = rank_sum_test(ys, xs);
+  EXPECT_NEAR(ab.z, -ba.z, 1e-9);
+  EXPECT_NEAR(ab.p_value, ba.p_value, 1e-12);
+}
+
+TEST(RankSum, HandlesHeavyTies) {
+  // Quantized data (like normalized SMART values) is almost all ties.
+  std::vector<double> xs, ys;
+  for (int i = 0; i < 100; ++i) {
+    xs.push_back(i < 70 ? 100.0 : 99.0);
+    ys.push_back(i < 30 ? 100.0 : 99.0);
+  }
+  const auto r = rank_sum_test(xs, ys);
+  EXPECT_GT(r.z, 3.0);  // xs clearly higher despite ties
+}
+
+TEST(RankSum, AllValuesIdenticalIsNull) {
+  const std::vector<double> xs(50, 7.0), ys(50, 7.0);
+  const auto r = rank_sum_test(xs, ys);
+  EXPECT_DOUBLE_EQ(r.z, 0.0);
+  EXPECT_DOUBLE_EQ(r.p_value, 1.0);
+}
+
+TEST(RankSum, DetectsSmallSampleAgainstLargeReference) {
+  // The feature-selection use case: a few hundred failed samples against
+  // tens of thousands of good ones.
+  Rng rng(8);
+  std::vector<double> failed, good;
+  for (int i = 0; i < 200; ++i) failed.push_back(rng.normal(-2.0, 1.0));
+  for (int i = 0; i < 20000; ++i) good.push_back(rng.normal(0.0, 1.0));
+  const auto r = rank_sum_test(failed, good);
+  EXPECT_LT(r.z, -10.0);
+}
+
+TEST(ReverseArrangements, RequiresThreeObservations) {
+  const std::vector<double> xs{1, 2};
+  EXPECT_THROW(reverse_arrangements_test(xs), ConfigError);
+}
+
+TEST(ReverseArrangements, DecreasingSeriesHasPositiveZ) {
+  std::vector<double> xs;
+  for (int i = 0; i < 50; ++i) xs.push_back(50.0 - i);
+  const auto r = reverse_arrangements_test(xs);
+  EXPECT_GT(r.z, 5.0);  // every pair is a reversal
+  EXPECT_LT(r.p_value, 1e-6);
+}
+
+TEST(ReverseArrangements, IncreasingSeriesHasNegativeZ) {
+  std::vector<double> xs;
+  for (int i = 0; i < 50; ++i) xs.push_back(static_cast<double>(i));
+  const auto r = reverse_arrangements_test(xs);
+  EXPECT_LT(r.z, -5.0);
+}
+
+TEST(ReverseArrangements, ExchangeableSeriesNearZero) {
+  Rng rng(9);
+  std::vector<double> xs;
+  for (int i = 0; i < 200; ++i) xs.push_back(rng.uniform());
+  const auto r = reverse_arrangements_test(xs);
+  EXPECT_LT(std::fabs(r.z), 3.0);
+}
+
+TEST(ReverseArrangements, MatchesHandCount) {
+  // Series {3, 1, 2}: reversals are (3,1), (3,2) -> 2; mean = 1.5.
+  const std::vector<double> xs{3, 1, 2};
+  const auto r = reverse_arrangements_test(xs);
+  const double var = 3.0 * 11.0 * 2.0 / 72.0;
+  EXPECT_NEAR(r.z, (2.0 - 1.5) / std::sqrt(var), 1e-12);
+}
+
+TEST(ZScore, ZeroForSamplesAtTheReferenceMean) {
+  const std::vector<double> ref{0, 1, 2, 3, 4};
+  const std::vector<double> xs{2.0, 2.0};
+  EXPECT_NEAR(mean_abs_zscore(xs, ref), 0.0, 1e-12);
+}
+
+TEST(ZScore, GrowsWithDeviation) {
+  Rng rng(10);
+  std::vector<double> ref;
+  for (int i = 0; i < 1000; ++i) ref.push_back(rng.normal());
+  const std::vector<double> near{0.5};
+  const std::vector<double> far{5.0};
+  EXPECT_LT(mean_abs_zscore(near, ref), mean_abs_zscore(far, ref));
+}
+
+TEST(ZScore, DegenerateReferenceGivesZero) {
+  const std::vector<double> ref(10, 3.0);
+  const std::vector<double> xs{5.0};
+  EXPECT_DOUBLE_EQ(mean_abs_zscore(xs, ref), 0.0);
+  EXPECT_DOUBLE_EQ(mean_abs_zscore({}, ref), 0.0);
+}
+
+// --- Feature selection on a synthetic fleet --------------------------------
+
+class FeatureSelection : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    auto config = sim::paper_fleet_config(0.02, 33);
+    config.families.resize(1);  // family W
+    dataset_ = new data::DriveDataset(sim::generate_fleet_window(config, 0, 1));
+  }
+  static void TearDownTestSuite() {
+    delete dataset_;
+    dataset_ = nullptr;
+  }
+  static data::DriveDataset* dataset_;
+};
+
+data::DriveDataset* FeatureSelection::dataset_ = nullptr;
+
+TEST_F(FeatureSelection, ScoresEveryCandidate) {
+  FeatureSelectionConfig cfg;
+  cfg.change_intervals = {6};
+  const auto scores = score_candidates(*dataset_, cfg);
+  // 12 levels + 12 six-hour rates.
+  EXPECT_EQ(scores.size(), 24u);
+  // Sorted best-first.
+  for (std::size_t i = 1; i < scores.size(); ++i) {
+    EXPECT_GE(scores[i - 1].combined(), scores[i].combined());
+  }
+}
+
+TEST_F(FeatureSelection, InformativeAttributesRankAboveInertOnes) {
+  FeatureSelectionConfig cfg;
+  cfg.change_intervals = {6};
+  const auto scores = score_candidates(*dataset_, cfg);
+  auto rank_of = [&](smart::Attr a, int interval) {
+    for (std::size_t i = 0; i < scores.size(); ++i) {
+      if (scores[i].spec.attr == a &&
+          scores[i].spec.change_interval_hours == interval) {
+        return i;
+      }
+    }
+    return scores.size();
+  };
+  // Temperature and Reported Uncorrectable Errors drive family-W failures;
+  // Spin Up Time levels carry almost nothing for most drives.
+  EXPECT_LT(rank_of(smart::Attr::kTemperatureCelsius, 0),
+            rank_of(smart::Attr::kSpinUpTime, 0));
+  EXPECT_LT(rank_of(smart::Attr::kReportedUncorrectable, 0),
+            rank_of(smart::Attr::kSpinUpTime, 0));
+}
+
+TEST_F(FeatureSelection, SelectsRequestedCounts) {
+  FeatureSelectionConfig cfg;
+  cfg.n_levels = 10;
+  cfg.n_rates = 3;
+  const auto fs = select_features(*dataset_, cfg);
+  int levels = 0, rates = 0;
+  for (const auto& spec : fs.specs) {
+    (spec.is_change_rate() ? rates : levels)++;
+  }
+  EXPECT_EQ(levels, 10);
+  EXPECT_EQ(rates, 3);
+}
+
+TEST_F(FeatureSelection, RatesAreUniquePerAttribute) {
+  FeatureSelectionConfig cfg;
+  cfg.change_intervals = {3, 6, 12, 24};
+  const auto fs = select_features(*dataset_, cfg);
+  std::vector<smart::Attr> rate_attrs;
+  for (const auto& spec : fs.specs) {
+    if (!spec.is_change_rate()) continue;
+    for (auto a : rate_attrs) EXPECT_NE(a, spec.attr);
+    rate_attrs.push_back(spec.attr);
+  }
+}
+
+TEST_F(FeatureSelection, OverlapsThePaperSelection) {
+  // The pipeline should substantially agree with the paper's outcome
+  // (stat13): at least 8 of our 13 picks appear in stat13.
+  FeatureSelectionConfig cfg;
+  const auto fs = select_features(*dataset_, cfg);
+  const auto paper = smart::stat13_features();
+  int overlap = 0;
+  for (const auto& spec : fs.specs) {
+    for (const auto& p : paper.specs) {
+      if (spec.attr == p.attr &&
+          spec.is_change_rate() == p.is_change_rate()) {
+        ++overlap;
+        break;
+      }
+    }
+  }
+  EXPECT_GE(overlap, 8) << "selected: " << fs.specs.size();
+}
+
+TEST(FeatureSelectionErrors, NeedsBothClasses) {
+  data::DriveDataset ds;
+  ds.family_names = {"W"};
+  smart::DriveRecord good;
+  good.serial = "g";
+  smart::Sample s;
+  s.hour = 0;
+  good.samples.push_back(s);
+  ds.drives.push_back(good);
+  EXPECT_THROW(score_candidates(ds, {}), ConfigError);
+}
+
+}  // namespace
+}  // namespace hdd::stats

@@ -1,0 +1,182 @@
+// Tests for src/baselines/svm.{h,cpp}: the linear SVM baseline of Murray
+// et al. [6], plus a fuzz test for the CSV loader's robustness (the other
+// ingestion path an SVM deployment would use).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "baselines/svm.h"
+#include "common/error.h"
+#include "common/rng.h"
+#include "data/csv_io.h"
+#include "sim/generator.h"
+
+namespace hdd::baselines {
+namespace {
+
+data::DataMatrix make_matrix(const std::vector<std::vector<float>>& xs,
+                             const std::vector<float>& ys,
+                             const std::vector<float>& ws = {}) {
+  data::DataMatrix m(static_cast<int>(xs[0].size()));
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    m.add_row(xs[i], ys[i], ws.empty() ? 1.0f : ws[i]);
+  }
+  return m;
+}
+
+TEST(SvmConfig, Validation) {
+  SvmConfig c;
+  c.lambda = 0.0;
+  EXPECT_THROW(c.validate(), ConfigError);
+  c = SvmConfig{};
+  c.epochs = 0;
+  EXPECT_THROW(c.validate(), ConfigError);
+  EXPECT_NO_THROW(SvmConfig{}.validate());
+}
+
+TEST(LinearSvm, RejectsEmptyMatrix) {
+  data::DataMatrix m(2);
+  LinearSvm svm;
+  EXPECT_THROW(svm.fit(m), ConfigError);
+}
+
+TEST(LinearSvm, SeparatesLinearlySeparableData) {
+  Rng rng(1);
+  std::vector<std::vector<float>> xs;
+  std::vector<float> ys;
+  for (int i = 0; i < 600; ++i) {
+    const float a = static_cast<float>(rng.uniform(0, 100));
+    const float b = static_cast<float>(rng.uniform(0, 100));
+    xs.push_back({a, b});
+    ys.push_back(a + 2 * b > 150.0f ? 1.0f : -1.0f);
+  }
+  LinearSvm svm;
+  svm.fit(make_matrix(xs, ys));
+  int correct = 0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    correct += svm.predict_label(xs[i]) == (ys[i] > 0 ? 1 : -1);
+  }
+  EXPECT_GE(static_cast<double>(correct) / static_cast<double>(xs.size()),
+            0.95);
+}
+
+TEST(LinearSvm, MarginIsBoundedAndMonotoneInDecision) {
+  Rng rng(2);
+  std::vector<std::vector<float>> xs;
+  std::vector<float> ys;
+  for (int i = 0; i < 200; ++i) {
+    const float a = static_cast<float>(rng.uniform());
+    xs.push_back({a});
+    ys.push_back(a > 0.5f ? 1.0f : -1.0f);
+  }
+  LinearSvm svm;
+  svm.fit(make_matrix(xs, ys));
+  double prev_margin = -2.0;
+  for (float v = 0.0f; v <= 1.0f; v += 0.05f) {
+    const std::vector<float> x{v};
+    const double margin = svm.predict(x);
+    EXPECT_GE(margin, -1.0);
+    EXPECT_LE(margin, 1.0);
+    EXPECT_GE(margin + 1e-9, prev_margin);  // linear in v here
+    prev_margin = margin;
+  }
+}
+
+TEST(LinearSvm, WeightsShiftTheBoundary) {
+  Rng rng(3);
+  std::vector<std::vector<float>> xs;
+  std::vector<float> ys, heavy_good;
+  for (int i = 0; i < 800; ++i) {
+    const bool failed = i % 2 == 0;
+    xs.push_back({static_cast<float>(failed ? rng.normal(1.2, 1.0)
+                                            : rng.normal(0.0, 1.0))});
+    ys.push_back(failed ? -1.0f : 1.0f);
+    heavy_good.push_back(failed ? 1.0f : 12.0f);
+  }
+  LinearSvm plain, weighted;
+  plain.fit(make_matrix(xs, ys));
+  weighted.fit(make_matrix(xs, ys, heavy_good));
+  int plain_failed = 0, weighted_failed = 0;
+  for (double v = 0.0; v <= 1.2; v += 0.05) {
+    const std::vector<float> x{static_cast<float>(v)};
+    plain_failed += plain.predict_label(x) < 0;
+    weighted_failed += weighted.predict_label(x) < 0;
+  }
+  EXPECT_LT(weighted_failed, plain_failed);
+}
+
+TEST(LinearSvm, HandlesConstantFeature) {
+  Rng rng(4);
+  std::vector<std::vector<float>> xs;
+  std::vector<float> ys;
+  for (int i = 0; i < 200; ++i) {
+    const float a = static_cast<float>(rng.uniform());
+    xs.push_back({3.0f, a});
+    ys.push_back(a > 0.5f ? 1.0f : -1.0f);
+  }
+  LinearSvm svm;
+  svm.fit(make_matrix(xs, ys));
+  for (const auto& x : xs) {
+    EXPECT_FALSE(std::isnan(svm.predict(x)));
+  }
+}
+
+TEST(LinearSvm, DeterministicGivenSeed) {
+  Rng rng(5);
+  std::vector<std::vector<float>> xs;
+  std::vector<float> ys;
+  for (int i = 0; i < 300; ++i) {
+    xs.push_back({static_cast<float>(rng.uniform()),
+                  static_cast<float>(rng.uniform())});
+    ys.push_back(xs.back()[0] > 0.4f ? 1.0f : -1.0f);
+  }
+  LinearSvm a, b;
+  a.fit(make_matrix(xs, ys));
+  b.fit(make_matrix(xs, ys));
+  for (const auto& x : xs) EXPECT_DOUBLE_EQ(a.predict(x), b.predict(x));
+}
+
+// --- CSV loader fuzz: random mutations must fail cleanly, never crash ------
+
+TEST(CsvFuzz, MutatedInputFailsCleanlyOrLoads) {
+  auto config = sim::paper_fleet_config(0.002, 8);
+  config.families.resize(1);
+  const auto fleet = sim::generate_fleet_window(config, 0, 1);
+  std::ostringstream os;
+  data::save_csv(fleet, os);
+  const std::string original = os.str();
+
+  Rng rng(99);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string text = original;
+    // Apply 1-4 random byte mutations.
+    const auto n_mut = 1 + rng.uniform_int(4);
+    for (std::size_t k = 0; k < n_mut; ++k) {
+      const auto pos = rng.uniform_int(text.size());
+      switch (rng.uniform_int(3)) {
+        case 0:
+          text[pos] = static_cast<char>('!' + rng.uniform_int(90));
+          break;
+        case 1:
+          text.erase(pos, 1);
+          break;
+        default:
+          text.insert(pos, 1, static_cast<char>('!' + rng.uniform_int(90)));
+          break;
+      }
+    }
+    std::istringstream is(text);
+    // Must either load (mutation hit a value harmlessly) or throw a typed
+    // error — never crash or hang.
+    try {
+      const auto ds = data::load_csv(is);
+      (void)ds;
+    } catch (const DataError&) {
+    } catch (const ConfigError&) {
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hdd::baselines

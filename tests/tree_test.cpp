@@ -1,0 +1,511 @@
+// Tests for src/tree: CART growing, splitting criteria, weighting, loss,
+// stopping rules, CP pruning, prediction, importances, and serialization
+// round trips. Includes parameterized property sweeps on random data.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "tree/tree.h"
+
+namespace hdd::tree {
+namespace {
+
+// Builds a matrix from parallel arrays.
+data::DataMatrix make_matrix(const std::vector<std::vector<float>>& xs,
+                             const std::vector<float>& ys,
+                             const std::vector<float>& ws = {}) {
+  data::DataMatrix m(static_cast<int>(xs[0].size()));
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    m.add_row(xs[i], ys[i], ws.empty() ? 1.0f : ws[i]);
+  }
+  return m;
+}
+
+TreeParams loose_params() {
+  TreeParams p;
+  p.min_split = 2;
+  p.min_bucket = 1;
+  p.cp = 0.0;
+  return p;
+}
+
+TEST(TreeParams, ValidateRejectsBadValues) {
+  TreeParams p;
+  p.min_split = 1;
+  EXPECT_THROW(p.validate(), ConfigError);
+  p = TreeParams{};
+  p.min_bucket = 0;
+  EXPECT_THROW(p.validate(), ConfigError);
+  p = TreeParams{};
+  p.min_bucket = 50;  // > min_split
+  EXPECT_THROW(p.validate(), ConfigError);
+  p = TreeParams{};
+  p.cp = -0.1;
+  EXPECT_THROW(p.validate(), ConfigError);
+  p = TreeParams{};
+  p.max_depth = 0;
+  EXPECT_THROW(p.validate(), ConfigError);
+  EXPECT_NO_THROW(TreeParams{}.validate());
+}
+
+TEST(ClassificationTree, RejectsEmptyMatrix) {
+  data::DataMatrix m(2);
+  DecisionTree t;
+  EXPECT_THROW(t.fit(m, Task::kClassification, TreeParams{}), ConfigError);
+}
+
+TEST(ClassificationTree, PureNodeBecomesLeaf) {
+  const auto m = make_matrix({{0}, {1}, {2}, {3}}, {1, 1, 1, 1});
+  DecisionTree t;
+  t.fit(m, Task::kClassification, loose_params());
+  EXPECT_EQ(t.node_count(), 1u);
+  EXPECT_EQ(t.predict_label(std::vector<float>{5.0f}), 1);
+}
+
+TEST(ClassificationTree, LearnsSingleThreshold) {
+  // Perfectly separable at x = 2.5.
+  const auto m = make_matrix({{0}, {1}, {2}, {3}, {4}, {5}},
+                             {-1, -1, -1, 1, 1, 1});
+  DecisionTree t;
+  t.fit(m, Task::kClassification, loose_params());
+  EXPECT_EQ(t.node_count(), 3u);
+  EXPECT_EQ(t.predict_label(std::vector<float>{0.0f}), -1);
+  EXPECT_EQ(t.predict_label(std::vector<float>{2.4f}), -1);
+  EXPECT_EQ(t.predict_label(std::vector<float>{2.6f}), 1);
+  EXPECT_EQ(t.predict_label(std::vector<float>{9.0f}), 1);
+}
+
+TEST(ClassificationTree, ThresholdBetweenDistinctValues) {
+  const auto m = make_matrix({{1}, {1}, {4}, {4}}, {-1, -1, 1, 1});
+  DecisionTree t;
+  t.fit(m, Task::kClassification, loose_params());
+  ASSERT_EQ(t.node_count(), 3u);
+  const auto& root = t.nodes()[0];
+  EXPECT_GT(root.threshold, 1.0f);
+  EXPECT_LE(root.threshold, 4.0f);
+}
+
+TEST(ClassificationTree, LearnsConjunctionWithDepthTwo) {
+  // failed iff (a > 0.5 AND b > 0.5): needs two levels of splits.
+  const auto m = make_matrix(
+      {{0, 0}, {0, 1}, {1, 0}, {1, 1}, {0, 0}, {0, 1}, {1, 0}, {1, 1}},
+      {1, 1, 1, -1, 1, 1, 1, -1});
+  DecisionTree t;
+  t.fit(m, Task::kClassification, loose_params());
+  EXPECT_EQ(t.predict_label(std::vector<float>{0, 0}), 1);
+  EXPECT_EQ(t.predict_label(std::vector<float>{0, 1}), 1);
+  EXPECT_EQ(t.predict_label(std::vector<float>{1, 0}), 1);
+  EXPECT_EQ(t.predict_label(std::vector<float>{1, 1}), -1);
+  EXPECT_GE(t.depth(), 3);
+}
+
+TEST(ClassificationTree, PureXorIsUnsplittableByGreedyGain) {
+  // Documented CART limitation: every single split of a balanced XOR has
+  // zero information gain, so the greedy grower (like rpart) stays a stump.
+  const auto m = make_matrix(
+      {{0, 0}, {0, 1}, {1, 0}, {1, 1}, {0, 0}, {0, 1}, {1, 0}, {1, 1}},
+      {1, -1, -1, 1, 1, -1, -1, 1});
+  DecisionTree t;
+  t.fit(m, Task::kClassification, loose_params());
+  EXPECT_EQ(t.node_count(), 1u);
+}
+
+TEST(ClassificationTree, MarginReflectsClassProbabilities) {
+  // A node with 3 good / 1 failed has margin (3-1)/4 = 0.5.
+  const auto m = make_matrix({{0}, {0}, {0}, {0}}, {1, 1, 1, -1});
+  DecisionTree t;
+  t.fit(m, Task::kClassification, loose_params());
+  EXPECT_EQ(t.node_count(), 1u);  // constant feature: no split possible
+  EXPECT_DOUBLE_EQ(t.predict(std::vector<float>{0.0f}), 0.5);
+}
+
+TEST(ClassificationTree, WeightsFlipMajority) {
+  // One heavy failed sample outweighs three good ones.
+  const auto m = make_matrix({{0}, {0}, {0}, {0}}, {1, 1, 1, -1},
+                             {1, 1, 1, 10});
+  DecisionTree t;
+  t.fit(m, Task::kClassification, loose_params());
+  EXPECT_EQ(t.predict_label(std::vector<float>{0.0f}), -1);
+}
+
+TEST(ClassificationTree, LossWeightMakesSplitConservative) {
+  // Overlapping classes: raising good-class weight moves the decision
+  // toward predicting "good" in the ambiguous region.
+  Rng rng(3);
+  std::vector<std::vector<float>> xs;
+  std::vector<float> ys;
+  for (int i = 0; i < 500; ++i) {
+    const bool failed = i % 2 == 0;
+    const double x = failed ? rng.normal(3.0, 1.5) : rng.normal(0.0, 1.5);
+    xs.push_back({static_cast<float>(x)});
+    ys.push_back(failed ? -1.0f : 1.0f);
+  }
+  TreeParams p;
+  p.min_split = 20;
+  p.min_bucket = 7;
+  p.cp = 0.001;
+
+  auto unweighted = make_matrix(xs, ys);
+  DecisionTree plain;
+  plain.fit(unweighted, Task::kClassification, p);
+
+  auto weighted = make_matrix(xs, ys);
+  weighted.scale_class_weight(false, 10.0);
+  DecisionTree conservative;
+  conservative.fit(weighted, Task::kClassification, p);
+
+  // Count ambiguous points labeled failed by each model.
+  int plain_failed = 0, conservative_failed = 0;
+  for (double x = 0.0; x <= 3.0; x += 0.1) {
+    const std::vector<float> row{static_cast<float>(x)};
+    plain_failed += plain.predict_label(row) < 0;
+    conservative_failed += conservative.predict_label(row) < 0;
+  }
+  EXPECT_LT(conservative_failed, plain_failed);
+}
+
+TEST(ClassificationTree, MinBucketRespected) {
+  // 10 samples, min_bucket 4: a 1/9 split is forbidden even if pure.
+  const auto m = make_matrix(
+      {{0}, {1}, {1}, {1}, {1}, {1}, {1}, {1}, {1}, {1}},
+      {-1, 1, 1, 1, 1, 1, 1, 1, 1, 1});
+  TreeParams p = loose_params();
+  p.min_bucket = 4;
+  p.min_split = 8;
+  DecisionTree t;
+  t.fit(m, Task::kClassification, p);
+  EXPECT_EQ(t.node_count(), 1u);
+}
+
+TEST(ClassificationTree, MinSplitStopsSmallNodes) {
+  const auto m = make_matrix({{0}, {1}, {2}, {3}}, {-1, -1, 1, 1});
+  TreeParams p = loose_params();
+  p.min_split = 10;  // larger than the node
+  DecisionTree t;
+  t.fit(m, Task::kClassification, p);
+  EXPECT_EQ(t.node_count(), 1u);
+}
+
+TEST(ClassificationTree, MaxDepthLimitsTree) {
+  Rng rng(11);
+  std::vector<std::vector<float>> xs;
+  std::vector<float> ys;
+  for (int i = 0; i < 400; ++i) {
+    xs.push_back({static_cast<float>(rng.uniform()),
+                  static_cast<float>(rng.uniform())});
+    ys.push_back(rng.chance(0.5) ? 1.0f : -1.0f);  // pure noise
+  }
+  TreeParams p = loose_params();
+  p.max_depth = 3;
+  DecisionTree t;
+  t.fit(make_matrix(xs, ys), Task::kClassification, p);
+  EXPECT_LE(t.depth(), 3);
+}
+
+TEST(ClassificationTree, CpPrunesWeakSplits) {
+  // Noise labels: any split has tiny gain, so a nonzero cp collapses the
+  // tree while cp = 0 keeps it bushy.
+  Rng rng(13);
+  std::vector<std::vector<float>> xs;
+  std::vector<float> ys;
+  for (int i = 0; i < 600; ++i) {
+    xs.push_back({static_cast<float>(rng.uniform())});
+    ys.push_back(rng.chance(0.5) ? 1.0f : -1.0f);
+  }
+  const auto m = make_matrix(xs, ys);
+
+  TreeParams grow = loose_params();
+  DecisionTree bushy;
+  bushy.fit(m, Task::kClassification, grow);
+
+  TreeParams pruned_params = loose_params();
+  pruned_params.cp = 0.05;
+  DecisionTree pruned;
+  pruned.fit(m, Task::kClassification, pruned_params);
+
+  EXPECT_GT(bushy.node_count(), pruned.node_count());
+  EXPECT_EQ(pruned.node_count(), 1u);
+}
+
+TEST(ClassificationTree, PrunedTreeIsCompact) {
+  Rng rng(17);
+  std::vector<std::vector<float>> xs;
+  std::vector<float> ys;
+  for (int i = 0; i < 500; ++i) {
+    const float x = static_cast<float>(rng.uniform());
+    xs.push_back({x});
+    // Strong signal + noise tail.
+    ys.push_back(x > 0.5f ? 1.0f : (rng.chance(0.9) ? -1.0f : 1.0f));
+  }
+  TreeParams p = loose_params();
+  p.cp = 0.01;
+  DecisionTree t;
+  t.fit(make_matrix(xs, ys), Task::kClassification, p);
+  // All stored nodes must be reachable (compact array, preorder).
+  std::vector<bool> reachable(t.node_count(), false);
+  std::vector<std::int32_t> stack{0};
+  while (!stack.empty()) {
+    const auto idx = stack.back();
+    stack.pop_back();
+    reachable[static_cast<std::size_t>(idx)] = true;
+    const auto& n = t.nodes()[static_cast<std::size_t>(idx)];
+    if (!n.is_leaf()) {
+      stack.push_back(n.left);
+      stack.push_back(n.right);
+    }
+  }
+  for (bool r : reachable) EXPECT_TRUE(r);
+  EXPECT_EQ(t.leaf_count(), (t.node_count() + 1) / 2);  // binary tree
+}
+
+TEST(RegressionTree, FitsStepFunction) {
+  const auto m = make_matrix({{0}, {1}, {2}, {3}, {4}, {5}},
+                             {10, 10, 10, 20, 20, 20});
+  DecisionTree t;
+  t.fit(m, Task::kRegression, loose_params());
+  EXPECT_NEAR(t.predict(std::vector<float>{0.0f}), 10.0, 1e-9);
+  EXPECT_NEAR(t.predict(std::vector<float>{5.0f}), 20.0, 1e-9);
+}
+
+TEST(RegressionTree, LeafValueIsWeightedMean) {
+  const auto m = make_matrix({{0}, {0}}, {10, 20}, {3, 1});
+  DecisionTree t;
+  t.fit(m, Task::kRegression, loose_params());
+  EXPECT_EQ(t.node_count(), 1u);
+  EXPECT_NEAR(t.predict(std::vector<float>{0.0f}), 12.5, 1e-9);
+}
+
+TEST(RegressionTree, ApproximatesLinearRamp) {
+  std::vector<std::vector<float>> xs;
+  std::vector<float> ys;
+  for (int i = 0; i < 200; ++i) {
+    xs.push_back({static_cast<float>(i)});
+    ys.push_back(static_cast<float>(i) / 200.0f);
+  }
+  TreeParams p;
+  p.min_split = 10;
+  p.min_bucket = 5;
+  p.cp = 0.0;
+  DecisionTree t;
+  t.fit(make_matrix(xs, ys), Task::kRegression, p);
+  double max_err = 0.0;
+  for (int i = 0; i < 200; ++i) {
+    max_err = std::max(max_err,
+                       std::fabs(t.predict(std::vector<float>{
+                                     static_cast<float>(i)}) -
+                                 i / 200.0));
+  }
+  EXPECT_LT(max_err, 0.1);
+}
+
+TEST(RegressionTree, CpIsScaleFree) {
+  // The same data at two target scales must produce the same structure.
+  Rng rng(7);
+  std::vector<std::vector<float>> xs;
+  std::vector<float> small, big;
+  for (int i = 0; i < 300; ++i) {
+    const float x = static_cast<float>(rng.uniform());
+    xs.push_back({x});
+    const float y = (x > 0.5f ? 1.0f : 0.0f) +
+                    static_cast<float>(rng.normal(0.0, 0.05));
+    small.push_back(y);
+    big.push_back(y * 1000.0f);
+  }
+  TreeParams p;
+  p.min_split = 10;
+  p.min_bucket = 5;
+  p.cp = 0.01;
+  DecisionTree a, b;
+  a.fit(make_matrix(xs, small), Task::kRegression, p);
+  b.fit(make_matrix(xs, big), Task::kRegression, p);
+  EXPECT_EQ(a.node_count(), b.node_count());
+}
+
+TEST(FeatureImportance, ConcentratesOnInformativeFeature) {
+  Rng rng(23);
+  std::vector<std::vector<float>> xs;
+  std::vector<float> ys;
+  for (int i = 0; i < 500; ++i) {
+    const float informative = static_cast<float>(rng.uniform());
+    const float noise = static_cast<float>(rng.uniform());
+    xs.push_back({noise, informative});
+    ys.push_back(informative > 0.5f ? 1.0f : -1.0f);
+  }
+  DecisionTree t;
+  t.fit(make_matrix(xs, ys), Task::kClassification, loose_params());
+  const auto imp = t.feature_importance();
+  ASSERT_EQ(imp.size(), 2u);
+  EXPECT_GT(imp[1], 0.9);
+  EXPECT_NEAR(imp[0] + imp[1], 1.0, 1e-9);
+}
+
+TEST(FeatureImportance, StumpHasZeroImportance) {
+  const auto m = make_matrix({{0}, {0}}, {1, 1});
+  DecisionTree t;
+  t.fit(m, Task::kClassification, loose_params());
+  const auto imp = t.feature_importance();
+  EXPECT_DOUBLE_EQ(imp[0], 0.0);
+}
+
+TEST(TreeDump, ContainsSplitsAndDistributions) {
+  const auto m = make_matrix({{0}, {1}, {2}, {3}}, {-1, -1, 1, 1});
+  DecisionTree t;
+  t.fit(m, Task::kClassification, loose_params());
+  const std::string text = t.to_text();
+  EXPECT_NE(text.find("split: f0 <"), std::string::npos);
+  EXPECT_NE(text.find("p_failed"), std::string::npos);
+  EXPECT_NE(text.find("100.0%"), std::string::npos);
+}
+
+TEST(TreeDump, UsesFeatureNames) {
+  const auto fs = smart::stat13_features();
+  data::DataMatrix m(fs.size());
+  std::vector<float> row(static_cast<std::size_t>(fs.size()), 0.0f);
+  for (int i = 0; i < 10; ++i) {
+    row[4] = static_cast<float>(i);  // POH
+    m.add_row(row, i < 5 ? -1.0f : 1.0f, 1.0f);
+  }
+  DecisionTree t;
+  t.fit(m, Task::kClassification, loose_params());
+  EXPECT_NE(t.to_text(&fs).find("POH"), std::string::npos);
+}
+
+TEST(FromNodes, RoundTripsPrediction) {
+  const auto m = make_matrix({{0}, {1}, {2}, {3}}, {-1, -1, 1, 1});
+  DecisionTree t;
+  t.fit(m, Task::kClassification, loose_params());
+  auto copy = DecisionTree::from_nodes(t.nodes(), t.task(), t.num_features());
+  for (float x : {0.0f, 1.5f, 2.5f, 9.0f}) {
+    EXPECT_DOUBLE_EQ(copy.predict(std::vector<float>{x}),
+                     t.predict(std::vector<float>{x}));
+  }
+}
+
+TEST(FromNodes, RejectsBadIndices) {
+  std::vector<Node> nodes(1);
+  nodes[0].left = 5;  // out of range
+  nodes[0].right = 1;
+  nodes[0].feature = 0;
+  EXPECT_THROW(DecisionTree::from_nodes(nodes, Task::kClassification, 1),
+               ConfigError);
+  nodes[0].left = -1;  // leaf again
+  EXPECT_NO_THROW(
+      DecisionTree::from_nodes(nodes, Task::kClassification, 1));
+}
+
+TEST(FromNodes, RejectsBadFeature) {
+  std::vector<Node> nodes(3);
+  nodes[0].left = 1;
+  nodes[0].right = 2;
+  nodes[0].feature = 7;  // only 2 features
+  EXPECT_THROW(DecisionTree::from_nodes(nodes, Task::kClassification, 2),
+               ConfigError);
+}
+
+// ---------------------------------------------------------------------------
+// Property sweeps.
+
+struct SeparableCase {
+  std::uint64_t seed;
+  int n_features;
+  int n_rows;
+};
+
+class SeparableSweep : public ::testing::TestWithParam<SeparableCase> {};
+
+TEST_P(SeparableSweep, HighTrainingAccuracyOnSeparableData) {
+  const auto param = GetParam();
+  Rng rng(param.seed);
+  const int informative = static_cast<int>(
+      rng.uniform_int(static_cast<std::uint64_t>(param.n_features)));
+  std::vector<std::vector<float>> xs;
+  std::vector<float> ys;
+  for (int i = 0; i < param.n_rows; ++i) {
+    std::vector<float> row(static_cast<std::size_t>(param.n_features));
+    for (auto& v : row) v = static_cast<float>(rng.uniform());
+    ys.push_back(row[static_cast<std::size_t>(informative)] > 0.5f ? 1.0f
+                                                                   : -1.0f);
+    xs.push_back(std::move(row));
+  }
+  TreeParams p;
+  p.min_split = 4;
+  p.min_bucket = 2;
+  p.cp = 0.0005;
+  DecisionTree t;
+  t.fit(make_matrix(xs, ys), Task::kClassification, p);
+  int correct = 0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    correct += t.predict_label(xs[i]) == (ys[i] > 0 ? 1 : -1);
+  }
+  EXPECT_GE(static_cast<double>(correct) / param.n_rows, 0.98)
+      << "seed " << param.seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomSeparable, SeparableSweep,
+    ::testing::Values(SeparableCase{1, 2, 100}, SeparableCase{2, 5, 300},
+                      SeparableCase{3, 8, 500}, SeparableCase{4, 13, 800},
+                      SeparableCase{5, 3, 1000}, SeparableCase{6, 13, 200}));
+
+class DepthSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(DepthSweep, DeeperTreesFitNoWorse) {
+  // Training risk is monotone non-increasing in allowed depth.
+  Rng rng(101);
+  std::vector<std::vector<float>> xs;
+  std::vector<float> ys;
+  for (int i = 0; i < 400; ++i) {
+    const float a = static_cast<float>(rng.uniform());
+    const float b = static_cast<float>(rng.uniform());
+    xs.push_back({a, b});
+    ys.push_back((a > 0.5f) != (b > 0.5f) ? 1.0f : -1.0f);  // XOR-ish
+  }
+  const auto m = make_matrix(xs, ys);
+  auto accuracy_at = [&](int depth) {
+    TreeParams p = loose_params();
+    p.max_depth = depth;
+    DecisionTree t;
+    t.fit(m, Task::kClassification, p);
+    int correct = 0;
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+      correct += t.predict_label(xs[i]) == (ys[i] > 0 ? 1 : -1);
+    }
+    return static_cast<double>(correct) / static_cast<double>(xs.size());
+  };
+  const int depth = GetParam();
+  EXPECT_LE(accuracy_at(depth), accuracy_at(depth + 1) + 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Depths, DepthSweep, ::testing::Values(1, 2, 3, 4));
+
+class CpSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(CpSweep, LargerCpNeverGrowsTheTree) {
+  Rng rng(55);
+  std::vector<std::vector<float>> xs;
+  std::vector<float> ys;
+  for (int i = 0; i < 500; ++i) {
+    const float x = static_cast<float>(rng.uniform());
+    xs.push_back({x});
+    ys.push_back(rng.chance(0.3 + 0.4 * x) ? 1.0f : -1.0f);
+  }
+  const auto m = make_matrix(xs, ys);
+  const double cp = GetParam();
+  auto nodes_at = [&](double c) {
+    TreeParams p = loose_params();
+    p.cp = c;
+    DecisionTree t;
+    t.fit(m, Task::kClassification, p);
+    return t.node_count();
+  };
+  EXPECT_GE(nodes_at(cp), nodes_at(cp * 4.0));
+}
+
+INSTANTIATE_TEST_SUITE_P(Cps, CpSweep,
+                         ::testing::Values(0.0005, 0.001, 0.005, 0.02));
+
+}  // namespace
+}  // namespace hdd::tree

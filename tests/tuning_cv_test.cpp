@@ -1,0 +1,224 @@
+// Tests for the deployment utilities: operating-point tuning
+// (eval/tuning.h) and drive-stratified cross-validation
+// (data/cross_validation.h).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "core/predictor.h"
+#include "data/cross_validation.h"
+#include "eval/tuning.h"
+#include "sim/generator.h"
+
+namespace hdd {
+namespace {
+
+// Scores with controllable burst behaviour: good drives occasionally emit
+// failure-looking bursts of `burst_len` samples; failed drives are solidly
+// negative for their last half.
+std::vector<eval::DriveScores> synthetic_scores(std::uint64_t seed,
+                                                int n_good, int n_failed,
+                                                int burst_len) {
+  Rng rng(seed);
+  std::vector<eval::DriveScores> out;
+  for (int g = 0; g < n_good; ++g) {
+    eval::DriveScores s;
+    for (int i = 0; i < 60; ++i) {
+      s.outputs.push_back(1.0f);
+      s.hours.push_back(i);
+    }
+    if (rng.chance(0.3)) {
+      const auto start = rng.uniform_int(40);
+      for (int i = 0; i < burst_len; ++i) {
+        s.outputs[start + static_cast<std::size_t>(i)] = -1.0f;
+      }
+    }
+    out.push_back(std::move(s));
+  }
+  for (int f = 0; f < n_failed; ++f) {
+    eval::DriveScores s;
+    s.failed = true;
+    s.fail_hour = 59;
+    for (int i = 0; i < 60; ++i) {
+      s.outputs.push_back(i < 30 ? 1.0f : -1.0f);
+      s.hours.push_back(i);
+    }
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+TEST(TuneVoters, PicksHighestFdrWithinBudget) {
+  // Bursts of 5 defeat N<=9 but not N>=11; failed drives survive any N
+  // (30 consecutive negatives).
+  const auto scores = synthetic_scores(1, 400, 40, 5);
+  const int candidates[] = {1, 3, 5, 7, 9, 11, 15};
+  const auto best = eval::tune_voters(scores, candidates, 0.001);
+  ASSERT_TRUE(best.has_value());
+  EXPECT_GE(best->vote.voters, 11);
+  EXPECT_DOUBLE_EQ(best->result.fdr(), 1.0);
+  EXPECT_LE(best->result.far(), 0.001);
+}
+
+TEST(TuneVoters, PrefersFewerVotersOnTies) {
+  const auto scores = synthetic_scores(2, 200, 20, 3);
+  const int candidates[] = {15, 11, 7};  // unsorted on purpose
+  const auto best = eval::tune_voters(scores, candidates, 0.001);
+  ASSERT_TRUE(best.has_value());
+  EXPECT_EQ(best->vote.voters, 7);  // bursts of 3 already die at N=7
+}
+
+TEST(TuneVoters, ReturnsNulloptWhenBudgetUnreachable) {
+  // Persistent bad good drives: no N helps.
+  std::vector<eval::DriveScores> scores;
+  eval::DriveScores bad;
+  for (int i = 0; i < 50; ++i) {
+    bad.outputs.push_back(-1.0f);
+    bad.hours.push_back(i);
+  }
+  scores.push_back(bad);
+  const int candidates[] = {1, 11, 27};
+  EXPECT_FALSE(eval::tune_voters(scores, candidates, 0.0).has_value());
+  EXPECT_THROW(eval::tune_voters(scores, {}, 0.1), ConfigError);
+}
+
+TEST(TuneThreshold, LoosestThresholdInsideBudgetWins) {
+  Rng rng(3);
+  std::vector<eval::DriveScores> scores;
+  for (int d = 0; d < 500; ++d) {
+    const bool failed = d % 10 == 0;
+    eval::DriveScores s;
+    s.failed = failed;
+    s.fail_hour = 49;
+    for (int i = 0; i < 50; ++i) {
+      const double base = failed ? -0.4 : 0.6;
+      s.outputs.push_back(
+          static_cast<float>(base + rng.normal(0.0, 0.25)));
+      s.hours.push_back(i);
+    }
+    scores.push_back(std::move(s));
+  }
+  const double thresholds[] = {-0.8, -0.6, -0.4, -0.2, 0.0, 0.2};
+  const auto strict = eval::tune_threshold(scores, 11, thresholds, 0.0);
+  const auto loose = eval::tune_threshold(scores, 11, thresholds, 0.05);
+  ASSERT_TRUE(strict.has_value());
+  ASSERT_TRUE(loose.has_value());
+  EXPECT_LE(strict->vote.threshold, loose->vote.threshold);
+  EXPECT_LE(strict->result.fdr(), loose->result.fdr());
+  EXPECT_LE(strict->result.far(), 0.0);
+  EXPECT_LE(loose->result.far(), 0.05);
+}
+
+TEST(TuneThreshold, ValidatesInputs) {
+  const auto scores = synthetic_scores(4, 10, 2, 1);
+  const double thresholds[] = {0.0};
+  EXPECT_THROW(eval::tune_threshold(scores, 0, thresholds, 0.1),
+               ConfigError);
+  EXPECT_THROW(eval::tune_threshold(scores, 5, {}, 0.1), ConfigError);
+}
+
+// --- Cross-validation --------------------------------------------------------
+
+class CvFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    auto config = sim::paper_fleet_config(0.02, 61);
+    config.families.resize(1);
+    fleet_ = new data::DriveDataset(sim::generate_fleet_window(config, 0, 1));
+  }
+  static void TearDownTestSuite() { delete fleet_; }
+  static data::DriveDataset* fleet_;
+};
+
+data::DriveDataset* CvFixture::fleet_ = nullptr;
+
+TEST_F(CvFixture, FoldsPartitionBothClasses) {
+  data::CrossValidationConfig cfg;
+  cfg.folds = 4;
+  const auto folds = data::make_folds(*fleet_, cfg);
+  ASSERT_EQ(folds.size(), 4u);
+
+  // Every failed drive is tested exactly once across folds.
+  std::set<std::size_t> tested_failed;
+  for (const auto& fold : folds) {
+    for (std::size_t di : fold.test_failed) {
+      EXPECT_TRUE(tested_failed.insert(di).second);
+    }
+    // Disjoint train/test failed sets within a fold.
+    for (std::size_t di : fold.train_failed) {
+      EXPECT_EQ(std::count(fold.test_failed.begin(), fold.test_failed.end(),
+                           di),
+                0);
+    }
+  }
+  EXPECT_EQ(tested_failed.size(), fleet_->count_failed());
+
+  // Every good drive is tested exactly once (test_begin == 0).
+  std::set<std::size_t> tested_good;
+  for (const auto& fold : folds) {
+    for (std::size_t k = 0; k < fold.good_drives.size(); ++k) {
+      if (fold.good_test_begin[k] == 0) {
+        EXPECT_TRUE(tested_good.insert(fold.good_drives[k]).second);
+      } else {
+        // Pure training drive: never scored.
+        EXPECT_EQ(fold.good_test_begin[k],
+                  fleet_->drives[fold.good_drives[k]].samples.size());
+      }
+    }
+  }
+  EXPECT_EQ(tested_good.size(), fleet_->count_good());
+}
+
+TEST_F(CvFixture, DeterministicGivenSeed) {
+  data::CrossValidationConfig cfg;
+  const auto a = data::make_folds(*fleet_, cfg);
+  const auto b = data::make_folds(*fleet_, cfg);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t f = 0; f < a.size(); ++f) {
+    EXPECT_EQ(a[f].test_failed, b[f].test_failed);
+    EXPECT_EQ(a[f].good_test_begin, b[f].good_test_begin);
+  }
+}
+
+TEST_F(CvFixture, CrossValidateRunsTheCallbackPerFold) {
+  data::CrossValidationConfig cfg;
+  cfg.folds = 3;
+  int calls = 0;
+  const auto values = data::cross_validate(
+      *fleet_, cfg, [&calls](const data::DatasetSplit&) {
+        return static_cast<double>(++calls);
+      });
+  EXPECT_EQ(calls, 3);
+  EXPECT_EQ(values, (std::vector<double>{1.0, 2.0, 3.0}));
+  EXPECT_THROW(data::cross_validate(*fleet_, cfg, nullptr), ConfigError);
+}
+
+TEST_F(CvFixture, CtCrossValidatedFdrIsReasonable) {
+  data::CrossValidationConfig cfg;
+  cfg.folds = 3;
+  const auto fdrs = data::cross_validate(
+      *fleet_, cfg, [this](const data::DatasetSplit& split) {
+        core::FailurePredictor p(core::paper_ct_config());
+        p.fit(*fleet_, split);
+        return p.evaluate(*fleet_, split).fdr();
+      });
+  ASSERT_EQ(fdrs.size(), 3u);
+  double mean = 0.0;
+  for (double v : fdrs) mean += v;
+  mean /= 3.0;
+  EXPECT_GT(mean, 0.6);
+}
+
+TEST(CvErrors, RejectsDegenerateInputs) {
+  data::CrossValidationConfig cfg;
+  cfg.folds = 1;
+  data::DriveDataset empty;
+  EXPECT_THROW(data::make_folds(empty, cfg), ConfigError);
+  cfg.folds = 5;
+  EXPECT_THROW(data::make_folds(empty, cfg), ConfigError);
+}
+
+}  // namespace
+}  // namespace hdd

@@ -1,0 +1,286 @@
+// hddpredict — command-line front end for the library.
+//
+//   hddpredict generate  --out fleet.csv [--scale S] [--seed N]
+//                        [--family W|Q|both] [--weeks A:B] [--interval H]
+//   hddpredict features  --data fleet.csv [--levels N] [--rates N]
+//   hddpredict train     --data fleet.csv --model out.tree
+//                        [--preset ct|rt] [--window H] [--cp X]
+//   hddpredict evaluate  --data fleet.csv --model m.tree [--voters N]
+//   hddpredict predict   --data fleet.csv --model m.tree [--top K]
+//   hddpredict reliability [--drives N] [--fdr K] [--tia H] [--raid 5|6]
+//
+// The CSV schema is documented in src/data/csv_io.h; `generate` fabricates
+// a synthetic fleet in that schema so every subcommand can be exercised
+// without real telemetry.
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <map>
+#include <string>
+
+#include "common/error.h"
+#include "common/table.h"
+#include "core/health.h"
+#include "core/model_io.h"
+#include "core/predictor.h"
+#include "data/csv_io.h"
+#include "data/split.h"
+#include "eval/tuning.h"
+#include "reliability/raid.h"
+#include "sim/generator.h"
+#include "stats/feature_select.h"
+
+namespace {
+
+using namespace hdd;
+
+[[noreturn]] void usage(const std::string& error = "") {
+  if (!error.empty()) std::cerr << "error: " << error << "\n\n";
+  std::cerr <<
+      "usage: hddpredict <command> [options]\n"
+      "  generate  --out F [--scale S] [--seed N] [--family W|Q|both]\n"
+      "            [--weeks A:B] [--interval H]\n"
+      "  features  --data F [--levels N] [--rates N]\n"
+      "  train     --data F --model F [--preset ct|rt] [--window H] [--cp X]\n"
+      "  evaluate  --data F --model F [--voters N]\n"
+      "  tune      --data F --model F [--budget FAR]\n"
+      "  predict   --data F --model F [--top K]\n"
+      "  reliability [--drives N] [--fdr K] [--tia H] [--raid 5|6]\n";
+  std::exit(2);
+}
+
+// Simple flag map: --key value pairs.
+std::map<std::string, std::string> parse_flags(int argc, char** argv,
+                                               int first) {
+  std::map<std::string, std::string> flags;
+  for (int i = first; i < argc; ++i) {
+    const std::string key = argv[i];
+    if (key.rfind("--", 0) != 0 || i + 1 >= argc) {
+      usage("bad option: " + key);
+    }
+    flags[key.substr(2)] = argv[++i];
+  }
+  return flags;
+}
+
+std::string need(const std::map<std::string, std::string>& flags,
+                 const std::string& key) {
+  const auto it = flags.find(key);
+  if (it == flags.end()) usage("missing required --" + key);
+  return it->second;
+}
+
+std::string get(const std::map<std::string, std::string>& flags,
+                const std::string& key, const std::string& fallback) {
+  const auto it = flags.find(key);
+  return it == flags.end() ? fallback : it->second;
+}
+
+int cmd_generate(const std::map<std::string, std::string>& flags) {
+  const std::string out = need(flags, "out");
+  const double scale = std::stod(get(flags, "scale", "0.05"));
+  const auto seed =
+      static_cast<std::uint64_t>(std::stoull(get(flags, "seed", "42")));
+  const int interval = std::stoi(get(flags, "interval", "1"));
+  const std::string family = get(flags, "family", "both");
+  const std::string weeks = get(flags, "weeks", "0:1");
+
+  const auto colon = weeks.find(':');
+  if (colon == std::string::npos) usage("--weeks needs the form A:B");
+  const int from = std::stoi(weeks.substr(0, colon));
+  const int to = std::stoi(weeks.substr(colon + 1));
+
+  auto config = sim::paper_fleet_config(scale, seed, interval);
+  if (family == "W") config.families.resize(1);
+  else if (family == "Q") config.families.erase(config.families.begin());
+  else if (family != "both") usage("--family must be W, Q or both");
+
+  const auto fleet = sim::generate_fleet_window(config, from, to);
+  data::save_csv_file(fleet, out);
+  std::cout << "wrote " << fleet.count_good() << " good + "
+            << fleet.count_failed() << " failed drives ("
+            << fleet.count_samples(false) + fleet.count_samples(true)
+            << " samples) to " << out << '\n';
+  return 0;
+}
+
+int cmd_features(const std::map<std::string, std::string>& flags) {
+  const auto fleet = data::load_csv_file(need(flags, "data"));
+  stats::FeatureSelectionConfig cfg;
+  cfg.n_levels = std::stoi(get(flags, "levels", "10"));
+  cfg.n_rates = std::stoi(get(flags, "rates", "3"));
+
+  const auto scores = stats::score_candidates(fleet, cfg);
+  Table t({"rank", "feature", "rank-sum |z|", "trend |z|", "z-score",
+           "combined"});
+  for (std::size_t i = 0; i < std::min<std::size_t>(scores.size(), 20); ++i) {
+    t.row()
+        .cell(static_cast<long long>(i + 1))
+        .cell(scores[i].spec.name())
+        .cell(scores[i].rank_sum_z, 1)
+        .cell(scores[i].trend_z, 2)
+        .cell(scores[i].zscore, 2)
+        .cell(scores[i].combined(), 1);
+  }
+  t.print(std::cout);
+
+  const auto selected = stats::select_features(fleet, cfg);
+  std::cout << "\nselected " << selected.size() << " features:";
+  for (const auto& spec : selected.specs) std::cout << ' ' << spec.name();
+  std::cout << '\n';
+  return 0;
+}
+
+int cmd_train(const std::map<std::string, std::string>& flags) {
+  const auto fleet = data::load_csv_file(need(flags, "data"));
+  const std::string model_path = need(flags, "model");
+  const std::string preset = get(flags, "preset", "ct");
+
+  core::PredictorConfig cfg;
+  if (preset == "ct") cfg = core::paper_ct_config();
+  else if (preset == "rt") cfg = core::paper_rt_classifier_config();
+  else usage("--preset must be ct or rt (only trees are persistable)");
+  cfg.training.failed_window_hours = std::stoi(
+      get(flags, "window", std::to_string(cfg.training.failed_window_hours)));
+  cfg.tree_params.cp =
+      std::stod(get(flags, "cp", std::to_string(cfg.tree_params.cp)));
+
+  const auto split = data::split_dataset(fleet, {});
+  core::FailurePredictor predictor(cfg);
+  predictor.fit(fleet, split);
+  core::save_tree_file(*predictor.tree(), model_path);
+
+  const auto r = predictor.evaluate(fleet, split);
+  std::cout << "trained " << predictor.describe() << "\nholdout: FDR "
+            << format_double(100 * r.fdr(), 2) << "%, FAR "
+            << format_double(100 * r.far(), 3) << "%, TIA "
+            << format_double(r.mean_tia(), 0) << " h\nmodel written to "
+            << model_path << '\n';
+  return 0;
+}
+
+int cmd_evaluate(const std::map<std::string, std::string>& flags) {
+  const auto fleet = data::load_csv_file(need(flags, "data"));
+  const auto tree = core::load_tree_file(need(flags, "model"));
+  const int voters = std::stoi(get(flags, "voters", "11"));
+
+  const auto split = data::split_dataset(fleet, {});
+  const auto features = smart::stat13_features();
+  HDD_REQUIRE(tree.num_features() == features.size(),
+              "model feature count does not match the stat13 layout");
+  eval::VoteConfig vote;
+  vote.voters = voters;
+  const auto r = eval::evaluate(
+      fleet, split, features,
+      [&tree](std::span<const float> x) { return tree.predict(x); }, vote);
+
+  Table t({"metric", "value"});
+  t.row().cell("good test drives").cell(static_cast<long long>(r.n_good));
+  t.row().cell("failed test drives").cell(static_cast<long long>(r.n_failed));
+  t.row().cell("FDR (%)").cell(100 * r.fdr(), 2);
+  t.row().cell("FAR (%)").cell(100 * r.far(), 3);
+  t.row().cell("mean TIA (h)").cell(r.mean_tia(), 1);
+  t.print(std::cout);
+  return 0;
+}
+
+int cmd_tune(const std::map<std::string, std::string>& flags) {
+  const auto fleet = data::load_csv_file(need(flags, "data"));
+  const auto tree = core::load_tree_file(need(flags, "model"));
+  const double budget = std::stod(get(flags, "budget", "0.001"));
+  const auto features = smart::stat13_features();
+  HDD_REQUIRE(tree.num_features() == features.size(),
+              "model feature count does not match the stat13 layout");
+
+  const auto split = data::split_dataset(fleet, {});
+  const auto scores = eval::score_dataset(
+      fleet, split, features,
+      [&tree](std::span<const float> x) { return tree.predict(x); });
+  const int candidates[] = {1, 3, 5, 7, 9, 11, 15, 17, 21, 27};
+  const auto best = eval::tune_voters(scores, candidates, budget);
+  if (!best) {
+    std::cout << "no voter count meets FAR <= "
+              << format_double(100 * budget, 3) << "%\n";
+    return 1;
+  }
+  Table t({"metric", "value"});
+  t.row().cell("chosen voters N").cell(
+      static_cast<long long>(best->vote.voters));
+  t.row().cell("FDR (%)").cell(100 * best->result.fdr(), 2);
+  t.row().cell("FAR (%)").cell(100 * best->result.far(), 3);
+  t.row().cell("mean TIA (h)").cell(best->result.mean_tia(), 1);
+  t.print(std::cout);
+  return 0;
+}
+
+int cmd_predict(const std::map<std::string, std::string>& flags) {
+  const auto fleet = data::load_csv_file(need(flags, "data"));
+  const auto tree = core::load_tree_file(need(flags, "model"));
+  const auto top = static_cast<std::size_t>(
+      std::stoul(get(flags, "top", "15")));
+  const auto features = smart::stat13_features();
+  HDD_REQUIRE(tree.num_features() == features.size(),
+              "model feature count does not match the stat13 layout");
+
+  // Score every drive's latest sample; surface the worst.
+  core::WarningQueue queue;
+  for (const auto& d : fleet.drives) {
+    if (d.empty()) continue;
+    const auto row =
+        smart::extract_features(d, d.samples.size() - 1, features);
+    queue.push({d.serial, tree.predict(*row), d.last_hour()});
+  }
+  Table t({"drive", "margin", "as of hour"});
+  for (std::size_t i = 0; i < top && !queue.empty(); ++i) {
+    const auto w = queue.pop();
+    t.row()
+        .cell(w.serial)
+        .cell(w.health, 3)
+        .cell(static_cast<long long>(w.hour));
+  }
+  std::cout << "drives most at risk (negative margin = predicted failing):\n";
+  t.print(std::cout);
+  return 0;
+}
+
+int cmd_reliability(const std::map<std::string, std::string>& flags) {
+  reliability::RaidPredictionParams p;
+  p.n_drives = std::stoi(get(flags, "drives", "500"));
+  p.fdr = std::stod(get(flags, "fdr", "0.9549"));
+  p.tia_hours = std::stod(get(flags, "tia", "355"));
+  p.tolerated_failures = std::stoi(get(flags, "raid", "6")) == 5 ? 1 : 2;
+
+  const double with = reliability::mttdl_raid_with_prediction(p);
+  auto without = p;
+  without.fdr = 0.0;
+  const double base = reliability::mttdl_raid_with_prediction(without);
+
+  Table t({"configuration", "MTTDL (years)"});
+  t.row().cell("without prediction").cell(base / reliability::kHoursPerYear, 2);
+  t.row().cell("with prediction").cell(with / reliability::kHoursPerYear, 2);
+  t.row().cell("improvement (x)").cell(with / base, 1);
+  t.print(std::cout);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) usage();
+  const std::string command = argv[1];
+  try {
+    const auto flags = parse_flags(argc, argv, 2);
+    if (command == "generate") return cmd_generate(flags);
+    if (command == "features") return cmd_features(flags);
+    if (command == "train") return cmd_train(flags);
+    if (command == "evaluate") return cmd_evaluate(flags);
+    if (command == "tune") return cmd_tune(flags);
+    if (command == "predict") return cmd_predict(flags);
+    if (command == "reliability") return cmd_reliability(flags);
+    usage("unknown command: " + command);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
+}
