@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_cp_pruning.dir/ablation_cp_pruning.cpp.o"
+  "CMakeFiles/ablation_cp_pruning.dir/ablation_cp_pruning.cpp.o.d"
+  "ablation_cp_pruning"
+  "ablation_cp_pruning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_cp_pruning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_ensembles.dir/ablation_ensembles.cpp.o"
+  "CMakeFiles/ablation_ensembles.dir/ablation_ensembles.cpp.o.d"
+  "ablation_ensembles"
+  "ablation_ensembles.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_ensembles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

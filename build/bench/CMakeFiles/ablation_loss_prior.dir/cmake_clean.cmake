@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_loss_prior.dir/ablation_loss_prior.cpp.o"
+  "CMakeFiles/ablation_loss_prior.dir/ablation_loss_prior.cpp.o.d"
+  "ablation_loss_prior"
+  "ablation_loss_prior.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_loss_prior.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_window_mode.dir/ablation_window_mode.cpp.o"
+  "CMakeFiles/ablation_window_mode.dir/ablation_window_mode.cpp.o.d"
+  "ablation_window_mode"
+  "ablation_window_mode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_window_mode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

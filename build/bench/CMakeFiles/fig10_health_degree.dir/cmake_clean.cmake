@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_health_degree.dir/fig10_health_degree.cpp.o"
+  "CMakeFiles/fig10_health_degree.dir/fig10_health_degree.cpp.o.d"
+  "fig10_health_degree"
+  "fig10_health_degree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_health_degree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig12_raid_mttdl.cpp" "bench/CMakeFiles/fig12_raid_mttdl.dir/fig12_raid_mttdl.cpp.o" "gcc" "bench/CMakeFiles/fig12_raid_mttdl.dir/fig12_raid_mttdl.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/hdd_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hdd_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/hdd_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/update/CMakeFiles/hdd_update.dir/DependInfo.cmake"
+  "/root/repo/build/src/reliability/CMakeFiles/hdd_reliability.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/hdd_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/ann/CMakeFiles/hdd_ann.dir/DependInfo.cmake"
+  "/root/repo/build/src/forest/CMakeFiles/hdd_forest.dir/DependInfo.cmake"
+  "/root/repo/build/src/tree/CMakeFiles/hdd_tree.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/hdd_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/hdd_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/smart/CMakeFiles/hdd_smart.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/hdd_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_raid_mttdl.dir/fig12_raid_mttdl.cpp.o"
+  "CMakeFiles/fig12_raid_mttdl.dir/fig12_raid_mttdl.cpp.o.d"
+  "fig12_raid_mttdl"
+  "fig12_raid_mttdl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_raid_mttdl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_interpretability.dir/fig1_interpretability.cpp.o"
+  "CMakeFiles/fig1_interpretability.dir/fig1_interpretability.cpp.o.d"
+  "fig1_interpretability"
+  "fig1_interpretability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_interpretability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_voting_roc.dir/fig2_voting_roc.cpp.o"
+  "CMakeFiles/fig2_voting_roc.dir/fig2_voting_roc.cpp.o.d"
+  "fig2_voting_roc"
+  "fig2_voting_roc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_voting_roc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_fig4_tia.dir/fig3_fig4_tia.cpp.o"
+  "CMakeFiles/fig3_fig4_tia.dir/fig3_fig4_tia.cpp.o.d"
+  "fig3_fig4_tia"
+  "fig3_fig4_tia.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_fig4_tia.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_family_q.dir/fig5_family_q.cpp.o"
+  "CMakeFiles/fig5_family_q.dir/fig5_family_q.cpp.o.d"
+  "fig5_family_q"
+  "fig5_family_q.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_family_q.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

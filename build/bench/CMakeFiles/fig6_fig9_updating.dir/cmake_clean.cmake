@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_fig9_updating.dir/fig6_fig9_updating.cpp.o"
+  "CMakeFiles/fig6_fig9_updating.dir/fig6_fig9_updating.cpp.o.d"
+  "fig6_fig9_updating"
+  "fig6_fig9_updating.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_fig9_updating.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

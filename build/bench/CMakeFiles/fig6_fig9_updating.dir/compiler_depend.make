@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig6_fig9_updating.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig6_fig9_updating.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_feature_sets.dir/table3_feature_sets.cpp.o"
+  "CMakeFiles/table3_feature_sets.dir/table3_feature_sets.cpp.o.d"
+  "table3_feature_sets"
+  "table3_feature_sets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_feature_sets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_time_window.dir/table4_time_window.cpp.o"
+  "CMakeFiles/table4_time_window.dir/table4_time_window.cpp.o.d"
+  "table4_time_window"
+  "table4_time_window.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_time_window.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

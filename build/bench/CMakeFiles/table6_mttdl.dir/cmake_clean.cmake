@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table6_mttdl.dir/table6_mttdl.cpp.o"
+  "CMakeFiles/table6_mttdl.dir/table6_mttdl.cpp.o.d"
+  "table6_mttdl"
+  "table6_mttdl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_mttdl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_maintenance.dir/model_maintenance.cpp.o"
+  "CMakeFiles/model_maintenance.dir/model_maintenance.cpp.o.d"
+  "model_maintenance"
+  "model_maintenance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_maintenance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/operating_point.dir/operating_point.cpp.o"
+  "CMakeFiles/operating_point.dir/operating_point.cpp.o.d"
+  "operating_point"
+  "operating_point.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/operating_point.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/raid_planning.dir/raid_planning.cpp.o"
+  "CMakeFiles/raid_planning.dir/raid_planning.cpp.o.d"
+  "raid_planning"
+  "raid_planning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/raid_planning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/real_data_bridge.dir/real_data_bridge.cpp.o"
+  "CMakeFiles/real_data_bridge.dir/real_data_bridge.cpp.o.d"
+  "real_data_bridge"
+  "real_data_bridge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/real_data_bridge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("smart")
+subdirs("sim")
+subdirs("stats")
+subdirs("baselines")
+subdirs("data")
+subdirs("tree")
+subdirs("ann")
+subdirs("forest")
+subdirs("eval")
+subdirs("update")
+subdirs("reliability")
+subdirs("core")

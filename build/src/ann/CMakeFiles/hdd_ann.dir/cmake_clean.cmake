@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hdd_ann.dir/mlp.cpp.o"
+  "CMakeFiles/hdd_ann.dir/mlp.cpp.o.d"
+  "libhdd_ann.a"
+  "libhdd_ann.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hdd_ann.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

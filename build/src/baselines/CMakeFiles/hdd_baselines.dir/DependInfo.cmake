@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/hmm.cpp" "src/baselines/CMakeFiles/hdd_baselines.dir/hmm.cpp.o" "gcc" "src/baselines/CMakeFiles/hdd_baselines.dir/hmm.cpp.o.d"
+  "/root/repo/src/baselines/mahalanobis.cpp" "src/baselines/CMakeFiles/hdd_baselines.dir/mahalanobis.cpp.o" "gcc" "src/baselines/CMakeFiles/hdd_baselines.dir/mahalanobis.cpp.o.d"
+  "/root/repo/src/baselines/naive_bayes.cpp" "src/baselines/CMakeFiles/hdd_baselines.dir/naive_bayes.cpp.o" "gcc" "src/baselines/CMakeFiles/hdd_baselines.dir/naive_bayes.cpp.o.d"
+  "/root/repo/src/baselines/ranksum_detector.cpp" "src/baselines/CMakeFiles/hdd_baselines.dir/ranksum_detector.cpp.o" "gcc" "src/baselines/CMakeFiles/hdd_baselines.dir/ranksum_detector.cpp.o.d"
+  "/root/repo/src/baselines/svm.cpp" "src/baselines/CMakeFiles/hdd_baselines.dir/svm.cpp.o" "gcc" "src/baselines/CMakeFiles/hdd_baselines.dir/svm.cpp.o.d"
+  "/root/repo/src/baselines/threshold.cpp" "src/baselines/CMakeFiles/hdd_baselines.dir/threshold.cpp.o" "gcc" "src/baselines/CMakeFiles/hdd_baselines.dir/threshold.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hdd_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/smart/CMakeFiles/hdd_smart.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/hdd_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/hdd_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/hdd_eval.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

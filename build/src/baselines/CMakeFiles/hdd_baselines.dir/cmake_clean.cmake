@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hdd_baselines.dir/hmm.cpp.o"
+  "CMakeFiles/hdd_baselines.dir/hmm.cpp.o.d"
+  "CMakeFiles/hdd_baselines.dir/mahalanobis.cpp.o"
+  "CMakeFiles/hdd_baselines.dir/mahalanobis.cpp.o.d"
+  "CMakeFiles/hdd_baselines.dir/naive_bayes.cpp.o"
+  "CMakeFiles/hdd_baselines.dir/naive_bayes.cpp.o.d"
+  "CMakeFiles/hdd_baselines.dir/ranksum_detector.cpp.o"
+  "CMakeFiles/hdd_baselines.dir/ranksum_detector.cpp.o.d"
+  "CMakeFiles/hdd_baselines.dir/svm.cpp.o"
+  "CMakeFiles/hdd_baselines.dir/svm.cpp.o.d"
+  "CMakeFiles/hdd_baselines.dir/threshold.cpp.o"
+  "CMakeFiles/hdd_baselines.dir/threshold.cpp.o.d"
+  "libhdd_baselines.a"
+  "libhdd_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hdd_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hdd_common.dir/csv.cpp.o"
+  "CMakeFiles/hdd_common.dir/csv.cpp.o.d"
+  "CMakeFiles/hdd_common.dir/log.cpp.o"
+  "CMakeFiles/hdd_common.dir/log.cpp.o.d"
+  "CMakeFiles/hdd_common.dir/math_util.cpp.o"
+  "CMakeFiles/hdd_common.dir/math_util.cpp.o.d"
+  "CMakeFiles/hdd_common.dir/rng.cpp.o"
+  "CMakeFiles/hdd_common.dir/rng.cpp.o.d"
+  "CMakeFiles/hdd_common.dir/table.cpp.o"
+  "CMakeFiles/hdd_common.dir/table.cpp.o.d"
+  "CMakeFiles/hdd_common.dir/thread_pool.cpp.o"
+  "CMakeFiles/hdd_common.dir/thread_pool.cpp.o.d"
+  "libhdd_common.a"
+  "libhdd_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hdd_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

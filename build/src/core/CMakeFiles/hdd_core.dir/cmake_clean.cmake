@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hdd_core.dir/health.cpp.o"
+  "CMakeFiles/hdd_core.dir/health.cpp.o.d"
+  "CMakeFiles/hdd_core.dir/model_io.cpp.o"
+  "CMakeFiles/hdd_core.dir/model_io.cpp.o.d"
+  "CMakeFiles/hdd_core.dir/predictor.cpp.o"
+  "CMakeFiles/hdd_core.dir/predictor.cpp.o.d"
+  "libhdd_core.a"
+  "libhdd_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hdd_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

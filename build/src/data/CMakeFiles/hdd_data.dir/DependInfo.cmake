@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/cross_validation.cpp" "src/data/CMakeFiles/hdd_data.dir/cross_validation.cpp.o" "gcc" "src/data/CMakeFiles/hdd_data.dir/cross_validation.cpp.o.d"
+  "/root/repo/src/data/csv_io.cpp" "src/data/CMakeFiles/hdd_data.dir/csv_io.cpp.o" "gcc" "src/data/CMakeFiles/hdd_data.dir/csv_io.cpp.o.d"
+  "/root/repo/src/data/dataset.cpp" "src/data/CMakeFiles/hdd_data.dir/dataset.cpp.o" "gcc" "src/data/CMakeFiles/hdd_data.dir/dataset.cpp.o.d"
+  "/root/repo/src/data/matrix.cpp" "src/data/CMakeFiles/hdd_data.dir/matrix.cpp.o" "gcc" "src/data/CMakeFiles/hdd_data.dir/matrix.cpp.o.d"
+  "/root/repo/src/data/split.cpp" "src/data/CMakeFiles/hdd_data.dir/split.cpp.o" "gcc" "src/data/CMakeFiles/hdd_data.dir/split.cpp.o.d"
+  "/root/repo/src/data/training.cpp" "src/data/CMakeFiles/hdd_data.dir/training.cpp.o" "gcc" "src/data/CMakeFiles/hdd_data.dir/training.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hdd_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/smart/CMakeFiles/hdd_smart.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

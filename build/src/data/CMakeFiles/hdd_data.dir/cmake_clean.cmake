@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hdd_data.dir/cross_validation.cpp.o"
+  "CMakeFiles/hdd_data.dir/cross_validation.cpp.o.d"
+  "CMakeFiles/hdd_data.dir/csv_io.cpp.o"
+  "CMakeFiles/hdd_data.dir/csv_io.cpp.o.d"
+  "CMakeFiles/hdd_data.dir/dataset.cpp.o"
+  "CMakeFiles/hdd_data.dir/dataset.cpp.o.d"
+  "CMakeFiles/hdd_data.dir/matrix.cpp.o"
+  "CMakeFiles/hdd_data.dir/matrix.cpp.o.d"
+  "CMakeFiles/hdd_data.dir/split.cpp.o"
+  "CMakeFiles/hdd_data.dir/split.cpp.o.d"
+  "CMakeFiles/hdd_data.dir/training.cpp.o"
+  "CMakeFiles/hdd_data.dir/training.cpp.o.d"
+  "libhdd_data.a"
+  "libhdd_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hdd_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/eval/detection.cpp" "src/eval/CMakeFiles/hdd_eval.dir/detection.cpp.o" "gcc" "src/eval/CMakeFiles/hdd_eval.dir/detection.cpp.o.d"
+  "/root/repo/src/eval/tuning.cpp" "src/eval/CMakeFiles/hdd_eval.dir/tuning.cpp.o" "gcc" "src/eval/CMakeFiles/hdd_eval.dir/tuning.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hdd_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/smart/CMakeFiles/hdd_smart.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/hdd_data.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

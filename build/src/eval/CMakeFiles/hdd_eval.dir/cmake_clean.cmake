@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hdd_eval.dir/detection.cpp.o"
+  "CMakeFiles/hdd_eval.dir/detection.cpp.o.d"
+  "CMakeFiles/hdd_eval.dir/tuning.cpp.o"
+  "CMakeFiles/hdd_eval.dir/tuning.cpp.o.d"
+  "libhdd_eval.a"
+  "libhdd_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hdd_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/forest/adaboost.cpp" "src/forest/CMakeFiles/hdd_forest.dir/adaboost.cpp.o" "gcc" "src/forest/CMakeFiles/hdd_forest.dir/adaboost.cpp.o.d"
+  "/root/repo/src/forest/random_forest.cpp" "src/forest/CMakeFiles/hdd_forest.dir/random_forest.cpp.o" "gcc" "src/forest/CMakeFiles/hdd_forest.dir/random_forest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hdd_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/tree/CMakeFiles/hdd_tree.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/hdd_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/smart/CMakeFiles/hdd_smart.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

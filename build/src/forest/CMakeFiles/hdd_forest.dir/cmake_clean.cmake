@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hdd_forest.dir/adaboost.cpp.o"
+  "CMakeFiles/hdd_forest.dir/adaboost.cpp.o.d"
+  "CMakeFiles/hdd_forest.dir/random_forest.cpp.o"
+  "CMakeFiles/hdd_forest.dir/random_forest.cpp.o.d"
+  "libhdd_forest.a"
+  "libhdd_forest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hdd_forest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

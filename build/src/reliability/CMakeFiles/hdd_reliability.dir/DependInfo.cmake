@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/reliability/markov.cpp" "src/reliability/CMakeFiles/hdd_reliability.dir/markov.cpp.o" "gcc" "src/reliability/CMakeFiles/hdd_reliability.dir/markov.cpp.o.d"
+  "/root/repo/src/reliability/raid.cpp" "src/reliability/CMakeFiles/hdd_reliability.dir/raid.cpp.o" "gcc" "src/reliability/CMakeFiles/hdd_reliability.dir/raid.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hdd_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

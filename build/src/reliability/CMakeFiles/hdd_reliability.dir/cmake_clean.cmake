@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hdd_reliability.dir/markov.cpp.o"
+  "CMakeFiles/hdd_reliability.dir/markov.cpp.o.d"
+  "CMakeFiles/hdd_reliability.dir/raid.cpp.o"
+  "CMakeFiles/hdd_reliability.dir/raid.cpp.o.d"
+  "libhdd_reliability.a"
+  "libhdd_reliability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hdd_reliability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hdd_sim.dir/generator.cpp.o"
+  "CMakeFiles/hdd_sim.dir/generator.cpp.o.d"
+  "CMakeFiles/hdd_sim.dir/profile.cpp.o"
+  "CMakeFiles/hdd_sim.dir/profile.cpp.o.d"
+  "libhdd_sim.a"
+  "libhdd_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hdd_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/smart/attributes.cpp" "src/smart/CMakeFiles/hdd_smart.dir/attributes.cpp.o" "gcc" "src/smart/CMakeFiles/hdd_smart.dir/attributes.cpp.o.d"
+  "/root/repo/src/smart/drive.cpp" "src/smart/CMakeFiles/hdd_smart.dir/drive.cpp.o" "gcc" "src/smart/CMakeFiles/hdd_smart.dir/drive.cpp.o.d"
+  "/root/repo/src/smart/features.cpp" "src/smart/CMakeFiles/hdd_smart.dir/features.cpp.o" "gcc" "src/smart/CMakeFiles/hdd_smart.dir/features.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hdd_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hdd_smart.dir/attributes.cpp.o"
+  "CMakeFiles/hdd_smart.dir/attributes.cpp.o.d"
+  "CMakeFiles/hdd_smart.dir/drive.cpp.o"
+  "CMakeFiles/hdd_smart.dir/drive.cpp.o.d"
+  "CMakeFiles/hdd_smart.dir/features.cpp.o"
+  "CMakeFiles/hdd_smart.dir/features.cpp.o.d"
+  "libhdd_smart.a"
+  "libhdd_smart.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hdd_smart.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

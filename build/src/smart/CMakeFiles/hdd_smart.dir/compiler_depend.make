@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for hdd_smart.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hdd_stats.dir/feature_select.cpp.o"
+  "CMakeFiles/hdd_stats.dir/feature_select.cpp.o.d"
+  "CMakeFiles/hdd_stats.dir/nonparametric.cpp.o"
+  "CMakeFiles/hdd_stats.dir/nonparametric.cpp.o.d"
+  "libhdd_stats.a"
+  "libhdd_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hdd_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

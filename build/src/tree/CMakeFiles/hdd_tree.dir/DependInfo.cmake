@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tree/tree.cpp" "src/tree/CMakeFiles/hdd_tree.dir/tree.cpp.o" "gcc" "src/tree/CMakeFiles/hdd_tree.dir/tree.cpp.o.d"
+  "/root/repo/src/tree/tree_io.cpp" "src/tree/CMakeFiles/hdd_tree.dir/tree_io.cpp.o" "gcc" "src/tree/CMakeFiles/hdd_tree.dir/tree_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hdd_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/smart/CMakeFiles/hdd_smart.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/hdd_data.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hdd_tree.dir/tree.cpp.o"
+  "CMakeFiles/hdd_tree.dir/tree.cpp.o.d"
+  "CMakeFiles/hdd_tree.dir/tree_io.cpp.o"
+  "CMakeFiles/hdd_tree.dir/tree_io.cpp.o.d"
+  "libhdd_tree.a"
+  "libhdd_tree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hdd_tree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hdd_update.dir/strategies.cpp.o"
+  "CMakeFiles/hdd_update.dir/strategies.cpp.o.d"
+  "libhdd_update.a"
+  "libhdd_update.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hdd_update.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

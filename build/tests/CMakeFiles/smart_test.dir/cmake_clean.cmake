@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smart_test.dir/smart_test.cpp.o"
+  "CMakeFiles/smart_test.dir/smart_test.cpp.o.d"
+  "smart_test"
+  "smart_test.pdb"
+  "smart_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smart_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

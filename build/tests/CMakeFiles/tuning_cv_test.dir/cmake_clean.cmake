@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tuning_cv_test.dir/tuning_cv_test.cpp.o"
+  "CMakeFiles/tuning_cv_test.dir/tuning_cv_test.cpp.o.d"
+  "tuning_cv_test"
+  "tuning_cv_test.pdb"
+  "tuning_cv_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tuning_cv_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

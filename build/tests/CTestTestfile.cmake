@@ -1,0 +1,26 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/smart_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/tree_test[1]_include.cmake")
+include("/root/repo/build/tests/stats_test[1]_include.cmake")
+include("/root/repo/build/tests/data_test[1]_include.cmake")
+include("/root/repo/build/tests/eval_test[1]_include.cmake")
+include("/root/repo/build/tests/reliability_test[1]_include.cmake")
+include("/root/repo/build/tests/ann_test[1]_include.cmake")
+include("/root/repo/build/tests/forest_test[1]_include.cmake")
+include("/root/repo/build/tests/core_test[1]_include.cmake")
+include("/root/repo/build/tests/update_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/baselines_test[1]_include.cmake")
+include("/root/repo/build/tests/hmm_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/model_io_test[1]_include.cmake")
+include("/root/repo/build/tests/svm_test[1]_include.cmake")
+include("/root/repo/build/tests/tuning_cv_test[1]_include.cmake")
+include("/root/repo/build/tests/cli_test[1]_include.cmake")

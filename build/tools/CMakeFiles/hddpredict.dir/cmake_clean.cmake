@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hddpredict.dir/hddpredict.cpp.o"
+  "CMakeFiles/hddpredict.dir/hddpredict.cpp.o.d"
+  "hddpredict"
+  "hddpredict.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hddpredict.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
