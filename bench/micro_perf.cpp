@@ -1,12 +1,21 @@
 // Micro-benchmarks (google-benchmark): throughput of the hot paths — trace
-// generation, feature extraction, CART fit/predict, MLP fit/predict, the
-// rank-sum test, and the Markov solver. These bound how large a fleet one
-// monitoring node can score in real time.
+// generation, feature extraction, CART fit/predict, MLP fit/predict,
+// batch-vs-scalar prediction, fleet scoring, the rank-sum test, and the
+// Markov solver. These bound how large a fleet one monitoring node can
+// score in real time.
 #include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <span>
+#include <vector>
 
 #include "ann/mlp.h"
 #include "common/rng.h"
+#include "common/thread_pool.h"
+#include "core/fleet.h"
+#include "core/scorer.h"
 #include "data/matrix.h"
+#include "eval/detection.h"
 #include "reliability/raid.h"
 #include "sim/generator.h"
 #include "smart/features.h"
@@ -112,6 +121,175 @@ void BM_MlpPredict(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_MlpPredict);
+
+// --- Batch vs scalar prediction ---------------------------------------------
+
+void BM_TreePredictBatch(benchmark::State& state) {
+  const auto m = make_training_matrix(20000);
+  tree::DecisionTree t;
+  t.fit(m, tree::Task::kClassification, tree::TreeParams{});
+  std::vector<double> out(m.rows());
+  for (auto _ : state) {
+    t.predict_batch(m, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(m.rows()));
+}
+BENCHMARK(BM_TreePredictBatch);
+
+void BM_MlpPredictBatch(benchmark::State& state) {
+  const auto m = make_training_matrix(5000);
+  ann::MlpConfig cfg;
+  cfg.epochs = 5;
+  ann::MlpModel model;
+  model.fit(m, cfg);
+  std::vector<double> out(m.rows());
+  for (auto _ : state) {
+    model.predict_batch(m, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(m.rows()));
+}
+BENCHMARK(BM_MlpPredictBatch);
+
+// --- Fleet scoring ----------------------------------------------------------
+
+// Bench-local scorer over a trained CART, so the fleet benchmarks measure
+// the engine rather than FailurePredictor training.
+class BenchTreeScorer final : public core::SampleScorer {
+ public:
+  explicit BenchTreeScorer(std::size_t train_rows) {
+    tree_.fit(make_training_matrix(train_rows), tree::Task::kClassification,
+              tree::TreeParams{});
+  }
+  double predict(std::span<const float> x) const override {
+    return tree_.predict(x);
+  }
+  void predict_batch(std::span<const float> xs,
+                     std::span<double> out) const override {
+    tree_.predict_batch(xs, out);
+  }
+  int num_features() const override { return tree_.num_features(); }
+  std::string summary() const override { return "bench tree"; }
+
+ private:
+  tree::DecisionTree tree_;
+};
+
+// A voting config that never alarms (outputs lie in [-1, 1]), so the fleet
+// benchmarks measure steady-state scoring, not alarm early-exit.
+eval::VoteConfig never_alarm_vote() {
+  eval::VoteConfig vote;
+  vote.voters = 11;
+  vote.average_mode = true;
+  vote.threshold = -2.0;
+  return vote;
+}
+
+// Baseline: what fleet scoring costs through the scalar, one-row-at-a-time
+// API — a std::function call plus per-drive state push per drive per
+// interval — single-threaded.
+void BM_FleetIntervalScalar(benchmark::State& state) {
+  const auto n_drives = static_cast<std::size_t>(state.range(0));
+  const BenchTreeScorer scorer(20000);
+  const auto snapshot = make_training_matrix(n_drives);
+  const eval::SampleModel model = [&scorer](std::span<const float> x) {
+    return scorer.predict(x);
+  };
+  std::vector<core::DriveVoteState> states(
+      n_drives, core::DriveVoteState(never_alarm_vote()));
+  std::int64_t hour = 0;
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < n_drives; ++i) {
+      states[i].push(hour, model(snapshot.row(i)));
+    }
+    ++hour;
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(n_drives));
+}
+BENCHMARK(BM_FleetIntervalScalar)->Arg(10000)->Unit(benchmark::kMicrosecond);
+
+// The batched engine on the same workload: FleetScorer::observe_interval
+// (blocked predict_batch spread over the thread pool).
+void BM_FleetIntervalBatched(benchmark::State& state) {
+  const auto n_drives = static_cast<std::size_t>(state.range(0));
+  const BenchTreeScorer scorer(20000);
+  const auto snapshot = make_training_matrix(n_drives);
+  core::FleetScorerConfig cfg;
+  cfg.features = smart::stat13_features();
+  cfg.vote = never_alarm_vote();
+  core::FleetScorer fleet(scorer, cfg);
+  for (std::size_t i = 0; i < n_drives; ++i) {
+    fleet.add_drive(std::to_string(i));
+  }
+  std::int64_t hour = 0;
+  for (auto _ : state) {
+    fleet.observe_interval(snapshot, hour);
+    ++hour;
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(n_drives));
+}
+BENCHMARK(BM_FleetIntervalBatched)->Arg(10000)->Unit(benchmark::kMicrosecond)
+    ->UseRealTime();
+
+// End-to-end record replay (feature extraction + scoring + voting) through
+// the scalar eval path vs the batched engine.
+data::DriveDataset make_bench_fleet(std::size_t n_drives) {
+  const sim::TraceGenerator gen(sim::family_w_profile(), 42, 0);
+  data::DriveDataset ds;
+  for (std::size_t i = 0; i < n_drives; ++i) {
+    const auto latent =
+        gen.make_latent(static_cast<std::int64_t>(i), false, 168);
+    auto record = gen.materialize(latent, 0, 167, 1);
+    record.serial = "bench-" + std::to_string(i);
+    ds.drives.push_back(std::move(record));
+  }
+  return ds;
+}
+
+void BM_FleetReplayScalar(benchmark::State& state) {
+  const auto n_drives = static_cast<std::size_t>(state.range(0));
+  const BenchTreeScorer scorer(20000);
+  const auto ds = make_bench_fleet(n_drives);
+  const auto fs = smart::stat13_features();
+  const auto vote = never_alarm_vote();
+  const eval::SampleModel model = [&scorer](std::span<const float> x) {
+    return scorer.predict(x);
+  };
+  for (auto _ : state) {
+    std::size_t alarms = 0;
+    for (const auto& d : ds.drives) {
+      const auto scores = eval::score_record(d, 0, fs, model);
+      alarms += eval::vote_drive(scores, vote).alarmed ? 1 : 0;
+    }
+    benchmark::DoNotOptimize(alarms);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(n_drives));
+}
+BENCHMARK(BM_FleetReplayScalar)->Arg(500)->Unit(benchmark::kMillisecond);
+
+void BM_FleetReplayBatched(benchmark::State& state) {
+  const auto n_drives = static_cast<std::size_t>(state.range(0));
+  const BenchTreeScorer scorer(20000);
+  const auto ds = make_bench_fleet(n_drives);
+  core::FleetScorerConfig cfg;
+  cfg.features = smart::stat13_features();
+  cfg.vote = never_alarm_vote();
+  core::FleetScorer fleet(scorer, cfg);
+  for (auto _ : state) {
+    const auto outcomes = fleet.replay(ds);
+    benchmark::DoNotOptimize(outcomes.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(n_drives));
+}
+BENCHMARK(BM_FleetReplayBatched)->Arg(500)->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
 
 void BM_RankSum(benchmark::State& state) {
   Rng rng(9);

@@ -22,7 +22,7 @@ int main(int argc, char** argv) {
   std::cout << "Simulating 8 weeks of drift over " << n_good
             << " good drives (scale " << scale << ")...\n\n";
 
-  const auto paper = hdd::core::paper_ct_config();
+  const auto paper = hdd::core::preset("ct");
   const hdd::update::ModelTrainer trainer =
       [&paper](const hdd::data::DataMatrix& m) {
         auto tree = std::make_shared<hdd::tree::DecisionTree>();

@@ -32,7 +32,7 @@ int main(int argc, char** argv) {
 
   // CT: tune the voter count.
   {
-    hdd::core::FailurePredictor ct(hdd::core::paper_ct_config());
+    hdd::core::FailurePredictor ct(hdd::core::preset("ct"));
     ct.fit(fleet, split);
     const auto scores = hdd::eval::score_dataset(
         fleet, split, ct.config().training.features, ct.sample_model());
@@ -81,7 +81,7 @@ int main(int argc, char** argv) {
   cv.folds = 3;
   const auto fdrs = hdd::data::cross_validate(
       fleet, cv, [&fleet](const hdd::data::DatasetSplit& fold) {
-        hdd::core::FailurePredictor p(hdd::core::paper_ct_config());
+        hdd::core::FailurePredictor p(hdd::core::preset("ct"));
         p.fit(fleet, fold);
         return p.evaluate(fleet, fold).fdr();
       });

@@ -31,7 +31,7 @@ int main(int argc, char** argv) {
 
   const auto split = hdd::data::split_dataset(fleet, {});
 
-  hdd::core::FailurePredictor predictor(hdd::core::paper_ct_config());
+  hdd::core::FailurePredictor predictor(hdd::core::preset("ct"));
   predictor.fit(fleet, split);
   std::cout << "\nTrained: " << predictor.describe() << "\n";
 

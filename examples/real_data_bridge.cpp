@@ -41,7 +41,7 @@ int main(int argc, char** argv) {
   const auto split = hdd::data::split_dataset(fleet, {});
 
   // Step 3: train the paper's CT configuration.
-  hdd::core::FailurePredictor predictor(hdd::core::paper_ct_config());
+  hdd::core::FailurePredictor predictor(hdd::core::preset("ct"));
   predictor.fit(fleet, split);
   std::cout << "Trained: " << predictor.describe() << "\n";
 

@@ -213,4 +213,22 @@ double MlpModel::predict(std::span<const float> x) const {
   return 2.0 * forward(x, hact) - 1.0;
 }
 
+void MlpModel::predict_batch(std::span<const float> xs,
+                             std::span<double> out) const {
+  HDD_ASSERT_MSG(trained(), "predict_batch on an untrained MLP");
+  const auto ni = static_cast<std::size_t>(inputs_);
+  HDD_ASSERT(xs.size() == out.size() * ni);
+  std::vector<double> hact(static_cast<std::size_t>(hidden_));
+  for (std::size_t r = 0; r < out.size(); ++r) {
+    out[r] = 2.0 * forward({xs.data() + r * ni, ni}, hact) - 1.0;
+  }
+}
+
+void MlpModel::predict_batch(const data::DataMatrix& m,
+                             std::span<double> out) const {
+  HDD_ASSERT(m.rows() == out.size());
+  HDD_ASSERT(m.cols() == inputs_);
+  predict_batch(m.features(), out);
+}
+
 }  // namespace hdd::ann

@@ -47,6 +47,13 @@ class MlpModel {
   // Margin in [-1, 1]; negative = failed.
   double predict(std::span<const float> x) const;
 
+  // Batch prediction over row-major rows (`xs.size()` must equal
+  // `out.size() * num_features()`). Evaluates the layers row by row against
+  // a reused activation buffer — no per-call allocation — with the same
+  // accumulation order as predict(), so outputs are bit-identical.
+  void predict_batch(std::span<const float> xs, std::span<double> out) const;
+  void predict_batch(const data::DataMatrix& m, std::span<double> out) const;
+
   int predict_label(std::span<const float> x) const {
     return predict(x) < 0.0 ? -1 : 1;
   }

@@ -56,25 +56,45 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
                               const std::function<void(std::size_t)>& fn) {
   if (begin >= end) return;
   const std::size_t n = end - begin;
-  if (n == 1) {
-    fn(begin);
+  // A single index, or a single-worker pool, gains nothing from the future
+  // machinery — run inline on the caller.
+  if (n == 1 || size() == 1) {
+    for (std::size_t i = begin; i < end; ++i) fn(i);
     return;
   }
-  // Chunked dynamic scheduling via a shared atomic cursor.
+  // Chunked dynamic scheduling via a shared atomic cursor. Once any task
+  // throws, the remaining indices are abandoned.
   std::atomic<std::size_t> next{begin};
+  std::atomic<bool> failed{false};
   const std::size_t n_workers = std::min(n, size());
   std::vector<std::future<void>> futures;
   futures.reserve(n_workers);
   for (std::size_t w = 0; w < n_workers; ++w) {
-    futures.push_back(submit([&next, end, &fn] {
+    futures.push_back(submit([&next, &failed, end, &fn] {
       for (;;) {
+        if (failed.load(std::memory_order_relaxed)) return;
         const std::size_t i = next.fetch_add(1);
         if (i >= end) return;
-        fn(i);
+        try {
+          fn(i);
+        } catch (...) {
+          failed.store(true, std::memory_order_relaxed);
+          throw;
+        }
       }
     }));
   }
-  for (auto& f : futures) f.get();
+  // Every future must be drained before the locals above leave scope, even
+  // when one of them holds an exception — so collect first, throw after.
+  std::exception_ptr first_error;
+  for (auto& f : futures) {
+    try {
+      f.get();
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
 }
 
 ThreadPool& ThreadPool::global() {

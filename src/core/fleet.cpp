@@ -1,0 +1,210 @@
+#include "core/fleet.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/error.h"
+#include "smart/features.h"
+
+namespace hdd::core {
+
+DriveVoteState::DriveVoteState(const eval::VoteConfig& vote) : vote_(vote) {
+  HDD_REQUIRE(vote_.voters >= 1, "voters must be >= 1");
+  ring_.assign(static_cast<std::size_t>(vote_.voters), 0.0f);
+}
+
+bool DriveVoteState::decide(std::size_t window) const {
+  if (vote_.average_mode) {
+    return output_sum_ / static_cast<double>(window) < vote_.threshold;
+  }
+  return static_cast<double>(failed_votes_) >
+         static_cast<double>(window) / 2.0;
+}
+
+bool DriveVoteState::push(std::int64_t hour, double output) {
+  if (alarmed_) return false;
+  ++seen_;
+  last_hour_ = hour;
+  // Outputs round through float exactly as eval::score_record stores them,
+  // so streaming decisions match the offline path bit for bit.
+  const float v = static_cast<float>(output);
+  const std::size_t want = ring_.size();
+  if (filled_ == want) {
+    const double old = ring_[head_];
+    if (old < 0.0) --failed_votes_;
+    output_sum_ -= old;
+  } else {
+    ++filled_;
+  }
+  ring_[head_] = v;
+  head_ = (head_ + 1) % want;
+  if (v < 0.0f) ++failed_votes_;
+  output_sum_ += v;
+  if (filled_ < want) return false;  // decisions start at a full window
+  if (decide(want)) {
+    alarmed_ = true;
+    alarm_hour_ = hour;
+    return true;
+  }
+  return false;
+}
+
+bool DriveVoteState::finish() {
+  if (alarmed_ || filled_ == 0 || filled_ >= ring_.size()) return false;
+  if (decide(filled_)) {
+    alarmed_ = true;
+    alarm_hour_ = last_hour_;
+    return true;
+  }
+  return false;
+}
+
+void DriveVoteState::reset() {
+  head_ = filled_ = failed_votes_ = 0;
+  output_sum_ = 0.0;
+  seen_ = 0;
+  last_hour_ = alarm_hour_ = -1;
+  alarmed_ = false;
+}
+
+FleetScorer::FleetScorer(const SampleScorer& scorer, FleetScorerConfig config)
+    : scorer_(&scorer), config_(std::move(config)) {
+  HDD_REQUIRE(config_.features.size() == scorer_->num_features(),
+              "fleet feature set width must match the model");
+  HDD_REQUIRE(config_.block_rows >= 1, "block_rows must be >= 1");
+  HDD_REQUIRE(config_.vote.voters >= 1, "voters must be >= 1");
+}
+
+ThreadPool& FleetScorer::pool() const {
+  return config_.pool ? *config_.pool : ThreadPool::global();
+}
+
+std::size_t FleetScorer::add_drive(std::string serial) {
+  serials_.push_back(std::move(serial));
+  states_.emplace_back(config_.vote);
+  return states_.size() - 1;
+}
+
+void FleetScorer::observe_interval(std::span<const float> xs,
+                                   std::int64_t hour) {
+  const auto nf = static_cast<std::size_t>(scorer_->num_features());
+  HDD_REQUIRE(xs.size() == states_.size() * nf,
+              "snapshot must hold one feature row per registered drive");
+  const std::size_t n = states_.size();
+  if (n == 0) return;
+  const std::size_t block = config_.block_rows;
+  const std::size_t n_blocks = (n + block - 1) / block;
+  scratch_.resize(n);  // reused across intervals; no steady-state allocation
+  pool().parallel_for(0, n_blocks, [&](std::size_t b) {
+    const std::size_t lo = b * block;
+    const std::size_t hi = std::min(lo + block, n);
+    // Blocks own disjoint slices of the scratch buffer and disjoint states,
+    // so no cross-thread writes.
+    scorer_->predict_batch(xs.subspan(lo * nf, (hi - lo) * nf),
+                           std::span<double>(scratch_.data() + lo, hi - lo));
+    for (std::size_t i = lo; i < hi; ++i) states_[i].push(hour, scratch_[i]);
+  });
+}
+
+void FleetScorer::observe_interval(const data::DataMatrix& m,
+                                   std::int64_t hour) {
+  HDD_REQUIRE(m.rows() == states_.size(),
+              "snapshot must hold one row per registered drive");
+  HDD_REQUIRE(m.cols() == scorer_->num_features(),
+              "snapshot width must match the model");
+  observe_interval(m.features(), hour);
+}
+
+std::size_t FleetScorer::alarm_count() const {
+  std::size_t n = 0;
+  for (const DriveVoteState& s : states_) n += s.alarmed() ? 1 : 0;
+  return n;
+}
+
+std::vector<std::size_t> FleetScorer::alarmed_drives() const {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < states_.size(); ++i) {
+    if (states_[i].alarmed()) out.push_back(i);
+  }
+  return out;
+}
+
+void FleetScorer::reset() {
+  for (DriveVoteState& s : states_) s.reset();
+}
+
+eval::DriveOutcome FleetScorer::replay_drive(const smart::DriveRecord& drive,
+                                             std::size_t begin) const {
+  DriveVoteState st(config_.vote);
+  const std::size_t n = drive.samples.size();
+  if (begin >= n) return st.outcome();
+  const std::size_t block = config_.block_rows;
+  std::vector<float> xbuf;
+  std::vector<double> obuf;
+  for (std::size_t base = begin; base < n && !st.alarmed(); base += block) {
+    const std::size_t hi = std::min(base + block, n);
+    xbuf.clear();
+    smart::extract_features_block(drive, base, hi, config_.features, xbuf);
+    obuf.resize(hi - base);
+    scorer_->predict_batch(xbuf, obuf);
+    for (std::size_t i = base; i < hi; ++i) {
+      if (st.push(drive.samples[i].hour, obuf[i - base])) break;  // alarm
+    }
+  }
+  st.finish();
+  return st.outcome();
+}
+
+std::vector<eval::DriveOutcome> FleetScorer::replay(
+    const data::DriveDataset& dataset) const {
+  std::vector<eval::DriveOutcome> out(dataset.drives.size());
+  pool().parallel_for(0, dataset.drives.size(), [&](std::size_t i) {
+    out[i] = replay_drive(dataset.drives[i], 0);
+  });
+  return out;
+}
+
+eval::EvalResult FleetScorer::evaluate(const data::DriveDataset& dataset,
+                                       const data::DatasetSplit& split) const {
+  // The same jobs eval::score_dataset scores: good drives over their
+  // chronological test portion, failed drives over their whole record.
+  struct Job {
+    std::size_t drive;
+    std::size_t begin;
+  };
+  std::vector<Job> jobs;
+  for (std::size_t k = 0; k < split.good_drives.size(); ++k) {
+    const auto& d = dataset.drives[split.good_drives[k]];
+    const std::size_t begin = split.good_test_begin[k];
+    if (begin >= d.samples.size()) continue;
+    jobs.push_back({split.good_drives[k], begin});
+  }
+  for (std::size_t di : split.test_failed) {
+    if (dataset.drives[di].empty()) continue;
+    jobs.push_back({di, 0});
+  }
+
+  std::vector<eval::DriveOutcome> outcomes(jobs.size());
+  pool().parallel_for(0, jobs.size(), [&](std::size_t j) {
+    outcomes[j] = replay_drive(dataset.drives[jobs[j].drive], jobs[j].begin);
+  });
+
+  eval::EvalResult r;
+  for (std::size_t j = 0; j < jobs.size(); ++j) {
+    const auto& d = dataset.drives[jobs[j].drive];
+    const auto& o = outcomes[j];
+    if (d.failed) {
+      ++r.n_failed;
+      if (o.alarmed) {
+        ++r.detections;
+        r.tia_hours.push_back(static_cast<double>(d.fail_hour - o.alarm_hour));
+      }
+    } else {
+      ++r.n_good;
+      if (o.alarmed) ++r.false_alarms;
+    }
+  }
+  return r;
+}
+
+}  // namespace hdd::core

@@ -1,0 +1,133 @@
+// FleetScorer — batched, multi-threaded scoring of a whole drive fleet.
+//
+// The paper's deployment story (Section V-E) is a monitoring node that
+// scores every drive in a data center on each SMART sample interval. This
+// engine serves that workload in two modes:
+//
+//  * Streaming: register the fleet once (add_drive), then feed one feature
+//    row per drive per interval (observe_interval). The engine scores the
+//    snapshot through SampleScorer::predict_batch in row blocks spread over
+//    the thread pool, and advances a per-drive incremental voting window
+//    (DriveVoteState) — detection never rescans a drive's history.
+//  * Replay/evaluation: score whole DriveRecords (replay, evaluate) with
+//    block feature extraction, batch model calls, early exit at the first
+//    alarm, and parallelism across drives. Decisions are identical to
+//    eval::vote_drive over eval::score_record.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "core/scorer.h"
+#include "data/dataset.h"
+#include "data/split.h"
+#include "eval/detection.h"
+
+namespace hdd::core {
+
+struct FleetScorerConfig {
+  smart::FeatureSet features;
+  eval::VoteConfig vote;
+  // Rows per predict_batch call (and per parallel work item in streaming
+  // mode).
+  std::size_t block_rows = 256;
+  // nullptr = ThreadPool::global().
+  ThreadPool* pool = nullptr;
+};
+
+// Incremental sliding-window voting state for one drive: the decision rule
+// of eval::vote_drive maintained sample by sample over a ring buffer of the
+// last N model outputs.
+class DriveVoteState {
+ public:
+  explicit DriveVoteState(const eval::VoteConfig& vote);
+
+  // Feeds one model output; returns true exactly when this sample raises
+  // the drive's (first) alarm. No-op once alarmed. Decisions start once the
+  // window holds N samples.
+  bool push(std::int64_t hour, double output);
+
+  // Closes a record shorter than the voting window: such drives vote once
+  // over what they have (eval::vote_drive's short-record rule). Returns
+  // true if this raises the alarm.
+  bool finish();
+
+  bool alarmed() const { return alarmed_; }
+  std::int64_t alarm_hour() const { return alarm_hour_; }
+  std::int64_t samples_seen() const { return seen_; }
+  eval::DriveOutcome outcome() const { return {alarmed_, alarm_hour_}; }
+
+  // Forgets all observations (keeps the configuration).
+  void reset();
+
+ private:
+  bool decide(std::size_t window) const;
+
+  eval::VoteConfig vote_;
+  std::vector<float> ring_;  // last N outputs, circular
+  std::size_t head_ = 0;
+  std::size_t filled_ = 0;
+  std::size_t failed_votes_ = 0;
+  double output_sum_ = 0.0;
+  std::int64_t seen_ = 0;
+  std::int64_t last_hour_ = -1;
+  bool alarmed_ = false;
+  std::int64_t alarm_hour_ = -1;
+};
+
+class FleetScorer {
+ public:
+  // The scorer must outlive the FleetScorer.
+  FleetScorer(const SampleScorer& scorer, FleetScorerConfig config);
+
+  const FleetScorerConfig& config() const { return config_; }
+
+  // --- Streaming mode -------------------------------------------------------
+
+  // Registers a drive; returns its fleet index.
+  std::size_t add_drive(std::string serial);
+  std::size_t size() const { return states_.size(); }
+  const std::string& serial(std::size_t i) const { return serials_[i]; }
+  const DriveVoteState& state(std::size_t i) const { return states_[i]; }
+
+  // Scores one interval snapshot: row i of the row-major block (or matrix)
+  // is drive i's current feature row. Batched + parallel; per-drive voting
+  // state advances incrementally. Already-alarmed drives keep their alarm.
+  void observe_interval(std::span<const float> xs, std::int64_t hour);
+  void observe_interval(const data::DataMatrix& m, std::int64_t hour);
+
+  std::size_t alarm_count() const;
+  std::vector<std::size_t> alarmed_drives() const;
+
+  // Clears every drive's voting state (the registry stays).
+  void reset();
+
+  // --- Replay / evaluation mode ---------------------------------------------
+
+  // Scores every drive's record from its first sample; returns one outcome
+  // per dataset drive. Parallel across drives, batch within a drive, early
+  // exit at the first alarm.
+  std::vector<eval::DriveOutcome> replay(
+      const data::DriveDataset& dataset) const;
+
+  // Split-aware evaluation: identical results to eval::evaluate with the
+  // same features/vote, via the batched engine.
+  eval::EvalResult evaluate(const data::DriveDataset& dataset,
+                            const data::DatasetSplit& split) const;
+
+ private:
+  eval::DriveOutcome replay_drive(const smart::DriveRecord& drive,
+                                  std::size_t begin) const;
+  ThreadPool& pool() const;
+
+  const SampleScorer* scorer_;
+  FleetScorerConfig config_;
+  std::vector<std::string> serials_;
+  std::vector<DriveVoteState> states_;
+  std::vector<double> scratch_;  // interval model outputs, reused per call
+};
+
+}  // namespace hdd::core

@@ -14,7 +14,42 @@ const char* model_type_name(ModelType t) {
     case ModelType::kRandomForest: return "RandomForest";
     case ModelType::kAdaBoost: return "AdaBoost";
   }
-  return "?";
+  throw ConfigError("model_type_name: out-of-range ModelType value " +
+                    std::to_string(static_cast<int>(t)));
+}
+
+void PredictorConfig::validate() const {
+  model_type_name(model);  // rejects out-of-range enum values
+  HDD_REQUIRE(!training.features.specs.empty(),
+              "predictor needs a non-empty feature set");
+  HDD_REQUIRE(training.good_samples_per_drive >= 1,
+              "training.good_samples_per_drive must be >= 1");
+  HDD_REQUIRE(training.failed_window_hours >= 1,
+              "training.failed_window_hours must be >= 1");
+  HDD_REQUIRE(training.failed_samples_per_drive >= 0,
+              "training.failed_samples_per_drive must be >= 0");
+  HDD_REQUIRE(training.failed_prior < 1.0,
+              "training.failed_prior must be < 1 (1 would erase good drives)");
+  HDD_REQUIRE(training.loss_false_alarm > 0.0,
+              "training.loss_false_alarm must be positive");
+  HDD_REQUIRE(training.loss_missed_detection > 0.0,
+              "training.loss_missed_detection must be positive");
+  HDD_REQUIRE(vote.voters >= 1, "vote.voters must be >= 1");
+  switch (model) {
+    case ModelType::kClassificationTree:
+    case ModelType::kRegressionTree:
+      tree_params.validate();
+      break;
+    case ModelType::kBpAnn:
+      ann.validate();
+      break;
+    case ModelType::kRandomForest:
+      forest.validate();
+      break;
+    case ModelType::kAdaBoost:
+      adaboost.validate();
+      break;
+  }
 }
 
 PredictorConfig paper_ct_config() {
@@ -55,65 +90,51 @@ PredictorConfig paper_rt_classifier_config() {
   return c;
 }
 
+namespace {
+constexpr PresetInfo kPresets[] = {
+    {"ct", "paper CT: stat13, 168 h window, 10:1 loss, 11 voters",
+     &paper_ct_config},
+    {"ann", "BP ANN baseline per [11]: 13-13-1, 12 h window",
+     &paper_ann_config},
+    {"rt", "RT classifier control (Figure 10, average-mode vote)",
+     &paper_rt_classifier_config},
+};
+}  // namespace
+
+std::span<const PresetInfo> presets() { return kPresets; }
+
+PredictorConfig preset(std::string_view name) {
+  for (const PresetInfo& p : kPresets) {
+    if (p.name == name) return p.make();
+  }
+  std::ostringstream os;
+  os << "unknown preset \"" << name << "\" (known:";
+  for (const PresetInfo& p : kPresets) os << ' ' << p.name;
+  os << ')';
+  throw ConfigError(os.str());
+}
+
 FailurePredictor::FailurePredictor(PredictorConfig config)
     : config_(std::move(config)) {
-  HDD_REQUIRE(!config_.training.features.specs.empty(),
-              "predictor needs a non-empty feature set");
+  config_.validate();
 }
 
 void FailurePredictor::fit(const data::DriveDataset& dataset,
                            const data::DatasetSplit& split) {
   const auto matrix =
       data::build_training_matrix(dataset, split, config_.training);
-  tree_.reset();
-  ann_.reset();
-  forest_.reset();
-  adaboost_.reset();
-  switch (config_.model) {
-    case ModelType::kClassificationTree:
-      tree_.emplace();
-      tree_->fit(matrix, tree::Task::kClassification, config_.tree_params);
-      break;
-    case ModelType::kRegressionTree:
-      tree_.emplace();
-      tree_->fit(matrix, tree::Task::kRegression, config_.tree_params);
-      break;
-    case ModelType::kBpAnn:
-      ann_.emplace();
-      ann_->fit(matrix, config_.ann);
-      break;
-    case ModelType::kRandomForest:
-      forest_.emplace();
-      forest_->fit(matrix, tree::Task::kClassification, config_.forest);
-      break;
-    case ModelType::kAdaBoost:
-      adaboost_.emplace();
-      adaboost_->fit(matrix, config_.adaboost);
-      break;
-  }
+  scorer_.reset();
+  scorer_ = fit_scorer(config_, matrix);
 }
 
-bool FailurePredictor::trained() const {
-  return tree_.has_value() || ann_.has_value() || forest_.has_value() ||
-         adaboost_.has_value();
+const SampleScorer& FailurePredictor::scorer() const {
+  HDD_REQUIRE(trained(), "predictor is not trained");
+  return *scorer_;
 }
 
 eval::SampleModel FailurePredictor::sample_model() const {
-  HDD_REQUIRE(trained(), "predictor is not trained");
-  if (tree_) {
-    const tree::DecisionTree* t = &*tree_;
-    return [t](std::span<const float> x) { return t->predict(x); };
-  }
-  if (ann_) {
-    const ann::MlpModel* m = &*ann_;
-    return [m](std::span<const float> x) { return m->predict(x); };
-  }
-  if (forest_) {
-    const forest::RandomForest* f = &*forest_;
-    return [f](std::span<const float> x) { return f->predict(x); };
-  }
-  const forest::AdaBoost* a = &*adaboost_;
-  return [a](std::span<const float> x) { return a->predict(x); };
+  const SampleScorer* s = &scorer();
+  return [s](std::span<const float> x) { return s->predict(x); };
 }
 
 double FailurePredictor::score_sample(const smart::DriveRecord& drive,
@@ -121,7 +142,7 @@ double FailurePredictor::score_sample(const smart::DriveRecord& drive,
   const auto row = smart::extract_features(drive, sample_index,
                                            config_.training.features);
   HDD_REQUIRE(row.has_value(), "sample index out of range");
-  return sample_model()(*row);
+  return scorer().predict(*row);
 }
 
 eval::DriveOutcome FailurePredictor::detect(const smart::DriveRecord& drive,
@@ -135,12 +156,17 @@ eval::DriveOutcome FailurePredictor::detect(const smart::DriveRecord& drive,
 eval::EvalResult FailurePredictor::evaluate(
     const data::DriveDataset& dataset,
     const data::DatasetSplit& split) const {
-  return eval::evaluate(dataset, split, config_.training.features,
-                        sample_model(), config_.vote);
+  const SampleScorer* s = &scorer();
+  return eval::evaluate_batch(
+      dataset, split, config_.training.features,
+      [s](std::span<const float> xs, std::span<double> out) {
+        s->predict_batch(xs, out);
+      },
+      config_.vote);
 }
 
 const tree::DecisionTree* FailurePredictor::tree() const {
-  return tree_ ? &*tree_ : nullptr;
+  return scorer_ ? scorer_->tree() : nullptr;
 }
 
 std::string FailurePredictor::describe() const {
@@ -150,10 +176,7 @@ std::string FailurePredictor::describe() const {
      << config_.training.features.size() << " features), failed window "
      << config_.training.failed_window_hours << "h, voters "
      << config_.vote.voters;
-  if (tree_ && tree_->trained()) {
-    os << "; tree: " << tree_->node_count() << " nodes, depth "
-       << tree_->depth();
-  }
+  if (scorer_) os << "; " << scorer_->summary();
   return os.str();
 }
 

@@ -1,21 +1,30 @@
 // Public facade: one object that goes dataset -> trained failure predictor
 // -> drive-level detection, with the paper's configurations as ready-made
-// presets.
+// named presets.
 //
 // Quickstart:
 //   auto fleet  = hdd::sim::generate_fleet(hdd::sim::paper_fleet_config(0.05));
 //   auto split  = hdd::data::split_dataset(fleet, {});
-//   auto pred   = hdd::core::FailurePredictor(hdd::core::paper_ct_config());
+//   auto pred   = hdd::core::FailurePredictor(hdd::core::preset("ct"));
 //   pred.fit(fleet, split);
 //   auto result = pred.evaluate(fleet, split);
 //   // result.fdr(), result.far(), result.mean_tia()
+//
+// All model dispatch goes through the SampleScorer interface (scorer.h):
+// the facade trains whichever backend the config selects and keeps it
+// behind one polymorphic pointer, so new model types plug in without
+// touching this class. For scoring whole data centers per SMART interval —
+// batched, multi-threaded, with incremental per-drive voting — see
+// core::FleetScorer (fleet.h).
 #pragma once
 
 #include <memory>
-#include <optional>
+#include <span>
 #include <string>
+#include <string_view>
 
 #include "ann/mlp.h"
+#include "core/scorer.h"
 #include "data/training.h"
 #include "eval/detection.h"
 #include "forest/adaboost.h"
@@ -32,6 +41,7 @@ enum class ModelType {
   kAdaBoost,            // ablation from [11]
 };
 
+// Display name of a model type; throws ConfigError for out-of-range values.
 const char* model_type_name(ModelType t);
 
 struct PredictorConfig {
@@ -42,6 +52,11 @@ struct PredictorConfig {
   forest::ForestConfig forest;
   forest::AdaBoostConfig adaboost;
   eval::VoteConfig vote;
+
+  // Checks the voting/training parameters plus the parameters of the
+  // selected model; throws ConfigError with a specific message. Called by
+  // the FailurePredictor constructor.
+  void validate() const;
 };
 
 // The paper's published settings: CT with the stat13 features, 168 h failed
@@ -54,6 +69,19 @@ PredictorConfig paper_ann_config();
 // RT control group for Figure 10 (binary +1/-1 targets, average-mode vote).
 PredictorConfig paper_rt_classifier_config();
 
+// Named preset registry over the paper configurations above.
+struct PresetInfo {
+  std::string_view name;
+  std::string_view description;
+  PredictorConfig (*make)();
+};
+
+// All registered presets ("ct", "ann", "rt").
+std::span<const PresetInfo> presets();
+
+// Looks up a preset by name; throws ConfigError listing the known names.
+PredictorConfig preset(std::string_view name);
+
 class FailurePredictor {
  public:
   explicit FailurePredictor(PredictorConfig config);
@@ -63,7 +91,11 @@ class FailurePredictor {
   // Trains on the train side of the split.
   void fit(const data::DriveDataset& dataset, const data::DatasetSplit& split);
 
-  bool trained() const;
+  bool trained() const { return scorer_ != nullptr; }
+
+  // The trained model behind the polymorphic scorer interface — the hook
+  // for FleetScorer and batched evaluation. Throws if untrained.
+  const SampleScorer& scorer() const;
 
   // Sample-level model (margin in [-1,1], negative = failing).
   eval::SampleModel sample_model() const;
@@ -76,7 +108,7 @@ class FailurePredictor {
   eval::DriveOutcome detect(const smart::DriveRecord& drive,
                             std::size_t begin_index = 0) const;
 
-  // Full test-side evaluation.
+  // Full test-side evaluation (batched scoring, parallel across drives).
   eval::EvalResult evaluate(const data::DriveDataset& dataset,
                             const data::DatasetSplit& split) const;
 
@@ -88,11 +120,8 @@ class FailurePredictor {
 
  private:
   PredictorConfig config_;
-  // Exactly one of these is trained, per config_.model.
-  std::optional<tree::DecisionTree> tree_;
-  std::optional<ann::MlpModel> ann_;
-  std::optional<forest::RandomForest> forest_;
-  std::optional<forest::AdaBoost> adaboost_;
+  // The trained backend; model dispatch happens only inside fit_scorer().
+  std::unique_ptr<SampleScorer> scorer_;
 };
 
 }  // namespace hdd::core

@@ -1,0 +1,151 @@
+#include "core/scorer.h"
+
+#include <sstream>
+#include <utility>
+
+#include "ann/mlp.h"
+#include "common/error.h"
+#include "core/predictor.h"
+#include "forest/adaboost.h"
+#include "forest/random_forest.h"
+#include "tree/tree.h"
+
+namespace hdd::core {
+
+void SampleScorer::predict_batch(const data::DataMatrix& m,
+                                 std::span<double> out) const {
+  HDD_REQUIRE(m.rows() == out.size(),
+              "predict_batch output size must match the matrix rows");
+  HDD_REQUIRE(m.cols() == num_features(),
+              "predict_batch matrix width must match the model");
+  predict_batch(m.features(), out);
+}
+
+namespace {
+
+class TreeScorer final : public SampleScorer {
+ public:
+  TreeScorer(const data::DataMatrix& m, tree::Task task,
+             const tree::TreeParams& params) {
+    tree_.fit(m, task, params);
+  }
+
+  double predict(std::span<const float> x) const override {
+    return tree_.predict(x);
+  }
+  void predict_batch(std::span<const float> xs,
+                     std::span<double> out) const override {
+    tree_.predict_batch(xs, out);
+  }
+  int num_features() const override { return tree_.num_features(); }
+  const tree::DecisionTree* tree() const override { return &tree_; }
+  std::string summary() const override {
+    std::ostringstream os;
+    os << "tree: " << tree_.node_count() << " nodes, depth " << tree_.depth();
+    return os.str();
+  }
+
+ private:
+  tree::DecisionTree tree_;
+};
+
+class ForestScorer final : public SampleScorer {
+ public:
+  ForestScorer(const data::DataMatrix& m, const forest::ForestConfig& config)
+      : num_features_(m.cols()) {
+    forest_.fit(m, tree::Task::kClassification, config);
+  }
+
+  double predict(std::span<const float> x) const override {
+    return forest_.predict(x);
+  }
+  void predict_batch(std::span<const float> xs,
+                     std::span<double> out) const override {
+    forest_.predict_batch(xs, out);
+  }
+  int num_features() const override { return num_features_; }
+  std::string summary() const override {
+    std::ostringstream os;
+    os << "forest: " << forest_.tree_count() << " trees";
+    return os.str();
+  }
+
+ private:
+  forest::RandomForest forest_;
+  int num_features_;
+};
+
+class AdaBoostScorer final : public SampleScorer {
+ public:
+  AdaBoostScorer(const data::DataMatrix& m,
+                 const forest::AdaBoostConfig& config)
+      : num_features_(m.cols()) {
+    boost_.fit(m, config);
+  }
+
+  double predict(std::span<const float> x) const override {
+    return boost_.predict(x);
+  }
+  void predict_batch(std::span<const float> xs,
+                     std::span<double> out) const override {
+    boost_.predict_batch(xs, out);
+  }
+  int num_features() const override { return num_features_; }
+  std::string summary() const override {
+    std::ostringstream os;
+    os << "adaboost: " << boost_.round_count() << " rounds";
+    return os.str();
+  }
+
+ private:
+  forest::AdaBoost boost_;
+  int num_features_;
+};
+
+class MlpScorer final : public SampleScorer {
+ public:
+  MlpScorer(const data::DataMatrix& m, const ann::MlpConfig& config) {
+    mlp_.fit(m, config);
+  }
+
+  double predict(std::span<const float> x) const override {
+    return mlp_.predict(x);
+  }
+  void predict_batch(std::span<const float> xs,
+                     std::span<double> out) const override {
+    mlp_.predict_batch(xs, out);
+  }
+  int num_features() const override { return mlp_.num_features(); }
+  std::string summary() const override {
+    std::ostringstream os;
+    os << "mlp: " << mlp_.num_features() << '-' << mlp_.hidden_units()
+       << "-1";
+    return os.str();
+  }
+
+ private:
+  ann::MlpModel mlp_;
+};
+
+}  // namespace
+
+std::unique_ptr<SampleScorer> fit_scorer(const PredictorConfig& config,
+                                         const data::DataMatrix& matrix) {
+  switch (config.model) {
+    case ModelType::kClassificationTree:
+      return std::make_unique<TreeScorer>(matrix, tree::Task::kClassification,
+                                          config.tree_params);
+    case ModelType::kRegressionTree:
+      return std::make_unique<TreeScorer>(matrix, tree::Task::kRegression,
+                                          config.tree_params);
+    case ModelType::kBpAnn:
+      return std::make_unique<MlpScorer>(matrix, config.ann);
+    case ModelType::kRandomForest:
+      return std::make_unique<ForestScorer>(matrix, config.forest);
+    case ModelType::kAdaBoost:
+      return std::make_unique<AdaBoostScorer>(matrix, config.adaboost);
+  }
+  throw ConfigError("fit_scorer: unknown ModelType");
+}
+
+}  // namespace hdd::core

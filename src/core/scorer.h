@@ -1,0 +1,57 @@
+// SampleScorer — the internal polymorphic seam between the FailurePredictor
+// facade and the concrete model backends (CART, random forest, AdaBoost,
+// BP ANN).
+//
+// Every backend scores a feature row to a margin in [-1, 1] (negative =
+// failing) and exposes a native batch path over row-major blocks, which is
+// what the fleet-scoring engine and the evaluation harness drive. Adding a
+// new model type means implementing this interface and registering it in
+// fit_scorer() — the facade and everything above it stay untouched.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+
+#include "data/matrix.h"
+
+namespace hdd::tree {
+class DecisionTree;
+}
+
+namespace hdd::core {
+
+struct PredictorConfig;
+
+class SampleScorer {
+ public:
+  virtual ~SampleScorer() = default;
+
+  // Margin/health of one feature row (negative = failing).
+  virtual double predict(std::span<const float> x) const = 0;
+
+  // Scores `out.size()` row-major rows (`xs.size()` must equal
+  // `out.size() * num_features()`). Implementations are bit-identical to
+  // calling predict() per row, just without the per-call overhead.
+  virtual void predict_batch(std::span<const float> xs,
+                             std::span<double> out) const = 0;
+
+  void predict_batch(const data::DataMatrix& m, std::span<double> out) const;
+
+  virtual int num_features() const = 0;
+
+  // One-line model description ("tree: 41 nodes, depth 7").
+  virtual std::string summary() const = 0;
+
+  // The underlying decision tree for tree-backed scorers (interpretability,
+  // persistence); null for every other backend.
+  virtual const tree::DecisionTree* tree() const { return nullptr; }
+};
+
+// Trains the model selected by `config.model` on the weighted matrix and
+// returns it behind the scorer interface. Throws ConfigError on invalid
+// model-specific parameters.
+std::unique_ptr<SampleScorer> fit_scorer(const PredictorConfig& config,
+                                         const data::DataMatrix& matrix);
+
+}  // namespace hdd::core

@@ -34,6 +34,10 @@ class DataMatrix {
   std::span<const float> targets() const { return y_; }
   std::span<const float> weights() const { return w_; }
 
+  // The whole feature block, row-major (rows() x cols()) — the input to the
+  // models' predict_batch fast paths.
+  std::span<const float> features() const { return x_; }
+
   // Sum of weights of rows with target < 0 / >= 0 (class masses for the
   // binary convention: failed = -1, good = +1).
   double weight_of_class(bool failed) const;

@@ -9,17 +9,19 @@
 
 namespace hdd::eval {
 
-std::vector<DriveScores> score_dataset(const data::DriveDataset& dataset,
-                                       const data::DatasetSplit& split,
-                                       const smart::FeatureSet& features,
-                                       const SampleModel& model) {
-  HDD_REQUIRE(static_cast<bool>(model), "null model");
+namespace {
 
-  struct Job {
-    std::size_t drive;
-    std::size_t begin;  // first sample index to score
-  };
-  std::vector<Job> jobs;
+// One drive to score: dataset index + first sample index of its test range
+// (good drives score their chronological test portion, failed drives their
+// whole record).
+struct ScoreJob {
+  std::size_t drive;
+  std::size_t begin;
+};
+
+std::vector<ScoreJob> collect_score_jobs(const data::DriveDataset& dataset,
+                                         const data::DatasetSplit& split) {
+  std::vector<ScoreJob> jobs;
   for (std::size_t k = 0; k < split.good_drives.size(); ++k) {
     const auto& d = dataset.drives[split.good_drives[k]];
     const std::size_t begin = split.good_test_begin[k];
@@ -30,11 +32,35 @@ std::vector<DriveScores> score_dataset(const data::DriveDataset& dataset,
     if (dataset.drives[di].empty()) continue;
     jobs.push_back({di, 0});
   }
+  return jobs;
+}
 
+}  // namespace
+
+std::vector<DriveScores> score_dataset(const data::DriveDataset& dataset,
+                                       const data::DatasetSplit& split,
+                                       const smart::FeatureSet& features,
+                                       const SampleModel& model) {
+  HDD_REQUIRE(static_cast<bool>(model), "null model");
+  const auto jobs = collect_score_jobs(dataset, split);
   std::vector<DriveScores> out(jobs.size());
   ThreadPool::global().parallel_for(0, jobs.size(), [&](std::size_t j) {
     out[j] = score_record(dataset.drives[jobs[j].drive], jobs[j].begin,
                           features, model);
+  });
+  return out;
+}
+
+std::vector<DriveScores> score_dataset_batch(
+    const data::DriveDataset& dataset, const data::DatasetSplit& split,
+    const smart::FeatureSet& features, const BatchSampleModel& model,
+    std::size_t block_rows) {
+  HDD_REQUIRE(static_cast<bool>(model), "null model");
+  const auto jobs = collect_score_jobs(dataset, split);
+  std::vector<DriveScores> out(jobs.size());
+  ThreadPool::global().parallel_for(0, jobs.size(), [&](std::size_t j) {
+    out[j] = score_record_batch(dataset.drives[jobs[j].drive], jobs[j].begin,
+                                features, model, block_rows);
   });
   return out;
 }
@@ -53,6 +79,35 @@ DriveScores score_record(const smart::DriveRecord& drive, std::size_t begin,
     const auto row = smart::extract_features(drive, i, features);
     s.hours.push_back(drive.samples[i].hour);
     s.outputs.push_back(static_cast<float>(model(*row)));
+  }
+  return s;
+}
+
+DriveScores score_record_batch(const smart::DriveRecord& drive,
+                               std::size_t begin,
+                               const smart::FeatureSet& features,
+                               const BatchSampleModel& model,
+                               std::size_t block_rows) {
+  HDD_REQUIRE(block_rows >= 1, "block_rows must be >= 1");
+  DriveScores s;
+  s.failed = drive.failed;
+  s.fail_hour = drive.fail_hour;
+  const std::size_t n = drive.samples.size();
+  if (begin >= n) return s;
+  s.hours.reserve(n - begin);
+  s.outputs.reserve(n - begin);
+  std::vector<float> xbuf;
+  std::vector<double> obuf;
+  for (std::size_t base = begin; base < n; base += block_rows) {
+    const std::size_t hi = std::min(base + block_rows, n);
+    xbuf.clear();
+    smart::extract_features_block(drive, base, hi, features, xbuf);
+    obuf.resize(hi - base);
+    model(xbuf, obuf);
+    for (std::size_t i = base; i < hi; ++i) {
+      s.hours.push_back(drive.samples[i].hour);
+      s.outputs.push_back(static_cast<float>(obuf[i - base]));
+    }
   }
   return s;
 }
@@ -128,6 +183,15 @@ EvalResult evaluate(const data::DriveDataset& dataset,
                     const smart::FeatureSet& features,
                     const SampleModel& model, const VoteConfig& config) {
   return evaluate_votes(score_dataset(dataset, split, features, model),
+                        config);
+}
+
+EvalResult evaluate_batch(const data::DriveDataset& dataset,
+                          const data::DatasetSplit& split,
+                          const smart::FeatureSet& features,
+                          const BatchSampleModel& model,
+                          const VoteConfig& config) {
+  return evaluate_votes(score_dataset_batch(dataset, split, features, model),
                         config);
 }
 

@@ -27,6 +27,11 @@ namespace hdd::eval {
 // A sample-level model: margin/health output, negative = failing.
 using SampleModel = std::function<double(std::span<const float>)>;
 
+// Batch sample-level model: scores `out.size()` row-major feature rows in
+// one call (the fast path of core::SampleScorer::predict_batch).
+using BatchSampleModel =
+    std::function<void(std::span<const float> xs, std::span<double> out)>;
+
 // Precomputed model outputs over one drive's evaluation range. Scoring is
 // separated from voting so that ROC sweeps over N / thresholds do not
 // re-extract features or re-run the model.
@@ -42,12 +47,27 @@ DriveScores score_record(const smart::DriveRecord& drive, std::size_t begin,
                          const smart::FeatureSet& features,
                          const SampleModel& model);
 
+// Batched variant of score_record: block feature extraction (no per-sample
+// allocation) + one model call per block of `block_rows` rows. Outputs are
+// identical to score_record when the batch model matches the scalar model.
+DriveScores score_record_batch(const smart::DriveRecord& drive,
+                               std::size_t begin,
+                               const smart::FeatureSet& features,
+                               const BatchSampleModel& model,
+                               std::size_t block_rows = 256);
+
 // Scores every test drive: good drives over their chronological test
 // portion, failed drives over their whole record. Parallelized.
 std::vector<DriveScores> score_dataset(const data::DriveDataset& dataset,
                                        const data::DatasetSplit& split,
                                        const smart::FeatureSet& features,
                                        const SampleModel& model);
+
+// Batched + parallel variant of score_dataset.
+std::vector<DriveScores> score_dataset_batch(
+    const data::DriveDataset& dataset, const data::DatasetSplit& split,
+    const smart::FeatureSet& features, const BatchSampleModel& model,
+    std::size_t block_rows = 256);
 
 struct VoteConfig {
   int voters = 11;           // N
@@ -92,6 +112,13 @@ EvalResult evaluate(const data::DriveDataset& dataset,
                     const data::DatasetSplit& split,
                     const smart::FeatureSet& features,
                     const SampleModel& model, const VoteConfig& config);
+
+// Batched one-call convenience (what FailurePredictor::evaluate uses).
+EvalResult evaluate_batch(const data::DriveDataset& dataset,
+                          const data::DatasetSplit& split,
+                          const smart::FeatureSet& features,
+                          const BatchSampleModel& model,
+                          const VoteConfig& config);
 
 // The paper's TIA histogram buckets (Figures 3-4): 0-24, 25-72, 73-168,
 // 169-336, 337-450+ hours. Returns counts per bucket.

@@ -79,4 +79,31 @@ double AdaBoost::predict(std::span<const float> x) const {
   return norm > 0.0 ? vote / norm : 0.0;
 }
 
+void AdaBoost::predict_batch(std::span<const float> xs,
+                             std::span<double> out) const {
+  HDD_ASSERT_MSG(trained(), "predict_batch on an untrained AdaBoost");
+  const auto nf =
+      static_cast<std::size_t>(members_.front().tree.num_features());
+  HDD_ASSERT(xs.size() == out.size() * nf);
+  std::fill(out.begin(), out.end(), 0.0);
+  double norm = 0.0;
+  for (const Member& member : members_) {
+    for (std::size_t r = 0; r < out.size(); ++r) {
+      const std::span<const float> x{xs.data() + r * nf, nf};
+      out[r] += member.alpha *
+                static_cast<double>(member.tree.predict_label(x));
+    }
+    norm += member.alpha;
+  }
+  for (double& v : out) v = norm > 0.0 ? v / norm : 0.0;
+}
+
+void AdaBoost::predict_batch(const data::DataMatrix& m,
+                             std::span<double> out) const {
+  HDD_ASSERT(m.rows() == out.size());
+  HDD_ASSERT(!members_.empty() &&
+             m.cols() == members_.front().tree.num_features());
+  predict_batch(m.features(), out);
+}
+
 }  // namespace hdd::forest

@@ -37,6 +37,13 @@ class AdaBoost {
     return predict(x) < 0.0 ? -1 : 1;
   }
 
+  // Batch prediction over row-major rows (`xs.size()` must equal
+  // `out.size() * num_features` of the weak learners). Member-outer
+  // iteration with the same per-row accumulation order as predict(), so
+  // outputs are bit-identical.
+  void predict_batch(std::span<const float> xs, std::span<double> out) const;
+  void predict_batch(const data::DataMatrix& m, std::span<double> out) const;
+
  private:
   struct Member {
     tree::DecisionTree tree;

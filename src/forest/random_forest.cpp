@@ -82,6 +82,34 @@ double RandomForest::predict(std::span<const float> x) const {
   return total / static_cast<double>(trees_.size());
 }
 
+void RandomForest::predict_batch(std::span<const float> xs,
+                                 std::span<double> out) const {
+  HDD_ASSERT_MSG(trained(), "predict_batch on an untrained forest");
+  const auto nf = static_cast<std::size_t>(num_features_);
+  HDD_ASSERT(xs.size() == out.size() * nf);
+  std::fill(out.begin(), out.end(), 0.0);
+  std::vector<float> sub;
+  for (const Member& member : trees_) {
+    sub.resize(member.features.size());
+    for (std::size_t r = 0; r < out.size(); ++r) {
+      const float* x = xs.data() + r * nf;
+      for (std::size_t f = 0; f < member.features.size(); ++f) {
+        sub[f] = x[static_cast<std::size_t>(member.features[f])];
+      }
+      out[r] += member.tree.predict(sub);
+    }
+  }
+  const auto n_trees = static_cast<double>(trees_.size());
+  for (double& v : out) v /= n_trees;
+}
+
+void RandomForest::predict_batch(const data::DataMatrix& m,
+                                 std::span<double> out) const {
+  HDD_ASSERT(m.rows() == out.size());
+  HDD_ASSERT(m.cols() == num_features_);
+  predict_batch(m.features(), out);
+}
+
 void RandomForest::save(std::ostream& os) const {
   HDD_REQUIRE(trained(), "cannot save an untrained forest");
   os << "hddpred-forest v1\n";

@@ -43,6 +43,14 @@ class RandomForest {
     return predict(x) < 0.0 ? -1 : 1;
   }
 
+  // Batch prediction over row-major rows (`xs.size()` must equal
+  // `out.size() * num_features()`). Iterates members in the outer loop so
+  // each tree and its feature gather stay cache-hot across the whole block;
+  // per-row accumulation order matches predict(), so outputs are
+  // bit-identical.
+  void predict_batch(std::span<const float> xs, std::span<double> out) const;
+  void predict_batch(const data::DataMatrix& m, std::span<double> out) const;
+
   // Importance averaged over trees (mapped back to the full feature space).
   std::vector<double> feature_importance() const;
 

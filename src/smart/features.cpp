@@ -100,6 +100,21 @@ std::optional<std::vector<float>> extract_features(const DriveRecord& drive,
   return row;
 }
 
+void extract_features_block(const DriveRecord& drive, std::size_t begin,
+                            std::size_t end, const FeatureSet& fs,
+                            std::vector<float>& out) {
+  HDD_REQUIRE(!fs.specs.empty(), "empty feature set");
+  HDD_REQUIRE(end <= drive.samples.size(),
+              "feature block end past the record");
+  if (begin >= end) return;
+  const std::size_t base = out.size();
+  out.resize(base + (end - begin) * fs.specs.size());
+  float* row = out.data() + base;
+  for (std::size_t i = begin; i < end; ++i, row += fs.specs.size()) {
+    fill_row(drive, i, fs, row);
+  }
+}
+
 std::size_t extract_features_range(const DriveRecord& drive,
                                    std::int64_t from_hour,
                                    std::int64_t to_hour, const FeatureSet& fs,

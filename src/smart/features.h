@@ -56,6 +56,13 @@ std::optional<std::vector<float>> extract_features(const DriveRecord& drive,
                                                    std::size_t index,
                                                    const FeatureSet& fs);
 
+// Extracts features for samples [begin, end) row-major into `out` (appended;
+// no per-row allocation) — the block-extraction path of the fleet-scoring
+// engine. `end` must not exceed the record length.
+void extract_features_block(const DriveRecord& drive, std::size_t begin,
+                            std::size_t end, const FeatureSet& fs,
+                            std::vector<float>& out);
+
 // Extracts features for every sample whose hour lies in [from_hour, to_hour]
 // (inclusive); appends row-major into `out` and the matching sample hours
 // into `hours`. Returns the number of rows appended.

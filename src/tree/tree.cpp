@@ -381,6 +381,41 @@ double DecisionTree::predict(std::span<const float> x) const {
   }
 }
 
+void DecisionTree::predict_batch(std::span<const float> xs,
+                                 std::span<double> out) const {
+  HDD_ASSERT_MSG(trained(), "predict_batch on an untrained tree");
+  const auto nf = static_cast<std::size_t>(num_features_);
+  HDD_ASSERT(xs.size() == out.size() * nf);
+  const Node* const nodes = nodes_.data();
+  // Row blocks keep the node array and a small stripe of input rows hot in
+  // cache while amortizing loop overhead over the block. Each row descends
+  // exactly as predict() does, so outputs are bit-identical.
+  constexpr std::size_t kBlock = 128;
+  const std::size_t n = out.size();
+  for (std::size_t base = 0; base < n; base += kBlock) {
+    const std::size_t hi = std::min(base + kBlock, n);
+    for (std::size_t r = base; r < hi; ++r) {
+      const float* x = xs.data() + r * nf;
+      std::int32_t idx = 0;
+      for (;;) {
+        const Node& node = nodes[idx];
+        if (node.is_leaf()) {
+          out[r] = node.value;
+          break;
+        }
+        idx = x[node.feature] < node.threshold ? node.left : node.right;
+      }
+    }
+  }
+}
+
+void DecisionTree::predict_batch(const data::DataMatrix& m,
+                                 std::span<double> out) const {
+  HDD_ASSERT(m.rows() == out.size());
+  HDD_ASSERT(m.cols() == num_features_);
+  predict_batch(m.features(), out);
+}
+
 std::vector<double> DecisionTree::feature_importance() const {
   std::vector<double> imp(static_cast<std::size_t>(num_features_), 0.0);
   if (nodes_.empty()) return imp;

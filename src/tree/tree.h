@@ -80,6 +80,12 @@ class DecisionTree {
   // Leaf value for one feature row (see header comment for semantics).
   double predict(std::span<const float> x) const;
 
+  // Batch prediction over row-major feature rows (`xs.size()` must equal
+  // `out.size() * num_features()`). Row-blocked traversal of the flat node
+  // array; outputs are bit-identical to calling predict() per row.
+  void predict_batch(std::span<const float> xs, std::span<double> out) const;
+  void predict_batch(const data::DataMatrix& m, std::span<double> out) const;
+
   // +1 (good) / -1 (failed).
   int predict_label(std::span<const float> x) const {
     return predict(x) < 0.0 ? -1 : 1;

@@ -245,6 +245,32 @@ TEST(ThreadPool, PropagatesExceptions) {
       std::runtime_error);
 }
 
+TEST(ThreadPool, ParallelForStressWithThrowingTasks) {
+  // Repeatedly fail a parallel_for from several workers at once. The pool
+  // must drain every in-flight task before parallel_for's locals go out of
+  // scope (no use-after-scope on the shared cursor) and must stay usable
+  // for the next round.
+  ThreadPool pool(4);
+  for (int round = 0; round < 25; ++round) {
+    bool threw = false;
+    try {
+      pool.parallel_for(0, 64, [round](std::size_t i) {
+        if (i % 5 == static_cast<std::size_t>(round % 5)) {
+          throw std::runtime_error("task failure");
+        }
+      });
+    } catch (const std::runtime_error& e) {
+      threw = true;
+      EXPECT_STREQ(e.what(), "task failure");
+    }
+    EXPECT_TRUE(threw) << "round " << round;
+
+    std::atomic<int> completed{0};
+    pool.parallel_for(0, 128, [&](std::size_t) { completed++; });
+    EXPECT_EQ(completed.load(), 128) << "round " << round;
+  }
+}
+
 TEST(ThreadPool, EmptyRangeIsNoop) {
   ThreadPool pool(2);
   pool.parallel_for(5, 5, [](std::size_t) { FAIL(); });

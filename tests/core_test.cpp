@@ -76,6 +76,95 @@ TEST(ModelTypeNames, AllDistinct) {
   EXPECT_STREQ(model_type_name(ModelType::kAdaBoost), "AdaBoost");
 }
 
+TEST(ModelTypeNames, OutOfRangeValueThrows) {
+  EXPECT_THROW(model_type_name(static_cast<ModelType>(99)), ConfigError);
+  EXPECT_THROW(model_type_name(static_cast<ModelType>(-1)), ConfigError);
+}
+
+// --- Preset registry --------------------------------------------------------
+
+TEST(Presets, RegistryCoversThePaperConfigs) {
+  const auto all = presets();
+  ASSERT_EQ(all.size(), 3u);
+  for (const auto& p : all) {
+    EXPECT_FALSE(p.name.empty());
+    EXPECT_FALSE(p.description.empty());
+    // Every registered preset builds a config that passes validation.
+    p.make().validate();
+  }
+
+  EXPECT_EQ(preset("ct").model, ModelType::kClassificationTree);
+  EXPECT_EQ(preset("ann").model, ModelType::kBpAnn);
+  EXPECT_EQ(preset("rt").model, ModelType::kRegressionTree);
+  EXPECT_TRUE(preset("rt").vote.average_mode);
+  // The registry resolves to the same settings as the underlying functions.
+  EXPECT_EQ(preset("ct").tree_params.min_split,
+            paper_ct_config().tree_params.min_split);
+  EXPECT_EQ(preset("ann").ann.epochs, paper_ann_config().ann.epochs);
+}
+
+TEST(Presets, UnknownNameThrowsListingKnownNames) {
+  try {
+    preset("banana");
+    FAIL() << "expected ConfigError";
+  } catch (const ConfigError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("banana"), std::string::npos);
+    EXPECT_NE(msg.find("ct"), std::string::npos);
+    EXPECT_NE(msg.find("ann"), std::string::npos);
+  }
+}
+
+// --- PredictorConfig::validate ----------------------------------------------
+
+TEST(PredictorConfigValidate, RejectsBadVotingAndTrainingParameters) {
+  {
+    auto cfg = paper_ct_config();
+    cfg.vote.voters = 0;
+    EXPECT_THROW(cfg.validate(), ConfigError);
+    EXPECT_THROW(FailurePredictor{cfg}, ConfigError);  // ctor validates
+  }
+  {
+    auto cfg = paper_ct_config();
+    cfg.training.failed_window_hours = 0;
+    EXPECT_THROW(cfg.validate(), ConfigError);
+  }
+  {
+    auto cfg = paper_ct_config();
+    cfg.training.failed_prior = 1.0;
+    EXPECT_THROW(cfg.validate(), ConfigError);
+  }
+  {
+    auto cfg = paper_ct_config();
+    cfg.training.good_samples_per_drive = 0;
+    EXPECT_THROW(cfg.validate(), ConfigError);
+  }
+  {
+    auto cfg = paper_ct_config();
+    cfg.training.loss_false_alarm = 0.0;
+    EXPECT_THROW(cfg.validate(), ConfigError);
+  }
+  {
+    auto cfg = paper_ct_config();
+    cfg.model = static_cast<ModelType>(42);
+    EXPECT_THROW(cfg.validate(), ConfigError);
+  }
+}
+
+TEST(PredictorConfigValidate, ChecksOnlyTheSelectedModelsParameters) {
+  auto cfg = paper_ct_config();
+  cfg.ann.hidden = 0;  // broken, but the ANN is not selected
+  cfg.validate();
+  cfg.model = ModelType::kBpAnn;
+  EXPECT_THROW(cfg.validate(), ConfigError);
+
+  cfg = paper_ct_config();
+  cfg.forest.n_trees = 0;
+  cfg.validate();
+  cfg.model = ModelType::kRandomForest;
+  EXPECT_THROW(cfg.validate(), ConfigError);
+}
+
 TEST_F(CoreFixture, CtModelTrainsAndDetects) {
   FailurePredictor p(paper_ct_config());
   EXPECT_FALSE(p.trained());

@@ -5,8 +5,11 @@
 
 #include <cmath>
 
+#include "ann/mlp.h"
 #include "common/rng.h"
 #include "eval/detection.h"
+#include "forest/adaboost.h"
+#include "forest/random_forest.h"
 #include "reliability/markov.h"
 #include "reliability/raid.h"
 #include "stats/nonparametric.h"
@@ -158,6 +161,108 @@ TEST(TreeTraversalProperty, PredictMatchesManualDescent) {
     EXPECT_DOUBLE_EQ(t.predict(x),
                      t.nodes()[static_cast<std::size_t>(idx)].value);
   }
+}
+
+// --- predict_batch is bit-identical to scalar predict ------------------------
+
+// The FleetScorer/evaluate_batch fast paths lean on exact equality between
+// the batched and row-at-a-time code paths (same accumulation order, same
+// rounding). EXPECT_EQ on doubles below is deliberate: identical, not close.
+
+data::DataMatrix random_rows(Rng& rng, std::size_t rows, std::size_t cols) {
+  data::DataMatrix m(static_cast<int>(cols));
+  std::vector<float> row(cols);
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (auto& v : row) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+    m.add_row(row, 0.0f, 1.0f);
+  }
+  return m;
+}
+
+template <typename Model>
+void expect_batch_matches_scalar(const Model& model,
+                                 const data::DataMatrix& queries,
+                                 const char* what) {
+  std::vector<double> batch(queries.rows());
+  model.predict_batch(queries, batch);
+  for (std::size_t r = 0; r < queries.rows(); ++r) {
+    ASSERT_EQ(batch[r], model.predict(queries.row(r)))
+        << what << " row " << r;
+  }
+  // The raw row-major span overload is the same code path.
+  std::vector<double> raw(queries.rows());
+  model.predict_batch(queries.features(), raw);
+  for (std::size_t r = 0; r < queries.rows(); ++r) {
+    ASSERT_EQ(raw[r], batch[r]) << what << " row " << r;
+  }
+}
+
+TEST(BatchPredictProperty, BitIdenticalToScalarForEveryModelType) {
+  Rng rng(47);
+  const std::size_t cols = 5;
+
+  data::DataMatrix cls_train(static_cast<int>(cols));
+  data::DataMatrix reg_train(static_cast<int>(cols));
+  std::vector<float> row(cols);
+  for (int i = 0; i < 600; ++i) {
+    for (auto& v : row) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+    const double margin = row[0] + 0.5 * row[1] + rng.normal(0.0, 0.3);
+    cls_train.add_row(row, margin < 0.0 ? -1.0f : 1.0f, 1.0f);
+    reg_train.add_row(row, static_cast<float>(margin), 1.0f);
+  }
+  // 257 rows: not a multiple of the trees' internal row block, so the tail
+  // block is exercised too.
+  const auto queries = random_rows(rng, 257, cols);
+
+  tree::TreeParams params;
+  params.min_split = 10;
+  params.min_bucket = 5;
+
+  tree::DecisionTree ct;
+  ct.fit(cls_train, tree::Task::kClassification, params);
+  ASSERT_GT(ct.node_count(), 1u);
+  expect_batch_matches_scalar(ct, queries, "CT");
+
+  tree::DecisionTree rt;
+  rt.fit(reg_train, tree::Task::kRegression, params);
+  ASSERT_GT(rt.node_count(), 1u);
+  expect_batch_matches_scalar(rt, queries, "RT");
+
+  forest::ForestConfig fc;
+  fc.n_trees = 12;
+  fc.tree_params = params;
+  forest::RandomForest rf;
+  rf.fit(cls_train, tree::Task::kClassification, fc);
+  expect_batch_matches_scalar(rf, queries, "RandomForest");
+
+  forest::AdaBoostConfig ac;
+  ac.n_rounds = 8;
+  forest::AdaBoost ab;
+  ab.fit(cls_train, ac);
+  expect_batch_matches_scalar(ab, queries, "AdaBoost");
+
+  ann::MlpConfig mc;
+  mc.hidden = 7;
+  mc.epochs = 40;
+  ann::MlpModel mlp;
+  mlp.fit(cls_train, mc);
+  expect_batch_matches_scalar(mlp, queries, "MLP");
+}
+
+TEST(BatchPredictProperty, EmptyBatchIsNoop) {
+  Rng rng(48);
+  const auto train = [&] {
+    data::DataMatrix m(2);
+    std::vector<float> row(2);
+    for (int i = 0; i < 100; ++i) {
+      for (auto& v : row) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+      m.add_row(row, row[0] < 0 ? -1.0f : 1.0f, 1.0f);
+    }
+    return m;
+  }();
+  tree::DecisionTree t;
+  t.fit(train, tree::Task::kClassification, {});
+  t.predict_batch(std::span<const float>{}, std::span<double>{});
 }
 
 // --- Rank-sum test vs brute-force U statistic --------------------------------

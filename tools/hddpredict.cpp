@@ -135,12 +135,13 @@ int cmd_features(const std::map<std::string, std::string>& flags) {
 int cmd_train(const std::map<std::string, std::string>& flags) {
   const auto fleet = data::load_csv_file(need(flags, "data"));
   const std::string model_path = need(flags, "model");
-  const std::string preset = get(flags, "preset", "ct");
 
-  core::PredictorConfig cfg;
-  if (preset == "ct") cfg = core::paper_ct_config();
-  else if (preset == "rt") cfg = core::paper_rt_classifier_config();
-  else usage("--preset must be ct or rt (only trees are persistable)");
+  // Resolved through the preset registry; unknown names throw with the
+  // registered names listed.
+  core::PredictorConfig cfg = core::preset(get(flags, "preset", "ct"));
+  HDD_REQUIRE(cfg.model == core::ModelType::kClassificationTree ||
+                  cfg.model == core::ModelType::kRegressionTree,
+              "train persists tree models only — use --preset ct or rt");
   cfg.training.failed_window_hours = std::stoi(
       get(flags, "window", std::to_string(cfg.training.failed_window_hours)));
   cfg.tree_params.cp =
