@@ -1,12 +1,14 @@
 // Micro-benchmarks (google-benchmark): throughput of the hot paths — trace
 // generation, feature extraction, CART fit/predict, MLP fit/predict,
-// batch-vs-scalar prediction, fleet scoring, the rank-sum test, and the
-// Markov solver. These bound how large a fleet one monitoring node can
-// score in real time.
+// batch-vs-scalar prediction, fleet scoring, the telemetry-store append and
+// recovery paths, the rank-sum test, and the Markov solver. These bound how
+// large a fleet one monitoring node can score (and journal) in real time.
 #include <benchmark/benchmark.h>
 
 #include <cstdint>
+#include <filesystem>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "ann/mlp.h"
@@ -20,6 +22,7 @@
 #include "sim/generator.h"
 #include "smart/features.h"
 #include "stats/nonparametric.h"
+#include "store/telemetry_store.h"
 #include "tree/tree.h"
 
 namespace {
@@ -290,6 +293,83 @@ void BM_FleetReplayBatched(benchmark::State& state) {
 }
 BENCHMARK(BM_FleetReplayBatched)->Arg(500)->Unit(benchmark::kMillisecond)
     ->UseRealTime();
+
+// --- Telemetry store -------------------------------------------------------
+
+smart::Sample bench_sample(std::int64_t hour) {
+  smart::Sample s;
+  s.hour = hour;
+  for (std::size_t a = 0; a < s.attrs.size(); ++a) {
+    s.attrs[a] = static_cast<float>(a) + 0.5f * static_cast<float>(hour % 97);
+  }
+  return s;
+}
+
+// Sustained append throughput (records/s) for a 64-drive fleet, including
+// the frame/CRC encoding and buffered stdio writes.
+void BM_StoreAppend(benchmark::State& state) {
+  namespace fs = std::filesystem;
+  const auto dir = fs::temp_directory_path() / "hdd_bench_store_append";
+  const std::size_t n_drives = 64;
+  const auto samples_per_iter = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    fs::remove_all(dir);
+    store::TelemetryStore store(dir.string());
+    std::vector<std::uint32_t> ids;
+    for (std::size_t d = 0; d < n_drives; ++d) {
+      ids.push_back(store.register_drive("bench-" + std::to_string(d)));
+    }
+    state.ResumeTiming();
+    std::int64_t hour = 0;
+    for (std::size_t k = 0; k < samples_per_iter; k += n_drives, ++hour) {
+      const auto s = bench_sample(hour);
+      for (const auto id : ids) store.append(id, s);
+    }
+    store.flush();
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(samples_per_iter));
+  fs::remove_all(dir);
+}
+BENCHMARK(BM_StoreAppend)->Arg(100000)->Unit(benchmark::kMillisecond);
+
+// Recovery cost on open: the full index-rebuilding scan of a log holding
+// range(0) samples (rotated segments included). This is the crash-restart
+// latency a monitoring node pays before it can resume scoring.
+void BM_StoreReopen(benchmark::State& state) {
+  namespace fs = std::filesystem;
+  const auto dir = fs::temp_directory_path() / "hdd_bench_store_reopen";
+  fs::remove_all(dir);
+  const auto n_samples = static_cast<std::size_t>(state.range(0));
+  const std::size_t n_drives = 64;
+  {
+    store::StoreOptions opt;
+    opt.segment_bytes = 4ull << 20;  // several rotations at the larger size
+    store::TelemetryStore store(dir.string(), opt);
+    std::vector<std::uint32_t> ids;
+    for (std::size_t d = 0; d < n_drives; ++d) {
+      ids.push_back(store.register_drive("bench-" + std::to_string(d)));
+    }
+    std::int64_t hour = 0;
+    for (std::size_t k = 0; k < n_samples; k += n_drives, ++hour) {
+      const auto s = bench_sample(hour);
+      for (const auto id : ids) store.append(id, s);
+    }
+    store.flush();
+  }
+  for (auto _ : state) {
+    store::TelemetryStore store(dir.string());
+    benchmark::DoNotOptimize(store.sample_count());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(n_samples));
+  fs::remove_all(dir);
+}
+BENCHMARK(BM_StoreReopen)
+    ->Arg(100000)
+    ->Arg(500000)
+    ->Unit(benchmark::kMillisecond);
 
 void BM_RankSum(benchmark::State& state) {
   Rng rng(9);

@@ -5,6 +5,7 @@
 
 #include "common/error.h"
 #include "smart/features.h"
+#include "store/telemetry_store.h"
 
 namespace hdd::core {
 
@@ -73,6 +74,16 @@ FleetScorer::FleetScorer(const SampleScorer& scorer, FleetScorerConfig config)
               "fleet feature set width must match the model");
   HDD_REQUIRE(config_.block_rows >= 1, "block_rows must be >= 1");
   HDD_REQUIRE(config_.vote.voters >= 1, "voters must be >= 1");
+  HDD_REQUIRE(config_.history_hours >= 0, "history_hours must be >= 0");
+  if (config_.history_hours > 0) {
+    history_hours_ = config_.history_hours;
+  } else {
+    int max_interval = 0;
+    for (const auto& spec : config_.features.specs) {
+      max_interval = std::max(max_interval, spec.change_interval_hours);
+    }
+    history_hours_ = std::max(24, 4 * max_interval);
+  }
 }
 
 ThreadPool& FleetScorer::pool() const {
@@ -80,6 +91,12 @@ ThreadPool& FleetScorer::pool() const {
 }
 
 std::size_t FleetScorer::add_drive(std::string serial) {
+  smart::DriveRecord rec;
+  rec.serial = serial;
+  history_.push_back(std::move(rec));
+  if (journal_ != nullptr) {
+    journal_ids_.push_back(journal_->register_drive(serial));
+  }
   serials_.push_back(std::move(serial));
   states_.emplace_back(config_.vote);
   return states_.size() - 1;
@@ -115,6 +132,159 @@ void FleetScorer::observe_interval(const data::DataMatrix& m,
   observe_interval(m.features(), hour);
 }
 
+void FleetScorer::attach_journal(store::TelemetryStore* store) {
+  journal_ = store;
+  journal_ids_.clear();
+  if (journal_ == nullptr) return;
+  journal_ids_.reserve(serials_.size());
+  for (const std::string& s : serials_) {
+    journal_ids_.push_back(journal_->register_drive(s));
+  }
+}
+
+void FleetScorer::push_history(std::size_t i, const smart::Sample& sample) {
+  auto& hist = history_[i].samples;
+  hist.push_back(sample);
+  // One deterministic trim rule shared by live scoring and resume_from():
+  // keep samples within history_hours_ of the newest. Identical windows ->
+  // identical feature rows -> identical alarms.
+  const std::int64_t min_hour = sample.hour - history_hours_;
+  std::size_t drop = 0;
+  while (drop + 1 < hist.size() && hist[drop].hour < min_hour) ++drop;
+  if (drop > 0) hist.erase(hist.begin(), hist.begin() + drop);
+}
+
+void FleetScorer::observe_samples(std::span<const smart::Sample> samples,
+                                  std::int64_t hour) {
+  HDD_REQUIRE(samples.size() == states_.size(),
+              "interval must hold one sample per registered drive");
+  const std::size_t n = states_.size();
+  if (n == 0) return;
+  for (std::size_t i = 0; i < n; ++i) {
+    HDD_REQUIRE(samples[i].hour == hour,
+                "every sample must carry the interval hour");
+  }
+  if (journal_ != nullptr) {
+    // Durability before scoring: the sample is on disk before it can raise
+    // an alarm. Skipping hours the store already holds makes re-observing
+    // an interval after resume_from() idempotent.
+    for (std::size_t i = 0; i < n; ++i) {
+      if (journal_->drive(journal_ids_[i]).last_hour < hour) {
+        journal_->append(journal_ids_[i], samples[i]);
+      }
+    }
+    journal_->flush();
+  }
+  const auto nf = static_cast<std::size_t>(config_.features.size());
+  const std::size_t block = config_.block_rows;
+  const std::size_t n_blocks = (n + block - 1) / block;
+  scratch_.resize(n);
+  pool().parallel_for(0, n_blocks, [&](std::size_t b) {
+    const std::size_t lo = b * block;
+    const std::size_t hi = std::min(lo + block, n);
+    std::vector<float> xbuf;
+    xbuf.reserve((hi - lo) * nf);
+    for (std::size_t i = lo; i < hi; ++i) {
+      push_history(i, samples[i]);
+      const std::size_t last = history_[i].samples.size() - 1;
+      smart::extract_features_block(history_[i], last, last + 1,
+                                    config_.features, xbuf);
+    }
+    scorer_->predict_batch(xbuf,
+                           std::span<double>(scratch_.data() + lo, hi - lo));
+    for (std::size_t i = lo; i < hi; ++i) states_[i].push(hour, scratch_[i]);
+  });
+}
+
+void FleetScorer::replay_drive_samples(
+    std::size_t i, std::span<const smart::Sample> samples) {
+  // No early exit at the first alarm: history must stay current through the
+  // whole log so post-resume feature rows match the uninterrupted run
+  // (push() is a no-op once alarmed, exactly as in live streaming).
+  const std::size_t block = config_.block_rows;
+  std::vector<float> xbuf;
+  std::vector<double> obuf;
+  for (std::size_t base = 0; base < samples.size(); base += block) {
+    const std::size_t hi = std::min(base + block, samples.size());
+    xbuf.clear();
+    for (std::size_t k = base; k < hi; ++k) {
+      push_history(i, samples[k]);
+      const std::size_t last = history_[i].samples.size() - 1;
+      smart::extract_features_block(history_[i], last, last + 1,
+                                    config_.features, xbuf);
+    }
+    obuf.resize(hi - base);
+    scorer_->predict_batch(xbuf, obuf);
+    for (std::size_t k = base; k < hi; ++k) {
+      states_[i].push(samples[k].hour, obuf[k - base]);
+    }
+  }
+}
+
+FleetScorer::ResumeResult FleetScorer::resume_from(store::TelemetryStore& store,
+                                                   bool drop_partial_tail) {
+  const std::size_t n_store = store.drive_count();
+  if (states_.empty()) {
+    for (std::uint32_t id = 0; id < n_store; ++id) {
+      add_drive(store.drive(id).serial);
+    }
+  } else {
+    HDD_REQUIRE(states_.size() == n_store,
+                "registry size must match the store");
+    for (std::uint32_t id = 0; id < n_store; ++id) {
+      HDD_REQUIRE(serials_[id] == store.drive(id).serial,
+                  "registry must match the store drive for drive");
+    }
+  }
+  reset();
+
+  std::vector<std::vector<smart::Sample>> per(states_.size());
+  for (std::uint32_t id = 0; id < n_store; ++id) {
+    per[id].reserve(store.drive(id).n_samples);
+  }
+  store.scan([&](std::uint32_t drive, const smart::Sample& s) {
+    per[drive].push_back(s);
+  });
+
+  std::int64_t hmax = -1;
+  for (const auto& v : per) {
+    if (!v.empty()) hmax = std::max(hmax, v.back().hour);
+  }
+  std::size_t partial_dropped = 0;
+  if (drop_partial_tail && hmax >= 0) {
+    bool all_reached = true;
+    for (const auto& v : per) {
+      if (v.empty() || v.back().hour != hmax) {
+        all_reached = false;
+        break;
+      }
+    }
+    if (!all_reached) {
+      // A crash mid-append left hour hmax on disk for only some drives.
+      // Drop the torn interval everywhere; re-observing hmax completes it.
+      for (auto& v : per) {
+        while (!v.empty() && v.back().hour == hmax) {
+          v.pop_back();
+          ++partial_dropped;
+        }
+      }
+    }
+  }
+
+  pool().parallel_for(0, per.size(), [&](std::size_t i) {
+    replay_drive_samples(i, per[i]);
+  });
+
+  ResumeResult r;
+  r.drives = per.size();
+  r.partial_dropped = partial_dropped;
+  for (const auto& v : per) {
+    r.samples_replayed += v.size();
+    if (!v.empty()) r.last_hour = std::max(r.last_hour, v.back().hour);
+  }
+  return r;
+}
+
 std::size_t FleetScorer::alarm_count() const {
   std::size_t n = 0;
   for (const DriveVoteState& s : states_) n += s.alarmed() ? 1 : 0;
@@ -131,6 +301,7 @@ std::vector<std::size_t> FleetScorer::alarmed_drives() const {
 
 void FleetScorer::reset() {
   for (DriveVoteState& s : states_) s.reset();
+  for (smart::DriveRecord& h : history_) h.samples.clear();
 }
 
 eval::DriveOutcome FleetScorer::replay_drive(const smart::DriveRecord& drive,

@@ -13,6 +13,11 @@
 //    block feature extraction, batch model calls, early exit at the first
 //    alarm, and parallelism across drives. Decisions are identical to
 //    eval::vote_drive over eval::score_record.
+//  * Journaled streaming: attach a store::TelemetryStore and feed raw SMART
+//    samples (observe_samples). Each interval is observed -> appended to the
+//    durable log -> scored; after a crash, resume_from() replays the log
+//    through the same bounded-history feature path, restoring every
+//    DriveVoteState so the continued run raises byte-identical alarms.
 #pragma once
 
 #include <cstdint>
@@ -25,6 +30,11 @@
 #include "data/dataset.h"
 #include "data/split.h"
 #include "eval/detection.h"
+#include "smart/drive.h"
+
+namespace hdd::store {
+class TelemetryStore;
+}
 
 namespace hdd::core {
 
@@ -34,6 +44,11 @@ struct FleetScorerConfig {
   // Rows per predict_batch call (and per parallel work item in streaming
   // mode).
   std::size_t block_rows = 256;
+  // Hours of raw-sample history kept per drive for change-rate features in
+  // journaled streaming mode; 0 = auto (4x the largest change interval of
+  // the feature set, at least 24 h). Live scoring and resume_from() trim
+  // with the same rule, which is what makes resumed decisions identical.
+  int history_hours = 0;
   // nullptr = ThreadPool::global().
   ThreadPool* pool = nullptr;
 };
@@ -105,6 +120,40 @@ class FleetScorer {
   // Clears every drive's voting state (the registry stays).
   void reset();
 
+  // --- Journaled streaming mode ---------------------------------------------
+
+  // Attaches a durable journal (nullptr detaches): every registered drive is
+  // registered in the store, and observe_samples appends each sample before
+  // scoring it. The store must outlive the attachment.
+  void attach_journal(store::TelemetryStore* store);
+  store::TelemetryStore* journal() const { return journal_; }
+
+  // Scores one interval of raw SMART telemetry: samples[i] is drive i's
+  // reading, all stamped `hour`. Order of operations per drive: append to
+  // the journal (if attached; skipped when the store already holds this
+  // hour, which makes re-observing an interval after a resume idempotent),
+  // push into the bounded history window, extract features, score, vote.
+  void observe_samples(std::span<const smart::Sample> samples,
+                       std::int64_t hour);
+
+  struct ResumeResult {
+    std::size_t drives = 0;
+    std::size_t samples_replayed = 0;
+    // Trailing samples dropped because their interval was torn mid-write
+    // (only with drop_partial_tail).
+    std::size_t partial_dropped = 0;
+    std::int64_t last_hour = -1;  // latest hour applied to voting state
+  };
+
+  // Restores every drive's voting state by replaying the store through the
+  // same history/extraction/scoring path observe_samples uses. With an
+  // empty registry the store's drives are adopted in id order; otherwise
+  // the registry must match the store drive for drive. drop_partial_tail
+  // discards a trailing interval that only some drives reached (a crash
+  // mid-append); re-observing that hour then completes it for everyone.
+  ResumeResult resume_from(store::TelemetryStore& store,
+                           bool drop_partial_tail = true);
+
   // --- Replay / evaluation mode ---------------------------------------------
 
   // Scores every drive's record from its first sample; returns one outcome
@@ -122,12 +171,21 @@ class FleetScorer {
   eval::DriveOutcome replay_drive(const smart::DriveRecord& drive,
                                   std::size_t begin) const;
   ThreadPool& pool() const;
+  void push_history(std::size_t i, const smart::Sample& sample);
+  void replay_drive_samples(std::size_t i,
+                            std::span<const smart::Sample> samples);
 
   const SampleScorer* scorer_;
   FleetScorerConfig config_;
+  int history_hours_ = 0;  // resolved from config (auto when 0)
   std::vector<std::string> serials_;
   std::vector<DriveVoteState> states_;
   std::vector<double> scratch_;  // interval model outputs, reused per call
+
+  // Journaled streaming state.
+  store::TelemetryStore* journal_ = nullptr;
+  std::vector<std::uint32_t> journal_ids_;   // fleet index -> store drive id
+  std::vector<smart::DriveRecord> history_;  // bounded raw-sample windows
 };
 
 }  // namespace hdd::core

@@ -30,6 +30,8 @@ class TreeScorer final : public SampleScorer {
     tree_.fit(m, task, params);
   }
 
+  explicit TreeScorer(tree::DecisionTree tree) : tree_(std::move(tree)) {}
+
   double predict(std::span<const float> x) const override {
     return tree_.predict(x);
   }
@@ -146,6 +148,11 @@ std::unique_ptr<SampleScorer> fit_scorer(const PredictorConfig& config,
       return std::make_unique<AdaBoostScorer>(matrix, config.adaboost);
   }
   throw ConfigError("fit_scorer: unknown ModelType");
+}
+
+std::unique_ptr<SampleScorer> make_tree_scorer(tree::DecisionTree tree) {
+  HDD_REQUIRE(tree.trained(), "make_tree_scorer needs a trained tree");
+  return std::make_unique<TreeScorer>(std::move(tree));
 }
 
 }  // namespace hdd::core

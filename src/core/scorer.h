@@ -54,4 +54,9 @@ class SampleScorer {
 std::unique_ptr<SampleScorer> fit_scorer(const PredictorConfig& config,
                                          const data::DataMatrix& matrix);
 
+// Wraps an already-trained decision tree (e.g. one loaded with
+// core::load_tree) behind the scorer interface. Throws ConfigError if the
+// tree is untrained.
+std::unique_ptr<SampleScorer> make_tree_scorer(tree::DecisionTree tree);
+
 }  // namespace hdd::core

@@ -1,0 +1,184 @@
+#include "store/format.h"
+
+#include <array>
+#include <bit>
+#include <cstring>
+
+namespace hdd::store {
+
+namespace {
+
+std::array<std::uint32_t, 256> make_crc_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+void put_u8(std::string& out, std::uint8_t v) {
+  out.push_back(static_cast<char>(v));
+}
+
+void put_u16(std::string& out, std::uint16_t v) {
+  out.push_back(static_cast<char>(v & 0xFF));
+  out.push_back(static_cast<char>((v >> 8) & 0xFF));
+}
+
+void put_u32(std::string& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+void put_u64(std::string& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+// Bounds-checked little-endian cursor over a payload.
+struct Reader {
+  std::string_view bytes;
+  std::size_t pos = 0;
+
+  bool remaining(std::size_t n) const { return bytes.size() - pos >= n; }
+
+  bool u8(std::uint8_t& v) {
+    if (!remaining(1)) return false;
+    v = static_cast<std::uint8_t>(bytes[pos++]);
+    return true;
+  }
+  bool u16(std::uint16_t& v) {
+    if (!remaining(2)) return false;
+    v = 0;
+    for (int i = 0; i < 2; ++i) {
+      v |= static_cast<std::uint16_t>(
+          static_cast<std::uint8_t>(bytes[pos++]) << (8 * i));
+    }
+    return true;
+  }
+  bool u32(std::uint32_t& v) {
+    if (!remaining(4)) return false;
+    v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<std::uint32_t>(static_cast<std::uint8_t>(bytes[pos++]))
+           << (8 * i);
+    }
+    return true;
+  }
+  bool u64(std::uint64_t& v) {
+    if (!remaining(8)) return false;
+    v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<std::uint64_t>(static_cast<std::uint8_t>(bytes[pos++]))
+           << (8 * i);
+    }
+    return true;
+  }
+};
+
+}  // namespace
+
+std::uint32_t crc32(const void* data, std::size_t n) {
+  static const std::array<std::uint32_t, 256> table = make_crc_table();
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint32_t c = 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < n; ++i) {
+    c = table[(c ^ p[i]) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+std::string encode_segment_header(std::uint64_t sequence,
+                                  std::uint32_t flags) {
+  std::string out;
+  out.reserve(kSegmentHeaderBytes);
+  out.append(kSegmentMagic, sizeof kSegmentMagic);
+  put_u32(out, kFormatVersion);
+  put_u64(out, sequence);
+  put_u32(out, flags);
+  put_u32(out, crc32(out.data(), out.size()));
+  return out;
+}
+
+std::optional<SegmentHeader> decode_segment_header(std::string_view bytes) {
+  if (bytes.size() < kSegmentHeaderBytes) return std::nullopt;
+  if (std::memcmp(bytes.data(), kSegmentMagic, sizeof kSegmentMagic) != 0) {
+    return std::nullopt;
+  }
+  Reader r{bytes, sizeof kSegmentMagic};
+  std::uint32_t version = 0, flags = 0, crc = 0;
+  std::uint64_t sequence = 0;
+  if (!r.u32(version) || !r.u64(sequence) || !r.u32(flags) || !r.u32(crc)) {
+    return std::nullopt;
+  }
+  if (version != kFormatVersion) return std::nullopt;
+  if (crc != crc32(bytes.data(), kSegmentHeaderBytes - 4)) return std::nullopt;
+  return SegmentHeader{sequence, flags};
+}
+
+std::string encode_drive_record(std::uint32_t id, std::string_view serial) {
+  std::string out;
+  out.reserve(1 + 4 + 2 + serial.size());
+  put_u8(out, static_cast<std::uint8_t>(RecordType::kDrive));
+  put_u32(out, id);
+  put_u16(out, static_cast<std::uint16_t>(serial.size()));
+  out.append(serial);
+  return out;
+}
+
+std::string encode_sample_record(std::uint32_t drive,
+                                 const smart::Sample& sample) {
+  std::string out;
+  out.reserve(1 + 4 + 8 + 4 * smart::kNumAttributes);
+  put_u8(out, static_cast<std::uint8_t>(RecordType::kSample));
+  put_u32(out, drive);
+  put_u64(out, static_cast<std::uint64_t>(sample.hour));
+  for (float v : sample.attrs) put_u32(out, std::bit_cast<std::uint32_t>(v));
+  return out;
+}
+
+std::string frame_record(std::string_view payload) {
+  std::string out;
+  out.reserve(kFrameHeaderBytes + payload.size());
+  put_u32(out, static_cast<std::uint32_t>(payload.size()));
+  put_u32(out, crc32(payload.data(), payload.size()));
+  out.append(payload);
+  return out;
+}
+
+std::optional<DecodedRecord> decode_record(std::string_view payload) {
+  Reader r{payload};
+  std::uint8_t type = 0;
+  if (!r.u8(type)) return std::nullopt;
+  DecodedRecord rec;
+  if (type == static_cast<std::uint8_t>(RecordType::kDrive)) {
+    rec.type = RecordType::kDrive;
+    std::uint16_t len = 0;
+    if (!r.u32(rec.drive) || !r.u16(len) || !r.remaining(len)) {
+      return std::nullopt;
+    }
+    rec.serial.assign(payload.substr(r.pos, len));
+    return rec;
+  }
+  if (type == static_cast<std::uint8_t>(RecordType::kSample)) {
+    rec.type = RecordType::kSample;
+    std::uint64_t hour = 0;
+    if (!r.u32(rec.drive) || !r.u64(hour)) return std::nullopt;
+    rec.sample.hour = static_cast<std::int64_t>(hour);
+    for (float& v : rec.sample.attrs) {
+      std::uint32_t bits = 0;
+      if (!r.u32(bits)) return std::nullopt;
+      v = std::bit_cast<float>(bits);
+    }
+    return rec;
+  }
+  return std::nullopt;
+}
+
+}  // namespace hdd::store

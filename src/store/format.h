@@ -1,0 +1,77 @@
+// On-disk format of the durable telemetry store (README "Durable telemetry
+// store" has the diagram).
+//
+// A store is a directory of segment files "seg-<seq>.log":
+//
+//   segment  = header | frame*
+//   header   = magic "HDDTLG1\n" (8B) | version u32 | sequence u64 |
+//              flags u32 | crc u32           -- CRC-32 of the first 24 bytes
+//   frame    = length u32 | crc u32 | payload  -- CRC-32 of the payload
+//   payload  = type u8 | body
+//     type 1 (drive registration): id u32 | serial_len u16 | serial bytes
+//     type 2 (SMART sample):       drive u32 | hour i64 | 12 x f32 attrs
+//
+// All integers are little-endian; floats are IEEE-754 bit patterns. The
+// codec lives in its own header so tests can craft corrupt segments
+// byte-for-byte and the recovery rules stay pinned by the format, not by
+// store internals.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "smart/drive.h"
+
+namespace hdd::store {
+
+inline constexpr char kSegmentMagic[8] = {'H', 'D', 'D', 'T', 'L', 'G',
+                                          '1', '\n'};
+inline constexpr std::uint32_t kFormatVersion = 1;
+inline constexpr std::size_t kSegmentHeaderBytes = 28;
+inline constexpr std::size_t kFrameHeaderBytes = 8;
+// A frame whose declared payload length exceeds this is treated as
+// corruption, not as a huge record.
+inline constexpr std::uint32_t kMaxPayloadBytes = 1u << 20;
+
+// Segment header flag: this segment is a compaction output and supersedes
+// every segment with a lower sequence number (crash-safe replacement — old
+// segments may still be on disk if the process died before unlinking them).
+inline constexpr std::uint32_t kSegCompacted = 1u << 0;
+
+enum class RecordType : std::uint8_t { kDrive = 1, kSample = 2 };
+
+// CRC-32 (IEEE 802.3, reflected 0xEDB88320), the checksum of zlib/gzip.
+std::uint32_t crc32(const void* data, std::size_t n);
+
+struct SegmentHeader {
+  std::uint64_t sequence = 0;
+  std::uint32_t flags = 0;
+};
+
+std::string encode_segment_header(std::uint64_t sequence, std::uint32_t flags);
+// nullopt when the bytes are short, the magic/version is wrong, or the
+// header checksum fails.
+std::optional<SegmentHeader> decode_segment_header(std::string_view bytes);
+
+// Record payloads (unframed).
+std::string encode_drive_record(std::uint32_t id, std::string_view serial);
+std::string encode_sample_record(std::uint32_t drive,
+                                 const smart::Sample& sample);
+
+// Wraps a payload in a length + CRC frame.
+std::string frame_record(std::string_view payload);
+
+struct DecodedRecord {
+  RecordType type = RecordType::kSample;
+  std::uint32_t drive = 0;
+  std::string serial;     // kDrive only
+  smart::Sample sample;   // kSample only
+};
+
+// nullopt on an unknown type or a body that does not match its type's
+// layout (the payload is assumed to have passed its CRC already).
+std::optional<DecodedRecord> decode_record(std::string_view payload);
+
+}  // namespace hdd::store

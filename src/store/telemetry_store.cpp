@@ -1,0 +1,476 @@
+#include "store/telemetry_store.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "common/error.h"
+#include "store/format.h"
+
+namespace fs = std::filesystem;
+
+namespace hdd::store {
+
+namespace {
+
+constexpr const char* kSegmentPrefix = "seg-";
+constexpr const char* kSegmentSuffix = ".log";
+
+std::string read_file(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) throw DataError("telemetry store: cannot open " + path);
+  std::ostringstream ss;
+  ss << is.rdbuf();
+  return std::move(ss).str();
+}
+
+// seg-<digits>.log -> sequence number; nullopt for foreign files.
+std::optional<std::uint64_t> parse_segment_name(const std::string& name) {
+  const std::string prefix = kSegmentPrefix;
+  const std::string suffix = kSegmentSuffix;
+  if (name.size() <= prefix.size() + suffix.size()) return std::nullopt;
+  if (name.rfind(prefix, 0) != 0) return std::nullopt;
+  if (name.compare(name.size() - suffix.size(), suffix.size(), suffix) != 0) {
+    return std::nullopt;
+  }
+  const std::string digits =
+      name.substr(prefix.size(), name.size() - prefix.size() - suffix.size());
+  if (digits.empty() ||
+      digits.find_first_not_of("0123456789") != std::string::npos) {
+    return std::nullopt;
+  }
+  return std::stoull(digits);
+}
+
+void fsync_directory(const std::string& dir) {
+  const int fd = ::open(dir.c_str(), O_RDONLY);
+  if (fd >= 0) {
+    ::fsync(fd);
+    ::close(fd);
+  }
+}
+
+}  // namespace
+
+TelemetryStore::TelemetryStore(std::string dir, StoreOptions options)
+    : dir_(std::move(dir)), options_(options) {
+  HDD_REQUIRE(options_.segment_bytes >= kSegmentHeaderBytes + 64,
+              "segment_bytes too small to hold any record");
+  recover();
+}
+
+TelemetryStore::~TelemetryStore() {
+  if (out_ != nullptr) {
+    std::fflush(out_);
+    std::fclose(out_);
+  }
+}
+
+std::string TelemetryStore::segment_path(std::uint64_t seq) const {
+  char name[32];
+  std::snprintf(name, sizeof name, "%s%08llu%s", kSegmentPrefix,
+                static_cast<unsigned long long>(seq), kSegmentSuffix);
+  return (fs::path(dir_) / name).string();
+}
+
+void TelemetryStore::recover() {
+  if (out_ != nullptr) {
+    std::fclose(out_);
+    out_ = nullptr;
+  }
+  segments_.clear();
+  drives_.clear();
+  drive_segments_.clear();
+  by_serial_.clear();
+  recovery_ = {};
+  next_seq_ = 1;
+
+  std::error_code ec;
+  fs::create_directories(dir_, ec);
+  if (ec) throw DataError("telemetry store: cannot create " + dir_);
+
+  struct Candidate {
+    std::uint64_t seq;
+    std::string path;
+    std::optional<SegmentHeader> header;
+  };
+  std::vector<Candidate> candidates;
+  for (const auto& entry : fs::directory_iterator(dir_)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string name = entry.path().filename().string();
+    if (name.size() > 4 && name.compare(name.size() - 4, 4, ".tmp") == 0) {
+      fs::remove(entry.path(), ec);  // interrupted compaction output
+      continue;
+    }
+    const auto seq = parse_segment_name(name);
+    if (!seq) continue;
+    if (entry.file_size(ec) == 0 && !ec) {
+      fs::remove(entry.path(), ec);  // crash before the header: nothing durable
+      continue;
+    }
+    next_seq_ = std::max(next_seq_, *seq + 1);
+    Candidate c{*seq, entry.path().string(), std::nullopt};
+    std::ifstream is(c.path, std::ios::binary);
+    char head[kSegmentHeaderBytes];
+    if (is.read(head, sizeof head)) {
+      c.header = decode_segment_header({head, sizeof head});
+      // The filename is authoritative for ordering; a header naming a
+      // different sequence is corruption.
+      if (c.header && c.header->sequence != *seq) c.header = std::nullopt;
+    }
+    candidates.push_back(std::move(c));
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Candidate& a, const Candidate& b) {
+              return a.seq < b.seq;
+            });
+
+  // A compacted segment supersedes everything before it (crash-safe
+  // replacement: the old generation may still be on disk).
+  std::uint64_t start_seq = 0;
+  for (const Candidate& c : candidates) {
+    if (c.header && (c.header->flags & kSegCompacted) != 0) {
+      start_seq = c.seq;
+    }
+  }
+  for (const Candidate& c : candidates) {
+    if (c.seq < start_seq) {
+      fs::remove(c.path, ec);
+      continue;
+    }
+    Segment seg;
+    seg.seq = c.seq;
+    seg.path = c.path;
+    ++recovery_.segments_scanned;
+    if (!c.header || !scan_segment(seg)) {
+      ++recovery_.segments_skipped;
+      continue;  // unreadable header: excluded (file left in place)
+    }
+    segments_.push_back(std::move(seg));
+  }
+  // After a skipped segment the safe append point is a brand-new segment
+  // numbered above everything on disk, so replay order stays append order.
+  if (recovery_.segments_skipped > 0 && !segments_.empty()) {
+    segments_.back().clean = false;
+  }
+}
+
+bool TelemetryStore::scan_segment(Segment& seg) {
+  const std::string buf = read_file(seg.path);
+  if (buf.size() < kSegmentHeaderBytes ||
+      !decode_segment_header({buf.data(), kSegmentHeaderBytes})) {
+    return false;
+  }
+  std::size_t pos = kSegmentHeaderBytes;
+  seg.data_end = pos;
+  while (pos < buf.size()) {
+    const std::size_t remaining = buf.size() - pos;
+    auto read_u32 = [&buf](std::size_t at) {
+      std::uint32_t v = 0;
+      for (int i = 0; i < 4; ++i) {
+        v |= static_cast<std::uint32_t>(
+                 static_cast<unsigned char>(buf[at + i]))
+             << (8 * i);
+      }
+      return v;
+    };
+    if (remaining < kFrameHeaderBytes) break;  // torn frame header
+    const std::uint32_t len = read_u32(pos);
+    const std::uint32_t crc = read_u32(pos + 4);
+    if (len == 0 || len > kMaxPayloadBytes ||
+        len > remaining - kFrameHeaderBytes) {
+      break;  // torn tail (or garbage length — indistinguishable)
+    }
+    const std::string_view payload(buf.data() + pos + kFrameHeaderBytes, len);
+    if (crc32(payload.data(), payload.size()) != crc) {
+      // A flipped bit mid-log: skip the record and stop trusting this
+      // segment — framing beyond it may be off. Later segments still load.
+      ++recovery_.records_dropped;
+      seg.clean = false;
+      return true;
+    }
+    apply_record(payload, seg);
+    pos += kFrameHeaderBytes + len;
+    seg.data_end = pos;
+  }
+  if (seg.data_end < buf.size()) {
+    // Torn tail record: cut the file back to the last complete record so
+    // the segment stays appendable.
+    recovery_.torn_bytes_truncated += buf.size() - seg.data_end;
+    recovery_.tail_truncated = true;
+    std::error_code ec;
+    fs::resize_file(seg.path, seg.data_end, ec);
+    if (ec) seg.clean = false;  // cannot repair in place: stop appending here
+  }
+  return true;
+}
+
+void TelemetryStore::apply_record(std::string_view payload, Segment& seg) {
+  const auto rec = decode_record(payload);
+  if (!rec) {
+    ++recovery_.records_dropped;  // unknown type / malformed body
+    return;
+  }
+  if (rec->type == RecordType::kDrive) {
+    const auto it = by_serial_.find(rec->serial);
+    if (it == by_serial_.end() && rec->drive == drives_.size()) {
+      by_serial_.emplace(rec->serial, rec->drive);
+      drives_.push_back(DriveInfo{rec->serial, 0, -1, -1});
+      drive_segments_.emplace_back();
+      ++recovery_.records_recovered;
+    } else if (it != by_serial_.end() && it->second == rec->drive) {
+      ++recovery_.records_recovered;  // idempotent re-registration
+    } else {
+      ++recovery_.records_dropped;  // id/serial mismatch
+    }
+    return;
+  }
+  if (rec->drive >= drives_.size()) {
+    ++recovery_.records_dropped;  // sample for an unregistered drive
+    return;
+  }
+  DriveInfo& info = drives_[rec->drive];
+  if (info.n_samples == 0) info.first_hour = rec->sample.hour;
+  info.last_hour = rec->sample.hour;
+  ++info.n_samples;
+  ++seg.n_samples;
+  auto& segs = drive_segments_[rec->drive];
+  if (segs.empty() || segs.back() != seg.seq) segs.push_back(seg.seq);
+  ++recovery_.records_recovered;
+}
+
+const DriveInfo& TelemetryStore::drive(std::uint32_t id) const {
+  HDD_REQUIRE(id < drives_.size(), "drive id out of range");
+  return drives_[id];
+}
+
+std::optional<std::uint32_t> TelemetryStore::find_drive(
+    const std::string& serial) const {
+  const auto it = by_serial_.find(serial);
+  if (it == by_serial_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::size_t TelemetryStore::sample_count() const {
+  std::size_t n = 0;
+  for (const DriveInfo& d : drives_) n += d.n_samples;
+  return n;
+}
+
+std::int64_t TelemetryStore::last_hour() const {
+  std::int64_t h = -1;
+  for (const DriveInfo& d : drives_) h = std::max(h, d.last_hour);
+  return h;
+}
+
+void TelemetryStore::ensure_writer() {
+  if (out_ != nullptr) return;
+  if (!segments_.empty()) {
+    Segment& last = segments_.back();
+    if (last.clean && last.data_end >= kSegmentHeaderBytes &&
+        last.data_end < options_.segment_bytes) {
+      out_ = std::fopen(last.path.c_str(), "ab");
+      if (out_ == nullptr) {
+        throw DataError("telemetry store: cannot append to " + last.path);
+      }
+      return;
+    }
+  }
+  Segment seg;
+  seg.seq = next_seq_++;
+  seg.path = segment_path(seg.seq);
+  out_ = std::fopen(seg.path.c_str(), "wb");
+  if (out_ == nullptr) {
+    throw DataError("telemetry store: cannot create " + seg.path);
+  }
+  const std::string header = encode_segment_header(seg.seq, 0);
+  std::fwrite(header.data(), 1, header.size(), out_);
+  seg.data_end = header.size();
+  segments_.push_back(std::move(seg));
+}
+
+void TelemetryStore::write_frame(std::string_view payload) {
+  // Rotate before the write so a record is never split across segments.
+  if (out_ != nullptr &&
+      segments_.back().data_end + kFrameHeaderBytes + payload.size() >
+          options_.segment_bytes &&
+      segments_.back().data_end > kSegmentHeaderBytes) {
+    std::fflush(out_);
+    std::fclose(out_);
+    out_ = nullptr;
+    segments_.back().clean = false;  // sealed: rotation point
+  }
+  ensure_writer();
+  const std::string frame = frame_record(payload);
+  if (std::fwrite(frame.data(), 1, frame.size(), out_) != frame.size()) {
+    throw DataError("telemetry store: short write to " +
+                    segments_.back().path);
+  }
+  segments_.back().data_end += frame.size();
+  if (options_.fsync_appends) {
+    std::fflush(out_);
+    ::fsync(::fileno(out_));
+  }
+}
+
+std::uint32_t TelemetryStore::register_drive(const std::string& serial) {
+  HDD_REQUIRE(!serial.empty(), "drive serial must not be empty");
+  HDD_REQUIRE(serial.size() <= 0xFFFF, "drive serial too long");
+  const auto it = by_serial_.find(serial);
+  if (it != by_serial_.end()) return it->second;
+  const auto id = static_cast<std::uint32_t>(drives_.size());
+  write_frame(encode_drive_record(id, serial));
+  by_serial_.emplace(serial, id);
+  drives_.push_back(DriveInfo{serial, 0, -1, -1});
+  drive_segments_.emplace_back();
+  return id;
+}
+
+void TelemetryStore::append(std::uint32_t drive, const smart::Sample& sample) {
+  HDD_REQUIRE(drive < drives_.size(), "append to an unregistered drive");
+  write_frame(encode_sample_record(drive, sample));
+  DriveInfo& info = drives_[drive];
+  if (info.n_samples == 0) info.first_hour = sample.hour;
+  info.last_hour = sample.hour;
+  ++info.n_samples;
+  Segment& seg = segments_.back();
+  ++seg.n_samples;
+  auto& segs = drive_segments_[drive];
+  if (segs.empty() || segs.back() != seg.seq) segs.push_back(seg.seq);
+}
+
+void TelemetryStore::flush() {
+  if (out_ == nullptr) return;
+  std::fflush(out_);
+  ::fsync(::fileno(out_));
+}
+
+void TelemetryStore::scan_range(
+    const Segment& seg,
+    const std::function<void(std::string_view)>& fn) const {
+  const std::string buf = read_file(seg.path);
+  const std::size_t end =
+      std::min<std::size_t>(buf.size(), static_cast<std::size_t>(seg.data_end));
+  std::size_t pos = kSegmentHeaderBytes;
+  while (pos + kFrameHeaderBytes <= end) {
+    std::uint32_t len = 0;
+    for (int i = 0; i < 4; ++i) {
+      len |= static_cast<std::uint32_t>(static_cast<unsigned char>(buf[pos + i]))
+             << (8 * i);
+    }
+    if (len == 0 || pos + kFrameHeaderBytes + len > end) break;
+    fn(std::string_view(buf.data() + pos + kFrameHeaderBytes, len));
+    pos += kFrameHeaderBytes + len;
+  }
+}
+
+void TelemetryStore::scan(const SampleFn& fn) const {
+  if (out_ != nullptr) std::fflush(out_);  // make buffered appends readable
+  for (const Segment& seg : segments_) {
+    scan_range(seg, [&fn](std::string_view payload) {
+      const auto rec = decode_record(payload);
+      if (rec && rec->type == RecordType::kSample) {
+        fn(rec->drive, rec->sample);
+      }
+    });
+  }
+}
+
+std::vector<smart::Sample> TelemetryStore::read_drive(
+    std::uint32_t drive, std::int64_t from_hour, std::int64_t to_hour) const {
+  HDD_REQUIRE(drive < drives_.size(), "drive id out of range");
+  if (out_ != nullptr) std::fflush(out_);
+  std::vector<smart::Sample> out;
+  const auto& segs = drive_segments_[drive];
+  for (const Segment& seg : segments_) {
+    if (!std::binary_search(segs.begin(), segs.end(), seg.seq)) continue;
+    scan_range(seg, [&](std::string_view payload) {
+      const auto rec = decode_record(payload);
+      if (rec && rec->type == RecordType::kSample && rec->drive == drive &&
+          rec->sample.hour >= from_hour && rec->sample.hour <= to_hour) {
+        out.push_back(rec->sample);
+      }
+    });
+  }
+  return out;
+}
+
+TelemetryStore::CompactionResult TelemetryStore::write_compacted(
+    const std::string& path_tmp, const std::string& path_final,
+    std::uint64_t seq, std::int64_t min_hour) const {
+  std::FILE* f = std::fopen(path_tmp.c_str(), "wb");
+  if (f == nullptr) {
+    throw DataError("telemetry store: cannot create " + path_tmp);
+  }
+  auto put = [f, &path_tmp](std::string_view bytes) {
+    if (std::fwrite(bytes.data(), 1, bytes.size(), f) != bytes.size()) {
+      std::fclose(f);
+      throw DataError("telemetry store: short write to " + path_tmp);
+    }
+  };
+  put(encode_segment_header(seq, kSegCompacted));
+  for (std::uint32_t id = 0; id < drives_.size(); ++id) {
+    put(frame_record(encode_drive_record(id, drives_[id].serial)));
+  }
+  CompactionResult res;
+  scan([&](std::uint32_t drive, const smart::Sample& s) {
+    if (s.hour >= min_hour) {
+      put(frame_record(encode_sample_record(drive, s)));
+      ++res.kept;
+    } else {
+      ++res.dropped;
+    }
+  });
+  std::fflush(f);
+  ::fsync(::fileno(f));
+  std::fclose(f);
+  std::error_code ec;
+  fs::rename(path_tmp, path_final, ec);
+  if (ec) throw DataError("telemetry store: cannot publish " + path_final);
+  fsync_directory(fs::path(path_final).parent_path().string());
+  return res;
+}
+
+TelemetryStore::CompactionResult TelemetryStore::compact(
+    std::int64_t min_hour) {
+  flush();
+  if (out_ != nullptr) {
+    std::fclose(out_);
+    out_ = nullptr;
+  }
+  const std::uint64_t seq = next_seq_++;
+  const std::string path = segment_path(seq);
+  const auto res = write_compacted(path + ".tmp", path, seq, min_hour);
+  // The flagged segment is durable; unlinking the old generation can now
+  // fail/crash at any point without losing the supersede guarantee.
+  std::error_code ec;
+  for (const Segment& seg : segments_) {
+    if (seg.seq < seq) fs::remove(seg.path, ec);
+  }
+  recover();  // rebuild the index through the same path open uses
+  return res;
+}
+
+TelemetryStore::CompactionResult TelemetryStore::snapshot_to(
+    const std::string& dest_dir, std::int64_t min_hour) const {
+  std::error_code ec;
+  fs::create_directories(dest_dir, ec);
+  if (ec) throw DataError("telemetry store: cannot create " + dest_dir);
+  for (const auto& entry : fs::directory_iterator(dest_dir)) {
+    HDD_REQUIRE(
+        !parse_segment_name(entry.path().filename().string()).has_value(),
+        "snapshot destination already holds segments");
+  }
+  if (out_ != nullptr) std::fflush(out_);
+  const fs::path final = fs::path(dest_dir) / (std::string(kSegmentPrefix) +
+                                               "00000001" + kSegmentSuffix);
+  return write_compacted(final.string() + ".tmp", final.string(), 1, min_hour);
+}
+
+}  // namespace hdd::store

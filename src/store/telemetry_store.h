@@ -1,0 +1,169 @@
+// TelemetryStore — embedded crash-safe store for SMART telemetry.
+//
+// The paper's deployment loop (Section V-E) is a monitoring node that
+// scores every drive on each SMART interval and periodically retrains from
+// accumulated history. This store is the durable substrate for both: an
+// append-only log of sample records in CRC-framed segments (format.h),
+// with a per-drive in-memory index rebuilt on open.
+//
+// Guarantees:
+//  * Appends are sequential writes to the highest segment; segments rotate
+//    at StoreOptions::segment_bytes. flush() pushes buffered appends to the
+//    OS (fsync_appends trades throughput for power-loss durability).
+//  * Opening recovers deterministically from a crash: a torn tail record is
+//    truncated away (the log ends at the last complete record); a record
+//    whose CRC fails is skipped and scanning of that segment stops — later
+//    segments still load. Recovery never throws for corrupt record data;
+//    RecoveryStats reports what was salvaged.
+//  * compact(min_hour) takes a point-in-time snapshot of the samples at or
+//    after the retention horizon into one fresh segment flagged
+//    kSegCompacted, which supersedes all lower-numbered segments; old files
+//    are unlinked afterwards, so a crash at any point leaves either the old
+//    or the new generation fully intact, never a mix.
+//  * Drive ids are dense, assigned in registration order, and stable across
+//    reopen and compaction.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <limits>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "smart/drive.h"
+
+namespace hdd::store {
+
+struct StoreOptions {
+  // Rotation threshold: an append that would grow the current segment past
+  // this opens a new one.
+  std::uint64_t segment_bytes = 8ull << 20;
+  // fsync after every append (otherwise durability is at flush()/OS pace).
+  bool fsync_appends = false;
+};
+
+struct RecoveryStats {
+  std::size_t segments_scanned = 0;
+  std::size_t segments_skipped = 0;    // unreadable header — excluded wholesale
+  std::size_t records_recovered = 0;   // applied to the index
+  std::size_t records_dropped = 0;     // CRC mismatch, bad reference, unknown type
+  std::uint64_t torn_bytes_truncated = 0;
+  bool tail_truncated = false;
+};
+
+struct DriveInfo {
+  std::string serial;
+  std::size_t n_samples = 0;
+  std::int64_t first_hour = -1;
+  std::int64_t last_hour = -1;
+};
+
+class TelemetryStore {
+ public:
+  // Opens (creating the directory if needed) and recovers the log.
+  // Throws DataError only for environment-level failures (unreadable
+  // directory, I/O errors) — never for corrupt record data.
+  explicit TelemetryStore(std::string dir, StoreOptions options = {});
+  ~TelemetryStore();
+
+  TelemetryStore(const TelemetryStore&) = delete;
+  TelemetryStore& operator=(const TelemetryStore&) = delete;
+
+  const std::string& directory() const { return dir_; }
+  const StoreOptions& options() const { return options_; }
+  // Stats from the most recent recovery scan (open or post-compaction).
+  const RecoveryStats& recovery() const { return recovery_; }
+
+  // --- Drive registry -------------------------------------------------------
+
+  // Returns the existing id for a known serial, else appends a registration
+  // record and returns the new dense id.
+  std::uint32_t register_drive(const std::string& serial);
+  std::optional<std::uint32_t> find_drive(const std::string& serial) const;
+  std::size_t drive_count() const { return drives_.size(); }
+  const DriveInfo& drive(std::uint32_t id) const;
+
+  // --- Append path ----------------------------------------------------------
+
+  // Appends one sample for a registered drive. Samples for one drive should
+  // arrive in chronological order (replay preserves append order).
+  void append(std::uint32_t drive, const smart::Sample& sample);
+  void flush();
+
+  std::size_t sample_count() const;
+  std::size_t segment_count() const { return segments_.size(); }
+  // Latest hour across all drives; -1 when the store holds no samples.
+  std::int64_t last_hour() const;
+
+  // --- Read path ------------------------------------------------------------
+
+  using SampleFn =
+      std::function<void(std::uint32_t drive, const smart::Sample&)>;
+
+  // Streams every sample in append order (the replay order resume_from and
+  // the update strategies consume).
+  void scan(const SampleFn& fn) const;
+
+  // One drive's samples with hour in [from_hour, to_hour], in append order.
+  std::vector<smart::Sample> read_drive(
+      std::uint32_t drive,
+      std::int64_t from_hour = std::numeric_limits<std::int64_t>::min(),
+      std::int64_t to_hour = std::numeric_limits<std::int64_t>::max()) const;
+
+  // --- Retention ------------------------------------------------------------
+
+  struct CompactionResult {
+    std::size_t kept = 0;
+    std::size_t dropped = 0;
+  };
+
+  // Drops every sample with hour < min_hour and rewrites the log as a
+  // single compacted segment (see class comment for the crash protocol).
+  CompactionResult compact(std::int64_t min_hour);
+
+  // Point-in-time snapshot into another directory (which must not already
+  // contain segments): a one-segment store holding the live records.
+  CompactionResult snapshot_to(
+      const std::string& dest_dir,
+      std::int64_t min_hour = std::numeric_limits<std::int64_t>::min()) const;
+
+ private:
+  struct Segment {
+    std::uint64_t seq = 0;
+    std::string path;
+    std::uint64_t data_end = 0;  // bytes of validated data (scan stops here)
+    bool clean = true;           // false after a CRC-stop: never append here
+    std::size_t n_samples = 0;
+  };
+
+  void recover();
+  // Scans one segment file, applying records to the index. Returns false
+  // when the header was unreadable.
+  bool scan_segment(Segment& seg);
+  void apply_record(std::string_view payload, Segment& seg);
+  void ensure_writer();
+  void write_frame(std::string_view payload);
+  std::string segment_path(std::uint64_t seq) const;
+  CompactionResult write_compacted(const std::string& path_tmp,
+                                   const std::string& path_final,
+                                   std::uint64_t seq,
+                                   std::int64_t min_hour) const;
+  void scan_range(const Segment& seg,
+                  const std::function<void(std::string_view)>& fn) const;
+
+  std::string dir_;
+  StoreOptions options_;
+  RecoveryStats recovery_;
+  std::vector<Segment> segments_;
+  std::vector<DriveInfo> drives_;
+  // Segment seqs holding at least one sample of each drive (ascending).
+  std::vector<std::vector<std::uint64_t>> drive_segments_;
+  std::unordered_map<std::string, std::uint32_t> by_serial_;
+  std::uint64_t next_seq_ = 1;
+  mutable std::FILE* out_ = nullptr;  // current segment writer (lazy)
+};
+
+}  // namespace hdd::store

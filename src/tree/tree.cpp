@@ -481,15 +481,26 @@ std::string DecisionTree::to_text(const smart::FeatureSet* features) const {
 DecisionTree DecisionTree::from_nodes(std::vector<Node> nodes, Task task,
                                       int num_features) {
   HDD_REQUIRE(!nodes.empty(), "node list is empty");
-  for (const Node& n : nodes) {
-    if (!n.is_leaf()) {
-      HDD_REQUIRE(n.left >= 0 && n.left < static_cast<std::int32_t>(nodes.size()) &&
-                      n.right >= 0 &&
-                      n.right < static_cast<std::int32_t>(nodes.size()),
-                  "node child index out of range");
-      HDD_REQUIRE(n.feature >= 0 && n.feature < num_features,
-                  "node feature index out of range");
+  const auto n_nodes = static_cast<std::int32_t>(nodes.size());
+  for (std::int32_t i = 0; i < n_nodes; ++i) {
+    const Node& n = nodes[static_cast<std::size_t>(i)];
+    if (n.is_leaf()) {
+      // A leaf is left < 0; a node that looks half-leaf (left < 0 but
+      // right >= 0) would silently drop a subtree during prediction.
+      HDD_REQUIRE(n.right < 0, "leaf node with a right child");
+      continue;
     }
+    // compact() stores nodes in preorder, so children always follow their
+    // parent. Requiring strictly increasing child indices also rules out
+    // self-references and cycles, which would hang predict().
+    HDD_REQUIRE(n.left > i && n.left < n_nodes && n.right > i &&
+                    n.right < n_nodes,
+                "node child index out of range (children must follow their "
+                "parent)");
+    HDD_REQUIRE(n.feature >= 0 && n.feature < num_features,
+                "node feature index out of range");
+    HDD_REQUIRE(std::isfinite(n.threshold),
+                "node threshold must be finite");
   }
   DecisionTree t;
   t.nodes_ = std::move(nodes);

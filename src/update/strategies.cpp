@@ -7,6 +7,7 @@
 #include "common/log.h"
 #include "common/rng.h"
 #include "common/thread_pool.h"
+#include "store/telemetry_store.h"
 
 namespace hdd::update {
 
@@ -19,27 +20,76 @@ const char* strategy_name(Strategy s) {
   return "?";
 }
 
-namespace {
+GeneratorTelemetrySource::GeneratorTelemetrySource(
+    const sim::FleetConfig& fleet)
+    : fleet_(&fleet),
+      gen_(fleet.families.front().profile, fleet.seed, 0) {
+  HDD_REQUIRE(fleet.families.size() == 1,
+              "GeneratorTelemetrySource expects exactly one family");
+}
 
-// Materializes all good drives of the (single) family over the given week
-// range [from_week, to_week).
-std::vector<smart::DriveRecord> good_window(const sim::FleetConfig& fleet,
-                                            const sim::TraceGenerator& gen,
-                                            int from_week, int to_week) {
-  const sim::FamilySpec& fam = fleet.families.front();
+std::vector<smart::DriveRecord> GeneratorTelemetrySource::good_window(
+    int from_week, int to_week) const {
+  const sim::FamilySpec& fam = fleet_->families.front();
   const std::int64_t horizon =
-      static_cast<std::int64_t>(fleet.observation_weeks) * 168;
+      static_cast<std::int64_t>(fleet_->observation_weeks) * 168;
   std::vector<smart::DriveRecord> out(fam.n_good);
   ThreadPool::global().parallel_for(0, fam.n_good, [&](std::size_t i) {
-    const auto latent = gen.make_latent(i, /*failed=*/false, horizon);
-    out[i] = gen.materialize(latent,
-                             static_cast<std::int64_t>(from_week) * 168,
-                             static_cast<std::int64_t>(to_week) * 168 - 1,
-                             fleet.sample_interval_hours);
+    const auto latent = gen_.make_latent(i, /*failed=*/false, horizon);
+    out[i] = gen_.materialize(latent,
+                              static_cast<std::int64_t>(from_week) * 168,
+                              static_cast<std::int64_t>(to_week) * 168 - 1,
+                              fleet_->sample_interval_hours);
     out[i].serial = fam.profile.name + "-G" + std::to_string(i);
   });
   return out;
 }
+
+StoreTelemetrySource::StoreTelemetrySource(const store::TelemetryStore& store)
+    : store_(&store) {}
+
+std::vector<smart::DriveRecord> StoreTelemetrySource::good_window(
+    int from_week, int to_week) const {
+  const std::size_t n = store_->drive_count();
+  std::vector<smart::DriveRecord> out(n);
+  for (std::uint32_t id = 0; id < n; ++id) {
+    out[id].serial = store_->drive(id).serial;
+    out[id].samples =
+        store_->read_drive(id, static_cast<std::int64_t>(from_week) * 168,
+                           static_cast<std::int64_t>(to_week) * 168 - 1);
+  }
+  return out;
+}
+
+std::size_t ingest_good_telemetry(const sim::FleetConfig& fleet,
+                                  store::TelemetryStore& store) {
+  HDD_REQUIRE(fleet.families.size() == 1,
+              "ingest_good_telemetry expects exactly one family");
+  const sim::FamilySpec& fam = fleet.families.front();
+  const sim::TraceGenerator gen(fam.profile, fleet.seed, 0);
+  const std::int64_t horizon =
+      static_cast<std::int64_t>(fleet.observation_weeks) * 168;
+  std::vector<smart::DriveRecord> drives(fam.n_good);
+  ThreadPool::global().parallel_for(0, fam.n_good, [&](std::size_t i) {
+    const auto latent = gen.make_latent(i, /*failed=*/false, horizon);
+    drives[i] =
+        gen.materialize(latent, 0, horizon - 1, fleet.sample_interval_hours);
+    drives[i].serial = fam.profile.name + "-G" + std::to_string(i);
+  });
+  std::size_t appended = 0;
+  for (const smart::DriveRecord& d : drives) {
+    const std::uint32_t id = store.register_drive(d.serial);
+    for (const smart::Sample& s : d.samples) {
+      if (store.drive(id).last_hour >= s.hour) continue;  // idempotent re-run
+      store.append(id, s);
+      ++appended;
+    }
+  }
+  store.flush();
+  return appended;
+}
+
+namespace {
 
 // The training weeks a strategy uses before predicting test week `w`
 // (1-based weeks; test weeks run 2..last). Returns [from, to) in weeks.
@@ -68,6 +118,14 @@ std::pair<int, int> training_range(const LongTermConfig& config,
 std::vector<WeeklyResult> simulate_long_term(const sim::FleetConfig& fleet,
                                              const ModelTrainer& trainer,
                                              const LongTermConfig& config) {
+  return simulate_long_term(fleet, trainer, config,
+                            GeneratorTelemetrySource(fleet));
+}
+
+std::vector<WeeklyResult> simulate_long_term(const sim::FleetConfig& fleet,
+                                             const ModelTrainer& trainer,
+                                             const LongTermConfig& config,
+                                             const TelemetrySource& source) {
   HDD_REQUIRE(fleet.families.size() == 1,
               "simulate_long_term expects exactly one family");
   HDD_REQUIRE(fleet.observation_weeks >= 2, "need at least two weeks");
@@ -110,7 +168,7 @@ std::vector<WeeklyResult> simulate_long_term(const sim::FleetConfig& fleet,
       data::DriveDataset train_ds;
       train_ds.family_names = {fam.profile.name};
       data::DatasetSplit split;
-      auto goods = good_window(fleet, gen, range.first, range.second);
+      auto goods = source.good_window(range.first, range.second);
       for (auto& g : goods) {
         if (g.empty()) continue;
         split.good_drives.push_back(train_ds.drives.size());
@@ -138,7 +196,7 @@ std::vector<WeeklyResult> simulate_long_term(const sim::FleetConfig& fleet,
     data::DriveDataset test_ds;
     test_ds.family_names = {fam.profile.name};
     data::DatasetSplit split;
-    auto goods = good_window(fleet, gen, week - 1, week);
+    auto goods = source.good_window(week - 1, week);
     for (auto& g : goods) {
       if (g.empty()) continue;
       split.good_drives.push_back(test_ds.drives.size());

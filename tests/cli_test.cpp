@@ -5,6 +5,7 @@
 
 #include <array>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 
 namespace {
@@ -79,6 +80,58 @@ TEST(CliFlow, EndToEnd) {
   std::remove(kModel);
 }
 
+// Same single-test-body rule as CliFlow: ingest -> replay -> compact ->
+// replay share the store directory on disk.
+TEST(CliFlow, StoreEndToEnd) {
+  const char* kStoreCsv = "/tmp/hddpred_cli_store_fleet.csv";
+  const char* kStoreModel = "/tmp/hddpred_cli_store_model.tree";
+  const char* kStoreDir = "/tmp/hddpred_cli_store";
+  std::remove(kStoreCsv);
+  std::remove(kStoreModel);
+  [[maybe_unused]] const int rc =
+      std::system((std::string("rm -rf ") + kStoreDir).c_str());
+
+  auto r = run_cli(std::string("generate --out ") + kStoreCsv +
+                   " --scale 0.02 --family W --seed 11 --interval 2");
+  ASSERT_EQ(r.exit_code, 0) << r.output;
+  r = run_cli(std::string("train --data ") + kStoreCsv + " --model " +
+              kStoreModel);
+  ASSERT_EQ(r.exit_code, 0) << r.output;
+
+  // ingest, twice: the second run must find everything already present.
+  r = run_cli(std::string("ingest --store ") + kStoreDir + " --data " +
+              kStoreCsv);
+  ASSERT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("ingested"), std::string::npos);
+  EXPECT_NE(r.output.find("(0 already present)"), std::string::npos);
+  r = run_cli(std::string("ingest --store ") + kStoreDir + " --data " +
+              kStoreCsv);
+  ASSERT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("ingested 0 samples"), std::string::npos);
+
+  // replay the log through a resumed fleet scorer
+  r = run_cli(std::string("replay --store ") + kStoreDir + " --model " +
+              kStoreModel + " --voters 5");
+  ASSERT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("replayed"), std::string::npos);
+
+  // compact away everything before hour 100, then replay still works
+  r = run_cli(std::string("compact --store ") + kStoreDir +
+              " --min-hour 100");
+  ASSERT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("compacted"), std::string::npos);
+  EXPECT_NE(r.output.find("dropped"), std::string::npos);
+  r = run_cli(std::string("replay --store ") + kStoreDir + " --model " +
+              kStoreModel + " --voters 5");
+  ASSERT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("replayed"), std::string::npos);
+
+  std::remove(kStoreCsv);
+  std::remove(kStoreModel);
+  [[maybe_unused]] const int rc2 =
+      std::system((std::string("rm -rf ") + kStoreDir).c_str());
+}
+
 TEST(Cli, ReliabilityNeedsNoData) {
   const auto r = run_cli("reliability --drives 100 --fdr 0.95 --tia 300");
   EXPECT_EQ(r.exit_code, 0) << r.output;
@@ -106,6 +159,28 @@ TEST(Cli, NoArgumentsPrintsUsage) {
   const auto r = run_cli("");
   EXPECT_EQ(r.exit_code, 2);
   EXPECT_NE(r.output.find("usage"), std::string::npos);
+}
+
+// Unknown flags are a usage error (exit 2), distinct from runtime I/O
+// failures (exit 1) — a typo must not silently fall back to a default.
+TEST(Cli, UnknownFlagFails) {
+  const auto r = run_cli("reliability --drives 100 --bogus 7");
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.output.find("unknown option --bogus"), std::string::npos);
+  EXPECT_NE(r.output.find("usage"), std::string::npos);
+}
+
+TEST(Cli, FlagMissingValueFails) {
+  const auto r = run_cli("reliability --drives");
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.output.find("missing value for --drives"), std::string::npos);
+}
+
+TEST(Cli, FlagValidFlagForOtherCommandFails) {
+  // --voters belongs to evaluate/replay, not train.
+  const auto r = run_cli("train --data /tmp/x.csv --model /tmp/y --voters 5");
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.output.find("unknown option --voters"), std::string::npos);
 }
 
 }  // namespace

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <sstream>
 
 #include "common/error.h"
@@ -391,9 +392,77 @@ TEST(FromNodes, RejectsBadIndices) {
   nodes[0].feature = 0;
   EXPECT_THROW(DecisionTree::from_nodes(nodes, Task::kClassification, 1),
                ConfigError);
-  nodes[0].left = -1;  // leaf again
+  nodes[0].left = -1;  // still inconsistent: a leaf with a right child
+  EXPECT_THROW(DecisionTree::from_nodes(nodes, Task::kClassification, 1),
+               ConfigError);
+  nodes[0].right = -1;  // a proper single-leaf tree
   EXPECT_NO_THROW(
       DecisionTree::from_nodes(nodes, Task::kClassification, 1));
+}
+
+// Nodes are stored in preorder (children strictly after their parent), so a
+// self-reference or a backward edge — either of which would hang predict()
+// in a cycle — must be rejected, not just out-of-range indices.
+TEST(FromNodes, RejectsSelfReferentialAndBackwardChildren) {
+  std::vector<Node> nodes(3);
+  nodes[0].left = 0;  // self-reference
+  nodes[0].right = 2;
+  nodes[0].feature = 0;
+  EXPECT_THROW(DecisionTree::from_nodes(nodes, Task::kClassification, 1),
+               ConfigError);
+  nodes[0].left = 1;
+  nodes[0].right = 2;
+  nodes[1].left = 0;  // backward edge: a cycle through the root
+  nodes[1].right = 2;
+  nodes[1].feature = 0;
+  EXPECT_THROW(DecisionTree::from_nodes(nodes, Task::kClassification, 1),
+               ConfigError);
+}
+
+TEST(FromNodes, RejectsNonFiniteThreshold) {
+  std::vector<Node> nodes(3);
+  nodes[0].left = 1;
+  nodes[0].right = 2;
+  nodes[0].feature = 0;
+  nodes[0].threshold = std::numeric_limits<float>::quiet_NaN();
+  EXPECT_THROW(DecisionTree::from_nodes(nodes, Task::kClassification, 1),
+               ConfigError);
+  nodes[0].threshold = std::numeric_limits<float>::infinity();
+  EXPECT_THROW(DecisionTree::from_nodes(nodes, Task::kClassification, 1),
+               ConfigError);
+  nodes[0].threshold = 0.5f;
+  EXPECT_NO_THROW(
+      DecisionTree::from_nodes(nodes, Task::kClassification, 1));
+}
+
+// The same validation guards the persistence path: a tampered model file
+// surfaces as DataError instead of loading a malformed tree.
+TEST(FromNodes, LoadRejectsTamperedTree) {
+  const auto m = make_matrix({{0}, {1}, {2}, {3}}, {-1, -1, 1, 1});
+  DecisionTree t;
+  t.fit(m, Task::kClassification, loose_params());
+  std::ostringstream os;
+  t.save(os);
+  std::string text = os.str();
+  // Point the root's left child at itself (first node line starts after the
+  // four header lines; the root is never index 0's child in a valid tree).
+  std::istringstream check(text);
+  std::string tampered;
+  std::string line;
+  int line_no = 0;
+  while (std::getline(check, line)) {
+    if (line_no == 4 && !line.empty() && t.node_count() > 1) {
+      // root node line: "left right feature ..." -> make left self-refer
+      const auto space = line.find(' ');
+      line = "0" + line.substr(space);
+    }
+    tampered += line + "\n";
+    ++line_no;
+  }
+  std::istringstream is(tampered);
+  if (t.node_count() > 1) {
+    EXPECT_THROW(DecisionTree::load(is), DataError);
+  }
 }
 
 TEST(FromNodes, RejectsBadFeature) {

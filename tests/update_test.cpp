@@ -2,9 +2,12 @@
 // strategy, retraining counts, week coverage, and basic metric sanity.
 #include <gtest/gtest.h>
 
+#include <filesystem>
+
 #include "common/error.h"
 
 #include "core/predictor.h"
+#include "store/telemetry_store.h"
 #include "tree/tree.h"
 #include "update/strategies.h"
 
@@ -148,6 +151,44 @@ TEST(LongTerm, ModelAgingShowsUpForTheFixedStrategy) {
 
   EXPECT_GT(fixed.back().far, 3.0 * fixed.front().far + 0.001);
   EXPECT_LT(replacing.back().far, fixed.back().far);
+}
+
+// Retraining from store-read history must reproduce the generator-backed
+// simulation exactly: the generator aligns samples to the global grid, and
+// the store round-trips float attributes bit for bit.
+TEST(LongTerm, StoreBackedTelemetryMatchesGenerator) {
+  auto fleet = tiny_fleet();
+  fleet.families[0].n_good = 60;  // keep the double simulation quick
+  auto cfg = base_config();
+  cfg.strategy = Strategy::kReplacing;
+  cfg.replace_cycle_weeks = 2;
+
+  const auto dir =
+      std::filesystem::temp_directory_path() / "hdd_update_store_eqv";
+  std::filesystem::remove_all(dir);
+  {
+    store::TelemetryStore store(dir.string());
+    const std::size_t appended = ingest_good_telemetry(fleet, store);
+    EXPECT_GT(appended, 0u);
+    EXPECT_EQ(store.drive_count(), 60u);
+    EXPECT_EQ(ingest_good_telemetry(fleet, store), 0u);  // idempotent
+
+    int calls_gen = 0;
+    int calls_store = 0;
+    const auto baseline =
+        simulate_long_term(fleet, counting_trainer(calls_gen), cfg);
+    const auto stored =
+        simulate_long_term(fleet, counting_trainer(calls_store), cfg,
+                           StoreTelemetrySource(store));
+    EXPECT_EQ(calls_store, calls_gen);
+    ASSERT_EQ(stored.size(), baseline.size());
+    for (std::size_t i = 0; i < baseline.size(); ++i) {
+      EXPECT_EQ(stored[i].week, baseline[i].week);
+      EXPECT_EQ(stored[i].far, baseline[i].far);  // exact, not approximate
+      EXPECT_EQ(stored[i].fdr, baseline[i].fdr);
+    }
+  }
+  std::filesystem::remove_all(dir);
 }
 
 }  // namespace

@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Tier-1 verification: full build + ctest, twice — once plain, once under
+# AddressSanitizer (-DHDD_SANITIZE=address). Separate build directories so
+# the two configurations never share object files.
+#
+# Usage: tools/check.sh [jobs]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS="${1:-$(nproc)}"
+
+run_config() {
+  local build_dir="$1"
+  shift
+  echo "=== configure ${build_dir} ($*) ==="
+  cmake -B "${build_dir}" -S . "$@"
+  echo "=== build ${build_dir} ==="
+  cmake --build "${build_dir}" -j "${JOBS}"
+  echo "=== ctest ${build_dir} ==="
+  ctest --test-dir "${build_dir}" --output-on-failure -j "${JOBS}"
+}
+
+run_config build
+run_config build-asan -DHDD_SANITIZE=address
+
+echo "=== all checks passed (plain + asan) ==="

@@ -8,19 +8,29 @@
 //   hddpredict evaluate  --data fleet.csv --model m.tree [--voters N]
 //   hddpredict predict   --data fleet.csv --model m.tree [--top K]
 //   hddpredict reliability [--drives N] [--fdr K] [--tia H] [--raid 5|6]
+//   hddpredict ingest    --store DIR --data fleet.csv [--segment-bytes N]
+//   hddpredict compact   --store DIR --min-hour H
+//   hddpredict replay    --store DIR --model m.tree [--voters N]
 //
 // The CSV schema is documented in src/data/csv_io.h; `generate` fabricates
 // a synthetic fleet in that schema so every subcommand can be exercised
-// without real telemetry.
+// without real telemetry. `ingest`/`compact`/`replay` drive the durable
+// telemetry store (src/store): CSV telemetry in, retention out, and a
+// crash-resumed fleet scoring pass over the accumulated log.
+//
+// Exit codes: 0 success, 1 runtime failure (I/O, bad data), 2 bad
+// invocation (unknown command, unknown or malformed flag).
 #include <algorithm>
 #include <cstdlib>
 #include <cstring>
+#include <initializer_list>
 #include <iostream>
 #include <map>
 #include <string>
 
 #include "common/error.h"
 #include "common/table.h"
+#include "core/fleet.h"
 #include "core/health.h"
 #include "core/model_io.h"
 #include "core/predictor.h"
@@ -30,6 +40,7 @@
 #include "reliability/raid.h"
 #include "sim/generator.h"
 #include "stats/feature_select.h"
+#include "store/telemetry_store.h"
 
 namespace {
 
@@ -46,20 +57,29 @@ using namespace hdd;
       "  evaluate  --data F --model F [--voters N]\n"
       "  tune      --data F --model F [--budget FAR]\n"
       "  predict   --data F --model F [--top K]\n"
-      "  reliability [--drives N] [--fdr K] [--tia H] [--raid 5|6]\n";
+      "  reliability [--drives N] [--fdr K] [--tia H] [--raid 5|6]\n"
+      "  ingest    --store DIR --data F [--segment-bytes N]\n"
+      "  compact   --store DIR --min-hour H\n"
+      "  replay    --store DIR --model F [--voters N]\n";
   std::exit(2);
 }
 
-// Simple flag map: --key value pairs.
-std::map<std::string, std::string> parse_flags(int argc, char** argv,
-                                               int first) {
+// Simple flag map: --key value pairs. Flags outside `allowed` are a usage
+// error (exit 2), so a typo can't silently fall back to a default.
+std::map<std::string, std::string> parse_flags(
+    int argc, char** argv, int first,
+    std::initializer_list<const char*> allowed) {
   std::map<std::string, std::string> flags;
   for (int i = first; i < argc; ++i) {
     const std::string key = argv[i];
-    if (key.rfind("--", 0) != 0 || i + 1 >= argc) {
-      usage("bad option: " + key);
-    }
-    flags[key.substr(2)] = argv[++i];
+    if (key.rfind("--", 0) != 0) usage("bad option: " + key);
+    const std::string name = key.substr(2);
+    const bool known = std::any_of(
+        allowed.begin(), allowed.end(),
+        [&name](const char* a) { return name == a; });
+    if (!known) usage("unknown option " + key + " for this command");
+    if (i + 1 >= argc) usage("missing value for " + key);
+    flags[name] = argv[++i];
   }
   return flags;
 }
@@ -265,20 +285,137 @@ int cmd_reliability(const std::map<std::string, std::string>& flags) {
   return 0;
 }
 
+int cmd_ingest(const std::map<std::string, std::string>& flags) {
+  const std::string dir = need(flags, "store");
+  const auto fleet = data::load_csv_file(need(flags, "data"));
+  store::StoreOptions opt;
+  opt.segment_bytes = std::stoull(
+      get(flags, "segment-bytes", std::to_string(opt.segment_bytes)));
+  store::TelemetryStore store(dir, opt);
+
+  std::size_t appended = 0;
+  std::size_t skipped = 0;
+  for (const auto& d : fleet.drives) {
+    const std::uint32_t id = store.register_drive(d.serial);
+    for (const auto& s : d.samples) {
+      // Re-running an ingest is a no-op for hours already on disk.
+      if (store.drive(id).last_hour >= s.hour) {
+        ++skipped;
+        continue;
+      }
+      store.append(id, s);
+      ++appended;
+    }
+  }
+  store.flush();
+  std::cout << "ingested " << appended << " samples (" << skipped
+            << " already present) for " << fleet.drives.size()
+            << " drives into " << dir << " (" << store.segment_count()
+            << " segments)\n";
+  return 0;
+}
+
+int cmd_compact(const std::map<std::string, std::string>& flags) {
+  const std::string dir = need(flags, "store");
+  const auto min_hour =
+      static_cast<std::int64_t>(std::stoll(need(flags, "min-hour")));
+  store::TelemetryStore store(dir);
+  const std::size_t before = store.sample_count();
+  const auto r = store.compact(min_hour);
+  std::cout << "compacted " << dir << ": kept " << r.kept << ", dropped "
+            << r.dropped << " of " << before << " samples; "
+            << store.segment_count() << " segment(s) remain\n";
+  return 0;
+}
+
+int cmd_replay(const std::map<std::string, std::string>& flags) {
+  const std::string dir = need(flags, "store");
+  auto tree = core::load_tree_file(need(flags, "model"));
+  const int voters = std::stoi(get(flags, "voters", "11"));
+  const auto features = smart::stat13_features();
+  HDD_REQUIRE(tree.num_features() == features.size(),
+              "model feature count does not match the stat13 layout");
+
+  store::TelemetryStore store(dir);
+  const auto& rec = store.recovery();
+  if (rec.tail_truncated || rec.records_dropped > 0 ||
+      rec.segments_skipped > 0) {
+    std::cout << "recovery: " << rec.records_recovered
+              << " records recovered, " << rec.records_dropped
+              << " dropped, " << rec.torn_bytes_truncated
+              << " torn bytes truncated\n";
+  }
+
+  const auto scorer = core::make_tree_scorer(std::move(tree));
+  core::FleetScorerConfig fc;
+  fc.features = features;
+  fc.vote.voters = voters;
+  core::FleetScorer fleet(*scorer, fc);
+  const auto r = fleet.resume_from(store);
+  std::cout << "replayed " << r.samples_replayed << " samples for "
+            << r.drives << " drives through hour " << r.last_hour;
+  if (r.partial_dropped > 0) {
+    std::cout << " (dropped a torn interval of " << r.partial_dropped
+              << " samples)";
+  }
+  std::cout << '\n';
+
+  const auto alarmed = fleet.alarmed_drives();
+  if (alarmed.empty()) {
+    std::cout << "no alarms\n";
+    return 0;
+  }
+  Table t({"drive", "alarm hour"});
+  for (const std::size_t i : alarmed) {
+    t.row()
+        .cell(fleet.serial(i))
+        .cell(static_cast<long long>(fleet.state(i).alarm_hour()));
+  }
+  std::cout << alarmed.size() << " drive(s) in alarm:\n";
+  t.print(std::cout);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) usage();
   const std::string command = argv[1];
   try {
-    const auto flags = parse_flags(argc, argv, 2);
-    if (command == "generate") return cmd_generate(flags);
-    if (command == "features") return cmd_features(flags);
-    if (command == "train") return cmd_train(flags);
-    if (command == "evaluate") return cmd_evaluate(flags);
-    if (command == "tune") return cmd_tune(flags);
-    if (command == "predict") return cmd_predict(flags);
-    if (command == "reliability") return cmd_reliability(flags);
+    const auto parse = [&](std::initializer_list<const char*> allowed) {
+      return parse_flags(argc, argv, 2, allowed);
+    };
+    if (command == "generate") {
+      return cmd_generate(
+          parse({"out", "scale", "seed", "family", "weeks", "interval"}));
+    }
+    if (command == "features") {
+      return cmd_features(parse({"data", "levels", "rates"}));
+    }
+    if (command == "train") {
+      return cmd_train(parse({"data", "model", "preset", "window", "cp"}));
+    }
+    if (command == "evaluate") {
+      return cmd_evaluate(parse({"data", "model", "voters"}));
+    }
+    if (command == "tune") {
+      return cmd_tune(parse({"data", "model", "budget"}));
+    }
+    if (command == "predict") {
+      return cmd_predict(parse({"data", "model", "top"}));
+    }
+    if (command == "reliability") {
+      return cmd_reliability(parse({"drives", "fdr", "tia", "raid"}));
+    }
+    if (command == "ingest") {
+      return cmd_ingest(parse({"store", "data", "segment-bytes"}));
+    }
+    if (command == "compact") {
+      return cmd_compact(parse({"store", "min-hour"}));
+    }
+    if (command == "replay") {
+      return cmd_replay(parse({"store", "model", "voters"}));
+    }
     usage("unknown command: " + command);
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << '\n';
