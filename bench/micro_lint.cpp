@@ -1,0 +1,90 @@
+// Micro-benchmarks (google-benchmark): static-verifier throughput. The
+// verifier runs on every model load in kWarn/kStrict mode and inside
+// `hddpredict lint`, so its cost must stay negligible next to training —
+// the iterative interval DFS is O(nodes) interval updates, and these
+// benchmarks pin that down on deep trees and wide forests.
+#include <benchmark/benchmark.h>
+
+#include <cstddef>
+
+#include "analysis/verifier.h"
+#include "common/rng.h"
+#include "data/matrix.h"
+#include "forest/random_forest.h"
+#include "smart/features.h"
+#include "tree/tree.h"
+
+namespace {
+
+using namespace hdd;
+
+data::DataMatrix make_training_matrix(std::size_t rows, int cols) {
+  Rng rng(7);
+  data::DataMatrix m(cols);
+  std::vector<float> row(static_cast<std::size_t>(cols));
+  for (std::size_t i = 0; i < rows; ++i) {
+    double margin = 0.0;
+    for (std::size_t f = 0; f < row.size(); ++f) {
+      row[f] = static_cast<float>(rng.uniform(1.0, 253.0));
+      margin += (f % 2 == 0 ? 1.0 : -1.0) * row[f];
+    }
+    m.add_row(row, margin + rng.normal(0.0, 40.0) > 0.0 ? 1.0f : -1.0f,
+              1.0f);
+  }
+  return m;
+}
+
+tree::DecisionTree make_tree(std::size_t rows) {
+  tree::TreeParams params;
+  params.cp = 0.0;  // no pruning: the largest tree the data supports
+  params.min_split = 4;
+  params.min_bucket = 2;
+  tree::DecisionTree t;
+  t.fit(make_training_matrix(rows, 13), tree::Task::kClassification, params);
+  return t;
+}
+
+void BM_VerifyTree(benchmark::State& state) {
+  const auto t = make_tree(static_cast<std::size_t>(state.range(0)));
+  analysis::VerifyOptions opt;
+  opt.domains =
+      analysis::FeatureDomains::for_feature_set(smart::stat13_features());
+  for (auto _ : state) {
+    const auto report = analysis::verify_tree(t, opt);
+    benchmark::DoNotOptimize(report);
+  }
+  state.counters["nodes"] = static_cast<double>(t.node_count());
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(t.node_count()));
+}
+BENCHMARK(BM_VerifyTree)->Arg(2000)->Arg(20000);
+
+void BM_VerifyForest(benchmark::State& state) {
+  forest::ForestConfig cfg;
+  cfg.n_trees = static_cast<int>(state.range(0));
+  cfg.tree_params.cp = 0.0;
+  cfg.tree_params.min_split = 4;
+  cfg.tree_params.min_bucket = 2;
+  forest::RandomForest f;
+  f.fit(make_training_matrix(4000, 13), tree::Task::kClassification, cfg);
+
+  std::size_t nodes = 0;
+  for (std::size_t i = 0; i < f.tree_count(); ++i) {
+    nodes += f.member_tree(i).node_count();
+  }
+  analysis::VerifyOptions opt;
+  opt.domains =
+      analysis::FeatureDomains::for_feature_set(smart::stat13_features());
+  for (auto _ : state) {
+    const auto report = analysis::verify_forest(f, opt);
+    benchmark::DoNotOptimize(report);
+  }
+  state.counters["nodes"] = static_cast<double>(nodes);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(nodes));
+}
+BENCHMARK(BM_VerifyForest)->Arg(8)->Arg(64);
+
+}  // namespace
+
+BENCHMARK_MAIN();

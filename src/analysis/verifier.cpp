@@ -1,0 +1,576 @@
+// Abstract interpretation over feature intervals (see verifier.h).
+//
+// Tree traversal keeps ONE mutable box (vector of per-feature intervals)
+// and walks the flat node array iteratively with explicit restore markers
+// instead of copying the box per node — linting a forest of thousands of
+// nodes is O(nodes) interval updates, which is what the lint throughput
+// benchmark (bench/micro_lint.cpp) measures.
+#include "analysis/verifier.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <limits>
+#include <ostream>
+#include <sstream>
+#include <utility>
+
+#include "ann/mlp.h"
+#include "common/error.h"
+#include "forest/adaboost.h"
+#include "forest/random_forest.h"
+#include "smart/attributes.h"
+#include "tree/tree.h"
+
+namespace hdd::analysis {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+std::string fmt_num(double v) {
+  if (std::isnan(v)) return "nan";
+  if (std::isinf(v)) return v > 0 ? "inf" : "-inf";
+  std::ostringstream os;
+  os << v;
+  return os.str();
+}
+
+std::string fmt_interval(const Interval& iv) {
+  std::string s = std::isinf(iv.lo) ? "(" : "[";
+  s += fmt_num(iv.lo);
+  s += ", ";
+  s += fmt_num(iv.hi);
+  s += (iv.hi_open || std::isinf(iv.hi)) ? ')' : ']';
+  return s;
+}
+
+double sigmoid(double z) { return 1.0 / (1.0 + std::exp(-z)); }
+
+// Resolves the starting box for a model of `num_features` inputs.
+std::vector<Interval> resolve_domains(const FeatureDomains& domains,
+                                      int num_features) {
+  if (domains.bounds.empty()) {
+    return FeatureDomains::unbounded(num_features).bounds;
+  }
+  HDD_REQUIRE(static_cast<int>(domains.bounds.size()) == num_features,
+              "verify: domain count does not match the model's features");
+  for (const Interval& iv : domains.bounds) {
+    HDD_REQUIRE(!iv.empty(), "verify: empty feature domain");
+  }
+  return domains.bounds;
+}
+
+struct TreeScan {
+  // Range of reachable, finite leaf values (lo > hi when none).
+  double lo = kInf;
+  double hi = -kInf;
+  std::size_t reachable_leaves = 0;
+};
+
+// Walks the tree with interval propagation; appends diagnostics to
+// `report` and returns the reachable leaf-value range. `node_prefix`
+// labels locations inside ensembles ("tree[3] ").
+TreeScan scan_tree(const tree::DecisionTree& t, const VerifyOptions& options,
+                   const std::vector<Interval>& domains,
+                   const std::string& model_path,
+                   const std::string& node_prefix, const char* value_label,
+                   Report& report) {
+  const auto& nodes = t.nodes();
+  TreeScan scan;
+  std::vector<Interval> box = domains;
+  std::vector<char> visited(nodes.size(), 0);
+
+  auto diag = [&](Severity sev, std::int32_t node, const char* code,
+                  std::string message) {
+    report.diagnostics.push_back(
+        {sev, model_path, node_prefix + "node " + std::to_string(node), code,
+         std::move(message)});
+  };
+
+  // Everything under a dead branch is unreachable; flag its leaves and
+  // mark the subtree visited so it is not re-reported as orphaned.
+  auto flag_unreachable = [&](std::int32_t child, std::int32_t split_node) {
+    std::vector<std::int32_t> sub{child};
+    while (!sub.empty()) {
+      const std::int32_t j = sub.back();
+      sub.pop_back();
+      visited[static_cast<std::size_t>(j)] = 1;
+      const tree::Node& nj = nodes[static_cast<std::size_t>(j)];
+      if (nj.is_leaf()) {
+        diag(Severity::kError, j, "unreachable-leaf",
+             "no input can reach this leaf: the split at node " +
+                 std::to_string(split_node) +
+                 " always sends samples the other way");
+      } else {
+        sub.push_back(nj.left);
+        sub.push_back(nj.right);
+      }
+    }
+  };
+
+  // Work item: node >= 0 visits a node, node < 0 restores/assigns
+  // box[assign_feature] = assign (the undo log of the DFS).
+  struct Item {
+    std::int32_t node;
+    std::int32_t assign_feature;
+    Interval assign;
+  };
+  std::vector<Item> stack;
+  stack.push_back({0, -1, {}});
+  while (!stack.empty()) {
+    const Item item = stack.back();
+    stack.pop_back();
+    if (item.node < 0) {
+      box[static_cast<std::size_t>(item.assign_feature)] = item.assign;
+      continue;
+    }
+    const auto ni = static_cast<std::size_t>(item.node);
+    visited[ni] = 1;
+    const tree::Node& n = nodes[ni];
+    if (!(n.weight >= 0.0) || n.count < 0) {
+      diag(Severity::kWarning, item.node, "negative-weight",
+           "node carries weight " + fmt_num(n.weight) + " / count " +
+               std::to_string(n.count) +
+               " — sample statistics must be non-negative");
+    }
+    if (n.is_leaf()) {
+      ++scan.reachable_leaves;
+      if (!std::isfinite(n.value)) {
+        diag(Severity::kError, item.node, "leaf-value-non-finite",
+             std::string("leaf ") + value_label + " is " + fmt_num(n.value));
+        continue;
+      }
+      if (n.value < options.value_lo || n.value > options.value_hi) {
+        diag(Severity::kError, item.node, "leaf-value-out-of-range",
+             std::string("leaf ") + value_label + " " + fmt_num(n.value) +
+                 " lies outside [" + fmt_num(options.value_lo) + ", " +
+                 fmt_num(options.value_hi) + "]");
+      }
+      scan.lo = std::min(scan.lo, n.value);
+      scan.hi = std::max(scan.hi, n.value);
+      continue;
+    }
+
+    const auto f = static_cast<std::size_t>(n.feature);
+    const double thr = n.threshold;
+    const Interval iv = box[f];
+    Interval left = iv;  // x < thr
+    if (thr <= left.hi) {
+      left.hi = thr;
+      left.hi_open = true;
+    }
+    Interval right = iv;  // x >= thr
+    right.lo = std::max(right.lo, thr);
+    const bool left_ok = !left.empty();
+    const bool right_ok = !right.empty();
+    if (!left_ok || !right_ok) {
+      // The parent box is feasible, so exactly one side is dead.
+      diag(Severity::kError, item.node, "dead-split",
+           "split f" + std::to_string(n.feature) + " < " + fmt_num(thr) +
+               " always goes " + (left_ok ? "left" : "right") +
+               ": the feasible range of f" + std::to_string(n.feature) +
+               " here is " + fmt_interval(iv));
+      flag_unreachable(left_ok ? n.right : n.left, item.node);
+    }
+    // Visit order: left under its constraint, then right, then restore
+    // the parent's interval (LIFO, so pushed in reverse).
+    stack.push_back({-1, n.feature, iv});
+    if (right_ok) {
+      stack.push_back({n.right, -1, {}});
+      stack.push_back({-1, n.feature, right});
+    }
+    if (left_ok) {
+      stack.push_back({n.left, -1, {}});
+      stack.push_back({-1, n.feature, left});
+    }
+  }
+
+  std::size_t orphans = 0;
+  std::int32_t first_orphan = -1;
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    if (!visited[i]) {
+      ++orphans;
+      if (first_orphan < 0) first_orphan = static_cast<std::int32_t>(i);
+    }
+  }
+  if (orphans > 0) {
+    diag(Severity::kWarning, first_orphan, "orphan-node",
+         std::to_string(orphans) +
+             " node(s) are not referenced by any reachable parent (dead "
+             "weight in the serialized model)");
+  }
+  return scan;
+}
+
+const char* value_label_for(const tree::DecisionTree& t) {
+  return t.task() == tree::Task::kRegression ? "health degree" : "margin";
+}
+
+// Reports a model whose output provably never changes sign: it can never
+// raise (or never clear) an alarm, which defeats drive-level voting.
+void check_constant_sign(double lo, double hi, const std::string& what,
+                         const std::string& model_path, Report& report) {
+  if (lo > hi) return;  // no finite outputs; errors already reported
+  if (lo >= 0.0) {
+    report.diagnostics.push_back(
+        {Severity::kWarning, model_path, what, "constant-sign-model",
+         "output is always >= 0 (range [" + fmt_num(lo) + ", " + fmt_num(hi) +
+             "]): the model can never predict a failure"});
+  } else if (hi < 0.0) {
+    report.diagnostics.push_back(
+        {Severity::kWarning, model_path, what, "constant-sign-model",
+         "output is always < 0 (range [" + fmt_num(lo) + ", " + fmt_num(hi) +
+             "]): the model can never predict a healthy drive"});
+  }
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+const char* severity_name(Severity s) {
+  switch (s) {
+    case Severity::kNote: return "note";
+    case Severity::kWarning: return "warning";
+    case Severity::kError: return "error";
+  }
+  return "unknown";
+}
+
+Interval Interval::all() { return {-kInf, kInf, false}; }
+
+Interval Interval::closed(double lo, double hi) { return {lo, hi, false}; }
+
+FeatureDomains FeatureDomains::unbounded(int num_features) {
+  HDD_REQUIRE(num_features >= 1, "unbounded: num_features must be >= 1");
+  FeatureDomains d;
+  d.bounds.assign(static_cast<std::size_t>(num_features), Interval::all());
+  return d;
+}
+
+FeatureDomains FeatureDomains::for_feature_set(const smart::FeatureSet& fs) {
+  HDD_REQUIRE(!fs.specs.empty(), "for_feature_set: empty feature set");
+  FeatureDomains d;
+  d.bounds.reserve(fs.specs.size());
+  for (const smart::FeatureSpec& spec : fs.specs) {
+    const auto range = smart::attribute_range(spec.attr);
+    if (!spec.is_change_rate()) {
+      d.bounds.push_back(Interval::closed(range.lo, range.hi));
+    } else if (smart::attribute_info(spec.attr).raw) {
+      // Raw counters are unbounded above (and pending-sector counts can
+      // shrink), so their rates admit no a-priori bound.
+      d.bounds.push_back(Interval::all());
+    } else {
+      // A normalized value cannot move further than its whole scale over
+      // the change interval, and the extractor divides by an elapsed time
+      // of at least that interval.
+      const double bound =
+          (range.hi - range.lo) / spec.change_interval_hours;
+      d.bounds.push_back(Interval::closed(-bound, bound));
+    }
+  }
+  return d;
+}
+
+std::size_t Report::count(Severity s) const {
+  std::size_t n = 0;
+  for (const Diagnostic& d : diagnostics) {
+    if (d.severity == s) ++n;
+  }
+  return n;
+}
+
+bool Report::has_errors() const { return count(Severity::kError) > 0; }
+
+bool Report::has_findings() const {
+  return count(Severity::kError) + count(Severity::kWarning) > 0;
+}
+
+void Report::merge(Report other) {
+  diagnostics.insert(diagnostics.end(),
+                     std::make_move_iterator(other.diagnostics.begin()),
+                     std::make_move_iterator(other.diagnostics.end()));
+}
+
+Report verify_tree(const tree::DecisionTree& t, const VerifyOptions& options,
+                   const std::string& model_path) {
+  HDD_REQUIRE(t.trained(), "verify_tree: untrained tree");
+  Report report;
+  const auto domains = resolve_domains(options.domains, t.num_features());
+  const TreeScan scan = scan_tree(t, options, domains, model_path, "",
+                                  value_label_for(t), report);
+  check_constant_sign(scan.lo, scan.hi, "tree", model_path, report);
+  return report;
+}
+
+Report verify_forest(const forest::RandomForest& f,
+                     const VerifyOptions& options,
+                     const std::string& model_path) {
+  HDD_REQUIRE(f.trained(), "verify_forest: untrained forest");
+  Report report;
+  const auto domains = resolve_domains(options.domains, f.num_features());
+
+  // Per-member reachable output ranges, scanned in the member's subspace.
+  std::vector<double> lo(f.tree_count()), hi(f.tree_count());
+  bool ranges_ok = true;
+  for (std::size_t i = 0; i < f.tree_count(); ++i) {
+    const auto sub = f.member_features(i);
+    std::vector<Interval> sub_domains;
+    sub_domains.reserve(sub.size());
+    for (const int orig : sub) {
+      sub_domains.push_back(domains[static_cast<std::size_t>(orig)]);
+    }
+    const TreeScan scan = scan_tree(
+        f.member_tree(i), options, sub_domains, model_path,
+        "tree[" + std::to_string(i) + "] ",
+        value_label_for(f.member_tree(i)), report);
+    if (scan.lo > scan.hi) {
+      ranges_ok = false;  // no finite leaves; already reported as errors
+      continue;
+    }
+    lo[i] = scan.lo;
+    hi[i] = scan.hi;
+  }
+  if (!ranges_ok) return report;
+
+  // The forest votes by mean; sign analysis needs only the sums.
+  double sum_lo = 0.0, sum_hi = 0.0;
+  for (std::size_t i = 0; i < f.tree_count(); ++i) {
+    sum_lo += lo[i];
+    sum_hi += hi[i];
+  }
+  const auto n = static_cast<double>(f.tree_count());
+  if (sum_lo >= 0.0 || sum_hi < 0.0) {
+    // Every member is inert when the whole ensemble is one-sided; one
+    // diagnostic explains it better than tree_count() repeats.
+    check_constant_sign(sum_lo / n, sum_hi / n, "forest", model_path, report);
+    return report;
+  }
+  // Rest-of-ensemble sums via prefix/suffix accumulation, NOT sum - lo[i]:
+  // subtracting nearly-equal totals cancels catastrophically and can
+  // "prove" a decisive member inert by a few ulps.
+  const std::size_t count = f.tree_count();
+  std::vector<double> pre_lo(count + 1, 0.0), pre_hi(count + 1, 0.0);
+  std::vector<double> suf_lo(count + 1, 0.0), suf_hi(count + 1, 0.0);
+  for (std::size_t i = 0; i < count; ++i) {
+    pre_lo[i + 1] = pre_lo[i] + lo[i];
+    pre_hi[i + 1] = pre_hi[i] + hi[i];
+    suf_lo[count - 1 - i] = suf_lo[count - i] + lo[count - 1 - i];
+    suf_hi[count - 1 - i] = suf_hi[count - i] + hi[count - 1 - i];
+  }
+  for (std::size_t i = 0; i < count; ++i) {
+    // Member i matters iff the rest of the forest can land in
+    // [-hi_i, -lo_i): only there does i's swing cross zero.
+    const double rest_lo = pre_lo[i] + suf_lo[i + 1];
+    const double rest_hi = pre_hi[i] + suf_hi[i + 1];
+    const double reach = std::max(rest_lo, -hi[i]);
+    const bool can_flip = reach <= rest_hi && reach < -lo[i];
+    if (!can_flip) {
+      report.diagnostics.push_back(
+          {Severity::kWarning, model_path, "tree[" + std::to_string(i) + "]",
+           "inert-member",
+           "vote can never flip the forest: reachable outputs [" +
+               fmt_num(lo[i]) + ", " + fmt_num(hi[i]) +
+               "] against the rest of the ensemble in [" + fmt_num(rest_lo) +
+               ", " + fmt_num(rest_hi) + "]"});
+    }
+  }
+  return report;
+}
+
+Report verify_adaboost(const forest::AdaBoost& b, const VerifyOptions& options,
+                       const std::string& model_path) {
+  HDD_REQUIRE(b.trained(), "verify_adaboost: untrained ensemble");
+  Report report;
+  const auto& members = b.members();
+  const auto domains = resolve_domains(
+      options.domains, members.front().tree.num_features());
+
+  double alpha_sum = 0.0;
+  for (std::size_t i = 0; i < members.size(); ++i) {
+    const auto loc = "member[" + std::to_string(i) + "]";
+    const double alpha = members[i].alpha;
+    if (!std::isfinite(alpha) || alpha <= 0.0) {
+      report.diagnostics.push_back(
+          {Severity::kWarning, model_path, loc, "nonpositive-alpha",
+           "vote weight alpha = " + fmt_num(alpha) +
+               " — the member contributes nothing (or inverts its vote)"});
+    } else {
+      alpha_sum += alpha;
+    }
+    const TreeScan scan =
+        scan_tree(members[i].tree, options, domains, model_path, loc + " ",
+                  value_label_for(members[i].tree), report);
+    if (scan.lo > scan.hi) continue;
+    // AdaBoost votes with predict_label (sign of the margin); a weak
+    // learner whose reachable margins are one-sided always casts the same
+    // vote.
+    if (scan.lo >= 0.0 || scan.hi < 0.0) {
+      report.diagnostics.push_back(
+          {Severity::kWarning, model_path, loc, "inert-member",
+           std::string("weak learner always votes ") +
+               (scan.lo >= 0.0 ? "good" : "failed") +
+               " (reachable margins [" + fmt_num(scan.lo) + ", " +
+               fmt_num(scan.hi) + "])"});
+    }
+  }
+  for (std::size_t i = 0; i < members.size(); ++i) {
+    const double alpha = members[i].alpha;
+    if (std::isfinite(alpha) && alpha > 0.0 && alpha > alpha_sum - alpha) {
+      report.diagnostics.push_back(
+          {Severity::kWarning, model_path, "member[" + std::to_string(i) + "]",
+           "dominant-member",
+           "alpha " + fmt_num(alpha) +
+               " outweighs all other members combined (" +
+               fmt_num(alpha_sum - alpha) +
+               "): no combination of their votes can flip the ensemble"});
+    }
+  }
+  return report;
+}
+
+Report verify_mlp(const ann::MlpModel& m, const VerifyOptions& options,
+                  const std::string& model_path) {
+  HDD_REQUIRE(m.trained(), "verify_mlp: untrained MLP");
+  Report report;
+  const auto ni = static_cast<std::size_t>(m.num_features());
+  const auto nh = static_cast<std::size_t>(m.hidden_units());
+  const auto domains = resolve_domains(options.domains, m.num_features());
+
+  const auto w1 = m.layer1_weights();
+  const auto b1 = m.layer1_biases();
+  const auto w2 = m.layer2_weights();
+  const auto offset = m.input_offset();
+  const auto scale = m.input_scale();
+
+  bool finite = true;
+  auto check_finite = [&](double v, std::string location) {
+    if (std::isfinite(v)) return;
+    finite = false;
+    report.diagnostics.push_back({Severity::kError, model_path,
+                                  std::move(location), "non-finite-weight",
+                                  "parameter is " + fmt_num(v)});
+  };
+  for (std::size_t h = 0; h < nh; ++h) {
+    for (std::size_t f = 0; f < ni; ++f) {
+      check_finite(w1[h * ni + f], "w1[h=" + std::to_string(h) + "][f=" +
+                                       std::to_string(f) + "]");
+    }
+    check_finite(b1[h], "b1[h=" + std::to_string(h) + "]");
+    check_finite(w2[h], "w2[h=" + std::to_string(h) + "]");
+  }
+  check_finite(m.layer2_bias(), "b2");
+  for (std::size_t f = 0; f < ni; ++f) {
+    check_finite(offset[f], "offset[f=" + std::to_string(f) + "]");
+    check_finite(scale[f], "scale[f=" + std::to_string(f) + "]");
+    if (std::isfinite(scale[f]) && scale[f] < 0.0) {
+      report.diagnostics.push_back(
+          {Severity::kError, model_path, "scale[f=" + std::to_string(f) + "]",
+           "invalid-scale",
+           "negative input scale " + fmt_num(scale[f]) +
+               " inverts the feature's ordering"});
+    } else if (scale[f] == 0.0) {
+      report.diagnostics.push_back(
+          {Severity::kNote, model_path, "scale[f=" + std::to_string(f) + "]",
+           "constant-input",
+           "input feature is constant under the scaler and contributes "
+           "nothing"});
+    }
+  }
+  if (!finite) return report;  // interval analysis is meaningless on NaNs
+
+  // Standardized input box. The min-max scaler maps the training range to
+  // [0, 1]; where the declared domain is unbounded we fall back to that
+  // design range, so saturation claims read "across the scaler's design
+  // range" rather than being unprovable.
+  std::vector<double> slo(ni), shi(ni);
+  for (std::size_t f = 0; f < ni; ++f) {
+    const Interval& d = domains[f];
+    if (scale[f] == 0.0) {
+      slo[f] = shi[f] = 0.0;
+    } else if (std::isinf(d.lo) || std::isinf(d.hi)) {
+      slo[f] = 0.0;
+      shi[f] = 1.0;
+    } else {
+      slo[f] = (d.lo - offset[f]) * scale[f];
+      shi[f] = (d.hi - offset[f]) * scale[f];
+      if (slo[f] > shi[f]) std::swap(slo[f], shi[f]);
+    }
+  }
+
+  double zo_lo = m.layer2_bias(), zo_hi = m.layer2_bias();
+  for (std::size_t h = 0; h < nh; ++h) {
+    double zlo = b1[h], zhi = b1[h];
+    for (std::size_t f = 0; f < ni; ++f) {
+      const double a = w1[h * ni + f] * slo[f];
+      const double b = w1[h * ni + f] * shi[f];
+      zlo += std::min(a, b);
+      zhi += std::max(a, b);
+    }
+    if (zlo > options.saturation_z || zhi < -options.saturation_z) {
+      report.diagnostics.push_back(
+          {Severity::kWarning, model_path, "hidden[h=" + std::to_string(h) +
+                                               "]",
+           "saturated-unit",
+           "pre-activation stays in [" + fmt_num(zlo) + ", " + fmt_num(zhi) +
+               "] over the whole input domain: the sigmoid is constant and "
+               "the unit is dead weight"});
+    }
+    const double act_lo = sigmoid(zlo), act_hi = sigmoid(zhi);
+    const double a = w2[h] * act_lo;
+    const double b = w2[h] * act_hi;
+    zo_lo += std::min(a, b);
+    zo_hi += std::max(a, b);
+  }
+  // Output margin = 2*sigmoid(zo) - 1: its sign is zo's sign.
+  check_constant_sign(2.0 * sigmoid(zo_lo) - 1.0, 2.0 * sigmoid(zo_hi) - 1.0,
+                      "output", model_path, report);
+  return report;
+}
+
+void print_text(const Report& report, std::ostream& os) {
+  for (const Diagnostic& d : report.diagnostics) {
+    os << severity_name(d.severity) << " [" << d.code << "] " << d.model_path
+       << ": " << d.location << ": " << d.message << '\n';
+  }
+}
+
+void print_json(const Report& report, std::ostream& os) {
+  os << "[";
+  for (std::size_t i = 0; i < report.diagnostics.size(); ++i) {
+    const Diagnostic& d = report.diagnostics[i];
+    os << (i == 0 ? "\n" : ",\n");
+    os << "  {\"severity\": \"" << severity_name(d.severity)
+       << "\", \"code\": \"" << json_escape(d.code)
+       << "\", \"model_path\": \"" << json_escape(d.model_path)
+       << "\", \"location\": \"" << json_escape(d.location)
+       << "\", \"message\": \"" << json_escape(d.message) << "\"}";
+  }
+  os << (report.diagnostics.empty() ? "]\n" : "\n]\n");
+}
+
+}  // namespace hdd::analysis

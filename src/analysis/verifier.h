@@ -1,0 +1,126 @@
+// Static model verifier — abstract interpretation over per-feature value
+// intervals.
+//
+// A serialized model can be structurally valid (tree::from_nodes accepts
+// it) yet semantically broken: leaves no input can reach, splits whose
+// threshold lies outside the feasible range implied by ancestor splits or
+// by the SMART attribute's declared domain (Table II: normalized values
+// live on the 1–253 vendor scale), regression leaves outside the Eq. 5/6
+// health-degree range, ensemble members whose vote can never change the
+// ensemble sign, MLP layers with poisoned or saturating weights. Such a
+// model mis-scores a fleet silently; the verifier proves these defects
+// before deployment by propagating a per-feature [lo, hi] box down every
+// split and checking each reachable piece of the model against it.
+//
+// Diagnostic codes (stable machine-readable identifiers; the taxonomy is
+// documented in DESIGN.md):
+//   trees:     dead-split, unreachable-leaf, leaf-value-non-finite,
+//              leaf-value-out-of-range, orphan-node, negative-weight,
+//              constant-sign-model
+//   ensembles: inert-member, nonpositive-alpha, dominant-member
+//   mlp:       non-finite-weight, invalid-scale, constant-input,
+//              saturated-unit
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "smart/features.h"
+
+namespace hdd::tree {
+class DecisionTree;
+}
+namespace hdd::forest {
+class RandomForest;
+class AdaBoost;
+}
+namespace hdd::ann {
+class MlpModel;
+}
+
+namespace hdd::analysis {
+
+enum class Severity { kNote = 0, kWarning = 1, kError = 2 };
+
+// "note" / "warning" / "error".
+const char* severity_name(Severity s);
+
+struct Diagnostic {
+  Severity severity = Severity::kWarning;
+  std::string model_path;  // file path or logical model name
+  std::string location;    // "node 7", "tree[3] node 2", "w1[h=1][f=0]"
+  std::string code;        // stable defect-class identifier (see above)
+  std::string message;     // human explanation with the proven interval
+};
+
+// One feature's feasible value range. Split constraints are strict
+// ("x < t" goes left), so the upper bound tracks whether it is open;
+// lower bounds only ever come from ">= t" or closed domain bounds.
+struct Interval {
+  double lo;
+  double hi;
+  bool hi_open = false;
+
+  bool empty() const { return lo > hi || (lo == hi && hi_open); }
+  static Interval all();
+  static Interval closed(double lo, double hi);
+};
+
+// Per-feature domains the abstract interpretation starts from.
+struct FeatureDomains {
+  std::vector<Interval> bounds;  // empty => unbounded for every feature
+
+  static FeatureDomains unbounded(int num_features);
+  // Declared domains of a feature layout: levels take the attribute's
+  // Table II range (smart::attribute_range), change rates over h hours of
+  // a normalized attribute are bounded by +/- span/h (the value cannot
+  // move further than its whole scale per elapsed hour), raw-counter
+  // rates are unbounded.
+  static FeatureDomains for_feature_set(const smart::FeatureSet& fs);
+};
+
+struct VerifyOptions {
+  // Starting box; unbounded when empty. When non-empty its size must
+  // match the model's feature count.
+  FeatureDomains domains;
+  // Admissible leaf output range: the Eq. 5/6 health degrees and the
+  // classification margin both live in [-1, 1].
+  double value_lo = -1.0;
+  double value_hi = 1.0;
+  // A hidden unit whose pre-activation provably stays beyond this |z|
+  // over the whole input domain is reported as saturated (sigmoid(30) is
+  // 1 within ~1e-13 — the unit is a constant).
+  double saturation_z = 30.0;
+};
+
+struct Report {
+  std::vector<Diagnostic> diagnostics;
+
+  std::size_t count(Severity s) const;
+  bool has_errors() const;
+  // Findings = warnings or errors; notes alone leave a model clean.
+  bool has_findings() const;
+  void merge(Report other);
+};
+
+// Verifiers for each model family. `model_path` labels the diagnostics
+// (use the file the model came from when there is one).
+Report verify_tree(const tree::DecisionTree& t, const VerifyOptions& options,
+                   const std::string& model_path = "tree");
+Report verify_forest(const forest::RandomForest& f,
+                     const VerifyOptions& options,
+                     const std::string& model_path = "forest");
+Report verify_adaboost(const forest::AdaBoost& b,
+                       const VerifyOptions& options,
+                       const std::string& model_path = "adaboost");
+Report verify_mlp(const ann::MlpModel& m, const VerifyOptions& options,
+                  const std::string& model_path = "mlp");
+
+// Rendering: one line per diagnostic ("severity [code] path:location
+// message"), or a JSON array of diagnostic objects.
+void print_text(const Report& report, std::ostream& os);
+void print_json(const Report& report, std::ostream& os);
+
+}  // namespace hdd::analysis

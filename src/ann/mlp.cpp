@@ -7,8 +7,10 @@
 #include <ostream>
 #include <sstream>
 #include <string>
+#include <utility>
 
 #include "common/error.h"
+#include "common/math_util.h"
 #include "common/rng.h"
 
 namespace hdd::ann {
@@ -154,8 +156,15 @@ std::vector<double> read_vector(std::istream& is, const char* name,
   ls >> label;
   if (label != name) throw DataError(std::string("expected ") + name);
   std::vector<double> v(expected);
-  for (double& x : v) ls >> x;
-  if (ls.fail()) throw DataError(std::string("bad vector: ") + name);
+  std::string token;
+  for (double& x : v) {
+    if (!(ls >> token)) throw DataError(std::string("bad vector: ") + name);
+    // parse_double accepts nan/inf, so a poisoned weight loads and gets a
+    // specific diagnostic from the verifier rather than a parse failure.
+    const auto parsed = parse_double(token);
+    if (!parsed) throw DataError(std::string("bad vector: ") + name);
+    x = *parsed;
+  }
   return v;
 }
 }  // namespace
@@ -199,10 +208,38 @@ MlpModel MlpModel::load(std::istream& is) {
   {
     if (!std::getline(is, line)) throw DataError("mlp file truncated");
     std::istringstream ls(line);
-    std::string label;
-    ls >> label >> m.b2_;
-    if (ls.fail() || label != "b2") throw DataError("bad b2 line");
+    std::string label, token;
+    ls >> label >> token;
+    const auto parsed = parse_double(token);
+    if (ls.fail() || label != "b2" || !parsed) throw DataError("bad b2 line");
+    m.b2_ = *parsed;
   }
+  return m;
+}
+
+MlpModel MlpModel::from_weights(int inputs, int hidden,
+                                std::vector<double> w1, std::vector<double> b1,
+                                std::vector<double> w2, double b2,
+                                std::vector<double> offset,
+                                std::vector<double> scale) {
+  HDD_REQUIRE(inputs >= 1 && hidden >= 1,
+              "from_weights: inputs and hidden must be >= 1");
+  const auto ni = static_cast<std::size_t>(inputs);
+  const auto nh = static_cast<std::size_t>(hidden);
+  HDD_REQUIRE(w1.size() == nh * ni, "from_weights: w1 must be hidden*inputs");
+  HDD_REQUIRE(b1.size() == nh, "from_weights: b1 must be hidden-sized");
+  HDD_REQUIRE(w2.size() == nh, "from_weights: w2 must be hidden-sized");
+  HDD_REQUIRE(offset.size() == ni && scale.size() == ni,
+              "from_weights: scaler must be inputs-sized");
+  MlpModel m;
+  m.inputs_ = inputs;
+  m.hidden_ = hidden;
+  m.w1_ = std::move(w1);
+  m.b1_ = std::move(b1);
+  m.w2_ = std::move(w2);
+  m.b2_ = b2;
+  m.feat_mean_ = std::move(offset);
+  m.feat_scale_ = std::move(scale);
   return m;
 }
 

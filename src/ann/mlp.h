@@ -62,6 +62,26 @@ class MlpModel {
   void save(std::ostream& os) const;
   static MlpModel load(std::istream& is);  // throws DataError on bad input
 
+  // Read-only parameter views for the static verifier (analysis/) and
+  // tests. Layer 1 weights are row-major hidden x inputs.
+  std::span<const double> layer1_weights() const { return w1_; }
+  std::span<const double> layer1_biases() const { return b1_; }
+  std::span<const double> layer2_weights() const { return w2_; }
+  double layer2_bias() const { return b2_; }
+  // Input scaler: standardized = (x - input_offset) * input_scale.
+  std::span<const double> input_offset() const { return feat_mean_; }
+  std::span<const double> input_scale() const { return feat_scale_; }
+
+  // Assembles a model directly from its parameters (tests, model surgery).
+  // Validates shapes only — semantic soundness (finite weights, live
+  // units) is analysis::verify_mlp's job, so degenerate models can be
+  // constructed on purpose. Throws ConfigError on shape mismatch.
+  static MlpModel from_weights(int inputs, int hidden,
+                               std::vector<double> w1, std::vector<double> b1,
+                               std::vector<double> w2, double b2,
+                               std::vector<double> offset,
+                               std::vector<double> scale);
+
  private:
   double forward(std::span<const float> x, std::vector<double>& hidden_act)
       const;

@@ -2,10 +2,19 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
 
 #include "common/error.h"
 
 namespace hdd {
+
+std::optional<double> parse_double(const std::string& token) {
+  if (token.empty()) return std::nullopt;
+  char* end = nullptr;
+  const double v = std::strtod(token.c_str(), &end);
+  if (end == token.c_str() || *end != '\0') return std::nullopt;
+  return v;
+}
 
 double mean(std::span<const double> xs) {
   if (xs.empty()) return 0.0;

@@ -2,10 +2,19 @@
 #pragma once
 
 #include <cstddef>
+#include <optional>
 #include <span>
+#include <string>
 #include <vector>
 
 namespace hdd {
+
+// Parses one floating-point token. Unlike istream extraction this accepts
+// "nan"/"inf"/"-inf" (strtod grammar), so serialized models with poisoned
+// parameters still parse and can be rejected with a diagnostic instead of
+// a generic read failure. Returns nullopt when the token is not a number
+// or has trailing garbage.
+std::optional<double> parse_double(const std::string& token);
 
 // Clamps v into [lo, hi].
 constexpr double clamp(double v, double lo, double hi) {

@@ -12,6 +12,11 @@
 
 namespace hdd::core {
 
+void SampleScorer::save(std::ostream&) const {
+  throw ConfigError(summary() + ": this model type has no persistence "
+                    "format");
+}
+
 void SampleScorer::predict_batch(const data::DataMatrix& m,
                                  std::span<double> out) const {
   HDD_REQUIRE(m.rows() == out.size(),
@@ -41,6 +46,7 @@ class TreeScorer final : public SampleScorer {
   }
   int num_features() const override { return tree_.num_features(); }
   const tree::DecisionTree* tree() const override { return &tree_; }
+  void save(std::ostream& os) const override { tree_.save(os); }
   std::string summary() const override {
     std::ostringstream os;
     os << "tree: " << tree_.node_count() << " nodes, depth " << tree_.depth();
@@ -66,6 +72,7 @@ class ForestScorer final : public SampleScorer {
     forest_.predict_batch(xs, out);
   }
   int num_features() const override { return num_features_; }
+  void save(std::ostream& os) const override { forest_.save(os); }
   std::string summary() const override {
     std::ostringstream os;
     os << "forest: " << forest_.tree_count() << " trees";
@@ -118,6 +125,7 @@ class MlpScorer final : public SampleScorer {
     mlp_.predict_batch(xs, out);
   }
   int num_features() const override { return mlp_.num_features(); }
+  void save(std::ostream& os) const override { mlp_.save(os); }
   std::string summary() const override {
     std::ostringstream os;
     os << "mlp: " << mlp_.num_features() << '-' << mlp_.hidden_units()

@@ -9,6 +9,7 @@
 // fit_scorer() — the facade and everything above it stay untouched.
 #pragma once
 
+#include <iosfwd>
 #include <memory>
 #include <span>
 #include <string>
@@ -46,6 +47,11 @@ class SampleScorer {
   // The underlying decision tree for tree-backed scorers (interpretability,
   // persistence); null for every other backend.
   virtual const tree::DecisionTree* tree() const { return nullptr; }
+
+  // Persists the model in its native text format (loadable with
+  // core::load_model). Backends without a serialization format (AdaBoost)
+  // throw ConfigError.
+  virtual void save(std::ostream& os) const;
 };
 
 // Trains the model selected by `config.model` on the weighted matrix and

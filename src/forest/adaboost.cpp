@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
 #include "common/error.h"
 
@@ -10,6 +11,19 @@ namespace hdd::forest {
 void AdaBoostConfig::validate() const {
   HDD_REQUIRE(n_rounds >= 1, "n_rounds must be >= 1");
   weak_params.validate();
+}
+
+AdaBoost AdaBoost::from_members(std::vector<Member> members) {
+  HDD_REQUIRE(!members.empty(), "from_members: member list is empty");
+  const int width = members.front().tree.num_features();
+  for (const Member& m : members) {
+    HDD_REQUIRE(m.tree.trained(), "from_members: untrained member tree");
+    HDD_REQUIRE(m.tree.num_features() == width,
+                "from_members: member trees disagree on feature count");
+  }
+  AdaBoost boost;
+  boost.members_ = std::move(members);
+  return boost;
 }
 
 void AdaBoost::fit(const data::DataMatrix& m, const AdaBoostConfig& config) {

@@ -22,14 +22,26 @@ struct AdaBoostConfig {
 
 class AdaBoost {
  public:
+  struct Member {
+    tree::DecisionTree tree;
+    double alpha = 0.0;
+  };
+
   AdaBoost() = default;
 
   // Binary classification only (targets +1/-1). Initial sample weights are
   // taken from the matrix, so prior/loss adjustments carry through.
   void fit(const data::DataMatrix& m, const AdaBoostConfig& config);
 
+  // Assembles an ensemble from already-trained weak learners (tests, model
+  // surgery). Validates shapes only (trained trees, equal widths) — vote
+  // soundness, e.g. a member whose alpha dominates the rest, is
+  // analysis::verify_adaboost's job. Throws ConfigError on shape errors.
+  static AdaBoost from_members(std::vector<Member> members);
+
   bool trained() const { return !members_.empty(); }
   std::size_t round_count() const { return members_.size(); }
+  const std::vector<Member>& members() const { return members_; }
 
   // Weighted-vote margin normalized to [-1, 1]; negative = failed.
   double predict(std::span<const float> x) const;
@@ -45,10 +57,6 @@ class AdaBoost {
   void predict_batch(const data::DataMatrix& m, std::span<double> out) const;
 
  private:
-  struct Member {
-    tree::DecisionTree tree;
-    double alpha = 0.0;
-  };
   std::vector<Member> members_;
 };
 

@@ -36,6 +36,17 @@ class RandomForest {
 
   bool trained() const { return !trees_.empty(); }
   std::size_t tree_count() const { return trees_.size(); }
+  int num_features() const { return num_features_; }
+
+  // Member access for the static verifier (analysis/) and tests: the i-th
+  // tree operates on the subspace columns returned by member_features
+  // (member column -> original column).
+  const tree::DecisionTree& member_tree(std::size_t i) const {
+    return trees_[i].tree;
+  }
+  std::span<const int> member_features(std::size_t i) const {
+    return trees_[i].features;
+  }
 
   // Mean tree output; negative = failed.
   double predict(std::span<const float> x) const;

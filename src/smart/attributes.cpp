@@ -1,5 +1,7 @@
 #include "smart/attributes.h"
 
+#include <limits>
+
 #include "common/error.h"
 
 namespace hdd::smart {
@@ -37,6 +39,13 @@ const AttributeInfo& attribute_info(Attr a) {
 }
 
 std::string attribute_name(Attr a) { return attribute_info(a).name; }
+
+ValueRange attribute_range(Attr a) {
+  if (attribute_info(a).raw) {
+    return {0.0, std::numeric_limits<double>::infinity()};
+  }
+  return {1.0, 253.0};
+}
 
 std::optional<Attr> parse_attribute(const std::string& name_or_abbrev) {
   for (const auto& info : kTable) {

@@ -50,6 +50,16 @@ const AttributeInfo& attribute_info(Attr a);
 std::string attribute_name(Attr a);
 std::optional<Attr> parse_attribute(const std::string& name_or_abbrev);
 
+// Declared value domain of one attribute: normalized attributes live on the
+// vendor 1–253 scale, raw counters are non-negative and unbounded above
+// (hi = +infinity). This is the a-priori range a verifier may assume for
+// any real sample — per-fleet observed ranges are always subsets.
+struct ValueRange {
+  double lo = 0.0;
+  double hi = 0.0;
+};
+ValueRange attribute_range(Attr a);
+
 constexpr int index_of(Attr a) { return static_cast<int>(a); }
 
 }  // namespace hdd::smart

@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "common/error.h"
+#include "common/math_util.h"
 #include "tree/tree.h"
 
 namespace hdd::tree {
@@ -62,11 +63,23 @@ DecisionTree DecisionTree::load(std::istream& is) {
   for (std::size_t i = 0; i < count; ++i) {
     std::istringstream ls(next_line());
     Node n;
-    ls >> n.left >> n.right >> n.feature >> n.threshold >> n.value >>
-        n.weight >> n.count >> n.gain;
-    if (ls.fail()) {
+    // The double fields go through parse_double (strtod grammar) so that a
+    // file carrying nan/inf still loads into a Node the static verifier
+    // can diagnose; operator>> would fail the whole line instead.
+    std::string threshold_tok, value_tok, weight_tok, gain_tok;
+    ls >> n.left >> n.right >> n.feature >> threshold_tok >> value_tok >>
+        weight_tok >> n.count >> gain_tok;
+    const auto threshold = parse_double(threshold_tok);
+    const auto value = parse_double(value_tok);
+    const auto weight = parse_double(weight_tok);
+    const auto gain = parse_double(gain_tok);
+    if (ls.fail() || !threshold || !value || !weight || !gain) {
       throw DataError("bad node line " + std::to_string(i));
     }
+    n.threshold = static_cast<float>(*threshold);
+    n.value = *value;
+    n.weight = *weight;
+    n.gain = *gain;
     nodes.push_back(n);
   }
   try {

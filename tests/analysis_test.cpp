@@ -1,0 +1,326 @@
+// Static model verifier tests: hand-crafted degenerate models must be
+// flagged with the right diagnostic codes, and every shipped preset must
+// lint clean against the stat13 SMART domains.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/verifier.h"
+#include "ann/mlp.h"
+#include "common/error.h"
+#include "core/model_io.h"
+#include "core/predictor.h"
+#include "data/split.h"
+#include "forest/adaboost.h"
+#include "forest/random_forest.h"
+#include "sim/generator.h"
+#include "smart/features.h"
+#include "tree/tree.h"
+
+namespace hdd {
+namespace {
+
+using analysis::FeatureDomains;
+using analysis::Interval;
+using analysis::Report;
+using analysis::Severity;
+using analysis::VerifyOptions;
+
+std::size_t count_code(const Report& r, const std::string& code) {
+  std::size_t n = 0;
+  for (const auto& d : r.diagnostics) {
+    if (d.code == code) ++n;
+  }
+  return n;
+}
+
+tree::Node split_node(int left, int right, int feature, float thr) {
+  tree::Node n;
+  n.left = left;
+  n.right = right;
+  n.feature = feature;
+  n.threshold = thr;
+  n.weight = 1.0;
+  n.count = 10;
+  return n;
+}
+
+tree::Node leaf_node(double value) {
+  tree::Node n;
+  n.value = value;
+  n.weight = 1.0;
+  n.count = 5;
+  return n;
+}
+
+TEST(Interval, EmptinessSemantics) {
+  EXPECT_FALSE(Interval::all().empty());
+  EXPECT_FALSE(Interval::closed(1.0, 1.0).empty());
+  EXPECT_TRUE(Interval::closed(2.0, 1.0).empty());
+  // [1, 1) is empty: the point itself is excluded by the open bound.
+  EXPECT_TRUE((Interval{1.0, 1.0, true}).empty());
+  EXPECT_FALSE((Interval{1.0, 2.0, true}).empty());
+}
+
+TEST(Domains, Stat13DomainsAreSaneAndNonEmpty) {
+  const auto d = FeatureDomains::for_feature_set(smart::stat13_features());
+  ASSERT_EQ(d.bounds.size(), 13u);
+  for (const auto& iv : d.bounds) EXPECT_FALSE(iv.empty());
+  // At least one feature is a bounded normalized level on the vendor
+  // scale; nothing starts out impossible.
+  bool any_bounded = false;
+  for (const auto& iv : d.bounds) {
+    if (std::isfinite(iv.lo) && std::isfinite(iv.hi)) any_bounded = true;
+  }
+  EXPECT_TRUE(any_bounded);
+}
+
+TEST(VerifyTree, CleanStumpHasNoDiagnostics) {
+  // f0 < 50 -> -1, else +1: everything reachable, values in range,
+  // both output signs possible.
+  const auto t = tree::DecisionTree::from_nodes(
+      {split_node(1, 2, 0, 50.0f), leaf_node(-1.0), leaf_node(1.0)},
+      tree::Task::kClassification, 1);
+  const auto r = analysis::verify_tree(t, {});
+  EXPECT_TRUE(r.diagnostics.empty());
+  EXPECT_FALSE(r.has_findings());
+}
+
+TEST(VerifyTree, DeadSplitFromAncestorConstraint) {
+  // Root sends x < 10 left; the left child then splits at 20, which is
+  // always true there: dead split, and its right leaf is unreachable.
+  const auto t = tree::DecisionTree::from_nodes(
+      {split_node(1, 4, 0, 10.0f), split_node(2, 3, 0, 20.0f),
+       leaf_node(0.5), leaf_node(-0.5), leaf_node(-1.0)},
+      tree::Task::kClassification, 1);
+  const auto r = analysis::verify_tree(t, {});
+  EXPECT_EQ(count_code(r, "dead-split"), 1u);
+  EXPECT_EQ(count_code(r, "unreachable-leaf"), 1u);
+  EXPECT_TRUE(r.has_errors());
+}
+
+TEST(VerifyTree, DeadSplitAgainstAttributeDomain) {
+  // Threshold 300 above the declared [1, 253] vendor scale: dead without
+  // any ancestor constraint. The same tree is clean when unbounded.
+  const auto t = tree::DecisionTree::from_nodes(
+      {split_node(1, 2, 0, 300.0f), leaf_node(-1.0), leaf_node(1.0)},
+      tree::Task::kClassification, 1);
+  VerifyOptions opt;
+  opt.domains.bounds = {Interval::closed(1.0, 253.0)};
+  const auto flagged = analysis::verify_tree(t, opt);
+  EXPECT_EQ(count_code(flagged, "dead-split"), 1u);
+  EXPECT_EQ(count_code(flagged, "unreachable-leaf"), 1u);
+
+  const auto clean = analysis::verify_tree(t, {});
+  EXPECT_FALSE(clean.has_findings());
+}
+
+TEST(VerifyTree, RegressionLeafOutsideHealthRange) {
+  // Eq. 5/6 health degrees live in [-1, 1]; a leaf at 1.5 is impossible.
+  const auto t = tree::DecisionTree::from_nodes(
+      {split_node(1, 2, 0, 50.0f), leaf_node(-0.25), leaf_node(1.5)},
+      tree::Task::kRegression, 1);
+  const auto r = analysis::verify_tree(t, {});
+  EXPECT_EQ(count_code(r, "leaf-value-out-of-range"), 1u);
+  EXPECT_TRUE(r.has_errors());
+}
+
+TEST(VerifyTree, NonFiniteLeafValue) {
+  const auto t = tree::DecisionTree::from_nodes(
+      {split_node(1, 2, 0, 50.0f), leaf_node(-1.0),
+       leaf_node(std::numeric_limits<double>::quiet_NaN())},
+      tree::Task::kClassification, 1);
+  const auto r = analysis::verify_tree(t, {});
+  EXPECT_EQ(count_code(r, "leaf-value-non-finite"), 1u);
+  EXPECT_TRUE(r.has_errors());
+}
+
+TEST(VerifyTree, ConstantSignModelIsAWarning) {
+  // Both leaves >= 0: the tree can never vote "failing".
+  const auto t = tree::DecisionTree::from_nodes(
+      {split_node(1, 2, 0, 50.0f), leaf_node(0.25), leaf_node(1.0)},
+      tree::Task::kClassification, 1);
+  const auto r = analysis::verify_tree(t, {});
+  EXPECT_EQ(count_code(r, "constant-sign-model"), 1u);
+  EXPECT_FALSE(r.has_errors());
+  EXPECT_TRUE(r.has_findings());
+}
+
+// Forests are assembled from text (their only construction path besides
+// fit), which doubles as coverage for linting a deserialized ensemble.
+forest::RandomForest forest_from_text(const std::string& body) {
+  std::istringstream is(body);
+  return forest::RandomForest::load(is);
+}
+
+std::string stump_text() {
+  return "hddpred-tree v1\ntask classification\nfeatures 1\nnodes 3\n"
+         "1 2 0 50 0 1 10 0\n"
+         "-1 -1 -1 0 1 0.5 5 0\n"
+         "-1 -1 -1 0 -1 0.5 5 0\n";
+}
+
+std::string leaf_only_text(const std::string& value) {
+  return "hddpred-tree v1\ntask classification\nfeatures 1\nnodes 1\n"
+         "-1 -1 -1 0 " + value + " 1 5 0\n";
+}
+
+TEST(VerifyForest, ConstantMemberCannotFlipTheVote) {
+  // tree[0] swings [-1, 1]; tree[1] and tree[2] are constants whose vote
+  // can never change the mean's sign.
+  const auto f = forest_from_text(
+      "hddpred-forest v1\nfeatures 1\ntrees 3\n"
+      "subspace 0\n" + stump_text() +
+      "subspace 0\n" + leaf_only_text("0.9") +
+      "subspace 0\n" + leaf_only_text("-0.95"));
+  const auto r = analysis::verify_forest(f, {});
+  EXPECT_EQ(count_code(r, "inert-member"), 2u);
+  bool tree1_flagged = false;
+  for (const auto& d : r.diagnostics) {
+    if (d.code == "inert-member" && d.location == "tree[1]") {
+      tree1_flagged = true;
+    }
+  }
+  EXPECT_TRUE(tree1_flagged);
+}
+
+TEST(VerifyForest, OneSidedEnsembleReportsOnceNotPerMember) {
+  const auto f = forest_from_text(
+      "hddpred-forest v1\nfeatures 1\ntrees 2\n"
+      "subspace 0\n" + leaf_only_text("0.5") +
+      "subspace 0\n" + leaf_only_text("0.9"));
+  const auto r = analysis::verify_forest(f, {});
+  EXPECT_EQ(count_code(r, "constant-sign-model"), 1u);
+  EXPECT_EQ(count_code(r, "inert-member"), 0u);
+}
+
+TEST(VerifyAdaBoost, DominantAlphaAndInertLearner) {
+  const auto stump = tree::DecisionTree::from_nodes(
+      {split_node(1, 2, 0, 50.0f), leaf_node(-1.0), leaf_node(1.0)},
+      tree::Task::kClassification, 1);
+  const auto one_sided = tree::DecisionTree::from_nodes(
+      {split_node(1, 2, 0, 60.0f), leaf_node(0.2), leaf_node(0.8)},
+      tree::Task::kClassification, 1);
+  std::vector<forest::AdaBoost::Member> members;
+  members.push_back({stump, 5.0});      // outweighs everything else
+  members.push_back({one_sided, 1.0});  // always votes "good"
+  members.push_back({stump, 0.0});      // contributes nothing
+  const auto b = forest::AdaBoost::from_members(std::move(members));
+  const auto r = analysis::verify_adaboost(b, {});
+  EXPECT_EQ(count_code(r, "dominant-member"), 1u);
+  EXPECT_EQ(count_code(r, "inert-member"), 1u);
+  EXPECT_EQ(count_code(r, "nonpositive-alpha"), 1u);
+}
+
+ann::MlpModel mlp_1x1(double w1, double b1, double w2, double b2,
+                      double offset = 0.0, double scale = 1.0) {
+  return ann::MlpModel::from_weights(1, 1, {w1}, {b1}, {w2}, b2, {offset},
+                                     {scale});
+}
+
+TEST(VerifyMlp, NonFiniteWeightIsAnError) {
+  const auto m = mlp_1x1(std::numeric_limits<double>::quiet_NaN(), 0.0,
+                         1.0, 0.0);
+  const auto r = analysis::verify_mlp(m, {});
+  EXPECT_EQ(count_code(r, "non-finite-weight"), 1u);
+  EXPECT_TRUE(r.has_errors());
+  EXPECT_EQ(r.diagnostics.front().location, "w1[h=0][f=0]");
+}
+
+TEST(VerifyMlp, NegativeScaleIsAnError) {
+  const auto r = analysis::verify_mlp(
+      mlp_1x1(1.0, 0.0, 1.0, 0.0, 0.0, -0.5), {});
+  EXPECT_EQ(count_code(r, "invalid-scale"), 1u);
+}
+
+TEST(VerifyMlp, ZeroScaleIsANoteOnly) {
+  // f0 is constant under the scaler (suspicious but harmless: note
+  // severity), f1 still drives the output across both signs, so notes
+  // alone must leave the model clean (lint exits 0).
+  const auto m = ann::MlpModel::from_weights(
+      2, 1, {1.0, 1.0}, {0.0}, {4.0}, -2.5, {0.0, 0.0}, {0.0, 1.0});
+  const auto r = analysis::verify_mlp(m, {});
+  EXPECT_EQ(count_code(r, "constant-input"), 1u);
+  EXPECT_EQ(r.count(Severity::kNote), 1u);
+  EXPECT_FALSE(r.has_findings());
+}
+
+TEST(VerifyMlp, SaturatedHiddenUnit) {
+  // Pre-activation pinned at 100 across the whole domain: the sigmoid is
+  // constant and the unit is dead weight.
+  VerifyOptions opt;
+  opt.domains.bounds = {Interval::closed(0.0, 1.0)};
+  const auto r = analysis::verify_mlp(mlp_1x1(0.0, 100.0, 1.0, 0.1), opt);
+  EXPECT_EQ(count_code(r, "saturated-unit"), 1u);
+}
+
+TEST(VerifyMlp, ConstantOutputSign) {
+  // w2 = 0 leaves the output margin at 2*sigmoid(b2) - 1 > 0 everywhere.
+  const auto r = analysis::verify_mlp(mlp_1x1(1.0, 0.0, 0.0, 4.0), {});
+  EXPECT_EQ(count_code(r, "constant-sign-model"), 1u);
+}
+
+// Every shipped preset must produce a model the verifier accepts against
+// the declared stat13 SMART domains — the simulator keeps attribute
+// values inside Table II's ranges, so any finding here is a verifier
+// false positive or a training regression.
+TEST(VerifyPresets, TrainedPresetModelsLintClean) {
+  const auto config = sim::paper_fleet_config(0.05, 12);
+  const auto fleet = sim::generate_fleet_window(config, 0, 1);
+  const auto split = data::split_dataset(fleet, {});
+  VerifyOptions opt;
+  opt.domains = FeatureDomains::for_feature_set(smart::stat13_features());
+
+  for (const std::string name : {"ct", "rt", "ann"}) {
+    core::FailurePredictor predictor(core::preset(name));
+    predictor.fit(fleet, split);
+
+    const std::string path = "/tmp/hddpred_analysis_" + name + ".model";
+    core::save_scorer_file(predictor.scorer(), path);
+    core::LoadOptions load;
+    load.verify = core::VerifyMode::kOff;
+    const auto model = core::load_model_file(path, load);
+    const auto r = core::verify_model(model, opt, path);
+    EXPECT_FALSE(r.has_findings())
+        << "preset " << name << " flagged: "
+        << (r.diagnostics.empty() ? "" : r.diagnostics.front().message);
+    std::remove(path.c_str());
+  }
+}
+
+TEST(VerifyReport, TextAndJsonRendering) {
+  Report r;
+  r.diagnostics.push_back({Severity::kError, "m.tree", "node 3",
+                           "dead-split", "always \"left\""});
+  std::ostringstream text;
+  analysis::print_text(r, text);
+  EXPECT_NE(text.str().find("error [dead-split] m.tree: node 3"),
+            std::string::npos);
+
+  std::ostringstream json;
+  analysis::print_json(r, json);
+  EXPECT_NE(json.str().find("\"code\": \"dead-split\""), std::string::npos);
+  EXPECT_NE(json.str().find("always \\\"left\\\""), std::string::npos);
+
+  Report empty;
+  std::ostringstream empty_json;
+  analysis::print_json(empty, empty_json);
+  EXPECT_EQ(empty_json.str(), "[]\n");
+}
+
+TEST(VerifyOptionsChecks, DomainCountMustMatchModel) {
+  const auto t = tree::DecisionTree::from_nodes(
+      {split_node(1, 2, 0, 50.0f), leaf_node(-1.0), leaf_node(1.0)},
+      tree::Task::kClassification, 2);
+  VerifyOptions opt;
+  opt.domains.bounds = {Interval::all()};  // 1 domain, 2 features
+  EXPECT_THROW(analysis::verify_tree(t, opt), ConfigError);
+}
+
+}  // namespace
+}  // namespace hdd

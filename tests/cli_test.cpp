@@ -30,6 +30,38 @@ CommandResult run_cli(const std::string& args) {
   return result;
 }
 
+struct SplitResult {
+  int exit_code = -1;
+  std::string out;  // stdout only
+  std::string err;  // stderr only
+};
+
+// Captures stdout and stderr separately, for the tests that pin down the
+// contract that usage/error text never lands on stdout.
+SplitResult run_cli_split(const std::string& args) {
+  const char* kErrFile = "/tmp/hddpred_cli_stderr.txt";
+  std::remove(kErrFile);
+  const std::string cmd = std::string(HDDPREDICT_BINARY) + " " + args +
+                          " 2>" + kErrFile;
+  std::array<char, 4096> buffer{};
+  SplitResult result;
+  FILE* pipe = popen(cmd.c_str(), "r");
+  if (pipe == nullptr) return result;
+  while (fgets(buffer.data(), buffer.size(), pipe) != nullptr) {
+    result.out += buffer.data();
+  }
+  const int status = pclose(pipe);
+  result.exit_code = WEXITSTATUS(status);
+  if (FILE* f = std::fopen(kErrFile, "r")) {
+    while (fgets(buffer.data(), buffer.size(), f) != nullptr) {
+      result.err += buffer.data();
+    }
+    std::fclose(f);
+  }
+  std::remove(kErrFile);
+  return result;
+}
+
 const char* kCsv = "/tmp/hddpred_cli_fleet.csv";
 const char* kModel = "/tmp/hddpred_cli_model.tree";
 
@@ -130,6 +162,109 @@ TEST(CliFlow, StoreEndToEnd) {
   std::remove(kStoreModel);
   [[maybe_unused]] const int rc2 =
       std::system((std::string("rm -rf ") + kStoreDir).c_str());
+}
+
+// lint shares its model files with the train steps, so the whole
+// train -> lint flow lives in one test body (same rule as CliFlow).
+TEST(CliFlow, LintEndToEnd) {
+  const char* kLintCsv = "/tmp/hddpred_cli_lint_fleet.csv";
+  std::remove(kLintCsv);
+  auto r = run_cli(std::string("generate --out ") + kLintCsv +
+                   " --scale 0.02 --family W --seed 11");
+  ASSERT_EQ(r.exit_code, 0) << r.output;
+
+  // Every persistable preset trains and lints clean (exit 0) against the
+  // auto-detected stat13 domains.
+  for (const std::string preset : {"ct", "rt", "ann"}) {
+    const std::string model = "/tmp/hddpred_cli_lint_" + preset + ".model";
+    std::remove(model.c_str());
+    r = run_cli(std::string("train --data ") + kLintCsv + " --model " +
+                model + " --preset " + preset);
+    ASSERT_EQ(r.exit_code, 0) << r.output;
+    const auto lint = run_cli_split("lint --model " + model);
+    EXPECT_EQ(lint.exit_code, 0) << lint.out << lint.err;
+    EXPECT_NE(lint.out.find("domains: stat13"), std::string::npos)
+        << lint.out;
+    EXPECT_TRUE(lint.err.empty()) << lint.err;
+    std::remove(model.c_str());
+  }
+  std::remove(kLintCsv);
+}
+
+TEST(Cli, LintFlagsDegenerateTree) {
+  // Hand-written model with a dead split, an unreachable leaf and an
+  // out-of-range regression leaf: lint must exit 3 and name each class.
+  const char* kBadTree = "/tmp/hddpred_cli_bad.tree";
+  if (FILE* f = std::fopen(kBadTree, "w")) {
+    std::fputs(
+        "hddpred-tree v1\ntask regression\nfeatures 1\nnodes 5\n"
+        "1 4 0 10 0 1 10 0\n"
+        "2 3 0 20 0 1 5 0\n"
+        "-1 -1 -1 0 0.5 1 3 0\n"
+        "-1 -1 -1 0 -0.5 1 2 0\n"
+        "-1 -1 -1 0 1.5 1 5 0\n",
+        f);
+    std::fclose(f);
+  }
+  const auto r = run_cli_split(std::string("lint --model ") + kBadTree);
+  EXPECT_EQ(r.exit_code, 3);
+  EXPECT_NE(r.out.find("dead-split"), std::string::npos) << r.out;
+  EXPECT_NE(r.out.find("unreachable-leaf"), std::string::npos) << r.out;
+  EXPECT_NE(r.out.find("leaf-value-out-of-range"), std::string::npos)
+      << r.out;
+
+  // JSON output carries the same codes, machine-readable.
+  const auto j = run_cli_split(std::string("lint --model ") + kBadTree +
+                               " --format json");
+  EXPECT_EQ(j.exit_code, 3);
+  EXPECT_EQ(j.out.rfind("[", 0), 0u) << j.out;
+  EXPECT_NE(j.out.find("\"code\": \"dead-split\""), std::string::npos)
+      << j.out;
+  std::remove(kBadTree);
+}
+
+TEST(Cli, LintFlagsNanMlpWeight) {
+  const char* kBadMlp = "/tmp/hddpred_cli_bad.mlp";
+  if (FILE* f = std::fopen(kBadMlp, "w")) {
+    std::fputs(
+        "hddpred-mlp v1\ninputs 1 hidden 1\nmin 0\nscale 1\n"
+        "w1 nan\nb1 0\nw2 1\nb2 0\n",
+        f);
+    std::fclose(f);
+  }
+  const auto r = run_cli_split(std::string("lint --model ") + kBadMlp);
+  EXPECT_EQ(r.exit_code, 3);
+  EXPECT_NE(r.out.find("non-finite-weight"), std::string::npos) << r.out;
+  std::remove(kBadMlp);
+}
+
+TEST(Cli, LintUsageErrors) {
+  // Missing --model and a bad --format are invocation errors (exit 2),
+  // distinct from lint findings (exit 3).
+  auto r = run_cli("lint");
+  EXPECT_EQ(r.exit_code, 2);
+  r = run_cli("lint --model /tmp/whatever --format yaml");
+  EXPECT_EQ(r.exit_code, 2);
+  r = run_cli("lint --model /tmp/whatever --features bogus13");
+  EXPECT_EQ(r.exit_code, 2);
+  // A missing model file is a runtime failure, not a usage error.
+  r = run_cli("lint --model /nonexistent.model");
+  EXPECT_EQ(r.exit_code, 1);
+}
+
+// The usage/error-routing contract: stdout is for results only.
+TEST(Cli, UsageTextGoesToStderr) {
+  const auto r = run_cli_split("frobnicate");
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_TRUE(r.out.empty()) << r.out;
+  EXPECT_NE(r.err.find("usage"), std::string::npos) << r.err;
+}
+
+TEST(Cli, RuntimeErrorTextGoesToStderr) {
+  const auto r = run_cli_split("evaluate --data /nonexistent.csv --model /x");
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_TRUE(r.out.empty()) << r.out;
+  EXPECT_NE(r.err.find("error:"), std::string::npos) << r.err;
 }
 
 TEST(Cli, ReliabilityNeedsNoData) {

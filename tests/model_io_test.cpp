@@ -1,12 +1,15 @@
 // Persistence round-trip tests for every serializable model: tree (via the
-// tree module and the core delegate), random forest, and MLP.
+// tree module and the core delegate), random forest, and MLP — plus the
+// verify-on-load modes and the header-sniffing AnyModel loader.
 #include <gtest/gtest.h>
 
 #include <sstream>
+#include <variant>
 
 #include "ann/mlp.h"
 #include "common/error.h"
 #include "common/rng.h"
+#include "core/model_io.h"
 #include "forest/random_forest.h"
 #include "tree/tree.h"
 
@@ -132,6 +135,108 @@ TEST(MlpIo, SaveRequiresTraining) {
   ann::MlpModel model;
   std::ostringstream os;
   EXPECT_THROW(model.save(os), ConfigError);
+}
+
+// A structurally valid tree the static verifier rejects: the nested split
+// at 20 is dead under the root's x < 10 constraint, leaving node 3
+// unreachable.
+const char* kFlaggedTree =
+    "hddpred-tree v1\ntask classification\nfeatures 1\nnodes 5\n"
+    "1 4 0 10 0 1 10 0\n"
+    "2 3 0 20 0 1 5 0\n"
+    "-1 -1 -1 0 0.5 1 3 0\n"
+    "-1 -1 -1 0 -0.5 1 2 0\n"
+    "-1 -1 -1 0 -1 1 5 0\n";
+
+TEST(VerifyOnLoad, StrictModeRejectsFlaggedTree) {
+  std::istringstream is(kFlaggedTree);
+  core::LoadOptions opt;
+  opt.verify = core::VerifyMode::kStrict;
+  EXPECT_THROW(core::load_tree(is, opt), DataError);
+}
+
+TEST(VerifyOnLoad, WarnModeStillLoadsFlaggedTree) {
+  for (const auto mode : {core::VerifyMode::kWarn, core::VerifyMode::kOff}) {
+    std::istringstream is(kFlaggedTree);
+    core::LoadOptions opt;
+    opt.verify = mode;
+    const auto t = core::load_tree(is, opt);
+    EXPECT_EQ(t.node_count(), 5u);
+  }
+}
+
+TEST(VerifyOnLoad, StrictModeAcceptsCleanTree) {
+  const auto m = random_matrix(9, 4, 400);
+  tree::DecisionTree t;
+  t.fit(m, tree::Task::kClassification, tree::TreeParams{});
+  std::ostringstream os;
+  t.save(os);
+  std::istringstream is(os.str());
+  core::LoadOptions opt;
+  opt.verify = core::VerifyMode::kStrict;
+  const auto back = core::load_tree(is, opt);
+  EXPECT_EQ(back.node_count(), t.node_count());
+}
+
+TEST(AnyModelIo, SniffsEveryHeader) {
+  const auto m = random_matrix(11, 3, 400);
+
+  tree::DecisionTree t;
+  t.fit(m, tree::Task::kClassification, tree::TreeParams{});
+  std::ostringstream tos;
+  t.save(tos);
+  std::istringstream tis(tos.str());
+  const auto any_tree = core::load_model(tis, {core::VerifyMode::kOff, {}});
+  EXPECT_STREQ(core::model_kind_name(any_tree), "tree");
+  EXPECT_TRUE(std::holds_alternative<tree::DecisionTree>(any_tree));
+  EXPECT_EQ(core::model_num_features(any_tree), 3);
+
+  forest::RandomForest f;
+  forest::ForestConfig fc;
+  fc.n_trees = 5;
+  f.fit(m, tree::Task::kClassification, fc);
+  std::ostringstream fos;
+  f.save(fos);
+  std::istringstream fis(fos.str());
+  const auto any_forest = core::load_model(fis, {core::VerifyMode::kOff, {}});
+  EXPECT_STREQ(core::model_kind_name(any_forest), "forest");
+  EXPECT_EQ(core::model_num_features(any_forest), 3);
+
+  ann::MlpModel mlp;
+  ann::MlpConfig mc;
+  mc.hidden = 4;
+  mc.epochs = 5;
+  mlp.fit(m, mc);
+  std::ostringstream mos;
+  mlp.save(mos);
+  std::istringstream mis(mos.str());
+  const auto any_mlp = core::load_model(mis, {core::VerifyMode::kOff, {}});
+  EXPECT_STREQ(core::model_kind_name(any_mlp), "mlp");
+  EXPECT_EQ(core::model_num_features(any_mlp), 3);
+}
+
+TEST(AnyModelIo, RejectsUnknownHeader) {
+  std::istringstream is("hddpred-quantum v7\n");
+  EXPECT_THROW(core::load_model(is), DataError);
+}
+
+TEST(AnyModelIo, NanMlpWeightLoadsAndFailsStrict) {
+  // strtod-based parsing lets a poisoned model load so the verifier can
+  // name the defect; strict mode then refuses it.
+  const std::string text =
+      "hddpred-mlp v1\ninputs 1 hidden 1\nmin 0\nscale 1\n"
+      "w1 nan\nb1 0\nw2 1\nb2 0\n";
+  {
+    std::istringstream is(text);
+    const auto any = core::load_model(is, {core::VerifyMode::kOff, {}});
+    EXPECT_STREQ(core::model_kind_name(any), "mlp");
+  }
+  {
+    std::istringstream is(text);
+    core::LoadOptions opt;
+    opt.verify = core::VerifyMode::kStrict;
+    EXPECT_THROW(core::load_model(is, opt), DataError);
+  }
 }
 
 }  // namespace

@@ -1,12 +1,23 @@
 #!/usr/bin/env bash
-# Tier-1 verification: full build + ctest, twice — once plain, once under
-# AddressSanitizer (-DHDD_SANITIZE=address). Separate build directories so
-# the two configurations never share object files.
+# Tier-1 verification: full build + ctest across sanitizer configurations —
+# plain, AddressSanitizer (-DHDD_SANITIZE=address) and UndefinedBehavior-
+# Sanitizer (-DHDD_SANITIZE=undefined, recovery disabled so any UB fails
+# the run). Separate build directories so the configurations never share
+# object files. Every configuration additionally re-runs the `analysis`
+# test label on its own, so a static-verifier regression is called out by
+# name even when the full suite is noisy.
 #
-# Usage: tools/check.sh [jobs]
+# Usage: tools/check.sh [--fast] [jobs]
+#   --fast   plain configuration only (skips the sanitizer builds)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
+
+FAST=0
+if [[ "${1:-}" == "--fast" ]]; then
+  FAST=1
+  shift
+fi
 JOBS="${1:-$(nproc)}"
 
 run_config() {
@@ -18,9 +29,17 @@ run_config() {
   cmake --build "${build_dir}" -j "${JOBS}"
   echo "=== ctest ${build_dir} ==="
   ctest --test-dir "${build_dir}" --output-on-failure -j "${JOBS}"
+  echo "=== ctest ${build_dir} (label: analysis) ==="
+  ctest --test-dir "${build_dir}" --output-on-failure -j "${JOBS}" \
+      -L analysis
 }
 
 run_config build
+if [[ "${FAST}" == "1" ]]; then
+  echo "=== fast check passed (plain only) ==="
+  exit 0
+fi
 run_config build-asan -DHDD_SANITIZE=address
+run_config build-ubsan -DHDD_SANITIZE=undefined
 
-echo "=== all checks passed (plain + asan) ==="
+echo "=== all checks passed (plain + asan + ubsan) ==="

@@ -3,10 +3,12 @@
 //   hddpredict generate  --out fleet.csv [--scale S] [--seed N]
 //                        [--family W|Q|both] [--weeks A:B] [--interval H]
 //   hddpredict features  --data fleet.csv [--levels N] [--rates N]
-//   hddpredict train     --data fleet.csv --model out.tree
-//                        [--preset ct|rt] [--window H] [--cp X]
+//   hddpredict train     --data fleet.csv --model out.model
+//                        [--preset ct|rt|ann] [--window H] [--cp X]
 //   hddpredict evaluate  --data fleet.csv --model m.tree [--voters N]
 //   hddpredict predict   --data fleet.csv --model m.tree [--top K]
+//   hddpredict lint      --model m.model [--format text|json]
+//                        [--features auto|stat13|basic12|expert19|none]
 //   hddpredict reliability [--drives N] [--fdr K] [--tia H] [--raid 5|6]
 //   hddpredict ingest    --store DIR --data fleet.csv [--segment-bytes N]
 //   hddpredict compact   --store DIR --min-hour H
@@ -18,16 +20,24 @@
 // telemetry store (src/store): CSV telemetry in, retention out, and a
 // crash-resumed fleet scoring pass over the accumulated log.
 //
+// `lint` runs the static model verifier (src/analysis) over any persisted
+// model (tree, forest or MLP — discriminated by the file header) so CI
+// can gate model artifacts before deployment.
+//
 // Exit codes: 0 success, 1 runtime failure (I/O, bad data), 2 bad
-// invocation (unknown command, unknown or malformed flag).
+// invocation (unknown command, unknown or malformed flag), 3 lint
+// findings (warnings or errors). All usage and error text goes to stderr;
+// stdout carries results only.
 #include <algorithm>
 #include <cstdlib>
 #include <cstring>
 #include <initializer_list>
 #include <iostream>
 #include <map>
+#include <optional>
 #include <string>
 
+#include "analysis/verifier.h"
 #include "common/error.h"
 #include "common/table.h"
 #include "core/fleet.h"
@@ -53,10 +63,13 @@ using namespace hdd;
       "  generate  --out F [--scale S] [--seed N] [--family W|Q|both]\n"
       "            [--weeks A:B] [--interval H]\n"
       "  features  --data F [--levels N] [--rates N]\n"
-      "  train     --data F --model F [--preset ct|rt] [--window H] [--cp X]\n"
+      "  train     --data F --model F [--preset ct|rt|ann] [--window H]\n"
+      "            [--cp X]\n"
       "  evaluate  --data F --model F [--voters N]\n"
       "  tune      --data F --model F [--budget FAR]\n"
       "  predict   --data F --model F [--top K]\n"
+      "  lint      --model F [--format text|json]\n"
+      "            [--features auto|stat13|basic12|expert19|none]\n"
       "  reliability [--drives N] [--fdr K] [--tia H] [--raid 5|6]\n"
       "  ingest    --store DIR --data F [--segment-bytes N]\n"
       "  compact   --store DIR --min-hour H\n"
@@ -159,9 +172,6 @@ int cmd_train(const std::map<std::string, std::string>& flags) {
   // Resolved through the preset registry; unknown names throw with the
   // registered names listed.
   core::PredictorConfig cfg = core::preset(get(flags, "preset", "ct"));
-  HDD_REQUIRE(cfg.model == core::ModelType::kClassificationTree ||
-                  cfg.model == core::ModelType::kRegressionTree,
-              "train persists tree models only — use --preset ct or rt");
   cfg.training.failed_window_hours = std::stoi(
       get(flags, "window", std::to_string(cfg.training.failed_window_hours)));
   cfg.tree_params.cp =
@@ -170,7 +180,7 @@ int cmd_train(const std::map<std::string, std::string>& flags) {
   const auto split = data::split_dataset(fleet, {});
   core::FailurePredictor predictor(cfg);
   predictor.fit(fleet, split);
-  core::save_tree_file(*predictor.tree(), model_path);
+  core::save_scorer_file(predictor.scorer(), model_path);
 
   const auto r = predictor.evaluate(fleet, split);
   std::cout << "trained " << predictor.describe() << "\nholdout: FDR "
@@ -221,7 +231,7 @@ int cmd_tune(const std::map<std::string, std::string>& flags) {
   const int candidates[] = {1, 3, 5, 7, 9, 11, 15, 17, 21, 27};
   const auto best = eval::tune_voters(scores, candidates, budget);
   if (!best) {
-    std::cout << "no voter count meets FAR <= "
+    std::cerr << "error: no voter count meets FAR <= "
               << format_double(100 * budget, 3) << "%\n";
     return 1;
   }
@@ -263,6 +273,73 @@ int cmd_predict(const std::map<std::string, std::string>& flags) {
   std::cout << "drives most at risk (negative margin = predicted failing):\n";
   t.print(std::cout);
   return 0;
+}
+
+int cmd_lint(const std::map<std::string, std::string>& flags) {
+  const std::string model_path = need(flags, "model");
+  const std::string format = get(flags, "format", "text");
+  if (format != "text" && format != "json") {
+    usage("--format must be text or json");
+  }
+  const std::string features = get(flags, "features", "auto");
+  const auto feature_set =
+      [](const std::string& name) -> std::optional<smart::FeatureSet> {
+    if (name == "stat13") return smart::stat13_features();
+    if (name == "basic12") return smart::basic12_features();
+    if (name == "expert19") return smart::expert19_features();
+    return std::nullopt;
+  };
+  // Flag validation before any I/O: a typo is a usage error (exit 2)
+  // even when the model file is also missing.
+  if (features != "auto" && features != "none" && !feature_set(features)) {
+    usage("--features must be auto, stat13, basic12, expert19 or none");
+  }
+
+  // Lint wants every diagnostic, so load with verification off and run
+  // the verifier explicitly against the resolved feature domains.
+  core::LoadOptions load;
+  load.verify = core::VerifyMode::kOff;
+  const auto model = core::load_model_file(model_path, load);
+  const int width = core::model_num_features(model);
+
+  analysis::VerifyOptions vo;
+  std::string domain_set = "none";
+  if (features == "auto") {
+    // Pick the layout whose width matches the model; fall back to
+    // unbounded domains when no known layout fits.
+    for (const char* name : {"stat13", "basic12", "expert19"}) {
+      const auto fs = feature_set(name);
+      if (static_cast<int>(fs->size()) == width) {
+        vo.domains = analysis::FeatureDomains::for_feature_set(*fs);
+        domain_set = name;
+        break;
+      }
+    }
+  } else if (features != "none") {
+    const auto fs = feature_set(features);
+    HDD_REQUIRE(static_cast<int>(fs->size()) == width,
+                "--features " + features + " has " +
+                    std::to_string(fs->size()) +
+                    " features but the model expects " +
+                    std::to_string(width));
+    vo.domains = analysis::FeatureDomains::for_feature_set(*fs);
+    domain_set = features;
+  }
+
+  const auto report = core::verify_model(model, vo, model_path);
+  if (format == "json") {
+    analysis::print_json(report, std::cout);
+  } else {
+    analysis::print_text(report, std::cout);
+    std::cout << "lint: " << model_path << ": "
+              << core::model_kind_name(model) << " model, " << width
+              << " features (domains: " << domain_set << "): "
+              << report.count(analysis::Severity::kError) << " error(s), "
+              << report.count(analysis::Severity::kWarning)
+              << " warning(s), " << report.count(analysis::Severity::kNote)
+              << " note(s)\n";
+  }
+  return report.has_findings() ? 3 : 0;
 }
 
 int cmd_reliability(const std::map<std::string, std::string>& flags) {
@@ -403,6 +480,9 @@ int main(int argc, char** argv) {
     }
     if (command == "predict") {
       return cmd_predict(parse({"data", "model", "top"}));
+    }
+    if (command == "lint") {
+      return cmd_lint(parse({"model", "format", "features"}));
     }
     if (command == "reliability") {
       return cmd_reliability(parse({"drives", "fdr", "tia", "raid"}));

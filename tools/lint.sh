@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Source lint: clang-tidy over src/ and tools/ with the repo's .clang-tidy
+# profile. Needs a compile_commands.json; configures the plain build
+# directory to produce one if it is missing. Exits 0 with a notice when
+# clang-tidy is not installed, so CI images without LLVM still pass.
+#
+# Usage: tools/lint.sh [jobs]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS="${1:-$(nproc)}"
+
+TIDY="${CLANG_TIDY:-clang-tidy}"
+if ! command -v "${TIDY}" >/dev/null 2>&1; then
+  echo "lint.sh: ${TIDY} not found; skipping clang-tidy (install LLVM to enable)"
+  exit 0
+fi
+
+if [[ ! -f build/compile_commands.json ]]; then
+  cmake -B build -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
+fi
+
+mapfile -t FILES < <(find src tools -name '*.cpp' | sort)
+echo "lint.sh: running ${TIDY} over ${#FILES[@]} files (${JOBS} jobs)"
+
+STATUS=0
+printf '%s\n' "${FILES[@]}" |
+  xargs -P "${JOBS}" -n 1 "${TIDY}" -p build --quiet || STATUS=$?
+
+if [[ "${STATUS}" != 0 ]]; then
+  echo "lint.sh: clang-tidy reported findings"
+  exit 1
+fi
+echo "lint.sh: clean"
