@@ -6,7 +6,10 @@
 // "crashes" — the scorer object is destroyed and only the on-disk store
 // survives. A fresh scorer resumes from the log and monitoring continues.
 // The program verifies that every alarm (drive, hour) of the interrupted
-// run matches an uninterrupted reference run exactly.
+// run matches an uninterrupted reference run exactly, then prints the
+// monitoring node's own metrics (scored samples, alarms, journal and
+// recovery counters) as a Prometheus snapshot — what a real deployment
+// would scrape.
 //
 // Usage: durable_monitor [store_dir] [fleet_scale]
 #include <cstdlib>
@@ -18,6 +21,8 @@
 #include "core/predictor.h"
 #include "core/scorer.h"
 #include "data/split.h"
+#include "obs/exposition.h"
+#include "obs/metrics.h"
 #include "sim/generator.h"
 #include "store/telemetry_store.h"
 
@@ -132,6 +137,21 @@ int main(int argc, char** argv) {
     std::cout << "MISMATCH between resumed and reference alarms!\n";
     return 1;
   }
+
+  // The node's own operational metrics — every subsystem above reported
+  // into the global registry (scoring, voting, journal appends, the
+  // resume, the recovery scan). A deployment would expose this endpoint;
+  // here the fleet counters are printed as a scrape would see them.
+  std::cout << "\nMonitoring-node metrics (hdd_fleet_*):\n";
+  const auto snapshot = obs::Registry::global().snapshot();
+  obs::Snapshot fleet_only;
+  for (const auto& m : snapshot.metrics) {
+    if (m.name.rfind("hdd_fleet_", 0) == 0 &&
+        m.type != obs::MetricType::kHistogram) {
+      fleet_only.metrics.push_back(m);
+    }
+  }
+  obs::render_prometheus(fleet_only, std::cout);
 
   std::filesystem::remove_all(dir);
   return 0;

@@ -1,13 +1,31 @@
 #include "common/log.h"
 
 #include <atomic>
+#include <cstdlib>
 #include <iostream>
 #include <mutex>
 
 namespace hdd {
 
 namespace {
-std::atomic<int> g_level{static_cast<int>(LogLevel::kInfo)};
+
+// HDD_LOG_LEVEL seeds the threshold once; set_log_level overrides it. An
+// unparseable value falls back to the default rather than failing — a bad
+// environment must not break the program it observes.
+int initial_level() {
+  if (const char* env = std::getenv("HDD_LOG_LEVEL")) {
+    if (const auto level = parse_log_level(env)) {
+      return static_cast<int>(*level);
+    }
+  }
+  return static_cast<int>(LogLevel::kInfo);
+}
+
+std::atomic<int>& level_store() {
+  static std::atomic<int> level{initial_level()};
+  return level;
+}
+
 std::mutex g_mutex;
 
 const char* level_name(LogLevel level) {
@@ -19,16 +37,25 @@ const char* level_name(LogLevel level) {
   }
   return "?";
 }
+
 }  // namespace
 
-void set_log_level(LogLevel level) {
-  g_level.store(static_cast<int>(level));
+std::optional<LogLevel> parse_log_level(std::string_view name) {
+  if (name == "debug") return LogLevel::kDebug;
+  if (name == "info") return LogLevel::kInfo;
+  if (name == "warn") return LogLevel::kWarn;
+  if (name == "error") return LogLevel::kError;
+  return std::nullopt;
 }
 
-LogLevel log_level() { return static_cast<LogLevel>(g_level.load()); }
+void set_log_level(LogLevel level) {
+  level_store().store(static_cast<int>(level));
+}
+
+LogLevel log_level() { return static_cast<LogLevel>(level_store().load()); }
 
 void log_message(LogLevel level, const std::string& message) {
-  if (static_cast<int>(level) < g_level.load()) return;
+  if (static_cast<int>(level) < level_store().load()) return;
   std::lock_guard lock(g_mutex);
   std::cerr << '[' << level_name(level) << "] " << message << '\n';
 }

@@ -1,12 +1,23 @@
 // Tiny leveled logger. Benches default to kInfo; tests to kWarn.
+//
+// Every library diagnostic routes through the level filter — nothing in
+// the library writes to stderr unconditionally. The threshold comes from,
+// in increasing precedence: the kInfo default, the HDD_LOG_LEVEL
+// environment variable (read once, at first use), and set_log_level()
+// (the CLI's global --log-level flag).
 #pragma once
 
+#include <optional>
 #include <sstream>
 #include <string>
+#include <string_view>
 
 namespace hdd {
 
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+// "debug" / "info" / "warn" / "error" -> level; nullopt for anything else.
+std::optional<LogLevel> parse_log_level(std::string_view name);
 
 // Sets/gets the global threshold (messages below it are dropped).
 void set_log_level(LogLevel level);

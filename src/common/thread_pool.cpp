@@ -4,10 +4,19 @@
 #include <atomic>
 
 #include "common/error.h"
+#include "obs/metrics.h"
 
 namespace hdd {
 
-ThreadPool::ThreadPool(std::size_t n_threads) {
+ThreadPool::ThreadPool(std::size_t n_threads, obs::Registry* metrics) {
+  // Instruments must exist before the first worker can touch them.
+  obs::Registry& reg = metrics != nullptr ? *metrics : obs::Registry::global();
+  tasks_total_ = &reg.counter("hdd_pool_tasks_total",
+                              "Tasks executed by pool workers.");
+  queue_depth_ = &reg.gauge("hdd_pool_queue_depth",
+                            "Tasks submitted and not yet dequeued.");
+  task_latency_ = &reg.histogram("hdd_pool_task_latency_ns",
+                                 "Per-task execution wall time (ns).");
   if (n_threads == 0) {
     n_threads = std::max(1u, std::thread::hardware_concurrency());
   }
@@ -34,6 +43,7 @@ std::future<void> ThreadPool::submit(std::function<void()> task) {
     HDD_ASSERT(!stopping_);
     tasks_.push(std::move(packaged));
   }
+  queue_depth_->add(1.0);
   cv_.notify_one();
   return future;
 }
@@ -48,7 +58,12 @@ void ThreadPool::worker_loop() {
       task = std::move(tasks_.front());
       tasks_.pop();
     }
-    task();  // packaged_task captures exceptions into the future
+    queue_depth_->sub(1.0);
+    {
+      obs::ScopedTimer timer(task_latency_);
+      task();  // packaged_task captures exceptions into the future
+    }
+    tasks_total_->inc();
   }
 }
 

@@ -14,12 +14,23 @@
 #include <thread>
 #include <vector>
 
+namespace hdd::obs {
+class Counter;
+class Gauge;
+class Histogram;
+class Registry;
+}  // namespace hdd::obs
+
 namespace hdd {
 
 class ThreadPool {
  public:
-  // n_threads == 0 selects hardware_concurrency (at least 1).
-  explicit ThreadPool(std::size_t n_threads = 0);
+  // n_threads == 0 selects hardware_concurrency (at least 1). The pool
+  // reports hdd_pool_* metrics (tasks executed, queue depth, task
+  // latency) into `metrics`; nullptr selects obs::Registry::global(). A
+  // non-global registry must outlive the pool.
+  explicit ThreadPool(std::size_t n_threads = 0,
+                      obs::Registry* metrics = nullptr);
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
@@ -46,6 +57,10 @@ class ThreadPool {
   std::mutex mutex_;
   std::condition_variable cv_;
   bool stopping_ = false;
+
+  obs::Counter* tasks_total_;     // tasks executed by workers
+  obs::Gauge* queue_depth_;       // submitted, not yet dequeued
+  obs::Histogram* task_latency_;  // per-task execution wall time (ns)
 };
 
 }  // namespace hdd

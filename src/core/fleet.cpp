@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/error.h"
+#include "obs/metrics.h"
 #include "smart/features.h"
 #include "store/telemetry_store.h"
 
@@ -22,6 +23,12 @@ bool DriveVoteState::decide(std::size_t window) const {
          static_cast<double>(window) / 2.0;
 }
 
+void DriveVoteState::raise_alarm(std::int64_t hour) {
+  alarmed_ = true;
+  alarm_hour_ = hour;
+  if (alarms_counter_ != nullptr) alarms_counter_->inc();
+}
+
 bool DriveVoteState::push(std::int64_t hour, double output) {
   if (alarmed_) return false;
   ++seen_;
@@ -29,6 +36,12 @@ bool DriveVoteState::push(std::int64_t hour, double output) {
   // Outputs round through float exactly as eval::score_record stores them,
   // so streaming decisions match the offline path bit for bit.
   const float v = static_cast<float>(output);
+  const bool failed_vote = v < 0.0f;
+  if (seen_ > 1 && failed_vote != last_vote_failed_ &&
+      transitions_counter_ != nullptr) {
+    transitions_counter_->inc();
+  }
+  last_vote_failed_ = failed_vote;
   const std::size_t want = ring_.size();
   if (filled_ == want) {
     const double old = ring_[head_];
@@ -43,8 +56,7 @@ bool DriveVoteState::push(std::int64_t hour, double output) {
   output_sum_ += v;
   if (filled_ < want) return false;  // decisions start at a full window
   if (decide(want)) {
-    alarmed_ = true;
-    alarm_hour_ = hour;
+    raise_alarm(hour);
     return true;
   }
   return false;
@@ -53,8 +65,7 @@ bool DriveVoteState::push(std::int64_t hour, double output) {
 bool DriveVoteState::finish() {
   if (alarmed_ || filled_ == 0 || filled_ >= ring_.size()) return false;
   if (decide(filled_)) {
-    alarmed_ = true;
-    alarm_hour_ = last_hour_;
+    raise_alarm(last_hour_);
     return true;
   }
   return false;
@@ -66,6 +77,7 @@ void DriveVoteState::reset() {
   seen_ = 0;
   last_hour_ = alarm_hour_ = -1;
   alarmed_ = false;
+  last_vote_failed_ = false;
 }
 
 FleetScorer::FleetScorer(const SampleScorer& scorer, FleetScorerConfig config)
@@ -84,6 +96,25 @@ FleetScorer::FleetScorer(const SampleScorer& scorer, FleetScorerConfig config)
     }
     history_hours_ = std::max(24, 4 * max_interval);
   }
+  obs::Registry& reg =
+      config_.metrics != nullptr ? *config_.metrics : obs::Registry::global();
+  m_samples_scored_ = &reg.counter("hdd_fleet_samples_scored_total",
+                                   "Feature rows scored through the model.");
+  m_alarms_ = &reg.counter("hdd_fleet_alarms_total",
+                           "Drives transitioned to the alarmed state.");
+  m_vote_transitions_ =
+      &reg.counter("hdd_fleet_vote_transitions_total",
+                   "Sample-level vote flips (healthy<->failing) across "
+                   "consecutive outputs of a drive.");
+  m_journal_resumes_ = &reg.counter(
+      "hdd_fleet_journal_resume_total",
+      "resume_from() recoveries replayed out of a telemetry store.");
+  m_resume_samples_ = &reg.counter(
+      "hdd_fleet_resume_samples_total",
+      "Samples replayed from the journal while resuming voting state.");
+  m_batch_latency_ = &reg.histogram(
+      "hdd_fleet_batch_latency_ns",
+      "Wall time of one observe_interval/observe_samples call (ns).");
 }
 
 ThreadPool& FleetScorer::pool() const {
@@ -99,6 +130,7 @@ std::size_t FleetScorer::add_drive(std::string serial) {
   }
   serials_.push_back(std::move(serial));
   states_.emplace_back(config_.vote);
+  states_.back().set_metrics(m_vote_transitions_, m_alarms_);
   return states_.size() - 1;
 }
 
@@ -109,6 +141,8 @@ void FleetScorer::observe_interval(std::span<const float> xs,
               "snapshot must hold one feature row per registered drive");
   const std::size_t n = states_.size();
   if (n == 0) return;
+  const obs::ScopedTimer timer(m_batch_latency_);
+  m_samples_scored_->inc(n);
   const std::size_t block = config_.block_rows;
   const std::size_t n_blocks = (n + block - 1) / block;
   scratch_.resize(n);  // reused across intervals; no steady-state allocation
@@ -175,6 +209,8 @@ void FleetScorer::observe_samples(std::span<const smart::Sample> samples,
     }
     journal_->flush();
   }
+  const obs::ScopedTimer timer(m_batch_latency_);
+  m_samples_scored_->inc(n);
   const auto nf = static_cast<std::size_t>(config_.features.size());
   const std::size_t block = config_.block_rows;
   const std::size_t n_blocks = (n + block - 1) / block;
@@ -215,6 +251,7 @@ void FleetScorer::replay_drive_samples(
     }
     obuf.resize(hi - base);
     scorer_->predict_batch(xbuf, obuf);
+    m_samples_scored_->inc(hi - base);
     for (std::size_t k = base; k < hi; ++k) {
       states_[i].push(samples[k].hour, obuf[k - base]);
     }
@@ -282,6 +319,8 @@ FleetScorer::ResumeResult FleetScorer::resume_from(store::TelemetryStore& store,
     r.samples_replayed += v.size();
     if (!v.empty()) r.last_hour = std::max(r.last_hour, v.back().hour);
   }
+  m_journal_resumes_->inc();
+  m_resume_samples_->inc(r.samples_replayed);
   return r;
 }
 
@@ -307,6 +346,7 @@ void FleetScorer::reset() {
 eval::DriveOutcome FleetScorer::replay_drive(const smart::DriveRecord& drive,
                                              std::size_t begin) const {
   DriveVoteState st(config_.vote);
+  st.set_metrics(m_vote_transitions_, m_alarms_);
   const std::size_t n = drive.samples.size();
   if (begin >= n) return st.outcome();
   const std::size_t block = config_.block_rows;
@@ -318,6 +358,7 @@ eval::DriveOutcome FleetScorer::replay_drive(const smart::DriveRecord& drive,
     smart::extract_features_block(drive, base, hi, config_.features, xbuf);
     obuf.resize(hi - base);
     scorer_->predict_batch(xbuf, obuf);
+    m_samples_scored_->inc(hi - base);
     for (std::size_t i = base; i < hi; ++i) {
       if (st.push(drive.samples[i].hour, obuf[i - base])) break;  // alarm
     }

@@ -35,6 +35,11 @@
 namespace hdd::store {
 class TelemetryStore;
 }
+namespace hdd::obs {
+class Counter;
+class Histogram;
+class Registry;
+}  // namespace hdd::obs
 
 namespace hdd::core {
 
@@ -51,6 +56,11 @@ struct FleetScorerConfig {
   int history_hours = 0;
   // nullptr = ThreadPool::global().
   ThreadPool* pool = nullptr;
+  // Registry for the hdd_fleet_* metrics (samples scored, batch latency,
+  // alarms, vote transitions, journal resumes); nullptr =
+  // obs::Registry::global(). A non-global registry must outlive the
+  // scorer.
+  obs::Registry* metrics = nullptr;
 };
 
 // Incremental sliding-window voting state for one drive: the decision rule
@@ -78,8 +88,20 @@ class DriveVoteState {
   // Forgets all observations (keeps the configuration).
   void reset();
 
+  // Optional instrumentation (FleetScorer wires these): `transitions`
+  // counts sample-level vote flips — consecutive model outputs of this
+  // drive crossing the failure threshold in either direction — and
+  // `alarms` counts the terminal healthy->alarmed transition. Counters
+  // are sharded atomics, so concurrent pushes from scoring blocks are
+  // safe.
+  void set_metrics(obs::Counter* transitions, obs::Counter* alarms) {
+    transitions_counter_ = transitions;
+    alarms_counter_ = alarms;
+  }
+
  private:
   bool decide(std::size_t window) const;
+  void raise_alarm(std::int64_t hour);
 
   eval::VoteConfig vote_;
   std::vector<float> ring_;  // last N outputs, circular
@@ -91,6 +113,9 @@ class DriveVoteState {
   std::int64_t last_hour_ = -1;
   bool alarmed_ = false;
   std::int64_t alarm_hour_ = -1;
+  bool last_vote_failed_ = false;
+  obs::Counter* transitions_counter_ = nullptr;
+  obs::Counter* alarms_counter_ = nullptr;
 };
 
 class FleetScorer {
@@ -178,6 +203,15 @@ class FleetScorer {
   const SampleScorer* scorer_;
   FleetScorerConfig config_;
   int history_hours_ = 0;  // resolved from config (auto when 0)
+
+  // hdd_fleet_* instruments (resolved from config_.metrics, see DESIGN.md
+  // §7). Owned by the registry; shared across scorers on that registry.
+  obs::Counter* m_samples_scored_;
+  obs::Counter* m_alarms_;
+  obs::Counter* m_vote_transitions_;
+  obs::Counter* m_journal_resumes_;
+  obs::Counter* m_resume_samples_;
+  obs::Histogram* m_batch_latency_;
   std::vector<std::string> serials_;
   std::vector<DriveVoteState> states_;
   std::vector<double> scratch_;  // interval model outputs, reused per call

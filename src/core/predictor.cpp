@@ -3,6 +3,7 @@
 #include <sstream>
 
 #include "common/error.h"
+#include "obs/metrics.h"
 
 namespace hdd::core {
 
@@ -121,6 +122,9 @@ FailurePredictor::FailurePredictor(PredictorConfig config)
 
 void FailurePredictor::fit(const data::DriveDataset& dataset,
                            const data::DatasetSplit& split) {
+  const obs::ScopedTimer timer(
+      &obs::Registry::global().histogram("hdd_train_fit_ns",
+                                         "Predictor fit wall time (ns)."));
   const auto matrix =
       data::build_training_matrix(dataset, split, config_.training);
   scorer_.reset();

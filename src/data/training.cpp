@@ -4,6 +4,7 @@
 
 #include "common/error.h"
 #include "common/rng.h"
+#include "obs/metrics.h"
 
 namespace hdd::data {
 
@@ -12,6 +13,12 @@ DataMatrix build_training_matrix(const DriveDataset& dataset,
                                  const TrainingConfig& config,
                                  const FailedTargetFn& failed_target,
                                  const FailedWindowFn& failed_window) {
+  // Training runs cold, so the registry lookup per call is fine.
+  obs::Registry& reg = obs::Registry::global();
+  const obs::ScopedTimer timer(&reg.histogram(
+      "hdd_train_build_matrix_ns", "build_training_matrix wall time (ns)."));
+  obs::Counter& rows = reg.counter("hdd_train_matrix_rows_total",
+                                   "Rows emitted into training matrices.");
   HDD_REQUIRE(!config.features.specs.empty(), "empty feature set");
   HDD_REQUIRE(config.good_samples_per_drive > 0,
               "good_samples_per_drive must be positive");
@@ -77,6 +84,7 @@ DataMatrix build_training_matrix(const DriveDataset& dataset,
   }
 
   HDD_REQUIRE(m.rows() > 0, "training matrix is empty");
+  rows.inc(m.rows());
 
   // Prior adjustment: boost the failed class to `failed_prior` of the total
   // weight (the paper's 20/80 redistribution).

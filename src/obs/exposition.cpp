@@ -1,0 +1,213 @@
+#include "obs/exposition.h"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <ostream>
+
+#include "common/log.h"
+
+namespace hdd::obs {
+
+namespace {
+
+// Shortest round-trip decimal for a double (123 rather than 123.000000),
+// matching the integer-when-integral style of the analysis renderers.
+std::string format_value(double v) {
+  if (std::isnan(v)) return "NaN";
+  if (std::isinf(v)) return v > 0 ? "+Inf" : "-Inf";
+  char buf[32];
+  const auto res = std::to_chars(buf, buf + sizeof buf, v);
+  return std::string(buf, res.ptr);
+}
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+// {k="v",...} with escaped values; empty string for no labels. `extra`
+// appends one pre-escaped pair (the histogram le bound).
+std::string label_block(const Labels& labels, const std::string& extra = "") {
+  if (labels.empty() && extra.empty()) return "";
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) out += ',';
+    first = false;
+    out += k;
+    out += "=\"";
+    out += escape_label_value(v);
+    out += '"';
+  }
+  if (!extra.empty()) {
+    if (!first) out += ',';
+    out += extra;
+  }
+  out += '}';
+  return out;
+}
+
+// JSON number for a le bound: finite bounds numeric, +Inf as a string.
+std::string json_le(double le) {
+  return std::isinf(le) ? "\"+Inf\"" : format_value(le);
+}
+
+// Index one past the last occupied finite bucket (so empty histograms
+// render only le="+Inf").
+std::size_t finite_buckets_to_render(const MetricSnapshot& m) {
+  std::size_t last = 0;
+  for (std::size_t b = 0; b + 1 < m.buckets.size(); ++b) {
+    if (m.buckets[b] != 0) last = b + 1;
+  }
+  return last;
+}
+
+}  // namespace
+
+std::optional<Format> parse_format(std::string_view name) {
+  if (name == "text" || name == "prometheus") return Format::kPrometheus;
+  if (name == "json") return Format::kJson;
+  return std::nullopt;
+}
+
+std::string escape_label_value(std::string_view value) {
+  std::string out;
+  out.reserve(value.size());
+  for (const char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+void render_prometheus(const Snapshot& snapshot, std::ostream& os) {
+  std::string prev_name;
+  for (const MetricSnapshot& m : snapshot.metrics) {
+    if (m.name != prev_name) {  // HELP/TYPE once per name, label sets share
+      prev_name = m.name;
+      if (!m.help.empty()) {
+        std::string help;
+        for (const char c : m.help) {
+          if (c == '\\') help += "\\\\";
+          else if (c == '\n') help += "\\n";
+          else help += c;
+        }
+        os << "# HELP " << m.name << ' ' << help << '\n';
+      }
+      os << "# TYPE " << m.name << ' ' << metric_type_name(m.type) << '\n';
+    }
+    if (m.type != MetricType::kHistogram) {
+      os << m.name << label_block(m.labels) << ' ' << format_value(m.value)
+         << '\n';
+      continue;
+    }
+    std::uint64_t cum = 0;
+    const std::size_t n_finite = finite_buckets_to_render(m);
+    for (std::size_t b = 0; b < n_finite; ++b) {
+      cum += m.buckets[b];
+      os << m.name << "_bucket"
+         << label_block(m.labels, "le=\"" +
+                                      format_value(Histogram::bucket_le(
+                                          static_cast<int>(b))) +
+                                      "\"")
+         << ' ' << cum << '\n';
+    }
+    os << m.name << "_bucket" << label_block(m.labels, "le=\"+Inf\"") << ' '
+       << m.count << '\n';
+    os << m.name << "_sum" << label_block(m.labels) << ' '
+       << format_value(m.sum) << '\n';
+    os << m.name << "_count" << label_block(m.labels) << ' ' << m.count
+       << '\n';
+  }
+}
+
+void render_json(const Snapshot& snapshot, std::ostream& os) {
+  os << "[";
+  for (std::size_t i = 0; i < snapshot.metrics.size(); ++i) {
+    const MetricSnapshot& m = snapshot.metrics[i];
+    os << (i == 0 ? "\n" : ",\n");
+    os << "  {\"name\": \"" << json_escape(m.name) << "\", \"type\": \""
+       << metric_type_name(m.type) << "\"";
+    if (!m.help.empty()) {
+      os << ", \"help\": \"" << json_escape(m.help) << "\"";
+    }
+    if (!m.labels.empty()) {
+      os << ", \"labels\": {";
+      for (std::size_t k = 0; k < m.labels.size(); ++k) {
+        os << (k == 0 ? "" : ", ") << '"' << json_escape(m.labels[k].first)
+           << "\": \"" << json_escape(m.labels[k].second) << '"';
+      }
+      os << "}";
+    }
+    if (m.type != MetricType::kHistogram) {
+      os << ", \"value\": " << format_value(m.value) << "}";
+      continue;
+    }
+    os << ", \"count\": " << m.count << ", \"sum\": ";
+    // JSON has no Inf/NaN literals; quote them like the le bounds.
+    if (std::isfinite(m.sum)) os << format_value(m.sum);
+    else os << '"' << format_value(m.sum) << '"';
+    os << ", \"buckets\": [";
+    std::uint64_t cum = 0;
+    const std::size_t n_finite = finite_buckets_to_render(m);
+    for (std::size_t b = 0; b < n_finite; ++b) {
+      cum += m.buckets[b];
+      os << "{\"le\": " << json_le(Histogram::bucket_le(static_cast<int>(b)))
+         << ", \"count\": " << cum << "}, ";
+    }
+    os << "{\"le\": \"+Inf\", \"count\": " << m.count << "}]}";
+  }
+  os << (snapshot.metrics.empty() ? "]\n" : "\n]\n");
+}
+
+void render(const Snapshot& snapshot, Format format, std::ostream& os) {
+  if (format == Format::kJson) render_json(snapshot, os);
+  else render_prometheus(snapshot, os);
+}
+
+bool write_snapshot(const Snapshot& snapshot, const std::string& path,
+                    Format format) {
+  if (path == "-") {
+    render(snapshot, format, std::cout);
+    return static_cast<bool>(std::cout.flush());
+  }
+  std::ofstream os(path);
+  if (!os) {
+    log_error() << "metrics: cannot open " << path << " for writing";
+    return false;
+  }
+  render(snapshot, format, os);
+  os.flush();
+  if (!os) {
+    log_error() << "metrics: failed writing snapshot to " << path;
+    return false;
+  }
+  return true;
+}
+
+}  // namespace hdd::obs

@@ -1,0 +1,45 @@
+// Snapshot exposition — Prometheus text format and JSON.
+//
+// Rendering conventions follow the src/analysis diagnostic renderers: the
+// text form is line-oriented and grep-able, the JSON form is an array of
+// flat objects, one per line, with a stable key order. Both render a
+// Snapshot (obs/metrics.h), so a dump never observes an instrument
+// mid-update.
+//
+// Prometheus text (one HELP/TYPE pair per metric name, label values
+// escaped with \\, \" and \n):
+//   # HELP hdd_store_appends_total Samples appended to the log.
+//   # TYPE hdd_store_appends_total counter
+//   hdd_store_appends_total 8832
+// Histograms render cumulative le="..." buckets (finite bounds up to the
+// last occupied bucket, then le="+Inf"), plus _sum and _count series.
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "obs/metrics.h"
+
+namespace hdd::obs {
+
+enum class Format { kPrometheus, kJson };
+
+// "text"/"prometheus" -> kPrometheus, "json" -> kJson, else nullopt.
+std::optional<Format> parse_format(std::string_view name);
+
+void render_prometheus(const Snapshot& snapshot, std::ostream& os);
+void render_json(const Snapshot& snapshot, std::ostream& os);
+void render(const Snapshot& snapshot, Format format, std::ostream& os);
+
+// Renders to a file ("-" = stdout). Returns false after logging the
+// failure through common/log.h (log_error) — callers on exit paths can
+// treat the dump as best-effort without a try/catch.
+bool write_snapshot(const Snapshot& snapshot, const std::string& path,
+                    Format format);
+
+// Escapes a Prometheus label value (backslash, double quote, newline).
+std::string escape_label_value(std::string_view value);
+
+}  // namespace hdd::obs

@@ -11,6 +11,7 @@
 #include <utility>
 
 #include "common/error.h"
+#include "obs/metrics.h"
 #include "store/format.h"
 
 namespace fs = std::filesystem;
@@ -62,6 +63,31 @@ TelemetryStore::TelemetryStore(std::string dir, StoreOptions options)
     : dir_(std::move(dir)), options_(options) {
   HDD_REQUIRE(options_.segment_bytes >= kSegmentHeaderBytes + 64,
               "segment_bytes too small to hold any record");
+  obs::Registry& reg = options_.metrics != nullptr ? *options_.metrics
+                                                   : obs::Registry::global();
+  m_appends_ = &reg.counter("hdd_store_appends_total",
+                            "Records appended (samples + registrations).");
+  m_bytes_ = &reg.counter("hdd_store_bytes_written_total",
+                          "Framed bytes written to segment files.");
+  m_fsyncs_ = &reg.counter("hdd_store_fsyncs_total",
+                           "fsync calls issued on segment files.");
+  m_rotations_ = &reg.counter("hdd_store_rotations_total",
+                              "Segment rotations at the size threshold.");
+  m_sealed_ = &reg.counter("hdd_store_sealed_segments_total",
+                           "Segments sealed against further appends.");
+  const char* rec_name = "hdd_store_recovery_outcomes_total";
+  const char* rec_help = "Recovery scan events by taxonomy outcome.";
+  m_rec_torn_tail_ =
+      &reg.counter(rec_name, rec_help, {{"outcome", "torn_tail"}});
+  m_rec_crc_drop_ = &reg.counter(rec_name, rec_help, {{"outcome", "crc_drop"}});
+  m_rec_record_dropped_ =
+      &reg.counter(rec_name, rec_help, {{"outcome", "record_dropped"}});
+  m_rec_header_skip_ =
+      &reg.counter(rec_name, rec_help, {{"outcome", "header_skip"}});
+  m_rec_empty_deleted_ =
+      &reg.counter(rec_name, rec_help, {{"outcome", "empty_deleted"}});
+  m_rec_tmp_deleted_ =
+      &reg.counter(rec_name, rec_help, {{"outcome", "tmp_deleted"}});
   recover();
 }
 
@@ -106,12 +132,14 @@ void TelemetryStore::recover() {
     const std::string name = entry.path().filename().string();
     if (name.size() > 4 && name.compare(name.size() - 4, 4, ".tmp") == 0) {
       fs::remove(entry.path(), ec);  // interrupted compaction output
+      m_rec_tmp_deleted_->inc();
       continue;
     }
     const auto seq = parse_segment_name(name);
     if (!seq) continue;
     if (entry.file_size(ec) == 0 && !ec) {
       fs::remove(entry.path(), ec);  // crash before the header: nothing durable
+      m_rec_empty_deleted_->inc();
       continue;
     }
     next_seq_ = std::max(next_seq_, *seq + 1);
@@ -150,6 +178,7 @@ void TelemetryStore::recover() {
     ++recovery_.segments_scanned;
     if (!c.header || !scan_segment(seg)) {
       ++recovery_.segments_skipped;
+      m_rec_header_skip_->inc();
       continue;  // unreadable header: excluded (file left in place)
     }
     segments_.push_back(std::move(seg));
@@ -158,6 +187,7 @@ void TelemetryStore::recover() {
   // numbered above everything on disk, so replay order stays append order.
   if (recovery_.segments_skipped > 0 && !segments_.empty()) {
     segments_.back().clean = false;
+    m_sealed_->inc();
   }
 }
 
@@ -192,7 +222,9 @@ bool TelemetryStore::scan_segment(Segment& seg) {
       // A flipped bit mid-log: skip the record and stop trusting this
       // segment — framing beyond it may be off. Later segments still load.
       ++recovery_.records_dropped;
+      m_rec_crc_drop_->inc();
       seg.clean = false;
+      m_sealed_->inc();
       return true;
     }
     apply_record(payload, seg);
@@ -204,9 +236,13 @@ bool TelemetryStore::scan_segment(Segment& seg) {
     // the segment stays appendable.
     recovery_.torn_bytes_truncated += buf.size() - seg.data_end;
     recovery_.tail_truncated = true;
+    m_rec_torn_tail_->inc();
     std::error_code ec;
     fs::resize_file(seg.path, seg.data_end, ec);
-    if (ec) seg.clean = false;  // cannot repair in place: stop appending here
+    if (ec) {
+      seg.clean = false;  // cannot repair in place: stop appending here
+      m_sealed_->inc();
+    }
   }
   return true;
 }
@@ -215,6 +251,7 @@ void TelemetryStore::apply_record(std::string_view payload, Segment& seg) {
   const auto rec = decode_record(payload);
   if (!rec) {
     ++recovery_.records_dropped;  // unknown type / malformed body
+    m_rec_record_dropped_->inc();
     return;
   }
   if (rec->type == RecordType::kDrive) {
@@ -228,11 +265,13 @@ void TelemetryStore::apply_record(std::string_view payload, Segment& seg) {
       ++recovery_.records_recovered;  // idempotent re-registration
     } else {
       ++recovery_.records_dropped;  // id/serial mismatch
+      m_rec_record_dropped_->inc();
     }
     return;
   }
   if (rec->drive >= drives_.size()) {
     ++recovery_.records_dropped;  // sample for an unregistered drive
+    m_rec_record_dropped_->inc();
     return;
   }
   DriveInfo& info = drives_[rec->drive];
@@ -305,6 +344,8 @@ void TelemetryStore::write_frame(std::string_view payload) {
     std::fclose(out_);
     out_ = nullptr;
     segments_.back().clean = false;  // sealed: rotation point
+    m_rotations_->inc();
+    m_sealed_->inc();
   }
   ensure_writer();
   const std::string frame = frame_record(payload);
@@ -313,9 +354,12 @@ void TelemetryStore::write_frame(std::string_view payload) {
                     segments_.back().path);
   }
   segments_.back().data_end += frame.size();
+  m_appends_->inc();
+  m_bytes_->inc(static_cast<std::uint64_t>(frame.size()));
   if (options_.fsync_appends) {
     std::fflush(out_);
     ::fsync(::fileno(out_));
+    m_fsyncs_->inc();
   }
 }
 
@@ -349,6 +393,7 @@ void TelemetryStore::flush() {
   if (out_ == nullptr) return;
   std::fflush(out_);
   ::fsync(::fileno(out_));
+  m_fsyncs_->inc();
 }
 
 void TelemetryStore::scan_range(
@@ -429,6 +474,7 @@ TelemetryStore::CompactionResult TelemetryStore::write_compacted(
   });
   std::fflush(f);
   ::fsync(::fileno(f));
+  m_fsyncs_->inc();
   std::fclose(f);
   std::error_code ec;
   fs::rename(path_tmp, path_final, ec);

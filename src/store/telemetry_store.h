@@ -35,6 +35,11 @@
 
 #include "smart/drive.h"
 
+namespace hdd::obs {
+class Counter;
+class Registry;
+}  // namespace hdd::obs
+
 namespace hdd::store {
 
 struct StoreOptions {
@@ -43,6 +48,10 @@ struct StoreOptions {
   std::uint64_t segment_bytes = 8ull << 20;
   // fsync after every append (otherwise durability is at flush()/OS pace).
   bool fsync_appends = false;
+  // Registry for the hdd_store_* metrics (appends, bytes, fsyncs,
+  // rotations, recovery-taxonomy outcomes); nullptr =
+  // obs::Registry::global(). A non-global registry must outlive the store.
+  obs::Registry* metrics = nullptr;
 };
 
 struct RecoveryStats {
@@ -156,6 +165,21 @@ class TelemetryStore {
 
   std::string dir_;
   StoreOptions options_;
+  // hdd_store_* instruments (resolved from options_.metrics before
+  // recover(), so the open-time scan is counted; see DESIGN.md §7). The
+  // hdd_store_recovery_outcomes_total counters carry an {outcome=...}
+  // label per recovery-taxonomy branch.
+  obs::Counter* m_appends_;
+  obs::Counter* m_bytes_;
+  obs::Counter* m_fsyncs_;
+  obs::Counter* m_rotations_;
+  obs::Counter* m_sealed_;
+  obs::Counter* m_rec_torn_tail_;
+  obs::Counter* m_rec_crc_drop_;
+  obs::Counter* m_rec_record_dropped_;
+  obs::Counter* m_rec_header_skip_;
+  obs::Counter* m_rec_empty_deleted_;
+  obs::Counter* m_rec_tmp_deleted_;
   RecoveryStats recovery_;
   std::vector<Segment> segments_;
   std::vector<DriveInfo> drives_;

@@ -164,6 +164,78 @@ TEST(CliFlow, StoreEndToEnd) {
       std::system((std::string("rm -rf ") + kStoreDir).c_str());
 }
 
+// The global --metrics-out/--metrics-format flags: a registry snapshot is
+// dumped at exit for any command, to a file or stdout, in text or JSON.
+TEST(CliFlow, MetricsEndToEnd) {
+  const char* kMetCsv = "/tmp/hddpred_cli_metrics_fleet.csv";
+  const char* kMetModel = "/tmp/hddpred_cli_metrics_model.tree";
+  const char* kMetDir = "/tmp/hddpred_cli_metrics_store";
+  const char* kMetOut = "/tmp/hddpred_cli_metrics.json";
+  std::remove(kMetCsv);
+  std::remove(kMetModel);
+  std::remove(kMetOut);
+  [[maybe_unused]] const int rc =
+      std::system((std::string("rm -rf ") + kMetDir).c_str());
+
+  auto r = run_cli(std::string("generate --out ") + kMetCsv +
+                   " --scale 0.02 --family W --seed 11 --interval 2");
+  ASSERT_EQ(r.exit_code, 0) << r.output;
+
+  // train dumps a JSON snapshot to a file; stdout stays the normal report.
+  auto s = run_cli_split(std::string("train --data ") + kMetCsv +
+                         " --model " + kMetModel + " --metrics-out " +
+                         kMetOut + " --metrics-format json");
+  ASSERT_EQ(s.exit_code, 0) << s.out << s.err;
+  EXPECT_NE(s.out.find("trained"), std::string::npos);
+  EXPECT_EQ(s.out.find("hdd_train_fit_ns"), std::string::npos);
+  std::string dumped;
+  if (FILE* f = std::fopen(kMetOut, "r")) {
+    std::array<char, 4096> buf{};
+    while (fgets(buf.data(), buf.size(), f) != nullptr) dumped += buf.data();
+    std::fclose(f);
+  }
+  EXPECT_NE(dumped.find("\"name\": \"hdd_train_fit_ns\""), std::string::npos)
+      << dumped;
+  EXPECT_NE(dumped.find("\"name\": \"hdd_train_matrix_rows_total\""),
+            std::string::npos);
+
+  // replay dumps Prometheus text to stdout after the normal report.
+  r = run_cli(std::string("ingest --store ") + kMetDir + " --data " + kMetCsv);
+  ASSERT_EQ(r.exit_code, 0) << r.output;
+  r = run_cli(std::string("replay --store ") + kMetDir + " --model " +
+              kMetModel + " --voters 5 --metrics-out -");
+  ASSERT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("replayed"), std::string::npos);
+  EXPECT_NE(r.output.find("# TYPE hdd_fleet_samples_scored_total counter"),
+            std::string::npos);
+  EXPECT_NE(r.output.find("hdd_fleet_journal_resume_total 1"),
+            std::string::npos);
+  EXPECT_NE(r.output.find("hdd_store_recovery_outcomes_total{outcome="),
+            std::string::npos);
+
+  // --log-level is accepted everywhere; bogus values are usage errors.
+  r = run_cli(std::string("reliability --log-level debug"));
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  r = run_cli(std::string("reliability --log-level loud"));
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.output.find("--log-level"), std::string::npos);
+  r = run_cli(std::string("reliability --metrics-format yaml"));
+  EXPECT_EQ(r.exit_code, 2);
+  r = run_cli(std::string("reliability --metrics-out"));
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.output.find("missing value"), std::string::npos);
+
+  // An unwritable dump path fails the run (exit 1) after the command ran.
+  r = run_cli(std::string("reliability --metrics-out /nonexistent-dir/m.txt"));
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+
+  std::remove(kMetCsv);
+  std::remove(kMetModel);
+  std::remove(kMetOut);
+  [[maybe_unused]] const int rc2 =
+      std::system((std::string("rm -rf ") + kMetDir).c_str());
+}
+
 // lint shares its model files with the train steps, so the whole
 // train -> lint flow lives in one test body (same rule as CliFlow).
 TEST(CliFlow, LintEndToEnd) {

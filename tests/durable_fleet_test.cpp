@@ -14,6 +14,7 @@
 #include "common/error.h"
 #include "core/fleet.h"
 #include "core/scorer.h"
+#include "obs/metrics.h"
 #include "store/format.h"
 #include "store/telemetry_store.h"
 
@@ -196,10 +197,26 @@ TEST_F(DurableFleetTest, ResumeAfterTornAppendGivesIdenticalAlarms) {
   ASSERT_FALSE(seg.empty());
   fs::resize_file(seg, fs::file_size(seg) - 5);
 
-  store::TelemetryStore store(dir);
+  // A private metrics registry for the resumed process: the recovery
+  // taxonomy must report exactly what was injected — one torn-tail
+  // truncation, nothing else.
+  obs::Registry reg;
+  store::StoreOptions sopt;
+  sopt.metrics = &reg;
+  store::TelemetryStore store(dir, sopt);
   EXPECT_TRUE(store.recovery().tail_truncated);
-  FleetScorer f(scorer, test_config());
+  const char* rec = "hdd_store_recovery_outcomes_total";
+  EXPECT_EQ(reg.counter(rec, "", {{"outcome", "torn_tail"}}).value(), 1u);
+  EXPECT_EQ(reg.counter(rec, "", {{"outcome", "crc_drop"}}).value(), 0u);
+  EXPECT_EQ(reg.counter(rec, "", {{"outcome", "header_skip"}}).value(), 0u);
+  EXPECT_EQ(reg.counter(rec, "", {{"outcome", "record_dropped"}}).value(), 0u);
+  auto cfg = test_config();
+  cfg.metrics = &reg;
+  FleetScorer f(scorer, cfg);
   const auto r = f.resume_from(store);
+  EXPECT_EQ(reg.counter("hdd_fleet_journal_resume_total", "").value(), 1u);
+  EXPECT_EQ(reg.counter("hdd_fleet_resume_samples_total", "").value(),
+            r.samples_replayed);
   // The torn interval (hour 19) is dropped for every drive so the fleet
   // resumes aligned...
   EXPECT_EQ(r.partial_dropped, kDrives - 1);

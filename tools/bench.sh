@@ -1,0 +1,75 @@
+#!/usr/bin/env bash
+# Machine-readable micro-benchmark runner: builds and runs the micro_*
+# google-benchmark binaries (micro_perf: fleet scoring, micro_lint: static
+# verifier, micro_obs: metrics instrumentation) and merges their JSON
+# output into one flat BENCH_obs.json — an array of {name, value, unit}
+# objects, `value` being real (wall) time per iteration. CI diffs this
+# file against the committed copy to catch hot-path regressions; the obs
+# entries are the acceptance record for the overhead bounds in
+# DESIGN.md §7.
+#
+# Usage: tools/bench.sh [--out FILE] [--build-dir DIR] [--filter REGEX]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+OUT="BENCH_obs.json"
+BUILD_DIR="build"
+FILTER=""
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --out) OUT="$2"; shift 2 ;;
+    --build-dir) BUILD_DIR="$2"; shift 2 ;;
+    --filter) FILTER="$2"; shift 2 ;;
+    *) echo "unknown option: $1" >&2; exit 2 ;;
+  esac
+done
+
+cmake -B "${BUILD_DIR}" -S . > /dev/null
+cmake --build "${BUILD_DIR}" -j "$(nproc)" \
+    --target micro_perf micro_lint micro_obs
+
+TMP="$(mktemp -d)"
+trap 'rm -rf "${TMP}"' EXIT
+
+# micro_perf sweeps large fleets; keep the suite's wall time bounded by
+# running one representative size per benchmark family.
+run_bench() {
+  local bin="$1" json="$2" extra_filter="$3"
+  local args=(--benchmark_format=json --benchmark_out="${json}"
+              --benchmark_out_format=json)
+  local f="${FILTER:-${extra_filter}}"
+  if [[ -n "${f}" ]]; then
+    args+=("--benchmark_filter=${f}")
+  fi
+  echo "=== ${bin} ===" >&2
+  "${BUILD_DIR}/bench/${bin}" "${args[@]}" > /dev/null
+}
+
+run_bench micro_perf "${TMP}/perf.json" 'BM_Fleet|BM_StoreAppend'
+run_bench micro_lint "${TMP}/lint.json" 'BM_VerifyTree/20000|BM_VerifyForest/64'
+run_bench micro_obs  "${TMP}/obs.json"  ''
+
+python3 - "${OUT}" "${TMP}/perf.json" "${TMP}/lint.json" "${TMP}/obs.json" \
+    <<'PY'
+import json
+import sys
+
+out_path, *inputs = sys.argv[1:]
+rows = []
+for path in inputs:
+    with open(path) as f:
+        doc = json.load(f)
+    for b in doc.get("benchmarks", []):
+        if b.get("run_type") == "aggregate":
+            continue
+        rows.append({
+            "name": b["name"],
+            "value": round(b["real_time"], 4),
+            "unit": b["time_unit"],
+        })
+with open(out_path, "w") as f:
+    json.dump(rows, f, indent=2)
+    f.write("\n")
+print(f"wrote {len(rows)} benchmark entries to {out_path}")
+PY

@@ -4,8 +4,11 @@
 # Sanitizer (-DHDD_SANITIZE=undefined, recovery disabled so any UB fails
 # the run). Separate build directories so the configurations never share
 # object files. Every configuration additionally re-runs the `analysis`
-# test label on its own, so a static-verifier regression is called out by
-# name even when the full suite is noisy.
+# and `obs` test labels on their own, so a static-verifier or metrics
+# regression is called out by name even when the full suite is noisy.
+# The plain configuration also smoke-tests `--metrics-out -` end to end,
+# and a ThreadSanitizer build runs the `obs` label (the concurrency tests
+# exercise the sharded counters from many threads).
 #
 # Usage: tools/check.sh [--fast] [jobs]
 #   --fast   plain configuration only (skips the sanitizer builds)
@@ -32,9 +35,43 @@ run_config() {
   echo "=== ctest ${build_dir} (label: analysis) ==="
   ctest --test-dir "${build_dir}" --output-on-failure -j "${JOBS}" \
       -L analysis
+  echo "=== ctest ${build_dir} (label: obs) ==="
+  ctest --test-dir "${build_dir}" --output-on-failure -j "${JOBS}" \
+      -L obs
+}
+
+# End-to-end smoke of the metrics pipeline: generate -> train -> ingest ->
+# replay --metrics-out -, then assert the three headline instrument names
+# made it into the Prometheus dump.
+obs_smoke() {
+  local build_dir="$1"
+  local tmp
+  tmp="$(mktemp -d)"
+  trap 'rm -rf "${tmp}"' RETURN
+  local bin="${build_dir}/tools/hddpredict"
+  echo "=== obs smoke (${bin}) ==="
+  "${bin}" generate --out "${tmp}/fleet.csv" --scale 0.02 --family W \
+      --seed 11 --interval 2 > /dev/null
+  "${bin}" train --data "${tmp}/fleet.csv" --model "${tmp}/m.tree" \
+      > /dev/null
+  "${bin}" ingest --store "${tmp}/store" --data "${tmp}/fleet.csv" \
+      > /dev/null
+  "${bin}" replay --store "${tmp}/store" --model "${tmp}/m.tree" \
+      --voters 5 --metrics-out - > "${tmp}/metrics.txt"
+  local name
+  for name in hdd_fleet_samples_scored_total \
+              hdd_fleet_batch_latency_ns \
+              hdd_store_recovery_outcomes_total; do
+    if ! grep -q "${name}" "${tmp}/metrics.txt"; then
+      echo "obs smoke FAILED: ${name} missing from metrics dump" >&2
+      return 1
+    fi
+  done
+  echo "=== obs smoke passed ==="
 }
 
 run_config build
+obs_smoke build
 if [[ "${FAST}" == "1" ]]; then
   echo "=== fast check passed (plain only) ==="
   exit 0
@@ -42,4 +79,13 @@ fi
 run_config build-asan -DHDD_SANITIZE=address
 run_config build-ubsan -DHDD_SANITIZE=undefined
 
-echo "=== all checks passed (plain + asan + ubsan) ==="
+# ThreadSanitizer over the obs concurrency tests: the sharded-atomic
+# design claims TSan-clean, so hold it to that.
+echo "=== configure build-tsan (-DHDD_SANITIZE=thread) ==="
+cmake -B build-tsan -S . -DHDD_SANITIZE=thread
+echo "=== build build-tsan (obs_test) ==="
+cmake --build build-tsan -j "${JOBS}" --target obs_test
+echo "=== ctest build-tsan (label: obs) ==="
+ctest --test-dir build-tsan --output-on-failure -j "${JOBS}" -L obs
+
+echo "=== all checks passed (plain + asan + ubsan + tsan-obs) ==="

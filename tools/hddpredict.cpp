@@ -14,6 +14,14 @@
 //   hddpredict compact   --store DIR --min-hour H
 //   hddpredict replay    --store DIR --model m.tree [--voters N]
 //
+// Global flags (valid with every command, parsed before the per-command
+// flags): --metrics-out FILE dumps a snapshot of the process metrics
+// registry (src/obs) at exit, "-" for stdout; --metrics-format text|json
+// picks Prometheus text exposition (default) or JSON; --log-level
+// debug|info|warn|error overrides the stderr log threshold (also settable
+// via HDD_LOG_LEVEL). Without --metrics-out the registry is disabled, so
+// instrumentation costs one relaxed atomic load per event.
+//
 // The CSV schema is documented in src/data/csv_io.h; `generate` fabricates
 // a synthetic fleet in that schema so every subcommand can be exercised
 // without real telemetry. `ingest`/`compact`/`replay` drive the durable
@@ -36,10 +44,14 @@
 #include <map>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "analysis/verifier.h"
 #include "common/error.h"
+#include "common/log.h"
 #include "common/table.h"
+#include "obs/exposition.h"
+#include "obs/metrics.h"
 #include "core/fleet.h"
 #include "core/health.h"
 #include "core/model_io.h"
@@ -73,26 +85,30 @@ using namespace hdd;
       "  reliability [--drives N] [--fdr K] [--tia H] [--raid 5|6]\n"
       "  ingest    --store DIR --data F [--segment-bytes N]\n"
       "  compact   --store DIR --min-hour H\n"
-      "  replay    --store DIR --model F [--voters N]\n";
+      "  replay    --store DIR --model F [--voters N]\n"
+      "global flags (any command):\n"
+      "  --metrics-out FILE|-    dump the metrics registry at exit\n"
+      "  --metrics-format text|json\n"
+      "  --log-level debug|info|warn|error\n";
   std::exit(2);
 }
 
 // Simple flag map: --key value pairs. Flags outside `allowed` are a usage
 // error (exit 2), so a typo can't silently fall back to a default.
 std::map<std::string, std::string> parse_flags(
-    int argc, char** argv, int first,
+    const std::vector<std::string>& args,
     std::initializer_list<const char*> allowed) {
   std::map<std::string, std::string> flags;
-  for (int i = first; i < argc; ++i) {
-    const std::string key = argv[i];
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& key = args[i];
     if (key.rfind("--", 0) != 0) usage("bad option: " + key);
     const std::string name = key.substr(2);
     const bool known = std::any_of(
         allowed.begin(), allowed.end(),
         [&name](const char* a) { return name == a; });
     if (!known) usage("unknown option " + key + " for this command");
-    if (i + 1 >= argc) usage("missing value for " + key);
-    flags[name] = argv[++i];
+    if (i + 1 >= args.size()) usage("missing value for " + key);
+    flags[name] = args[++i];
   }
   return flags;
 }
@@ -276,6 +292,8 @@ int cmd_predict(const std::map<std::string, std::string>& flags) {
 }
 
 int cmd_lint(const std::map<std::string, std::string>& flags) {
+  const obs::ScopedTimer timer(&obs::Registry::global().histogram(
+      "hdd_lint_wall_ns", "lint subcommand wall time (ns)."));
   const std::string model_path = need(flags, "model");
   const std::string format = get(flags, "format", "text");
   if (format != "text" && format != "json") {
@@ -453,14 +471,72 @@ int cmd_replay(const std::map<std::string, std::string>& flags) {
   return 0;
 }
 
+int dispatch(const std::string& command, const std::vector<std::string>& rest);
+
+// Pulls the global flags out of `rest` (any position), applying --log-level
+// immediately. Returns the --metrics-out path ("" = no dump) and format.
+std::pair<std::string, obs::Format> extract_global_flags(
+    std::vector<std::string>& rest) {
+  std::string metrics_out;
+  obs::Format metrics_format = obs::Format::kPrometheus;
+  for (std::size_t i = 0; i < rest.size();) {
+    const std::string key = rest[i];
+    if (key != "--metrics-out" && key != "--metrics-format" &&
+        key != "--log-level") {
+      ++i;
+      continue;
+    }
+    if (i + 1 >= rest.size()) usage("missing value for " + key);
+    const std::string value = rest[i + 1];
+    if (key == "--metrics-out") {
+      metrics_out = value;
+    } else if (key == "--metrics-format") {
+      const auto f = obs::parse_format(value);
+      if (!f) usage("--metrics-format must be text or json");
+      metrics_format = *f;
+    } else {
+      const auto level = parse_log_level(value);
+      if (!level) usage("--log-level must be debug, info, warn or error");
+      set_log_level(*level);
+    }
+    rest.erase(rest.begin() + static_cast<std::ptrdiff_t>(i),
+               rest.begin() + static_cast<std::ptrdiff_t>(i) + 2);
+  }
+  return {metrics_out, metrics_format};
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) usage();
   const std::string command = argv[1];
+  std::vector<std::string> rest(argv + 2, argv + argc);
+  const auto [metrics_out, metrics_format] = extract_global_flags(rest);
+  // With no dump requested the registry stays off: every instrument still
+  // registers, but each record is a single relaxed load.
+  if (metrics_out.empty()) obs::Registry::global().set_enabled(false);
+
+  int rc = 0;
   try {
+    rc = dispatch(command, rest);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    rc = 1;
+  }
+  if (!metrics_out.empty()) {
+    const bool ok = obs::write_snapshot(obs::Registry::global().snapshot(),
+                                        metrics_out, metrics_format);
+    if (!ok && rc == 0) rc = 1;
+  }
+  return rc;
+}
+
+namespace {
+
+int dispatch(const std::string& command, const std::vector<std::string>& rest) {
+  {
     const auto parse = [&](std::initializer_list<const char*> allowed) {
-      return parse_flags(argc, argv, 2, allowed);
+      return parse_flags(rest, allowed);
     };
     if (command == "generate") {
       return cmd_generate(
@@ -497,8 +573,7 @@ int main(int argc, char** argv) {
       return cmd_replay(parse({"store", "model", "voters"}));
     }
     usage("unknown command: " + command);
-  } catch (const std::exception& e) {
-    std::cerr << "error: " << e.what() << '\n';
-    return 1;
   }
 }
+
+}  // namespace
