@@ -1,0 +1,89 @@
+// Micro-benchmarks (google-benchmark): the io::Env seam.
+//
+// Every store write crosses the Env virtual interface (DESIGN.md §8). The
+// acceptance bar for keeping that seam in the hot append path: PosixEnv
+// (virtual dispatch + user-space buffering) stays within 3% of a direct
+// stdio loop, and an empty-plan FaultEnv passthrough adds only the per-op
+// bookkeeping on top. tools/bench.sh records these numbers in
+// BENCH_obs.json.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+#include "io/env.h"
+#include "io/fault_env.h"
+
+namespace {
+
+using namespace hdd;
+namespace fs = std::filesystem;
+
+// One store-frame-sized record (header + sample payload ≈ 64 bytes).
+std::string bench_record() { return std::string(64, 'x'); }
+
+// Baseline: buffered stdio appends, the pre-Env write path.
+void BM_DirectAppend(benchmark::State& state) {
+  const auto path = fs::temp_directory_path() / "hdd_bench_io_direct.log";
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const std::string rec = bench_record();
+  for (auto _ : state) {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    for (std::size_t i = 0; i < n; ++i) {
+      benchmark::DoNotOptimize(std::fwrite(rec.data(), 1, rec.size(), f));
+    }
+    std::fclose(f);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+  fs::remove(path);
+}
+BENCHMARK(BM_DirectAppend)->Arg(100000)->Unit(benchmark::kMillisecond);
+
+// The same appends through the Env seam (virtual File + 64 KiB buffer).
+void BM_EnvAppend(benchmark::State& state) {
+  const auto path = fs::temp_directory_path() / "hdd_bench_io_env.log";
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const std::string rec = bench_record();
+  io::Env& env = io::Env::posix();
+  for (auto _ : state) {
+    std::unique_ptr<io::File> f;
+    benchmark::DoNotOptimize(
+        env.new_append_file(path.string(), /*truncate=*/true, f));
+    for (std::size_t i = 0; i < n; ++i) {
+      benchmark::DoNotOptimize(f->append(rec));
+    }
+    benchmark::DoNotOptimize(f->close());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+  fs::remove(path);
+}
+BENCHMARK(BM_EnvAppend)->Arg(100000)->Unit(benchmark::kMillisecond);
+
+// An empty-plan FaultEnv in the stack: what test builds pay for keeping
+// the injection decorator compiled in (per-append RNG draws + atomics).
+void BM_FaultEnvPassthroughAppend(benchmark::State& state) {
+  const auto path = fs::temp_directory_path() / "hdd_bench_io_fault.log";
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const std::string rec = bench_record();
+  obs::Registry* no_metrics = nullptr;
+  io::FaultEnv env(io::Env::posix(), io::FaultPlan{}, no_metrics);
+  for (auto _ : state) {
+    std::unique_ptr<io::File> f;
+    benchmark::DoNotOptimize(
+        env.new_append_file(path.string(), /*truncate=*/true, f));
+    for (std::size_t i = 0; i < n; ++i) {
+      benchmark::DoNotOptimize(f->append(rec));
+    }
+    benchmark::DoNotOptimize(f->close());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+  fs::remove(path);
+}
+BENCHMARK(BM_FaultEnvPassthroughAppend)
+    ->Arg(100000)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,9 +1,11 @@
 #include "core/fleet.h"
 
 #include <algorithm>
+#include <atomic>
 #include <utility>
 
 #include "common/error.h"
+#include "common/log.h"
 #include "obs/metrics.h"
 #include "smart/features.h"
 #include "store/telemetry_store.h"
@@ -112,6 +114,12 @@ FleetScorer::FleetScorer(const SampleScorer& scorer, FleetScorerConfig config)
   m_resume_samples_ = &reg.counter(
       "hdd_fleet_resume_samples_total",
       "Samples replayed from the journal while resuming voting state.");
+  m_quarantined_ = &reg.counter(
+      "hdd_fleet_quarantined_samples_total",
+      "Samples quarantined at ingest (non-finite or out-of-domain values).");
+  m_journal_failures_ = &reg.counter(
+      "hdd_fleet_journal_append_failures_total",
+      "Journal append/flush failures tolerated in degraded mode.");
   m_batch_latency_ = &reg.histogram(
       "hdd_fleet_batch_latency_ns",
       "Wall time of one observe_interval/observe_samples call (ns).");
@@ -198,38 +206,99 @@ void FleetScorer::observe_samples(std::span<const smart::Sample> samples,
     HDD_REQUIRE(samples[i].hour == hour,
                 "every sample must carry the interval hour");
   }
+  // skip[i]: drop drive i's sample this interval — everywhere (journal,
+  // history, voting), so in-memory state never diverges from what a
+  // resume_from() over the journal would rebuild.
+  std::vector<char> skip(n, 0);
+  if (config_.quarantine != QuarantinePolicy::kOff) {
+    const bool domain = config_.quarantine == QuarantinePolicy::kFullDomain;
+    std::size_t nq = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto fault = smart::classify_sample(samples[i], domain);
+      if (fault == smart::SampleFault::kNone) continue;
+      skip[i] = 1;
+      ++nq;
+      log_message(LogLevel::kWarn,
+                  "fleet: quarantined sample for drive " + serials_[i] +
+                      " at hour " + std::to_string(hour) + " (" +
+                      smart::sample_fault_name(fault) + ")");
+    }
+    if (nq > 0) {
+      m_quarantined_->inc(nq);
+      quarantined_ += nq;
+    }
+  }
   if (journal_ != nullptr) {
     // Durability before scoring: the sample is on disk before it can raise
     // an alarm. Skipping hours the store already holds makes re-observing
-    // an interval after resume_from() idempotent.
+    // an interval after resume_from() idempotent. An append failure
+    // (sealed/full segment, I/O error) downgrades to a skip: the drive
+    // misses this interval, the fleet keeps scoring. A simulated crash
+    // (io::CrashPoint, deliberately not a std::exception) still propagates.
     for (std::size_t i = 0; i < n; ++i) {
-      if (journal_->drive(journal_ids_[i]).last_hour < hour) {
+      if (skip[i] || journal_->drive(journal_ids_[i]).last_hour >= hour) {
+        continue;
+      }
+      try {
         journal_->append(journal_ids_[i], samples[i]);
+      } catch (const std::exception& e) {
+        skip[i] = 1;
+        degraded_ = true;
+        ++journal_failures_;
+        m_journal_failures_->inc();
+        log_message(LogLevel::kWarn,
+                    "fleet: journal append failed for drive " + serials_[i] +
+                        " at hour " + std::to_string(hour) +
+                        ", skipping sample (degraded): " + e.what());
       }
     }
-    journal_->flush();
+    try {
+      journal_->flush();
+    } catch (const std::exception& e) {
+      // Appended but not durable: scoring proceeds; a crash before the next
+      // successful flush loses at most this tail, which resume_from()'s
+      // partial-interval rule already handles.
+      degraded_ = true;
+      ++journal_failures_;
+      m_journal_failures_->inc();
+      log_message(LogLevel::kWarn,
+                  std::string("fleet: journal flush failed (degraded): ") +
+                      e.what());
+    }
   }
   const obs::ScopedTimer timer(m_batch_latency_);
-  m_samples_scored_->inc(n);
   const auto nf = static_cast<std::size_t>(config_.features.size());
   const std::size_t block = config_.block_rows;
   const std::size_t n_blocks = (n + block - 1) / block;
   scratch_.resize(n);
+  std::atomic<std::size_t> scored{0};
   pool().parallel_for(0, n_blocks, [&](std::size_t b) {
     const std::size_t lo = b * block;
     const std::size_t hi = std::min(lo + block, n);
+    // Blocks own disjoint index ranges, history slots and scratch slices;
+    // skipped rows are compacted out of the batch but keep their states
+    // untouched.
+    std::vector<std::size_t> rows;
+    rows.reserve(hi - lo);
     std::vector<float> xbuf;
     xbuf.reserve((hi - lo) * nf);
     for (std::size_t i = lo; i < hi; ++i) {
+      if (skip[i]) continue;
+      rows.push_back(i);
       push_history(i, samples[i]);
       const std::size_t last = history_[i].samples.size() - 1;
       smart::extract_features_block(history_[i], last, last + 1,
                                     config_.features, xbuf);
     }
-    scorer_->predict_batch(xbuf,
-                           std::span<double>(scratch_.data() + lo, hi - lo));
-    for (std::size_t i = lo; i < hi; ++i) states_[i].push(hour, scratch_[i]);
+    if (rows.empty()) return;
+    scorer_->predict_batch(
+        xbuf, std::span<double>(scratch_.data() + lo, rows.size()));
+    for (std::size_t k = 0; k < rows.size(); ++k) {
+      states_[rows[k]].push(hour, scratch_[lo + k]);
+    }
+    scored.fetch_add(rows.size(), std::memory_order_relaxed);
   });
+  m_samples_scored_->inc(scored.load());
 }
 
 void FleetScorer::replay_drive_samples(

@@ -43,6 +43,16 @@ class Registry;
 
 namespace hdd::core {
 
+// What observe_samples quarantines instead of scoring. Quarantined samples
+// are skipped symmetrically everywhere — not journaled, not pushed into
+// history, not voted on — so a resumed run replays exactly the stream the
+// live run scored.
+enum class QuarantinePolicy {
+  kOff,        // score everything (caller vouches for the data)
+  kNonFinite,  // quarantine NaN/Inf attribute values
+  kFullDomain, // also quarantine values outside smart::attribute_range()
+};
+
 struct FleetScorerConfig {
   smart::FeatureSet features;
   eval::VoteConfig vote;
@@ -54,6 +64,11 @@ struct FleetScorerConfig {
   // the feature set, at least 24 h). Live scoring and resume_from() trim
   // with the same rule, which is what makes resumed decisions identical.
   int history_hours = 0;
+  // Ingest hygiene for observe_samples. The default only rejects values no
+  // finite arithmetic can use; kFullDomain is for raw vendor telemetry
+  // (CLI ingest uses it). Synthetic/pre-normalized pipelines that score
+  // values outside the vendor scale keep the domain check off.
+  QuarantinePolicy quarantine = QuarantinePolicy::kNonFinite;
   // nullptr = ThreadPool::global().
   ThreadPool* pool = nullptr;
   // Registry for the hdd_fleet_* metrics (samples scored, batch latency,
@@ -158,8 +173,23 @@ class FleetScorer {
   // the journal (if attached; skipped when the store already holds this
   // hour, which makes re-observing an interval after a resume idempotent),
   // push into the bounded history window, extract features, score, vote.
+  //
+  // Graceful degradation: samples failing the quarantine policy, and
+  // samples whose journal append fails, are counted
+  // (hdd_fleet_quarantined_samples_total /
+  // hdd_fleet_journal_append_failures_total), logged, and skipped for this
+  // interval — the rest of the fleet still scores. Journal failures also
+  // latch degraded(). A skipped sample is skipped everywhere (journal,
+  // history, voting), so in-memory state always matches what a resume
+  // would replay.
   void observe_samples(std::span<const smart::Sample> samples,
                        std::int64_t hour);
+
+  // True once any journal append/flush has failed; alarms raised since are
+  // based on partial telemetry.
+  bool degraded() const { return degraded_; }
+  std::uint64_t quarantined_samples() const { return quarantined_; }
+  std::uint64_t journal_failures() const { return journal_failures_; }
 
   struct ResumeResult {
     std::size_t drives = 0;
@@ -211,7 +241,12 @@ class FleetScorer {
   obs::Counter* m_vote_transitions_;
   obs::Counter* m_journal_resumes_;
   obs::Counter* m_resume_samples_;
+  obs::Counter* m_quarantined_;
+  obs::Counter* m_journal_failures_;
   obs::Histogram* m_batch_latency_;
+  bool degraded_ = false;
+  std::uint64_t quarantined_ = 0;
+  std::uint64_t journal_failures_ = 0;
   std::vector<std::string> serials_;
   std::vector<DriveVoteState> states_;
   std::vector<double> scratch_;  // interval model outputs, reused per call

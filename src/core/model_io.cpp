@@ -1,16 +1,36 @@
 #include "core/model_io.h"
 
-#include <fstream>
 #include <sstream>
 #include <utility>
 
 #include "common/error.h"
 #include "common/log.h"
 #include "core/scorer.h"
+#include "io/env.h"
 
 namespace hdd::core {
 
 namespace {
+
+io::Env& resolve(io::Env* env) {
+  return env != nullptr ? *env : io::Env::posix();
+}
+
+// Whole-file read/write through the Env: models are small (KBs), so the
+// streaming formats parse from / serialize into memory and the Env only
+// ever sees one read or one write per file.
+std::string read_all(const std::string& path, io::Env* env) {
+  std::string data;
+  const auto s = resolve(env).read_file(path, data);
+  HDD_REQUIRE(s.ok(), "cannot open for reading: " + path);
+  return data;
+}
+
+void write_all(const std::string& path, const std::string& data,
+               io::Env* env) {
+  const auto s = resolve(env).write_file(path, data, /*sync=*/false);
+  HDD_REQUIRE(s.ok(), "cannot open for writing: " + path);
+}
 
 // Applies the configured verify mode to a freshly loaded model. kWarn
 // logs every diagnostic; kStrict additionally rejects on errors, so a
@@ -52,10 +72,11 @@ void save_tree(const tree::DecisionTree& tree, std::ostream& os) {
   tree.save(os);
 }
 
-void save_tree_file(const tree::DecisionTree& tree, const std::string& path) {
-  std::ofstream os(path);
-  HDD_REQUIRE(os.good(), "cannot open for writing: " + path);
+void save_tree_file(const tree::DecisionTree& tree, const std::string& path,
+                    io::Env* env) {
+  std::ostringstream os;
   save_tree(tree, os);
+  write_all(path, std::move(os).str(), env);
 }
 
 tree::DecisionTree load_tree(std::istream& is, const LoadOptions& options) {
@@ -69,9 +90,8 @@ tree::DecisionTree load_tree(std::istream& is, const LoadOptions& options) {
 }
 
 tree::DecisionTree load_tree_file(const std::string& path,
-                                  const LoadOptions& options) {
-  std::ifstream is(path);
-  HDD_REQUIRE(is.good(), "cannot open for reading: " + path);
+                                  const LoadOptions& options, io::Env* env) {
+  std::istringstream is(read_all(path, env));
   auto tree = tree::DecisionTree::load(is);
   if (options.verify != VerifyMode::kOff) {
     AnyModel m = std::move(tree);
@@ -114,9 +134,9 @@ AnyModel load_model(std::istream& is, const LoadOptions& options) {
   return m;
 }
 
-AnyModel load_model_file(const std::string& path, const LoadOptions& options) {
-  std::ifstream is(path);
-  HDD_REQUIRE(is.good(), "cannot open for reading: " + path);
+AnyModel load_model_file(const std::string& path, const LoadOptions& options,
+                         io::Env* env) {
+  std::istringstream is(read_all(path, env));
   // Sniff + dispatch here (not via load_model) so diagnostics carry the
   // file path instead of a generic kind name.
   LoadOptions off = options;
@@ -139,10 +159,11 @@ analysis::Report verify_model(const AnyModel& m,
                               model_path);
 }
 
-void save_scorer_file(const SampleScorer& scorer, const std::string& path) {
-  std::ofstream os(path);
-  HDD_REQUIRE(os.good(), "cannot open for writing: " + path);
+void save_scorer_file(const SampleScorer& scorer, const std::string& path,
+                      io::Env* env) {
+  std::ostringstream os;
   scorer.save(os);
+  write_all(path, std::move(os).str(), env);
 }
 
 }  // namespace hdd::core

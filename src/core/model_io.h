@@ -31,6 +31,10 @@
 #include "forest/random_forest.h"
 #include "tree/tree.h"
 
+namespace hdd::io {
+class Env;
+}  // namespace hdd::io
+
 namespace hdd::core {
 
 class SampleScorer;
@@ -45,14 +49,19 @@ struct LoadOptions {
   analysis::FeatureDomains domains;
 };
 
+// The *_file functions route all filesystem access through `env`
+// (nullptr = io::Env::posix()), so model persistence participates in the
+// same fault-injection and retry discipline as the telemetry store.
 void save_tree(const tree::DecisionTree& tree, std::ostream& os);
-void save_tree_file(const tree::DecisionTree& tree, const std::string& path);
+void save_tree_file(const tree::DecisionTree& tree, const std::string& path,
+                    io::Env* env = nullptr);
 
 // Throws DataError on malformed input, and in strict mode on a model the
 // verifier flags with an error.
 tree::DecisionTree load_tree(std::istream& is, const LoadOptions& options = {});
 tree::DecisionTree load_tree_file(const std::string& path,
-                                  const LoadOptions& options = {});
+                                  const LoadOptions& options = {},
+                                  io::Env* env = nullptr);
 
 // Any persisted model, discriminated by its header line.
 using AnyModel =
@@ -67,7 +76,8 @@ int model_num_features(const AnyModel& m);
 // mode on verifier errors.
 AnyModel load_model(std::istream& is, const LoadOptions& options = {});
 AnyModel load_model_file(const std::string& path,
-                         const LoadOptions& options = {});
+                         const LoadOptions& options = {},
+                         io::Env* env = nullptr);
 
 // Runs the static verifier appropriate to the model kind.
 analysis::Report verify_model(const AnyModel& m,
@@ -76,6 +86,7 @@ analysis::Report verify_model(const AnyModel& m,
 
 // Persists a trained scorer in its native format (SampleScorer::save);
 // throws ConfigError for backends without one (AdaBoost).
-void save_scorer_file(const SampleScorer& scorer, const std::string& path);
+void save_scorer_file(const SampleScorer& scorer, const std::string& path,
+                      io::Env* env = nullptr);
 
 }  // namespace hdd::core

@@ -1,0 +1,48 @@
+#include "io/retry.h"
+
+#include <algorithm>
+#include <thread>
+
+#include "common/error.h"
+#include "common/log.h"
+#include "obs/metrics.h"
+
+namespace hdd::io {
+
+Retryer::Retryer(RetryPolicy policy, obs::Registry* metrics)
+    : policy_(policy) {
+  HDD_REQUIRE(policy_.max_attempts >= 1, "retry max_attempts must be >= 1");
+  HDD_REQUIRE(policy_.multiplier >= 1.0, "retry multiplier must be >= 1");
+  obs::Registry& reg =
+      metrics != nullptr ? *metrics : obs::Registry::global();
+  retries_ = &reg.counter("hdd_io_retries_total",
+                          "I/O operations retried after a transient error.");
+}
+
+IoStatus Retryer::run(const char* what,
+                      const std::function<IoStatus()>& op) const {
+  auto backoff = policy_.initial_backoff;
+  IoStatus status;
+  for (int attempt = 1;; ++attempt) {
+    status = op();
+    if (status.ok() || !status.transient() ||
+        attempt >= policy_.max_attempts) {
+      return status;
+    }
+    retries_->inc();
+    log_message(LogLevel::kDebug,
+                std::string("io retry: ") + what + " attempt " +
+                    std::to_string(attempt) + " failed transiently (" +
+                    status.message + "), backing off " +
+                    std::to_string(backoff.count()) + "us");
+    if (policy_.sleep && backoff.count() > 0) {
+      std::this_thread::sleep_for(backoff);
+    }
+    backoff = std::min(
+        policy_.max_backoff,
+        std::chrono::microseconds(static_cast<long long>(
+            static_cast<double>(backoff.count()) * policy_.multiplier)));
+  }
+}
+
+}  // namespace hdd::io

@@ -1,0 +1,52 @@
+// Bounded retry-with-backoff for transient I/O errors.
+//
+// Transient errors (io::ErrorClass::kTransient — EAGAIN, EBUSY, EIO, fd
+// pressure) are resource states the next attempt may not see; permanent
+// errors (ENOSPC, EACCES, ...) fail immediately. The policy bounds the
+// damage: max_attempts tries total, exponential backoff between them,
+// capped. Every retry increments hdd_io_retries_total on the configured
+// registry, so an operator can see a node fighting its disk before the
+// node loses.
+#pragma once
+
+#include <chrono>
+#include <functional>
+
+#include "io/env.h"
+
+namespace hdd::obs {
+class Counter;
+class Registry;
+}  // namespace hdd::obs
+
+namespace hdd::io {
+
+struct RetryPolicy {
+  // Total attempts (first try included). 1 disables retrying.
+  int max_attempts = 4;
+  std::chrono::microseconds initial_backoff{100};
+  double multiplier = 4.0;
+  std::chrono::microseconds max_backoff{50'000};
+  // Tests disable real sleeping; the attempt accounting is unchanged.
+  bool sleep = true;
+};
+
+// Resolves the retry counter once (registration takes a mutex) and applies
+// the policy to any IoStatus-returning operation.
+class Retryer {
+ public:
+  // nullptr registry = obs::Registry::global().
+  explicit Retryer(RetryPolicy policy = {}, obs::Registry* metrics = nullptr);
+
+  const RetryPolicy& policy() const { return policy_; }
+
+  // Runs `op` until it succeeds, fails non-transiently, or attempts run
+  // out; returns the last status. `what` labels the debug log line.
+  IoStatus run(const char* what, const std::function<IoStatus()>& op) const;
+
+ private:
+  RetryPolicy policy_;
+  obs::Counter* retries_;
+};
+
+}  // namespace hdd::io

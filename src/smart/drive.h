@@ -41,4 +41,18 @@ struct DriveRecord {
   std::int64_t last_sample_at_or_before(std::int64_t h) const;
 };
 
+// Ingest-time validity of one sample. kNonFinite means some attribute is
+// NaN/Inf (always garbage — no finite arithmetic downstream can use it);
+// kOutOfDomain means every value is finite but at least one falls outside
+// its declared attribute_range() (vendor 1–253 scale for normalized
+// attributes, non-negative for raw counters).
+enum class SampleFault { kNone, kNonFinite, kOutOfDomain };
+
+const char* sample_fault_name(SampleFault f);
+
+// Classifies a sample for quarantine decisions. `domain_check` additionally
+// applies the attribute_range() bounds — callers scoring synthetic or
+// pre-normalized values keep it off and quarantine only non-finite input.
+SampleFault classify_sample(const Sample& s, bool domain_check = true);
+
 }  // namespace hdd::smart

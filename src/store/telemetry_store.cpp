@@ -1,16 +1,12 @@
 #include "store/telemetry_store.h"
 
-#include <fcntl.h>
-#include <unistd.h>
-
 #include <algorithm>
 #include <cstring>
 #include <filesystem>
-#include <fstream>
-#include <sstream>
 #include <utility>
 
 #include "common/error.h"
+#include "common/log.h"
 #include "obs/metrics.h"
 #include "store/format.h"
 
@@ -22,14 +18,6 @@ namespace {
 
 constexpr const char* kSegmentPrefix = "seg-";
 constexpr const char* kSegmentSuffix = ".log";
-
-std::string read_file(const std::string& path) {
-  std::ifstream is(path, std::ios::binary);
-  if (!is) throw DataError("telemetry store: cannot open " + path);
-  std::ostringstream ss;
-  ss << is.rdbuf();
-  return std::move(ss).str();
-}
 
 // seg-<digits>.log -> sequence number; nullopt for foreign files.
 std::optional<std::uint64_t> parse_segment_name(const std::string& name) {
@@ -49,18 +37,13 @@ std::optional<std::uint64_t> parse_segment_name(const std::string& name) {
   return std::stoull(digits);
 }
 
-void fsync_directory(const std::string& dir) {
-  const int fd = ::open(dir.c_str(), O_RDONLY);
-  if (fd >= 0) {
-    ::fsync(fd);
-    ::close(fd);
-  }
-}
-
 }  // namespace
 
 TelemetryStore::TelemetryStore(std::string dir, StoreOptions options)
-    : dir_(std::move(dir)), options_(options) {
+    : dir_(std::move(dir)),
+      options_(options),
+      env_(options_.env != nullptr ? options_.env : &io::Env::posix()),
+      retryer_(options_.retry, options_.metrics) {
   HDD_REQUIRE(options_.segment_bytes >= kSegmentHeaderBytes + 64,
               "segment_bytes too small to hold any record");
   obs::Registry& reg = options_.metrics != nullptr ? *options_.metrics
@@ -92,9 +75,22 @@ TelemetryStore::TelemetryStore(std::string dir, StoreOptions options)
 }
 
 TelemetryStore::~TelemetryStore() {
-  if (out_ != nullptr) {
-    std::fflush(out_);
-    std::fclose(out_);
+  try {
+    close_writer(/*strict=*/false);
+  } catch (...) {
+    // A simulated crash (CrashPoint) during teardown: nothing to do, the
+    // harness owns the aftermath.
+  }
+}
+
+void TelemetryStore::close_writer(bool strict) {
+  if (out_ == nullptr) return;
+  const auto s = out_->close();
+  out_.reset();
+  if (!s.ok()) {
+    if (strict) throw DataError("telemetry store: close failed: " + s.message);
+    log_message(LogLevel::kWarn,
+                "telemetry store: close failed (ignored): " + s.message);
   }
 }
 
@@ -106,10 +102,7 @@ std::string TelemetryStore::segment_path(std::uint64_t seq) const {
 }
 
 void TelemetryStore::recover() {
-  if (out_ != nullptr) {
-    std::fclose(out_);
-    out_ = nullptr;
-  }
+  close_writer(/*strict=*/false);
   segments_.clear();
   drives_.clear();
   drive_segments_.clear();
@@ -117,9 +110,10 @@ void TelemetryStore::recover() {
   recovery_ = {};
   next_seq_ = 1;
 
-  std::error_code ec;
-  fs::create_directories(dir_, ec);
-  if (ec) throw DataError("telemetry store: cannot create " + dir_);
+  if (auto s = env_->create_dirs(dir_); !s.ok()) {
+    throw DataError("telemetry store: cannot create " + dir_ + ": " +
+                    s.message);
+  }
 
   struct Candidate {
     std::uint64_t seq;
@@ -127,27 +121,31 @@ void TelemetryStore::recover() {
     std::optional<SegmentHeader> header;
   };
   std::vector<Candidate> candidates;
-  for (const auto& entry : fs::directory_iterator(dir_)) {
-    if (!entry.is_regular_file()) continue;
-    const std::string name = entry.path().filename().string();
+  std::vector<std::string> names;
+  if (auto s = env_->list_dir(dir_, names); !s.ok()) {
+    throw DataError("telemetry store: cannot list " + dir_ + ": " + s.message);
+  }
+  for (const std::string& name : names) {
+    const std::string path = (fs::path(dir_) / name).string();
     if (name.size() > 4 && name.compare(name.size() - 4, 4, ".tmp") == 0) {
-      fs::remove(entry.path(), ec);  // interrupted compaction output
+      env_->remove_file(path);  // interrupted compaction output
       m_rec_tmp_deleted_->inc();
       continue;
     }
     const auto seq = parse_segment_name(name);
     if (!seq) continue;
-    if (entry.file_size(ec) == 0 && !ec) {
-      fs::remove(entry.path(), ec);  // crash before the header: nothing durable
+    std::uint64_t size = 0;
+    if (env_->file_size(path, size).ok() && size == 0) {
+      env_->remove_file(path);  // crash before the header: nothing durable
       m_rec_empty_deleted_->inc();
       continue;
     }
     next_seq_ = std::max(next_seq_, *seq + 1);
-    Candidate c{*seq, entry.path().string(), std::nullopt};
-    std::ifstream is(c.path, std::ios::binary);
-    char head[kSegmentHeaderBytes];
-    if (is.read(head, sizeof head)) {
-      c.header = decode_segment_header({head, sizeof head});
+    Candidate c{*seq, path, std::nullopt};
+    std::string head;
+    if (env_->read_prefix(path, kSegmentHeaderBytes, head).ok() &&
+        head.size() == kSegmentHeaderBytes) {
+      c.header = decode_segment_header({head.data(), head.size()});
       // The filename is authoritative for ordering; a header naming a
       // different sequence is corruption.
       if (c.header && c.header->sequence != *seq) c.header = std::nullopt;
@@ -169,7 +167,7 @@ void TelemetryStore::recover() {
   }
   for (const Candidate& c : candidates) {
     if (c.seq < start_seq) {
-      fs::remove(c.path, ec);
+      env_->remove_file(c.path);
       continue;
     }
     Segment seg;
@@ -192,7 +190,11 @@ void TelemetryStore::recover() {
 }
 
 bool TelemetryStore::scan_segment(Segment& seg) {
-  const std::string buf = read_file(seg.path);
+  std::string buf;
+  if (auto s = env_->read_file(seg.path, buf); !s.ok()) {
+    throw DataError("telemetry store: cannot open " + seg.path + ": " +
+                    s.message);
+  }
   if (buf.size() < kSegmentHeaderBytes ||
       !decode_segment_header({buf.data(), kSegmentHeaderBytes})) {
     return false;
@@ -237,9 +239,7 @@ bool TelemetryStore::scan_segment(Segment& seg) {
     recovery_.torn_bytes_truncated += buf.size() - seg.data_end;
     recovery_.tail_truncated = true;
     m_rec_torn_tail_->inc();
-    std::error_code ec;
-    fs::resize_file(seg.path, seg.data_end, ec);
-    if (ec) {
+    if (!env_->resize_file(seg.path, seg.data_end).ok()) {
       seg.clean = false;  // cannot repair in place: stop appending here
       m_sealed_->inc();
     }
@@ -314,9 +314,12 @@ void TelemetryStore::ensure_writer() {
     Segment& last = segments_.back();
     if (last.clean && last.data_end >= kSegmentHeaderBytes &&
         last.data_end < options_.segment_bytes) {
-      out_ = std::fopen(last.path.c_str(), "ab");
-      if (out_ == nullptr) {
-        throw DataError("telemetry store: cannot append to " + last.path);
+      const auto s = retryer_.run("open segment", [&] {
+        return env_->new_append_file(last.path, /*truncate=*/false, out_);
+      });
+      if (!s.ok()) {
+        throw DataError("telemetry store: cannot append to " + last.path +
+                        ": " + s.message);
       }
       return;
     }
@@ -324,12 +327,20 @@ void TelemetryStore::ensure_writer() {
   Segment seg;
   seg.seq = next_seq_++;
   seg.path = segment_path(seg.seq);
-  out_ = std::fopen(seg.path.c_str(), "wb");
-  if (out_ == nullptr) {
-    throw DataError("telemetry store: cannot create " + seg.path);
+  const auto opened = retryer_.run("create segment", [&] {
+    return env_->new_append_file(seg.path, /*truncate=*/true, out_);
+  });
+  if (!opened.ok()) {
+    throw DataError("telemetry store: cannot create " + seg.path + ": " +
+                    opened.message);
   }
   const std::string header = encode_segment_header(seg.seq, 0);
-  std::fwrite(header.data(), 1, header.size(), out_);
+  if (auto s = out_->append(header); !s.ok()) {
+    out_->abandon();
+    out_.reset();
+    throw DataError("telemetry store: cannot write header to " + seg.path +
+                    ": " + s.message);
+  }
   seg.data_end = header.size();
   segments_.push_back(std::move(seg));
 }
@@ -340,26 +351,35 @@ void TelemetryStore::write_frame(std::string_view payload) {
       segments_.back().data_end + kFrameHeaderBytes + payload.size() >
           options_.segment_bytes &&
       segments_.back().data_end > kSegmentHeaderBytes) {
-    std::fflush(out_);
-    std::fclose(out_);
-    out_ = nullptr;
+    close_writer(/*strict=*/true);
     segments_.back().clean = false;  // sealed: rotation point
     m_rotations_->inc();
     m_sealed_->inc();
   }
   ensure_writer();
   const std::string frame = frame_record(payload);
-  if (std::fwrite(frame.data(), 1, frame.size(), out_) != frame.size()) {
-    throw DataError("telemetry store: short write to " +
-                    segments_.back().path);
+  if (auto s = out_->append(frame); !s.ok()) {
+    // The frame may have partially landed (short write / ENOSPC tear):
+    // never re-send it — a retried prefix would duplicate bytes. Seal the
+    // segment so the next append rotates to a fresh file; recovery will
+    // truncate any torn tail this append left behind.
+    segments_.back().clean = false;
+    m_sealed_->inc();
+    out_->flush();  // best effort: earlier complete frames reach the OS
+    close_writer(/*strict=*/false);
+    throw DataError("telemetry store: append to " + segments_.back().path +
+                    " failed: " + s.message);
   }
   segments_.back().data_end += frame.size();
   m_appends_->inc();
   m_bytes_->inc(static_cast<std::uint64_t>(frame.size()));
   if (options_.fsync_appends) {
-    std::fflush(out_);
-    ::fsync(::fileno(out_));
+    const auto s = retryer_.run("fsync segment", [&] { return out_->sync(); });
     m_fsyncs_->inc();
+    if (!s.ok()) {
+      throw DataError("telemetry store: fsync of " + segments_.back().path +
+                      " failed: " + s.message);
+    }
   }
 }
 
@@ -391,15 +411,22 @@ void TelemetryStore::append(std::uint32_t drive, const smart::Sample& sample) {
 
 void TelemetryStore::flush() {
   if (out_ == nullptr) return;
-  std::fflush(out_);
-  ::fsync(::fileno(out_));
+  const auto s = retryer_.run("fsync segment", [&] { return out_->sync(); });
   m_fsyncs_->inc();
+  if (!s.ok()) {
+    throw DataError("telemetry store: fsync of " + segments_.back().path +
+                    " failed: " + s.message);
+  }
 }
 
 void TelemetryStore::scan_range(
     const Segment& seg,
     const std::function<void(std::string_view)>& fn) const {
-  const std::string buf = read_file(seg.path);
+  std::string buf;
+  if (auto s = env_->read_file(seg.path, buf); !s.ok()) {
+    throw DataError("telemetry store: cannot open " + seg.path + ": " +
+                    s.message);
+  }
   const std::size_t end =
       std::min<std::size_t>(buf.size(), static_cast<std::size_t>(seg.data_end));
   std::size_t pos = kSegmentHeaderBytes;
@@ -416,7 +443,7 @@ void TelemetryStore::scan_range(
 }
 
 void TelemetryStore::scan(const SampleFn& fn) const {
-  if (out_ != nullptr) std::fflush(out_);  // make buffered appends readable
+  if (out_ != nullptr) out_->flush();  // make buffered appends readable
   for (const Segment& seg : segments_) {
     scan_range(seg, [&fn](std::string_view payload) {
       const auto rec = decode_record(payload);
@@ -430,7 +457,7 @@ void TelemetryStore::scan(const SampleFn& fn) const {
 std::vector<smart::Sample> TelemetryStore::read_drive(
     std::uint32_t drive, std::int64_t from_hour, std::int64_t to_hour) const {
   HDD_REQUIRE(drive < drives_.size(), "drive id out of range");
-  if (out_ != nullptr) std::fflush(out_);
+  if (out_ != nullptr) out_->flush();
   std::vector<smart::Sample> out;
   const auto& segs = drive_segments_[drive];
   for (const Segment& seg : segments_) {
@@ -449,14 +476,19 @@ std::vector<smart::Sample> TelemetryStore::read_drive(
 TelemetryStore::CompactionResult TelemetryStore::write_compacted(
     const std::string& path_tmp, const std::string& path_final,
     std::uint64_t seq, std::int64_t min_hour) const {
-  std::FILE* f = std::fopen(path_tmp.c_str(), "wb");
-  if (f == nullptr) {
-    throw DataError("telemetry store: cannot create " + path_tmp);
+  std::unique_ptr<io::File> f;
+  const auto opened = retryer_.run("create compaction tmp", [&] {
+    return env_->new_append_file(path_tmp, /*truncate=*/true, f);
+  });
+  if (!opened.ok()) {
+    throw DataError("telemetry store: cannot create " + path_tmp + ": " +
+                    opened.message);
   }
-  auto put = [f, &path_tmp](std::string_view bytes) {
-    if (std::fwrite(bytes.data(), 1, bytes.size(), f) != bytes.size()) {
-      std::fclose(f);
-      throw DataError("telemetry store: short write to " + path_tmp);
+  auto put = [&f, &path_tmp](std::string_view bytes) {
+    if (auto s = f->append(bytes); !s.ok()) {
+      f->abandon();
+      throw DataError("telemetry store: write to " + path_tmp +
+                      " failed: " + s.message);
     }
   };
   put(encode_segment_header(seq, kSegCompacted));
@@ -472,32 +504,37 @@ TelemetryStore::CompactionResult TelemetryStore::write_compacted(
       ++res.dropped;
     }
   });
-  std::fflush(f);
-  ::fsync(::fileno(f));
+  const auto synced = retryer_.run("fsync compaction tmp",
+                                   [&] { return f->sync(); });
   m_fsyncs_->inc();
-  std::fclose(f);
-  std::error_code ec;
-  fs::rename(path_tmp, path_final, ec);
-  if (ec) throw DataError("telemetry store: cannot publish " + path_final);
-  fsync_directory(fs::path(path_final).parent_path().string());
+  if (!synced.ok()) {
+    f->abandon();
+    throw DataError("telemetry store: fsync of " + path_tmp +
+                    " failed: " + synced.message);
+  }
+  if (auto s = f->close(); !s.ok()) {
+    throw DataError("telemetry store: close of " + path_tmp +
+                    " failed: " + s.message);
+  }
+  if (auto s = env_->rename_file(path_tmp, path_final); !s.ok()) {
+    throw DataError("telemetry store: cannot publish " + path_final + ": " +
+                    s.message);
+  }
+  env_->sync_dir(fs::path(path_final).parent_path().string());
   return res;
 }
 
 TelemetryStore::CompactionResult TelemetryStore::compact(
     std::int64_t min_hour) {
   flush();
-  if (out_ != nullptr) {
-    std::fclose(out_);
-    out_ = nullptr;
-  }
+  close_writer(/*strict=*/true);
   const std::uint64_t seq = next_seq_++;
   const std::string path = segment_path(seq);
   const auto res = write_compacted(path + ".tmp", path, seq, min_hour);
   // The flagged segment is durable; unlinking the old generation can now
   // fail/crash at any point without losing the supersede guarantee.
-  std::error_code ec;
   for (const Segment& seg : segments_) {
-    if (seg.seq < seq) fs::remove(seg.path, ec);
+    if (seg.seq < seq) env_->remove_file(seg.path);
   }
   recover();  // rebuild the index through the same path open uses
   return res;
@@ -505,15 +542,20 @@ TelemetryStore::CompactionResult TelemetryStore::compact(
 
 TelemetryStore::CompactionResult TelemetryStore::snapshot_to(
     const std::string& dest_dir, std::int64_t min_hour) const {
-  std::error_code ec;
-  fs::create_directories(dest_dir, ec);
-  if (ec) throw DataError("telemetry store: cannot create " + dest_dir);
-  for (const auto& entry : fs::directory_iterator(dest_dir)) {
-    HDD_REQUIRE(
-        !parse_segment_name(entry.path().filename().string()).has_value(),
-        "snapshot destination already holds segments");
+  if (auto s = env_->create_dirs(dest_dir); !s.ok()) {
+    throw DataError("telemetry store: cannot create " + dest_dir + ": " +
+                    s.message);
   }
-  if (out_ != nullptr) std::fflush(out_);
+  std::vector<std::string> names;
+  if (auto s = env_->list_dir(dest_dir, names); !s.ok()) {
+    throw DataError("telemetry store: cannot list " + dest_dir + ": " +
+                    s.message);
+  }
+  for (const std::string& name : names) {
+    HDD_REQUIRE(!parse_segment_name(name).has_value(),
+                "snapshot destination already holds segments");
+  }
+  if (out_ != nullptr) out_->flush();
   const fs::path final = fs::path(dest_dir) / (std::string(kSegmentPrefix) +
                                                "00000001" + kSegmentSuffix);
   return write_compacted(final.string() + ".tmp", final.string(), 1, min_hour);

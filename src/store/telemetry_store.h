@@ -25,14 +25,15 @@
 #pragma once
 
 #include <cstdint>
-#include <cstdio>
 #include <functional>
 #include <limits>
+#include <memory>
 #include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "io/retry.h"
 #include "smart/drive.h"
 
 namespace hdd::obs {
@@ -52,6 +53,15 @@ struct StoreOptions {
   // rotations, recovery-taxonomy outcomes); nullptr =
   // obs::Registry::global(). A non-global registry must outlive the store.
   obs::Registry* metrics = nullptr;
+  // All filesystem access goes through this Env; nullptr = io::Env::posix().
+  // A FaultEnv here puts the whole store under deterministic fault
+  // injection. The env must outlive the store.
+  io::Env* env = nullptr;
+  // Backoff policy for transiently failing opens and fsyncs. Appends are
+  // never blindly retried: a short write may have landed a prefix, and
+  // re-sending the frame would duplicate it — the segment is sealed and the
+  // next append rotates to a fresh one instead.
+  io::RetryPolicy retry{};
 };
 
 struct RecoveryStats {
@@ -149,6 +159,9 @@ class TelemetryStore {
   };
 
   void recover();
+  // Closes the current writer, surfacing buffered-write/close failures as
+  // DataError when `strict`; quiet (log-only) otherwise.
+  void close_writer(bool strict);
   // Scans one segment file, applying records to the index. Returns false
   // when the header was unreadable.
   bool scan_segment(Segment& seg);
@@ -165,6 +178,8 @@ class TelemetryStore {
 
   std::string dir_;
   StoreOptions options_;
+  io::Env* env_;  // resolved from options_.env (never null after construction)
+  io::Retryer retryer_;
   // hdd_store_* instruments (resolved from options_.metrics before
   // recover(), so the open-time scan is counted; see DESIGN.md §7). The
   // hdd_store_recovery_outcomes_total counters carry an {outcome=...}
@@ -187,7 +202,7 @@ class TelemetryStore {
   std::vector<std::vector<std::uint64_t>> drive_segments_;
   std::unordered_map<std::string, std::uint32_t> by_serial_;
   std::uint64_t next_seq_ = 1;
-  mutable std::FILE* out_ = nullptr;  // current segment writer (lazy)
+  mutable std::unique_ptr<io::File> out_;  // current segment writer (lazy)
 };
 
 }  // namespace hdd::store

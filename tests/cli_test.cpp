@@ -135,7 +135,8 @@ TEST(CliFlow, StoreEndToEnd) {
               kStoreCsv);
   ASSERT_EQ(r.exit_code, 0) << r.output;
   EXPECT_NE(r.output.find("ingested"), std::string::npos);
-  EXPECT_NE(r.output.find("(0 already present)"), std::string::npos);
+  EXPECT_NE(r.output.find("(0 already present, 0 quarantined)"),
+            std::string::npos);
   r = run_cli(std::string("ingest --store ") + kStoreDir + " --data " +
               kStoreCsv);
   ASSERT_EQ(r.exit_code, 0) << r.output;
@@ -162,6 +163,44 @@ TEST(CliFlow, StoreEndToEnd) {
   std::remove(kStoreModel);
   [[maybe_unused]] const int rc2 =
       std::system((std::string("rm -rf ") + kStoreDir).c_str());
+}
+
+// Ingest hygiene: raw telemetry rows with NaN or off-scale values are
+// quarantined — counted and reported, never stored, never fatal.
+TEST(CliFlow, IngestQuarantinesBadTelemetry) {
+  const char* kQuarCsv = "/tmp/hddpred_cli_quar_fleet.csv";
+  const char* kQuarDir = "/tmp/hddpred_cli_quar_store";
+  std::remove(kQuarCsv);
+  [[maybe_unused]] const int rc =
+      std::system((std::string("rm -rf ") + kQuarDir).c_str());
+
+  // Hand-written fleet: hours 1 and 2 of q0 carry a NaN RRER and a
+  // Temperature of 500 (off the vendor 1-253 scale); the rest is healthy.
+  if (FILE* f = std::fopen(kQuarCsv, "w")) {
+    std::fputs(
+        "serial,family,failed,fail_hour,hour,RRER,SUT,RSC,SER,POH,RUE,HFW,"
+        "TC,HER,CPS,RSC_raw,CPS_raw\n"
+        "q0,W,0,-1,0,100,100,100,100,100,100,100,30,100,100,0,0\n"
+        "q0,W,0,-1,1,nan,100,100,100,100,100,100,30,100,100,0,0\n"
+        "q0,W,0,-1,2,100,100,100,100,100,100,100,500,100,100,0,0\n"
+        "q0,W,0,-1,3,100,100,100,100,100,100,100,30,100,100,0,0\n",
+        f);
+    std::fclose(f);
+  }
+
+  const auto r = run_cli(std::string("ingest --store ") + kQuarDir +
+                         " --data " + kQuarCsv + " --metrics-out -");
+  ASSERT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("ingested 2 samples"), std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("2 quarantined"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("hdd_fleet_quarantined_samples_total 2"),
+            std::string::npos)
+      << r.output;
+
+  std::remove(kQuarCsv);
+  [[maybe_unused]] const int rc2 =
+      std::system((std::string("rm -rf ") + kQuarDir).c_str());
 }
 
 // The global --metrics-out/--metrics-format flags: a registry snapshot is

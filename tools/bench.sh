@@ -1,12 +1,14 @@
 #!/usr/bin/env bash
 # Machine-readable micro-benchmark runner: builds and runs the micro_*
 # google-benchmark binaries (micro_perf: fleet scoring, micro_lint: static
-# verifier, micro_obs: metrics instrumentation) and merges their JSON
-# output into one flat BENCH_obs.json — an array of {name, value, unit}
-# objects, `value` being real (wall) time per iteration. CI diffs this
-# file against the committed copy to catch hot-path regressions; the obs
-# entries are the acceptance record for the overhead bounds in
-# DESIGN.md §7.
+# verifier, micro_obs: metrics instrumentation, micro_io: the Env seam)
+# and merges their JSON output into one flat BENCH_obs.json — an array of
+# {name, value, unit} objects, `value` being real (wall) time per
+# iteration. CI diffs this file against the committed copy to catch
+# hot-path regressions; the obs entries are the acceptance record for the
+# overhead bounds in DESIGN.md §7, and the io entries for the <=3%
+# Env-indirection budget in DESIGN.md §8 (BM_EnvAppend vs
+# BM_DirectAppend).
 #
 # Usage: tools/bench.sh [--out FILE] [--build-dir DIR] [--filter REGEX]
 set -euo pipefail
@@ -27,7 +29,7 @@ done
 
 cmake -B "${BUILD_DIR}" -S . > /dev/null
 cmake --build "${BUILD_DIR}" -j "$(nproc)" \
-    --target micro_perf micro_lint micro_obs
+    --target micro_perf micro_lint micro_obs micro_io
 
 TMP="$(mktemp -d)"
 trap 'rm -rf "${TMP}"' EXIT
@@ -49,9 +51,10 @@ run_bench() {
 run_bench micro_perf "${TMP}/perf.json" 'BM_Fleet|BM_StoreAppend'
 run_bench micro_lint "${TMP}/lint.json" 'BM_VerifyTree/20000|BM_VerifyForest/64'
 run_bench micro_obs  "${TMP}/obs.json"  ''
+run_bench micro_io   "${TMP}/io.json"   ''
 
 python3 - "${OUT}" "${TMP}/perf.json" "${TMP}/lint.json" "${TMP}/obs.json" \
-    <<'PY'
+    "${TMP}/io.json" <<'PY'
 import json
 import sys
 

@@ -3,9 +3,12 @@
 # plain, AddressSanitizer (-DHDD_SANITIZE=address) and UndefinedBehavior-
 # Sanitizer (-DHDD_SANITIZE=undefined, recovery disabled so any UB fails
 # the run). Separate build directories so the configurations never share
-# object files. Every configuration additionally re-runs the `analysis`
-# and `obs` test labels on their own, so a static-verifier or metrics
-# regression is called out by name even when the full suite is noisy.
+# object files. Every configuration additionally re-runs the `analysis`,
+# `obs` and `fault` test labels on their own, so a static-verifier,
+# metrics or fault-injection regression is called out by name even when
+# the full suite is noisy (the `fault` label is the randomized
+# kill-and-resume property harness — hundreds of seeded fault schedules,
+# also exercised under ASan).
 # The plain configuration also smoke-tests `--metrics-out -` end to end,
 # and a ThreadSanitizer build runs the `obs` label (the concurrency tests
 # exercise the sharded counters from many threads).
@@ -38,6 +41,9 @@ run_config() {
   echo "=== ctest ${build_dir} (label: obs) ==="
   ctest --test-dir "${build_dir}" --output-on-failure -j "${JOBS}" \
       -L obs
+  echo "=== ctest ${build_dir} (label: fault) ==="
+  ctest --test-dir "${build_dir}" --output-on-failure -j "${JOBS}" \
+      -L fault
 }
 
 # End-to-end smoke of the metrics pipeline: generate -> train -> ingest ->

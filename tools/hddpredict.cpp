@@ -388,11 +388,24 @@ int cmd_ingest(const std::map<std::string, std::string>& flags) {
       get(flags, "segment-bytes", std::to_string(opt.segment_bytes)));
   store::TelemetryStore store(dir, opt);
 
+  // Raw vendor telemetry gets the full domain check: a NaN or a value off
+  // the 1-253 scale is quarantined (counted, not stored) instead of
+  // poisoning every downstream feature that touches it.
+  obs::Counter& quarantine_counter = obs::Registry::global().counter(
+      "hdd_fleet_quarantined_samples_total",
+      "Samples quarantined at ingest (non-finite or out-of-domain values).");
   std::size_t appended = 0;
   std::size_t skipped = 0;
+  std::size_t quarantined = 0;
   for (const auto& d : fleet.drives) {
     const std::uint32_t id = store.register_drive(d.serial);
     for (const auto& s : d.samples) {
+      const auto fault = smart::classify_sample(s, /*domain_check=*/true);
+      if (fault != smart::SampleFault::kNone) {
+        ++quarantined;
+        quarantine_counter.inc();
+        continue;
+      }
       // Re-running an ingest is a no-op for hours already on disk.
       if (store.drive(id).last_hour >= s.hour) {
         ++skipped;
@@ -404,9 +417,9 @@ int cmd_ingest(const std::map<std::string, std::string>& flags) {
   }
   store.flush();
   std::cout << "ingested " << appended << " samples (" << skipped
-            << " already present) for " << fleet.drives.size()
-            << " drives into " << dir << " (" << store.segment_count()
-            << " segments)\n";
+            << " already present, " << quarantined << " quarantined) for "
+            << fleet.drives.size() << " drives into " << dir << " ("
+            << store.segment_count() << " segments)\n";
   return 0;
 }
 
