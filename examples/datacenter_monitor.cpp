@@ -12,9 +12,12 @@
 #include <iomanip>
 #include <iostream>
 #include <map>
+#include <span>
 
 #include "common/table.h"
 #include "core/health.h"
+#include "core/runtime.h"
+#include "core/scorer.h"
 #include "data/split.h"
 #include "sim/generator.h"
 
@@ -54,22 +57,31 @@ int main(int argc, char** argv) {
       ++failed_warned;
     }
   }
+  // Good drives stream through a FleetRuntime — the same builder behind
+  // `hddpredict replay` and the serve daemon — configured once from the
+  // health model instead of re-assembling a VoteConfig by hand.
+  const auto good_scorer =
+      hdd::core::make_tree_scorer(model.regression_tree());
+  hdd::core::FleetRuntimeConfig rc;
+  rc.scorer = good_scorer.get();
+  rc.features = model.config().ct_config.training.features;
+  rc.vote.voters = model.config().voters;
+  rc.vote.average_mode = true;
+  rc.vote.threshold = model.config().threshold;
+  rc.quarantine = hdd::core::QuarantinePolicy::kOff;  // synthetic telemetry
+  hdd::core::FleetRuntime runtime(rc);                // in-memory, no journal
   for (std::size_t k = 0; k < split.good_drives.size(); ++k) {
     const auto& d = fleet.drives[split.good_drives[k]];
     const std::size_t begin = split.good_test_begin[k];
     if (begin >= d.samples.size()) continue;
-    const auto scores = hdd::eval::score_record(
-        d, begin, model.config().ct_config.training.features,
-        model.sample_model());
-    hdd::eval::VoteConfig vote;
-    vote.voters = model.config().voters;
-    vote.average_mode = true;
-    vote.threshold = model.config().threshold;
-    const auto outcome = hdd::eval::vote_drive(scores, vote);
-    if (outcome.alarmed) {
-      const auto idx = d.last_sample_at_or_before(outcome.alarm_hour);
+    const std::size_t i = runtime.fleet().add_drive(d.serial);
+    runtime.fleet().ingest_drive(
+        i, std::span(d.samples).subspan(begin));
+    const auto& st = runtime.fleet().state(i);
+    if (st.alarmed()) {
+      const auto idx = d.last_sample_at_or_before(st.alarm_hour());
       queue.push({d.serial, model.health(d, static_cast<std::size_t>(idx)),
-                  outcome.alarm_hour});
+                  st.alarm_hour()});
       is_failed[d.serial] = false;
       ++good_warned;
     }

@@ -19,6 +19,7 @@
 
 #include "core/fleet.h"
 #include "core/predictor.h"
+#include "core/runtime.h"
 #include "core/scorer.h"
 #include "data/split.h"
 #include "obs/exposition.h"
@@ -99,28 +100,36 @@ int main(int argc, char** argv) {
   std::cout << "Reference run: " << reference.alarm_count()
             << " drives in alarm.\n";
 
+  // Everything a durable monitoring node needs — model, journaled store
+  // and voting config — is one FleetRuntime (the same builder behind
+  // `hddpredict replay` and the serve daemon).
+  core::FleetRuntimeConfig rc;
+  rc.scorer = scorer.get();
+  rc.store_dir = dir;
+  rc.features = fc.features;
+  rc.vote = fc.vote;
+
   // Journaled run, killed halfway.
   const std::size_t kill_at = steps / 2;
   {
-    store::TelemetryStore store(dir);
-    core::FleetScorer live(*scorer, fc);
-    add_all(live);
-    live.attach_journal(&store);
+    core::FleetRuntime live(rc);
+    add_all(live.fleet());
     for (std::size_t t = 0; t < kill_at; ++t) {
-      live.observe_samples(interval_at(monitored, t, (std::int64_t)t), t);
+      live.fleet().observe_samples(interval_at(monitored, t, (std::int64_t)t),
+                                   t);
     }
     std::cout << "Journaled run: observed " << kill_at << " intervals ("
-              << store.sample_count() << " samples on disk), then CRASH.\n";
+              << live.store().sample_count()
+              << " samples on disk), then CRASH.\n";
   }  // the scorer and all its voting state die here
 
   // A fresh process: recover the log, resume, continue monitoring.
-  store::TelemetryStore store(dir);
-  core::FleetScorer resumed(*scorer, fc);
-  const auto r = resumed.resume_from(store);
-  std::cout << "Resumed from " << store.directory() << ": replayed "
+  core::FleetRuntime runtime(rc);
+  const auto r = runtime.resume();
+  std::cout << "Resumed from " << runtime.store().directory() << ": replayed "
             << r.samples_replayed << " samples for " << r.drives
             << " drives through hour " << r.last_hour << ".\n";
-  resumed.attach_journal(&store);
+  core::FleetScorer& resumed = runtime.fleet();
   for (auto t = static_cast<std::size_t>(r.last_hour + 1); t < steps; ++t) {
     resumed.observe_samples(interval_at(monitored, t, (std::int64_t)t), t);
   }

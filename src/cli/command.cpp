@@ -1,0 +1,315 @@
+#include "cli/command.h"
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+#include "common/error.h"
+#include "common/log.h"
+#include "obs/metrics.h"
+
+namespace hdd::cli {
+
+namespace {
+
+// Strict typed parses: the whole token must be consumed, so "7x" or an
+// empty string is a usage error rather than a silently truncated value.
+bool parse_long(const std::string& text, long long& out) {
+  if (text.empty()) return false;
+  char* end = nullptr;
+  errno = 0;
+  out = std::strtoll(text.c_str(), &end, 10);
+  return errno == 0 && end != nullptr && *end == '\0';
+}
+
+bool parse_real(const std::string& text, double& out) {
+  if (text.empty()) return false;
+  char* end = nullptr;
+  errno = 0;
+  out = std::strtod(text.c_str(), &end);
+  return errno == 0 && end != nullptr && *end == '\0';
+}
+
+std::string joined_choices(const ArgSpec& spec, const char* sep) {
+  std::string out;
+  for (std::size_t i = 0; i < spec.choices.size(); ++i) {
+    if (i > 0) out += sep;
+    out += spec.choices[i];
+  }
+  return out;
+}
+
+void validate_value(const ArgSpec& spec, const std::string& value) {
+  switch (spec.type) {
+    case ArgType::kString:
+      return;
+    case ArgType::kInt:
+    case ArgType::kUint64: {
+      long long v = 0;
+      if (!parse_long(value, v) ||
+          (spec.type == ArgType::kUint64 && v < 0)) {
+        throw UsageError("--" + spec.name + " expects an integer, got '" +
+                         value + "'");
+      }
+      return;
+    }
+    case ArgType::kDouble: {
+      double v = 0;
+      if (!parse_real(value, v)) {
+        throw UsageError("--" + spec.name + " expects a number, got '" +
+                         value + "'");
+      }
+      return;
+    }
+    case ArgType::kChoice:
+      for (const std::string& c : spec.choices) {
+        if (value == c) return;
+      }
+      throw UsageError("--" + spec.name + " must be " +
+                       joined_choices(spec, "|"));
+  }
+}
+
+// One usage token for a flag: "--name V" or "[--format text|json]".
+std::string flag_token(const ArgSpec& spec) {
+  std::string inner = "--" + spec.name;
+  if (spec.type == ArgType::kChoice) {
+    inner += " " + joined_choices(spec, "|");
+  } else {
+    inner += " " + (spec.value_name.empty() ? std::string("V")
+                                            : spec.value_name);
+  }
+  return spec.required ? inner : "[" + inner + "]";
+}
+
+}  // namespace
+
+ArgSpec ArgSpec::str(std::string name, std::string value_name, bool required,
+                     std::string fallback) {
+  ArgSpec s;
+  s.name = std::move(name);
+  s.type = ArgType::kString;
+  s.required = required;
+  s.value_name = std::move(value_name);
+  s.fallback = std::move(fallback);
+  return s;
+}
+
+ArgSpec ArgSpec::integer(std::string name, std::string value_name,
+                         std::string fallback) {
+  ArgSpec s;
+  s.name = std::move(name);
+  s.type = ArgType::kInt;
+  s.value_name = std::move(value_name);
+  s.fallback = std::move(fallback);
+  return s;
+}
+
+ArgSpec ArgSpec::uint64(std::string name, std::string value_name,
+                        std::string fallback) {
+  ArgSpec s;
+  s.name = std::move(name);
+  s.type = ArgType::kUint64;
+  s.value_name = std::move(value_name);
+  s.fallback = std::move(fallback);
+  return s;
+}
+
+ArgSpec ArgSpec::real(std::string name, std::string value_name,
+                      std::string fallback) {
+  ArgSpec s;
+  s.name = std::move(name);
+  s.type = ArgType::kDouble;
+  s.value_name = std::move(value_name);
+  s.fallback = std::move(fallback);
+  return s;
+}
+
+ArgSpec ArgSpec::choice(std::string name, std::vector<std::string> choices,
+                        std::string fallback) {
+  ArgSpec s;
+  s.name = std::move(name);
+  s.type = ArgType::kChoice;
+  s.choices = std::move(choices);
+  s.fallback = std::move(fallback);
+  return s;
+}
+
+bool Args::has(const std::string& name) const {
+  return values_.count(name) > 0;
+}
+
+const std::string& Args::get(const std::string& name) const {
+  const auto it = values_.find(name);
+  HDD_ASSERT_MSG(it != values_.end(), "flag --" + name +
+                     " read but not declared (and no default)");
+  return it->second;
+}
+
+int Args::get_int(const std::string& name) const {
+  long long v = 0;
+  HDD_ASSERT_MSG(parse_long(get(name), v), "--" + name + " not an integer");
+  return static_cast<int>(v);
+}
+
+std::uint64_t Args::get_uint64(const std::string& name) const {
+  long long v = 0;
+  HDD_ASSERT_MSG(parse_long(get(name), v) && v >= 0,
+                 "--" + name + " not a non-negative integer");
+  return static_cast<std::uint64_t>(v);
+}
+
+double Args::get_double(const std::string& name) const {
+  double v = 0;
+  HDD_ASSERT_MSG(parse_real(get(name), v), "--" + name + " not a number");
+  return v;
+}
+
+void Registry::add(Command command) {
+  HDD_ASSERT_MSG(find(command.name) == nullptr,
+                 "duplicate command " + command.name);
+  commands_.push_back(std::move(command));
+}
+
+const Command* Registry::find(const std::string& name) const {
+  for (const Command& c : commands_) {
+    if (c.name == name) return &c;
+  }
+  return nullptr;
+}
+
+std::string Registry::usage_text() const {
+  std::ostringstream os;
+  os << "usage: " << program_ << " <command> [options]\n";
+  constexpr std::size_t kNameCol = 12;   // "  " + name padded
+  constexpr std::size_t kWrapCol = 78;
+  for (const Command& c : commands_) {
+    std::string line = "  " + c.name;
+    if (line.size() < kNameCol) line.append(kNameCol - line.size(), ' ');
+    std::size_t used = line.size();
+    bool first = true;
+    for (const ArgSpec& spec : c.args) {
+      const std::string tok = flag_token(spec);
+      if (!first && used + 1 + tok.size() > kWrapCol) {
+        os << line << '\n';
+        line.assign(kNameCol, ' ');
+        used = line.size();
+      } else if (!first) {
+        line += ' ';
+        ++used;
+      }
+      line += tok;
+      used += tok.size();
+      first = false;
+    }
+    os << line << '\n';
+  }
+  os << "global flags (any command):\n"
+        "  --metrics-out FILE|-    dump the metrics registry at exit\n"
+        "  --metrics-format text|json\n"
+        "  --log-level debug|info|warn|error\n";
+  return os.str();
+}
+
+GlobalOptions Registry::extract_globals(std::vector<std::string>& rest) const {
+  GlobalOptions g;
+  for (std::size_t i = 0; i < rest.size();) {
+    const std::string key = rest[i];
+    if (key != "--metrics-out" && key != "--metrics-format" &&
+        key != "--log-level") {
+      ++i;
+      continue;
+    }
+    if (i + 1 >= rest.size()) throw UsageError("missing value for " + key);
+    const std::string value = rest[i + 1];
+    if (key == "--metrics-out") {
+      g.metrics_out = value;
+    } else if (key == "--metrics-format") {
+      const auto f = obs::parse_format(value);
+      if (!f) throw UsageError("--metrics-format must be text or json");
+      g.metrics_format = *f;
+    } else {
+      const auto level = parse_log_level(value);
+      if (!level) {
+        throw UsageError("--log-level must be debug, info, warn or error");
+      }
+      set_log_level(*level);
+    }
+    rest.erase(rest.begin() + static_cast<std::ptrdiff_t>(i),
+               rest.begin() + static_cast<std::ptrdiff_t>(i) + 2);
+  }
+  return g;
+}
+
+Args Registry::parse(const Command& command,
+                     const std::vector<std::string>& rest) const {
+  Args args;
+  for (std::size_t i = 0; i < rest.size(); ++i) {
+    const std::string& key = rest[i];
+    if (key.rfind("--", 0) != 0) throw UsageError("bad option: " + key);
+    const std::string name = key.substr(2);
+    const ArgSpec* spec = nullptr;
+    for (const ArgSpec& s : command.args) {
+      if (s.name == name) {
+        spec = &s;
+        break;
+      }
+    }
+    if (spec == nullptr) {
+      throw UsageError("unknown option " + key + " for this command");
+    }
+    if (i + 1 >= rest.size()) throw UsageError("missing value for " + key);
+    const std::string& value = rest[++i];
+    validate_value(*spec, value);
+    args.values_[name] = value;
+  }
+  for (const ArgSpec& spec : command.args) {
+    if (args.values_.count(spec.name) > 0) continue;
+    if (spec.required) throw UsageError("missing required --" + spec.name);
+    if (!spec.fallback.empty()) args.values_[spec.name] = spec.fallback;
+  }
+  return args;
+}
+
+int Registry::dispatch(int argc, char** argv) const {
+  std::vector<std::string> rest(argv + 1, argv + argc);
+  GlobalOptions globals;
+  int rc = 0;
+  bool dump_metrics = false;
+  try {
+    if (rest.empty()) throw UsageError("");
+    const std::string name = rest.front();
+    rest.erase(rest.begin());
+    globals = extract_globals(rest);
+    // With no dump requested the registry stays off: every instrument
+    // still registers, but each record is a single relaxed load.
+    if (globals.metrics_out.empty()) {
+      obs::Registry::global().set_enabled(false);
+    }
+    const Command* command = find(name);
+    if (command == nullptr) throw UsageError("unknown command: " + name);
+    const Args args = parse(*command, rest);
+    dump_metrics = !globals.metrics_out.empty();
+    try {
+      rc = command->run(args);
+    } catch (const UsageError&) {
+      throw;  // semantic usage errors from handlers still exit 2
+    } catch (const std::exception& e) {
+      std::cerr << "error: " << e.what() << '\n';
+      rc = 1;
+    }
+  } catch (const UsageError& e) {
+    if (*e.what() != '\0') std::cerr << "error: " << e.what() << "\n\n";
+    std::cerr << usage_text();
+    return 2;
+  }
+  if (dump_metrics) {
+    const bool ok =
+        obs::write_snapshot(obs::Registry::global().snapshot(),
+                            globals.metrics_out, globals.metrics_format);
+    if (!ok && rc == 0) rc = 1;
+  }
+  return rc;
+}
+
+}  // namespace hdd::cli

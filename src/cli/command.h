@@ -1,0 +1,119 @@
+// cli — table-driven command registry for the hddpredict front end.
+//
+// Every subcommand declares itself as a Command: a name, a one-line
+// summary, and a table of typed ArgSpecs. The registry owns everything the
+// per-command parsers used to duplicate: strict flag validation (a typo is
+// a usage error, never a silent default), required/optional handling,
+// typed value parsing (int/uint64/double/choice), auto-generated usage
+// text, and the global flags every command accepts (--metrics-out,
+// --metrics-format, --log-level).
+//
+// Exit-code contract (unchanged from the hand-rolled parser, pinned by the
+// split-capture cli tests): 0 success, 1 runtime failure, 2 bad invocation
+// (unknown command, unknown/malformed/missing flag), 3 lint findings.
+// Usage and error text goes to stderr; stdout carries results only.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/exposition.h"
+
+namespace hdd::cli {
+
+// Thrown for any invocation error; the driver prints the message plus the
+// usage text to stderr and exits 2.
+class UsageError : public std::runtime_error {
+ public:
+  explicit UsageError(const std::string& what) : std::runtime_error(what) {}
+};
+
+enum class ArgType { kString, kInt, kUint64, kDouble, kChoice };
+
+struct ArgSpec {
+  std::string name;        // flag name without the leading "--"
+  ArgType type = ArgType::kString;
+  bool required = false;
+  std::string value_name;  // metavar in the usage line ("F", "N", "DIR")
+  std::string fallback;    // textual default for optional flags
+  std::vector<std::string> choices;  // kChoice: the allowed values
+
+  static ArgSpec str(std::string name, std::string value_name,
+                     bool required = false, std::string fallback = "");
+  static ArgSpec integer(std::string name, std::string value_name,
+                         std::string fallback);
+  static ArgSpec uint64(std::string name, std::string value_name,
+                        std::string fallback);
+  static ArgSpec real(std::string name, std::string value_name,
+                      std::string fallback);
+  static ArgSpec choice(std::string name, std::vector<std::string> choices,
+                        std::string fallback);
+};
+
+// Parsed, validated flag values for one invocation. Typed getters re-parse
+// the validated text, so a Command handler can't read a flag under the
+// wrong type without it having been validated first.
+class Args {
+ public:
+  bool has(const std::string& name) const;
+  const std::string& get(const std::string& name) const;
+  int get_int(const std::string& name) const;
+  std::uint64_t get_uint64(const std::string& name) const;
+  double get_double(const std::string& name) const;
+
+ private:
+  friend class Registry;
+  std::map<std::string, std::string> values_;
+};
+
+struct Command {
+  std::string name;
+  std::string summary;  // one line for the usage text
+  std::vector<ArgSpec> args;
+  std::function<int(const Args&)> run;
+};
+
+// The global flags, extracted before command dispatch from any position on
+// the command line. --log-level is applied immediately (set_log_level).
+struct GlobalOptions {
+  std::string metrics_out;  // "" = no dump; "-" = stdout
+  obs::Format metrics_format = obs::Format::kPrometheus;
+};
+
+class Registry {
+ public:
+  explicit Registry(std::string program) : program_(std::move(program)) {}
+
+  void add(Command command);
+  const Command* find(const std::string& name) const;
+  const std::vector<Command>& commands() const { return commands_; }
+
+  // The full auto-generated usage text (one line per command plus the
+  // global-flags block).
+  std::string usage_text() const;
+
+  // Pulls --metrics-out / --metrics-format / --log-level out of `rest`
+  // (mutating it), throwing UsageError on bad values.
+  GlobalOptions extract_globals(std::vector<std::string>& rest) const;
+
+  // Validates `rest` against the command's ArgSpec table: every flag must
+  // be known, carry a value, parse under its type, and satisfy choice
+  // membership; required flags must be present. Throws UsageError.
+  Args parse(const Command& command, const std::vector<std::string>& rest) const;
+
+  // Full driver: extract globals, find the command, parse, run. On
+  // UsageError prints the error and usage to stderr and returns 2; other
+  // exceptions propagate (the caller maps them to exit 1). The metrics
+  // dump (if requested) is written after the command returns, even on a
+  // runtime error.
+  int dispatch(int argc, char** argv) const;
+
+ private:
+  std::string program_;
+  std::vector<Command> commands_;
+};
+
+}  // namespace hdd::cli

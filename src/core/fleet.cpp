@@ -301,6 +301,66 @@ void FleetScorer::observe_samples(std::span<const smart::Sample> samples,
   m_samples_scored_->inc(scored.load());
 }
 
+FleetScorer::IngestResult FleetScorer::ingest_drive(
+    std::size_t i, std::span<const smart::Sample> samples) {
+  HDD_REQUIRE(i < states_.size(), "ingest for an unregistered drive");
+  IngestResult res;
+  if (samples.empty()) return res;
+  const obs::ScopedTimer timer(m_batch_latency_);
+  std::vector<smart::Sample>& kept = ingest_buf_;
+  kept.clear();
+  kept.reserve(samples.size());
+  std::int64_t last = -1;
+  if (journal_ != nullptr) {
+    last = journal_->drive(journal_ids_[i]).last_hour;
+  } else if (!history_[i].samples.empty()) {
+    last = history_[i].samples.back().hour;
+  }
+  const bool domain = config_.quarantine == QuarantinePolicy::kFullDomain;
+  for (const smart::Sample& s : samples) {
+    if (s.hour <= last) {
+      ++res.stale;  // re-sent after a resume, or out of order: drop
+      continue;
+    }
+    if (config_.quarantine != QuarantinePolicy::kOff &&
+        smart::classify_sample(s, domain) != smart::SampleFault::kNone) {
+      ++res.quarantined;
+      continue;
+    }
+    kept.push_back(s);
+    last = s.hour;
+  }
+  if (res.quarantined > 0) {
+    m_quarantined_->inc(res.quarantined);
+    quarantined_ += res.quarantined;
+  }
+  if (kept.empty()) return res;
+  if (journal_ != nullptr) {
+    // Durability (to the OS, not the platter) before scoring. A failure
+    // skips the whole batch in memory; chunks that landed before the
+    // failure are stale-skipped on the next send, and degraded() records
+    // that alarms since may rest on partial telemetry. A simulated crash
+    // (io::CrashPoint, not a std::exception) still propagates.
+    try {
+      journal_->append_batch(journal_ids_[i], kept.data(), kept.size());
+      journal_->flush_to_os();
+    } catch (const std::exception& e) {
+      degraded_ = true;
+      ++journal_failures_;
+      m_journal_failures_->inc();
+      res.journal_failed = true;
+      log_message(LogLevel::kWarn,
+                  "fleet: journal batch append failed for drive " +
+                      serials_[i] + ", dropping batch (degraded): " +
+                      e.what());
+      return res;
+    }
+  }
+  replay_drive_samples(i, kept);
+  res.accepted = kept.size();
+  return res;
+}
+
 void FleetScorer::replay_drive_samples(
     std::size_t i, std::span<const smart::Sample> samples) {
   // No early exit at the first alarm: history must stay current through the

@@ -185,6 +185,27 @@ class FleetScorer {
   void observe_samples(std::span<const smart::Sample> samples,
                        std::int64_t hour);
 
+  struct IngestResult {
+    std::size_t accepted = 0;     // journaled (if attached) and scored
+    std::size_t quarantined = 0;  // failed the quarantine policy
+    std::size_t stale = 0;        // at or before the drive's newest hour
+    bool journal_failed = false;  // batch skipped; degraded() is latched
+  };
+
+  // Per-drive batched ingest — the serve path, where drives report on
+  // their own clocks instead of fleet-lockstep intervals. Samples must be
+  // hour-ascending; anything at or before the drive's newest journaled
+  // (or, without a journal, in-memory) hour is dropped as stale, which
+  // makes re-sending a batch after a crash/resume idempotent. Accepted
+  // samples are appended to the journal as one batched write
+  // (flush_to_os, not fsync — the daemon fsyncs on seal/shutdown), then
+  // pushed through the same history/extraction/voting path
+  // observe_samples and resume_from share, so a resumed daemon raises
+  // byte-identical alarms. Not thread-safe: callers serialize per scorer
+  // (serve gives each shard its own scorer + store).
+  IngestResult ingest_drive(std::size_t i,
+                            std::span<const smart::Sample> samples);
+
   // True once any journal append/flush has failed; alarms raised since are
   // based on partial telemetry.
   bool degraded() const { return degraded_; }
@@ -255,6 +276,7 @@ class FleetScorer {
   store::TelemetryStore* journal_ = nullptr;
   std::vector<std::uint32_t> journal_ids_;   // fleet index -> store drive id
   std::vector<smart::DriveRecord> history_;  // bounded raw-sample windows
+  std::vector<smart::Sample> ingest_buf_;    // ingest_drive scratch
 };
 
 }  // namespace hdd::core

@@ -1,0 +1,62 @@
+#include "core/runtime.h"
+
+#include <utility>
+
+#include "common/error.h"
+#include "smart/features.h"
+
+namespace hdd::core {
+
+FleetRuntime::FleetRuntime(FleetRuntimeConfig config) {
+  HDD_REQUIRE(config.model_path.empty() != (config.scorer == nullptr),
+              "exactly one of model_path and scorer must be set");
+  if (!config.model_path.empty()) {
+    owned_scorer_ =
+        make_tree_scorer(load_tree_file(config.model_path, config.load));
+    scorer_ = owned_scorer_.get();
+  } else {
+    scorer_ = config.scorer;
+  }
+
+  if (config.features.size() == 0) config.features = smart::stat13_features();
+  HDD_REQUIRE(
+      static_cast<std::size_t>(scorer_->num_features()) ==
+          config.features.size(),
+      "model feature count does not match the feature layout");
+
+  if (!config.store_dir.empty()) {
+    store_ = std::make_unique<store::TelemetryStore>(config.store_dir,
+                                                     config.store);
+  }
+
+  FleetScorerConfig fc;
+  fc.features = std::move(config.features);
+  fc.vote = config.vote;
+  fc.block_rows = config.block_rows;
+  fc.history_hours = config.history_hours;
+  fc.quarantine = config.quarantine;
+  fc.pool = config.pool;
+  fc.metrics = config.metrics;
+  fleet_ = std::make_unique<FleetScorer>(*scorer_, std::move(fc));
+  if (store_ != nullptr) fleet_->attach_journal(store_.get());
+}
+
+store::TelemetryStore& FleetRuntime::store() {
+  HDD_REQUIRE(store_ != nullptr, "runtime was built without a store");
+  return *store_;
+}
+
+const store::TelemetryStore& FleetRuntime::store() const {
+  HDD_REQUIRE(store_ != nullptr, "runtime was built without a store");
+  return *store_;
+}
+
+FleetScorer::ResumeResult FleetRuntime::resume(bool drop_partial_tail) {
+  return fleet_->resume_from(store(), drop_partial_tail);
+}
+
+void FleetRuntime::seal() {
+  if (store_ != nullptr) store_->flush();
+}
+
+}  // namespace hdd::core

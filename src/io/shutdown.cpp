@@ -1,0 +1,70 @@
+#include "io/shutdown.h"
+
+#include <fcntl.h>
+#include <signal.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+
+namespace hdd::io {
+
+namespace {
+
+std::atomic<bool> g_requested{false};
+std::atomic<bool> g_installed{false};
+int g_pipe[2] = {-1, -1};
+
+void wake() {
+  const char b = 1;
+  // Best effort: EAGAIN just means the pipe already holds a wake byte.
+  [[maybe_unused]] const ssize_t n = ::write(g_pipe[1], &b, 1);
+}
+
+void on_signal(int) {
+  // Async-signal-safe: one store, one write.
+  g_requested.store(true, std::memory_order_release);
+  wake();
+}
+
+}  // namespace
+
+void install_shutdown_handlers() {
+  if (g_installed.exchange(true)) return;
+  if (::pipe(g_pipe) == 0) {
+    for (const int fd : g_pipe) {
+      ::fcntl(fd, F_SETFL, ::fcntl(fd, F_GETFL) | O_NONBLOCK);
+      ::fcntl(fd, F_SETFD, FD_CLOEXEC);
+    }
+  } else {
+    g_pipe[0] = g_pipe[1] = -1;
+  }
+  struct sigaction sa = {};
+  sa.sa_handler = on_signal;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = 0;  // no SA_RESTART: blocking accepts/reads return EINTR
+  ::sigaction(SIGINT, &sa, nullptr);
+  ::sigaction(SIGTERM, &sa, nullptr);
+}
+
+bool shutdown_requested() {
+  return g_requested.load(std::memory_order_acquire);
+}
+
+int shutdown_wake_fd() { return g_pipe[0]; }
+
+void request_shutdown() {
+  g_requested.store(true, std::memory_order_release);
+  if (g_pipe[1] >= 0) wake();
+}
+
+void reset_shutdown_for_tests() {
+  g_requested.store(false, std::memory_order_release);
+  if (g_pipe[0] >= 0) {
+    char buf[16];
+    while (::read(g_pipe[0], buf, sizeof buf) > 0) {
+    }
+  }
+}
+
+}  // namespace hdd::io

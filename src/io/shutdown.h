@@ -1,0 +1,34 @@
+// Shared SIGINT/SIGTERM latch for long-running commands (ingest, replay,
+// serve). One handler, installed once, so interruption means the same
+// thing everywhere: finish the current unit of work, seal the journal,
+// dump --metrics-out, exit 0 — never drop the tail.
+//
+// The handler is async-signal-safe: it sets an atomic flag and writes one
+// byte to a self-pipe. Loops either poll shutdown_requested() between
+// units of work (CLI ingest/replay) or include shutdown_wake_fd() in their
+// poll set to be woken out of a blocking accept (the serve daemon).
+#pragma once
+
+namespace hdd::io {
+
+// Installs the SIGINT/SIGTERM handlers and creates the self-pipe.
+// Idempotent; must be called before the other functions are meaningful.
+void install_shutdown_handlers();
+
+// True once a signal arrived or request_shutdown() was called.
+bool shutdown_requested();
+
+// Read end of the self-pipe: becomes readable on the first shutdown
+// request. -1 before install_shutdown_handlers(). Never read it dry in a
+// loop that also checks shutdown_requested() — just poll for readability.
+int shutdown_wake_fd();
+
+// Programmatic trigger with the same effect as a signal (the wire
+// protocol's shutdown op, tests).
+void request_shutdown();
+
+// Test hook: clears the latch and drains the pipe so one process can run
+// several shutdown scenarios.
+void reset_shutdown_for_tests();
+
+}  // namespace hdd::io

@@ -1,0 +1,161 @@
+#include "serve/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/error.h"
+
+namespace hdd::serve {
+
+namespace {
+
+void send_all_or_throw(int fd, std::string_view bytes) {
+  std::size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t n =
+        ::send(fd, bytes.data() + off, bytes.size() - off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw DataError("client: send(): " + std::string(std::strerror(errno)));
+    }
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+// Throws when the payload is an error response; otherwise checks kOk.
+void require_ok(std::string_view payload) {
+  const auto status = decode_status(payload);
+  if (!status) throw DataError("client: empty response");
+  if (*status == Status::kOk) return;
+  const auto msg = decode_error_message(payload);
+  throw DataError("client: server error: " + msg.value_or("(no message)"));
+}
+
+}  // namespace
+
+Client::~Client() { close(); }
+
+void Client::connect(const std::string& host, int port) {
+  close();
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    throw DataError("client: socket(): " + std::string(std::strerror(errno)));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    throw ConfigError("client: bad address " + host);
+  }
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    const std::string what = std::strerror(errno);
+    ::close(fd);
+    throw DataError("client: cannot connect to " + host + ":" +
+                    std::to_string(port) + ": " + what);
+  }
+  const int one = 1;
+  (void)setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  fd_ = fd;
+  parser_ = FrameParser();
+}
+
+void Client::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+std::string Client::read_frame() {
+  std::string payload;
+  char buf[64 << 10];
+  for (;;) {
+    const FrameParser::Result res = parser_.next(payload);
+    if (res == FrameParser::Result::kFrame) return payload;
+    if (res == FrameParser::Result::kCorrupt) {
+      throw DataError("client: corrupt response frame");
+    }
+    const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) throw DataError("client: connection closed by server");
+    parser_.feed(std::string_view(buf, static_cast<std::size_t>(n)));
+  }
+}
+
+std::string Client::request(std::string_view payload) {
+  HDD_REQUIRE(fd_ >= 0, "client is not connected");
+  send_all_or_throw(fd_, frame_payload(payload));
+  return read_frame();
+}
+
+std::string Client::roundtrip(std::string_view framed) {
+  HDD_REQUIRE(fd_ >= 0, "client is not connected");
+  send_all_or_throw(fd_, framed);
+  return read_frame();
+}
+
+IngestResponse Client::ingest(const IngestBatch& batch) {
+  const std::string payload = request(encode_ingest_request(batch));
+  require_ok(payload);
+  const auto r = decode_ingest_response(payload);
+  if (!r) throw DataError("client: malformed ingest response");
+  return *r;
+}
+
+QueryResponse Client::query(std::string_view serial) {
+  const std::string payload = request(encode_query_request(serial));
+  require_ok(payload);
+  const auto r = decode_query_response(payload);
+  if (!r) throw DataError("client: malformed query response");
+  return *r;
+}
+
+StatsResponse Client::stats() {
+  const std::string payload = request(encode_stats_request());
+  require_ok(payload);
+  const auto r = decode_stats_response(payload);
+  if (!r) throw DataError("client: malformed stats response");
+  return *r;
+}
+
+void Client::shutdown_server() {
+  const std::string payload = request(encode_shutdown_request());
+  require_ok(payload);
+}
+
+std::string Client::http_get(const std::string& host, int port,
+                             const std::string& path) {
+  Client c;
+  c.connect(host, port);
+  const std::string req = "GET " + path +
+                          " HTTP/1.1\r\nHost: " + host +
+                          "\r\nConnection: close\r\n\r\n";
+  send_all_or_throw(c.fd_, req);
+  std::string response;
+  char buf[64 << 10];
+  for (;;) {
+    const ssize_t n = ::recv(c.fd_, buf, sizeof(buf), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;
+    response.append(buf, static_cast<std::size_t>(n));
+  }
+  const std::size_t sep = response.find("\r\n\r\n");
+  if (sep == std::string::npos) {
+    throw DataError("client: malformed HTTP response");
+  }
+  if (response.compare(0, 12, "HTTP/1.1 200") != 0) {
+    throw DataError("client: HTTP error: " +
+                    response.substr(0, response.find("\r\n")));
+  }
+  return response.substr(sep + 4);
+}
+
+}  // namespace hdd::serve

@@ -1,0 +1,53 @@
+// Client — blocking wire-protocol client for the serve daemon.
+//
+// One TCP connection, synchronous request/response. Used by the
+// `hddpredict client` command, the serve tests and the micro_serve load
+// bench. Protocol errors (corrupt frame, server error status) surface as
+// DataError; the connection is not reusable after one.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "serve/wire.h"
+
+namespace hdd::serve {
+
+class Client {
+ public:
+  Client() = default;
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  // Throws DataError when the daemon cannot be reached.
+  void connect(const std::string& host, int port);
+  bool connected() const { return fd_ >= 0; }
+  void close();
+
+  IngestResponse ingest(const IngestBatch& batch);
+  QueryResponse query(std::string_view serial);
+  StatsResponse stats();
+  // Asks the daemon to shut down (it still replies before exiting).
+  void shutdown_server();
+
+  // Raw round-trip for the load bench: send already-framed bytes, return
+  // the response payload (status byte + body).
+  std::string roundtrip(std::string_view framed);
+
+  // One-shot HTTP GET against the daemon's scrape endpoint; returns the
+  // response body (e.g. the Prometheus exposition for path "/metrics").
+  static std::string http_get(const std::string& host, int port,
+                              const std::string& path);
+
+ private:
+  // Frames `payload`, sends it, reads exactly one response frame.
+  std::string request(std::string_view payload);
+  std::string read_frame();
+
+  int fd_ = -1;
+  FrameParser parser_;
+};
+
+}  // namespace hdd::serve

@@ -1,0 +1,127 @@
+// Server — the TCP front end of `hddpredict serve`.
+//
+// Thread model: one acceptor thread (poll over the listen socket and the
+// shared shutdown self-pipe), one thread per connection, and one worker
+// thread per shard. Connection threads parse frames and partition work;
+// every touch of shard state happens on that shard's worker via a bounded
+// task queue (backpressure: enqueue blocks when the queue is full), so
+// each ShardEngine shard stays single-threaded exactly as its contract
+// requires.
+//
+// The same port speaks two protocols, sniffed from the first bytes of the
+// connection: the CRC-framed wire codec (serve/wire.h), or HTTP GET for
+// the Prometheus scrape path — `GET /metrics` renders the process metrics
+// registry (obs/exposition.h), `GET /healthz` answers "ok".
+//
+// Shutdown: SIGTERM/SIGINT (io/shutdown.h), the wire shutdown op, or
+// stop() all converge on the same sequence — stop accepting, shut down
+// open connections, drain and join the shard workers, fsync every shard
+// journal (ShardEngine::seal). A crash instead of a shutdown loses only
+// un-flushed tail bytes; restart + ShardEngine::resume restores
+// byte-identical alarm state.
+//
+// A worker that hits a simulated crash (io::CrashPoint) marks its shard
+// crashed and fails subsequent requests for it, letting the fault harness
+// exercise crash-mid-ingest under live concurrent load without taking the
+// process down (a real crash takes the process with it; the harness needs
+// the daemon to survive so it can be restarted deterministically).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace hdd::obs {
+class Counter;
+class Registry;
+}  // namespace hdd::obs
+
+namespace hdd::serve {
+
+class ShardEngine;
+
+struct ServeOptions {
+  std::string host = "127.0.0.1";
+  int port = 0;           // 0 = ephemeral (read the bound port with port())
+  std::string port_file;  // if set, the bound port is written here on start
+  std::size_t max_queue = 64;  // per-shard queued tasks before backpressure
+  // Registry rendered by GET /metrics; nullptr = obs::Registry::global().
+  obs::Registry* metrics = nullptr;
+};
+
+class Server {
+ public:
+  // The engine must outlive the server.
+  Server(ShardEngine& engine, ServeOptions options);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  // Binds, listens, spawns the acceptor and shard workers. Throws
+  // DataError when the address cannot be bound.
+  void start();
+
+  // The bound port (valid after start()).
+  int port() const { return port_; }
+
+  // Blocks until shutdown is requested (signal, wire op, or stop() from
+  // another thread), then runs the stop sequence.
+  void wait();
+
+  // Idempotent graceful stop: close the listener, shut down connections,
+  // drain workers, seal the journals.
+  void stop();
+
+ private:
+  struct ShardWorker {
+    std::thread thread;
+    std::mutex mu;
+    std::condition_variable cv_push;  // waiters: enqueuers (backpressure)
+    std::condition_variable cv_pop;   // waiters: the worker
+    std::deque<std::function<void()>> queue;
+    bool closed = false;
+    bool crashed = false;  // a CrashPoint escaped a task on this shard
+  };
+
+  void acceptor_loop();
+  void connection_loop(int fd);
+  void worker_loop(std::size_t k);
+  // Enqueues `task` on shard k's worker, blocking while the queue is full
+  // (backpressure). Returns false — without running the task — when the
+  // shard is crashed or closed.
+  bool post(std::size_t k, std::function<void()> task);
+  void handle_wire(int fd, const std::string& first);
+  // Handles one decoded request; returns false when the connection must
+  // close.
+  bool process_request(int fd, std::string& payload);
+  void handle_http(int fd, const std::string& first);
+  bool send_all(int fd, std::string_view bytes);
+
+  ShardEngine& engine_;
+  ServeOptions options_;
+  int listen_fd_ = -1;
+  int port_ = 0;
+  int wake_pipe_[2] = {-1, -1};  // stop() -> acceptor poll wakeup
+  std::atomic<bool> stopping_{false};
+  std::atomic<bool> stopped_{false};
+  std::thread acceptor_;
+  std::vector<std::unique_ptr<ShardWorker>> workers_;
+  std::mutex conn_mu_;
+  std::vector<int> conn_fds_;
+  std::vector<std::thread> conn_threads_;
+  std::mutex stop_mu_;
+  obs::Counter* m_connections_;
+  obs::Counter* m_requests_;
+  obs::Counter* m_ingested_;
+  obs::Counter* m_http_;
+};
+
+}  // namespace hdd::serve

@@ -1,0 +1,293 @@
+#include "serve/wire.h"
+
+#include <bit>
+
+#include "store/format.h"
+
+namespace hdd::serve {
+
+using store::put_u8;
+using store::put_u16;
+using store::put_u32;
+using store::put_u64;
+using store::Reader;
+
+namespace {
+
+// Smallest possible per-sample ingest entry (empty serial), used to bound
+// attacker-controlled counts before any reserve().
+constexpr std::size_t kMinIngestEntryBytes =
+    2 + 8 + 4 * smart::kNumAttributes;
+
+void put_serial(std::string& out, std::string_view serial) {
+  put_u16(out, static_cast<std::uint16_t>(serial.size()));
+  out.append(serial);
+}
+
+bool read_serial(Reader& r, std::string_view payload, std::string& out) {
+  std::uint16_t len = 0;
+  if (!r.u16(len) || !r.remaining(len)) return false;
+  out.assign(payload.substr(r.pos, len));
+  r.pos += len;
+  return true;
+}
+
+bool read_sample(Reader& r, smart::Sample& s) {
+  std::uint64_t hour = 0;
+  if (!r.u64(hour)) return false;
+  s.hour = static_cast<std::int64_t>(hour);
+  for (float& v : s.attrs) {
+    std::uint32_t bits = 0;
+    if (!r.u32(bits)) return false;
+    v = std::bit_cast<float>(bits);
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string encode_ingest_request(const IngestBatch& batch) {
+  std::string out;
+  std::size_t bytes = 1 + 4;
+  for (const std::string& s : batch.serials) {
+    bytes += 2 + s.size() + 8 + 4 * smart::kNumAttributes;
+  }
+  out.reserve(bytes);
+  put_u8(out, static_cast<std::uint8_t>(Op::kIngest));
+  put_u32(out, static_cast<std::uint32_t>(batch.samples.size()));
+  for (std::size_t i = 0; i < batch.samples.size(); ++i) {
+    put_serial(out, batch.serials[i]);
+    put_u64(out, static_cast<std::uint64_t>(batch.samples[i].hour));
+    for (float v : batch.samples[i].attrs) {
+      put_u32(out, std::bit_cast<std::uint32_t>(v));
+    }
+  }
+  return out;
+}
+
+std::string encode_query_request(std::string_view serial) {
+  std::string out;
+  out.reserve(1 + 2 + serial.size());
+  put_u8(out, static_cast<std::uint8_t>(Op::kQuery));
+  put_serial(out, serial);
+  return out;
+}
+
+std::string encode_stats_request() {
+  return std::string(1, static_cast<char>(Op::kStats));
+}
+
+std::string encode_shutdown_request() {
+  return std::string(1, static_cast<char>(Op::kShutdown));
+}
+
+std::optional<Request> decode_request(std::string_view payload) {
+  Reader r{payload};
+  std::uint8_t op = 0;
+  if (!r.u8(op)) return std::nullopt;
+  Request req;
+  switch (static_cast<Op>(op)) {
+    case Op::kIngest: {
+      req.op = Op::kIngest;
+      std::uint32_t count = 0;
+      if (!r.u32(count)) return std::nullopt;
+      if (count > (payload.size() - r.pos) / kMinIngestEntryBytes + 1) {
+        return std::nullopt;  // count can't fit the bytes we were given
+      }
+      req.ingest.serials.reserve(count);
+      req.ingest.samples.reserve(count);
+      for (std::uint32_t i = 0; i < count; ++i) {
+        std::string serial;
+        smart::Sample s;
+        if (!read_serial(r, payload, serial) || serial.empty() ||
+            !read_sample(r, s)) {
+          return std::nullopt;
+        }
+        req.ingest.serials.push_back(std::move(serial));
+        req.ingest.samples.push_back(s);
+      }
+      if (r.pos != payload.size()) return std::nullopt;  // trailing bytes
+      return req;
+    }
+    case Op::kQuery:
+      req.op = Op::kQuery;
+      if (!read_serial(r, payload, req.serial) || req.serial.empty() ||
+          r.pos != payload.size()) {
+        return std::nullopt;
+      }
+      return req;
+    case Op::kStats:
+      req.op = Op::kStats;
+      if (r.pos != payload.size()) return std::nullopt;
+      return req;
+    case Op::kShutdown:
+      req.op = Op::kShutdown;
+      if (r.pos != payload.size()) return std::nullopt;
+      return req;
+  }
+  return std::nullopt;
+}
+
+std::string encode_ingest_response(const IngestResponse& r) {
+  std::string out;
+  out.reserve(1 + 4 * 8 + 1);
+  put_u8(out, static_cast<std::uint8_t>(Status::kOk));
+  put_u64(out, r.accepted);
+  put_u64(out, r.stale);
+  put_u64(out, r.quarantined);
+  put_u64(out, r.journal_failed);
+  put_u8(out, r.degraded ? 1 : 0);
+  return out;
+}
+
+std::string encode_query_response(const QueryResponse& r) {
+  std::string out;
+  put_u8(out, static_cast<std::uint8_t>(Status::kOk));
+  put_u8(out, r.known ? 1 : 0);
+  if (r.known) {
+    put_u8(out, r.alarmed ? 1 : 0);
+    put_u64(out, static_cast<std::uint64_t>(r.alarm_hour));
+    put_u64(out, static_cast<std::uint64_t>(r.samples_seen));
+    put_u64(out, static_cast<std::uint64_t>(r.last_hour));
+  }
+  return out;
+}
+
+std::string encode_stats_response(const StatsResponse& r) {
+  std::string out;
+  out.reserve(1 + 3 * 8 + 1);
+  put_u8(out, static_cast<std::uint8_t>(Status::kOk));
+  put_u64(out, r.drives);
+  put_u64(out, r.samples);
+  put_u64(out, r.alarms);
+  put_u8(out, r.degraded ? 1 : 0);
+  return out;
+}
+
+std::string encode_shutdown_response() {
+  return std::string(1, static_cast<char>(Status::kOk));
+}
+
+std::string encode_error_response(Status status, std::string_view message) {
+  std::string out;
+  if (message.size() > 0xFFFF) message = message.substr(0, 0xFFFF);
+  out.reserve(1 + 2 + message.size());
+  put_u8(out, static_cast<std::uint8_t>(status));
+  put_u16(out, static_cast<std::uint16_t>(message.size()));
+  out.append(message);
+  return out;
+}
+
+std::optional<Status> decode_status(std::string_view payload) {
+  if (payload.empty()) return std::nullopt;
+  const auto s = static_cast<std::uint8_t>(payload[0]);
+  if (s > static_cast<std::uint8_t>(Status::kError)) return std::nullopt;
+  return static_cast<Status>(s);
+}
+
+std::optional<IngestResponse> decode_ingest_response(
+    std::string_view payload) {
+  Reader r{payload};
+  std::uint8_t status = 0, degraded = 0;
+  IngestResponse res;
+  if (!r.u8(status) || status != static_cast<std::uint8_t>(Status::kOk) ||
+      !r.u64(res.accepted) || !r.u64(res.stale) || !r.u64(res.quarantined) ||
+      !r.u64(res.journal_failed) || !r.u8(degraded)) {
+    return std::nullopt;
+  }
+  res.degraded = degraded != 0;
+  return res;
+}
+
+std::optional<QueryResponse> decode_query_response(std::string_view payload) {
+  Reader r{payload};
+  std::uint8_t status = 0, known = 0;
+  QueryResponse res;
+  if (!r.u8(status) || status != static_cast<std::uint8_t>(Status::kOk) ||
+      !r.u8(known)) {
+    return std::nullopt;
+  }
+  res.known = known != 0;
+  if (!res.known) return res;
+  std::uint8_t alarmed = 0;
+  std::uint64_t alarm_hour = 0, seen = 0, last_hour = 0;
+  if (!r.u8(alarmed) || !r.u64(alarm_hour) || !r.u64(seen) ||
+      !r.u64(last_hour)) {
+    return std::nullopt;
+  }
+  res.alarmed = alarmed != 0;
+  res.alarm_hour = static_cast<std::int64_t>(alarm_hour);
+  res.samples_seen = static_cast<std::int64_t>(seen);
+  res.last_hour = static_cast<std::int64_t>(last_hour);
+  return res;
+}
+
+std::optional<StatsResponse> decode_stats_response(std::string_view payload) {
+  Reader r{payload};
+  std::uint8_t status = 0, degraded = 0;
+  StatsResponse res;
+  if (!r.u8(status) || status != static_cast<std::uint8_t>(Status::kOk) ||
+      !r.u64(res.drives) || !r.u64(res.samples) || !r.u64(res.alarms) ||
+      !r.u8(degraded)) {
+    return std::nullopt;
+  }
+  res.degraded = degraded != 0;
+  return res;
+}
+
+std::optional<std::string> decode_error_message(std::string_view payload) {
+  Reader r{payload};
+  std::uint8_t status = 0;
+  std::uint16_t len = 0;
+  if (!r.u8(status) || status == static_cast<std::uint8_t>(Status::kOk) ||
+      !r.u16(len) || !r.remaining(len)) {
+    return std::nullopt;
+  }
+  return std::string(payload.substr(r.pos, len));
+}
+
+std::string frame_payload(std::string_view payload) {
+  return store::frame_record(payload);
+}
+
+void FrameParser::feed(std::string_view bytes) {
+  // Compact before growing: pos_ only moves forward within one buffer
+  // generation, so this bounds memory at one frame plus one read() worth.
+  if (pos_ > 0 && (pos_ == buf_.size() || pos_ >= (64u << 10))) {
+    buf_.erase(0, pos_);
+    pos_ = 0;
+  }
+  buf_.append(bytes);
+}
+
+FrameParser::Result FrameParser::next(std::string& payload) {
+  if (corrupt_) return Result::kCorrupt;
+  const std::size_t avail = buf_.size() - pos_;
+  if (avail < store::kFrameHeaderBytes) return Result::kNeedMore;
+  auto u32_at = [this](std::size_t at) {
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<std::uint32_t>(
+               static_cast<unsigned char>(buf_[at + static_cast<std::size_t>(i)]))
+           << (8 * i);
+    }
+    return v;
+  };
+  const std::uint32_t len = u32_at(pos_);
+  const std::uint32_t crc = u32_at(pos_ + 4);
+  if (len == 0 || len > kMaxWirePayloadBytes) {
+    corrupt_ = true;
+    return Result::kCorrupt;
+  }
+  if (avail < store::kFrameHeaderBytes + len) return Result::kNeedMore;
+  const char* data = buf_.data() + pos_ + store::kFrameHeaderBytes;
+  if (store::crc32(data, len) != crc) {
+    corrupt_ = true;
+    return Result::kCorrupt;
+  }
+  payload.assign(data, len);
+  pos_ += store::kFrameHeaderBytes + len;
+  return Result::kFrame;
+}
+
+}  // namespace hdd::serve

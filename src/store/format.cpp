@@ -8,16 +8,61 @@ namespace hdd::store {
 
 namespace {
 
-std::array<std::uint32_t, 256> make_crc_table() {
-  std::array<std::uint32_t, 256> table{};
+// Eight CRC tables: table[0] is the classic byte-at-a-time table; table[k]
+// advances a byte through k additional zero bytes, which is what lets the
+// slice-by-8 loop fold 8 input bytes with 8 independent lookups.
+struct CrcTables {
+  std::uint32_t t[8][256];
+};
+
+CrcTables make_crc_tables() {
+  CrcTables tables{};
   for (std::uint32_t i = 0; i < 256; ++i) {
     std::uint32_t c = i;
     for (int k = 0; k < 8; ++k) {
       c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
     }
-    table[i] = c;
+    tables.t[0][i] = c;
   }
-  return table;
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = tables.t[0][i];
+    for (int k = 1; k < 8; ++k) {
+      c = tables.t[0][c & 0xFFu] ^ (c >> 8);
+      tables.t[k][i] = c;
+    }
+  }
+  return tables;
+}
+
+const CrcTables& crc_tables() {
+  static const CrcTables tables = make_crc_tables();
+  return tables;
+}
+
+}  // namespace
+
+std::uint32_t crc32(const void* data, std::size_t n) {
+  const CrcTables& tb = crc_tables();
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint32_t c = 0xFFFFFFFFu;
+  if constexpr (std::endian::native == std::endian::little) {
+    while (n >= 8) {
+      std::uint32_t lo = 0, hi = 0;
+      std::memcpy(&lo, p, 4);
+      std::memcpy(&hi, p + 4, 4);
+      lo ^= c;
+      c = tb.t[7][lo & 0xFFu] ^ tb.t[6][(lo >> 8) & 0xFFu] ^
+          tb.t[5][(lo >> 16) & 0xFFu] ^ tb.t[4][lo >> 24] ^
+          tb.t[3][hi & 0xFFu] ^ tb.t[2][(hi >> 8) & 0xFFu] ^
+          tb.t[1][(hi >> 16) & 0xFFu] ^ tb.t[0][hi >> 24];
+      p += 8;
+      n -= 8;
+    }
+  }
+  while (n-- > 0) {
+    c = tb.t[0][(c ^ *p++) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
 }
 
 void put_u8(std::string& out, std::uint8_t v) {
@@ -41,57 +86,47 @@ void put_u64(std::string& out, std::uint64_t v) {
   }
 }
 
-// Bounds-checked little-endian cursor over a payload.
-struct Reader {
-  std::string_view bytes;
-  std::size_t pos = 0;
+void patch_u32(std::string& out, std::size_t pos, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out[pos + static_cast<std::size_t>(i)] =
+        static_cast<char>((v >> (8 * i)) & 0xFF);
+  }
+}
 
-  bool remaining(std::size_t n) const { return bytes.size() - pos >= n; }
+bool Reader::u8(std::uint8_t& v) {
+  if (!remaining(1)) return false;
+  v = static_cast<std::uint8_t>(bytes[pos++]);
+  return true;
+}
 
-  bool u8(std::uint8_t& v) {
-    if (!remaining(1)) return false;
-    v = static_cast<std::uint8_t>(bytes[pos++]);
-    return true;
+bool Reader::u16(std::uint16_t& v) {
+  if (!remaining(2)) return false;
+  v = 0;
+  for (int i = 0; i < 2; ++i) {
+    v |= static_cast<std::uint16_t>(
+        static_cast<std::uint8_t>(bytes[pos++]) << (8 * i));
   }
-  bool u16(std::uint16_t& v) {
-    if (!remaining(2)) return false;
-    v = 0;
-    for (int i = 0; i < 2; ++i) {
-      v |= static_cast<std::uint16_t>(
-          static_cast<std::uint8_t>(bytes[pos++]) << (8 * i));
-    }
-    return true;
-  }
-  bool u32(std::uint32_t& v) {
-    if (!remaining(4)) return false;
-    v = 0;
-    for (int i = 0; i < 4; ++i) {
-      v |= static_cast<std::uint32_t>(static_cast<std::uint8_t>(bytes[pos++]))
-           << (8 * i);
-    }
-    return true;
-  }
-  bool u64(std::uint64_t& v) {
-    if (!remaining(8)) return false;
-    v = 0;
-    for (int i = 0; i < 8; ++i) {
-      v |= static_cast<std::uint64_t>(static_cast<std::uint8_t>(bytes[pos++]))
-           << (8 * i);
-    }
-    return true;
-  }
-};
+  return true;
+}
 
-}  // namespace
-
-std::uint32_t crc32(const void* data, std::size_t n) {
-  static const std::array<std::uint32_t, 256> table = make_crc_table();
-  const auto* p = static_cast<const unsigned char*>(data);
-  std::uint32_t c = 0xFFFFFFFFu;
-  for (std::size_t i = 0; i < n; ++i) {
-    c = table[(c ^ p[i]) & 0xFFu] ^ (c >> 8);
+bool Reader::u32(std::uint32_t& v) {
+  if (!remaining(4)) return false;
+  v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(static_cast<std::uint8_t>(bytes[pos++]))
+         << (8 * i);
   }
-  return c ^ 0xFFFFFFFFu;
+  return true;
+}
+
+bool Reader::u64(std::uint64_t& v) {
+  if (!remaining(8)) return false;
+  v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(static_cast<std::uint8_t>(bytes[pos++]))
+         << (8 * i);
+  }
+  return true;
 }
 
 std::string encode_segment_header(std::uint64_t sequence,
@@ -150,6 +185,21 @@ std::string frame_record(std::string_view payload) {
   put_u32(out, crc32(payload.data(), payload.size()));
   out.append(payload);
   return out;
+}
+
+void append_sample_frame(std::string& out, std::uint32_t drive,
+                         const smart::Sample& sample) {
+  constexpr std::uint32_t kPayload =
+      static_cast<std::uint32_t>(kSampleFrameBytes - kFrameHeaderBytes);
+  const std::size_t frame_start = out.size();
+  put_u32(out, kPayload);
+  put_u32(out, 0);  // CRC patched in below, once the payload bytes exist
+  put_u8(out, static_cast<std::uint8_t>(RecordType::kSample));
+  put_u32(out, drive);
+  put_u64(out, static_cast<std::uint64_t>(sample.hour));
+  for (float v : sample.attrs) put_u32(out, std::bit_cast<std::uint32_t>(v));
+  patch_u32(out, frame_start + 4,
+            crc32(out.data() + frame_start + kFrameHeaderBytes, kPayload));
 }
 
 std::optional<DecodedRecord> decode_record(std::string_view payload) {

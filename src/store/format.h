@@ -43,7 +43,34 @@ inline constexpr std::uint32_t kSegCompacted = 1u << 0;
 enum class RecordType : std::uint8_t { kDrive = 1, kSample = 2 };
 
 // CRC-32 (IEEE 802.3, reflected 0xEDB88320), the checksum of zlib/gzip.
+// Computed slice-by-8 (eight table lookups per 8 input bytes); the values
+// are identical to the classic byte-at-a-time loop, so every on-disk CRC
+// and every test-crafted corrupt segment keeps meaning the same thing.
 std::uint32_t crc32(const void* data, std::size_t n);
+
+// --- Little-endian primitives ----------------------------------------------
+// Shared by the segment codec and the serve wire codec (serve/wire.h), which
+// reuses this framing idiom over TCP.
+
+void put_u8(std::string& out, std::uint8_t v);
+void put_u16(std::string& out, std::uint16_t v);
+void put_u32(std::string& out, std::uint32_t v);
+void put_u64(std::string& out, std::uint64_t v);
+// Overwrites 4 bytes at `pos` (for length/CRC patched in after the fact).
+void patch_u32(std::string& out, std::size_t pos, std::uint32_t v);
+
+// Bounds-checked little-endian cursor over a payload.
+struct Reader {
+  std::string_view bytes;
+  std::size_t pos = 0;
+
+  bool remaining(std::size_t n) const { return bytes.size() - pos >= n; }
+
+  bool u8(std::uint8_t& v);
+  bool u16(std::uint16_t& v);
+  bool u32(std::uint32_t& v);
+  bool u64(std::uint64_t& v);
+};
 
 struct SegmentHeader {
   std::uint64_t sequence = 0;
@@ -62,6 +89,16 @@ std::string encode_sample_record(std::uint32_t drive,
 
 // Wraps a payload in a length + CRC frame.
 std::string frame_record(std::string_view payload);
+
+// Appends a complete frame (header + sample payload) to `out` in place —
+// no intermediate strings. The batched append path encodes thousands of
+// these into one reused buffer per write syscall.
+void append_sample_frame(std::string& out, std::uint32_t drive,
+                         const smart::Sample& sample);
+
+// Bytes one sample occupies on disk: frame header + type/drive/hour/attrs.
+inline constexpr std::size_t kSampleFrameBytes =
+    kFrameHeaderBytes + 1 + 4 + 8 + 4 * smart::kNumAttributes;
 
 struct DecodedRecord {
   RecordType type = RecordType::kSample;

@@ -409,12 +409,90 @@ void TelemetryStore::append(std::uint32_t drive, const smart::Sample& sample) {
   if (segs.empty() || segs.back() != seg.seq) segs.push_back(seg.seq);
 }
 
+void TelemetryStore::append_batch(std::uint32_t drive,
+                                  const smart::Sample* samples,
+                                  std::size_t n) {
+  HDD_REQUIRE(drive < drives_.size(), "append to an unregistered drive");
+  std::size_t done = 0;
+  while (done < n) {
+    ensure_writer();
+    Segment* seg = &segments_.back();
+    // How many whole frames fit before the rotation threshold. Always at
+    // least one: a fresh segment holds just its header and segment_bytes
+    // is validated to fit a record past it.
+    std::size_t fit = 0;
+    if (seg->data_end + kSampleFrameBytes <= options_.segment_bytes ||
+        seg->data_end <= kSegmentHeaderBytes) {
+      fit = (options_.segment_bytes - seg->data_end) / kSampleFrameBytes;
+      if (fit == 0) fit = 1;
+    }
+    if (fit == 0) {
+      // Rotate exactly as write_frame would: seal, then loop to a fresh
+      // segment.
+      close_writer(/*strict=*/true);
+      seg->clean = false;
+      m_rotations_->inc();
+      m_sealed_->inc();
+      continue;
+    }
+    const std::size_t k = std::min(fit, n - done);
+    batch_buf_.clear();
+    batch_buf_.reserve(k * kSampleFrameBytes);
+    for (std::size_t i = 0; i < k; ++i) {
+      append_sample_frame(batch_buf_, drive, samples[done + i]);
+    }
+    if (auto s = out_->append(batch_buf_); !s.ok()) {
+      // Same contract as write_frame: a prefix may have landed, so never
+      // re-send — seal and let recovery truncate the torn tail. None of
+      // this batch is indexed.
+      seg->clean = false;
+      m_sealed_->inc();
+      out_->flush();
+      close_writer(/*strict=*/false);
+      throw DataError("telemetry store: append to " + seg->path +
+                      " failed: " + s.message);
+    }
+    seg->data_end += batch_buf_.size();
+    seg->n_samples += k;
+    m_appends_->inc(static_cast<std::uint64_t>(k));
+    m_bytes_->inc(static_cast<std::uint64_t>(batch_buf_.size()));
+    DriveInfo& info = drives_[drive];
+    if (info.n_samples == 0) info.first_hour = samples[done].hour;
+    info.last_hour = samples[done + k - 1].hour;
+    info.n_samples += k;
+    auto& segs = drive_segments_[drive];
+    if (segs.empty() || segs.back() != seg->seq) segs.push_back(seg->seq);
+    done += k;
+  }
+  if (options_.fsync_appends && out_ != nullptr) {
+    const auto s = retryer_.run("fsync segment", [&] { return out_->sync(); });
+    m_fsyncs_->inc();
+    if (!s.ok()) {
+      throw DataError("telemetry store: fsync of " + segments_.back().path +
+                      " failed: " + s.message);
+    }
+  }
+}
+
 void TelemetryStore::flush() {
   if (out_ == nullptr) return;
   const auto s = retryer_.run("fsync segment", [&] { return out_->sync(); });
   m_fsyncs_->inc();
   if (!s.ok()) {
     throw DataError("telemetry store: fsync of " + segments_.back().path +
+                    " failed: " + s.message);
+  }
+}
+
+void TelemetryStore::flush_to_os() {
+  if (out_ == nullptr) return;
+  if (auto s = out_->flush(); !s.ok()) {
+    // Buffered bytes may have partially landed: same poisoned state as a
+    // failed append, so seal the segment rather than risk duplicates.
+    segments_.back().clean = false;
+    m_sealed_->inc();
+    close_writer(/*strict=*/false);
+    throw DataError("telemetry store: flush of " + segments_.back().path +
                     " failed: " + s.message);
   }
 }

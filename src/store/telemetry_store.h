@@ -110,7 +110,23 @@ class TelemetryStore {
   // Appends one sample for a registered drive. Samples for one drive should
   // arrive in chronological order (replay preserves append order).
   void append(std::uint32_t drive, const smart::Sample& sample);
+
+  // Appends a block of samples for one drive, encoding all frames into one
+  // reused buffer per write syscall (the serve ingest hot path; see
+  // BENCH_obs.json BM_StoreAppendBatch vs BM_StoreAppend). Semantics match
+  // n append() calls: rotation still happens on frame boundaries, and an
+  // I/O failure seals the segment with none of this batch's samples
+  // indexed (recovery truncates whatever prefix tore).
+  void append_batch(std::uint32_t drive, const smart::Sample* samples,
+                    std::size_t n);
+
+  // Durable flush: fsyncs buffered appends to stable storage.
   void flush();
+
+  // Cheap flush: pushes buffered appends to the OS page cache without the
+  // fsync, so readers (and recovery after a process crash) see them.
+  // Power-loss durability still requires flush().
+  void flush_to_os();
 
   std::size_t sample_count() const;
   std::size_t segment_count() const { return segments_.size(); }
@@ -203,6 +219,7 @@ class TelemetryStore {
   std::unordered_map<std::string, std::uint32_t> by_serial_;
   std::uint64_t next_seq_ = 1;
   mutable std::unique_ptr<io::File> out_;  // current segment writer (lazy)
+  std::string batch_buf_;  // reused frame buffer for append_batch
 };
 
 }  // namespace hdd::store

@@ -3,7 +3,10 @@
 // by CMake (HDDPREDICT_BINARY).
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <array>
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -39,7 +42,13 @@ struct SplitResult {
 // Captures stdout and stderr separately, for the tests that pin down the
 // contract that usage/error text never lands on stdout.
 SplitResult run_cli_split(const std::string& args) {
-  const char* kErrFile = "/tmp/hddpred_cli_stderr.txt";
+  // A unique capture file per invocation: split-capture tests run
+  // concurrently under `ctest -j`, and a shared path races.
+  static std::atomic<int> counter{0};
+  const std::string err_file = "/tmp/hddpred_cli_stderr." +
+                               std::to_string(getpid()) + "." +
+                               std::to_string(counter.fetch_add(1)) + ".txt";
+  const char* kErrFile = err_file.c_str();
   std::remove(kErrFile);
   const std::string cmd = std::string(HDDPREDICT_BINARY) + " " + args +
                           " 2>" + kErrFile;
@@ -420,6 +429,31 @@ TEST(Cli, FlagMissingValueFails) {
   const auto r = run_cli("reliability --drives");
   EXPECT_EQ(r.exit_code, 2);
   EXPECT_NE(r.output.find("missing value for --drives"), std::string::npos);
+}
+
+// A numeric flag that doesn't parse is a usage error at parse time — the
+// command body never runs with a half-read value.
+TEST(Cli, MalformedNumericFlagFails) {
+  auto r = run_cli("reliability --drives 10x");
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.output.find("--drives"), std::string::npos) << r.output;
+  r = run_cli("evaluate --data /x --model /y --voters 7x");
+  EXPECT_EQ(r.exit_code, 2) << r.output;
+}
+
+// The serve/client commands share the same registry contract: missing
+// required flags and bad choices are exit 2 before any socket is touched.
+TEST(Cli, ServeAndClientUsageErrors) {
+  auto r = run_cli("serve");
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.output.find("usage"), std::string::npos) << r.output;
+  r = run_cli("client --addr 127.0.0.1:1 --op bogus");
+  EXPECT_EQ(r.exit_code, 2);
+  r = run_cli("client --op stats");
+  EXPECT_EQ(r.exit_code, 2) << r.output;
+  r = run_cli("client --addr 127.0.0.1:1 --op ingest");
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.output.find("--data"), std::string::npos) << r.output;
 }
 
 TEST(Cli, FlagValidFlagForOtherCommandFails) {

@@ -1,14 +1,17 @@
 #!/usr/bin/env bash
 # Machine-readable micro-benchmark runner: builds and runs the micro_*
 # google-benchmark binaries (micro_perf: fleet scoring, micro_lint: static
-# verifier, micro_obs: metrics instrumentation, micro_io: the Env seam)
-# and merges their JSON output into one flat BENCH_obs.json — an array of
-# {name, value, unit} objects, `value` being real (wall) time per
-# iteration. CI diffs this file against the committed copy to catch
-# hot-path regressions; the obs entries are the acceptance record for the
-# overhead bounds in DESIGN.md §7, and the io entries for the <=3%
-# Env-indirection budget in DESIGN.md §8 (BM_EnvAppend vs
-# BM_DirectAppend).
+# verifier, micro_obs: metrics instrumentation, micro_io: the Env seam,
+# micro_serve: the daemon ingest path) and merges their JSON output into
+# one flat BENCH_obs.json — an array of {name, value, unit} objects,
+# `value` being real (wall) time per iteration; benchmarks that report a
+# throughput get a second <name>/items_per_second row. CI diffs this file
+# against the committed copy to catch hot-path regressions; the obs
+# entries are the acceptance record for the overhead bounds in DESIGN.md
+# §7, the io entries for the <=3% Env-indirection budget in DESIGN.md §8
+# (BM_EnvAppend vs BM_DirectAppend), and the serve entries for the >= 1M
+# sustained samples/s ingest bar in DESIGN.md §9
+# (BM_ServeLoopbackIngest).
 #
 # Usage: tools/bench.sh [--out FILE] [--build-dir DIR] [--filter REGEX]
 set -euo pipefail
@@ -29,7 +32,7 @@ done
 
 cmake -B "${BUILD_DIR}" -S . > /dev/null
 cmake --build "${BUILD_DIR}" -j "$(nproc)" \
-    --target micro_perf micro_lint micro_obs micro_io
+    --target micro_perf micro_lint micro_obs micro_io micro_serve
 
 TMP="$(mktemp -d)"
 trap 'rm -rf "${TMP}"' EXIT
@@ -52,9 +55,10 @@ run_bench micro_perf "${TMP}/perf.json" 'BM_Fleet|BM_StoreAppend'
 run_bench micro_lint "${TMP}/lint.json" 'BM_VerifyTree/20000|BM_VerifyForest/64'
 run_bench micro_obs  "${TMP}/obs.json"  ''
 run_bench micro_io   "${TMP}/io.json"   ''
+run_bench micro_serve "${TMP}/serve.json" ''
 
 python3 - "${OUT}" "${TMP}/perf.json" "${TMP}/lint.json" "${TMP}/obs.json" \
-    "${TMP}/io.json" <<'PY'
+    "${TMP}/io.json" "${TMP}/serve.json" <<'PY'
 import json
 import sys
 
@@ -71,6 +75,12 @@ for path in inputs:
             "value": round(b["real_time"], 4),
             "unit": b["time_unit"],
         })
+        if "items_per_second" in b:
+            rows.append({
+                "name": b["name"] + "/items_per_second",
+                "value": round(b["items_per_second"], 1),
+                "unit": "items/s",
+            })
 with open(out_path, "w") as f:
     json.dump(rows, f, indent=2)
     f.write("\n")

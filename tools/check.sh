@@ -9,9 +9,11 @@
 # the full suite is noisy (the `fault` label is the randomized
 # kill-and-resume property harness — hundreds of seeded fault schedules,
 # also exercised under ASan).
-# The plain configuration also smoke-tests `--metrics-out -` end to end,
-# and a ThreadSanitizer build runs the `obs` label (the concurrency tests
-# exercise the sharded counters from many threads).
+# The plain configuration also smoke-tests `--metrics-out -` end to end
+# and boots a real `hddpredict serve` daemon for an ingest/query/metrics
+# round trip, and a ThreadSanitizer build runs the `obs` and `serve`
+# labels (sharded counters and the multi-threaded daemon both claim
+# TSan-clean).
 #
 # Usage: tools/check.sh [--fast] [jobs]
 #   --fast   plain configuration only (skips the sanitizer builds)
@@ -44,6 +46,9 @@ run_config() {
   echo "=== ctest ${build_dir} (label: fault) ==="
   ctest --test-dir "${build_dir}" --output-on-failure -j "${JOBS}" \
       -L fault
+  echo "=== ctest ${build_dir} (label: serve) ==="
+  ctest --test-dir "${build_dir}" --output-on-failure -j "${JOBS}" \
+      -L serve
 }
 
 # End-to-end smoke of the metrics pipeline: generate -> train -> ingest ->
@@ -76,8 +81,56 @@ obs_smoke() {
   echo "=== obs smoke passed ==="
 }
 
+# End-to-end smoke of the daemon: boot `serve` on an ephemeral port, push
+# a fleet through the wire client, query a drive, scrape /metrics over
+# HTTP, then shut down via the wire op and assert a clean exit.
+serve_smoke() {
+  local build_dir="$1"
+  local tmp
+  tmp="$(mktemp -d)"
+  trap 'rm -rf "${tmp}"' RETURN
+  local bin="${build_dir}/tools/hddpredict"
+  echo "=== serve smoke (${bin}) ==="
+  "${bin}" generate --out "${tmp}/fleet.csv" --scale 0.02 --family W \
+      --seed 11 --interval 2 > /dev/null
+  "${bin}" train --data "${tmp}/fleet.csv" --model "${tmp}/m.tree" \
+      > /dev/null
+  "${bin}" serve --store "${tmp}/store" --model "${tmp}/m.tree" \
+      --port 0 --port-file "${tmp}/port" > "${tmp}/serve.log" &
+  local serve_pid=$!
+  local port=""
+  for _ in $(seq 1 100); do
+    [[ -s "${tmp}/port" ]] && { port="$(cat "${tmp}/port")"; break; }
+    sleep 0.1
+  done
+  if [[ -z "${port}" ]]; then
+    echo "serve smoke FAILED: daemon never wrote its port file" >&2
+    kill "${serve_pid}" 2> /dev/null || true
+    return 1
+  fi
+  "${bin}" client --addr "127.0.0.1:${port}" --op ingest \
+      --data "${tmp}/fleet.csv" | grep -q "ingested" || {
+    echo "serve smoke FAILED: wire ingest" >&2; return 1; }
+  "${bin}" client --addr "127.0.0.1:${port}" --op stats \
+      | grep -q "drives" || {
+    echo "serve smoke FAILED: stats" >&2; return 1; }
+  "${bin}" client --addr "127.0.0.1:${port}" --op metrics \
+      | grep -q "hdd_serve_ingest_samples_total" || {
+    echo "serve smoke FAILED: /metrics scrape" >&2; return 1; }
+  "${bin}" client --addr "127.0.0.1:${port}" --op shutdown > /dev/null
+  if ! wait "${serve_pid}"; then
+    echo "serve smoke FAILED: daemon exited non-zero" >&2
+    cat "${tmp}/serve.log" >&2
+    return 1
+  fi
+  grep -q "served" "${tmp}/serve.log" || {
+    echo "serve smoke FAILED: no shutdown summary" >&2; return 1; }
+  echo "=== serve smoke passed ==="
+}
+
 run_config build
 obs_smoke build
+serve_smoke build
 if [[ "${FAST}" == "1" ]]; then
   echo "=== fast check passed (plain only) ==="
   exit 0
@@ -85,13 +138,15 @@ fi
 run_config build-asan -DHDD_SANITIZE=address
 run_config build-ubsan -DHDD_SANITIZE=undefined
 
-# ThreadSanitizer over the obs concurrency tests: the sharded-atomic
-# design claims TSan-clean, so hold it to that.
+# ThreadSanitizer over the concurrency surfaces: the sharded-atomic
+# counters and the multi-threaded serve daemon both claim TSan-clean, so
+# hold them to that.
 echo "=== configure build-tsan (-DHDD_SANITIZE=thread) ==="
 cmake -B build-tsan -S . -DHDD_SANITIZE=thread
-echo "=== build build-tsan (obs_test) ==="
-cmake --build build-tsan -j "${JOBS}" --target obs_test
-echo "=== ctest build-tsan (label: obs) ==="
-ctest --test-dir build-tsan --output-on-failure -j "${JOBS}" -L obs
+echo "=== build build-tsan (obs_test serve_test) ==="
+cmake --build build-tsan -j "${JOBS}" --target obs_test serve_test
+echo "=== ctest build-tsan (labels: obs serve) ==="
+ctest --test-dir build-tsan --output-on-failure -j "${JOBS}" \
+    -L 'obs|serve'
 
-echo "=== all checks passed (plain + asan + ubsan + tsan-obs) ==="
+echo "=== all checks passed (plain + asan + ubsan + tsan-obs/serve) ==="

@@ -1,18 +1,9 @@
 // hddpredict — command-line front end for the library.
 //
-//   hddpredict generate  --out fleet.csv [--scale S] [--seed N]
-//                        [--family W|Q|both] [--weeks A:B] [--interval H]
-//   hddpredict features  --data fleet.csv [--levels N] [--rates N]
-//   hddpredict train     --data fleet.csv --model out.model
-//                        [--preset ct|rt|ann] [--window H] [--cp X]
-//   hddpredict evaluate  --data fleet.csv --model m.tree [--voters N]
-//   hddpredict predict   --data fleet.csv --model m.tree [--top K]
-//   hddpredict lint      --model m.model [--format text|json]
-//                        [--features auto|stat13|basic12|expert19|none]
-//   hddpredict reliability [--drives N] [--fdr K] [--tia H] [--raid 5|6]
-//   hddpredict ingest    --store DIR --data fleet.csv [--segment-bytes N]
-//   hddpredict compact   --store DIR --min-hour H
-//   hddpredict replay    --store DIR --model m.tree [--voters N]
+// Commands are declared once in a cli::Registry table (src/cli): name,
+// summary, typed ArgSpecs. The registry owns flag validation, usage text
+// and the global flags; each cmd_* handler only reads validated values and
+// does the work. Run `hddpredict` with no arguments for the full usage.
 //
 // Global flags (valid with every command, parsed before the per-command
 // flags): --metrics-out FILE dumps a snapshot of the process metrics
@@ -20,13 +11,16 @@
 // picks Prometheus text exposition (default) or JSON; --log-level
 // debug|info|warn|error overrides the stderr log threshold (also settable
 // via HDD_LOG_LEVEL). Without --metrics-out the registry is disabled, so
-// instrumentation costs one relaxed atomic load per event.
+// instrumentation costs one relaxed atomic load per event (`serve`
+// re-enables it: the daemon exposes the registry over GET /metrics).
 //
 // The CSV schema is documented in src/data/csv_io.h; `generate` fabricates
 // a synthetic fleet in that schema so every subcommand can be exercised
 // without real telemetry. `ingest`/`compact`/`replay` drive the durable
 // telemetry store (src/store): CSV telemetry in, retention out, and a
-// crash-resumed fleet scoring pass over the accumulated log.
+// crash-resumed fleet scoring pass over the accumulated log. `serve` keeps
+// that stack resident behind a TCP endpoint (src/serve); `client` talks to
+// it.
 //
 // `lint` runs the static model verifier (src/analysis) over any persisted
 // model (tree, forest or MLP — discriminated by the file header) so CI
@@ -37,29 +31,33 @@
 // findings (warnings or errors). All usage and error text goes to stderr;
 // stdout carries results only.
 #include <algorithm>
-#include <cstdlib>
-#include <cstring>
-#include <initializer_list>
+#include <cstdint>
 #include <iostream>
-#include <map>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "analysis/verifier.h"
+#include "cli/command.h"
 #include "common/error.h"
 #include "common/log.h"
 #include "common/table.h"
-#include "obs/exposition.h"
-#include "obs/metrics.h"
 #include "core/fleet.h"
 #include "core/health.h"
 #include "core/model_io.h"
 #include "core/predictor.h"
+#include "core/runtime.h"
 #include "data/csv_io.h"
 #include "data/split.h"
 #include "eval/tuning.h"
+#include "io/shutdown.h"
+#include "obs/exposition.h"
+#include "obs/metrics.h"
 #include "reliability/raid.h"
+#include "serve/client.h"
+#include "serve/server.h"
+#include "serve/shard_engine.h"
 #include "sim/generator.h"
 #include "stats/feature_select.h"
 #include "store/telemetry_store.h"
@@ -67,83 +65,32 @@
 namespace {
 
 using namespace hdd;
+using cli::ArgSpec;
+using cli::Args;
 
-[[noreturn]] void usage(const std::string& error = "") {
-  if (!error.empty()) std::cerr << "error: " << error << "\n\n";
-  std::cerr <<
-      "usage: hddpredict <command> [options]\n"
-      "  generate  --out F [--scale S] [--seed N] [--family W|Q|both]\n"
-      "            [--weeks A:B] [--interval H]\n"
-      "  features  --data F [--levels N] [--rates N]\n"
-      "  train     --data F --model F [--preset ct|rt|ann] [--window H]\n"
-      "            [--cp X]\n"
-      "  evaluate  --data F --model F [--voters N]\n"
-      "  tune      --data F --model F [--budget FAR]\n"
-      "  predict   --data F --model F [--top K]\n"
-      "  lint      --model F [--format text|json]\n"
-      "            [--features auto|stat13|basic12|expert19|none]\n"
-      "  reliability [--drives N] [--fdr K] [--tia H] [--raid 5|6]\n"
-      "  ingest    --store DIR --data F [--segment-bytes N]\n"
-      "  compact   --store DIR --min-hour H\n"
-      "  replay    --store DIR --model F [--voters N]\n"
-      "global flags (any command):\n"
-      "  --metrics-out FILE|-    dump the metrics registry at exit\n"
-      "  --metrics-format text|json\n"
-      "  --log-level debug|info|warn|error\n";
-  std::exit(2);
+ArgSpec required(ArgSpec spec) {
+  spec.required = true;
+  return spec;
 }
 
-// Simple flag map: --key value pairs. Flags outside `allowed` are a usage
-// error (exit 2), so a typo can't silently fall back to a default.
-std::map<std::string, std::string> parse_flags(
-    const std::vector<std::string>& args,
-    std::initializer_list<const char*> allowed) {
-  std::map<std::string, std::string> flags;
-  for (std::size_t i = 0; i < args.size(); ++i) {
-    const std::string& key = args[i];
-    if (key.rfind("--", 0) != 0) usage("bad option: " + key);
-    const std::string name = key.substr(2);
-    const bool known = std::any_of(
-        allowed.begin(), allowed.end(),
-        [&name](const char* a) { return name == a; });
-    if (!known) usage("unknown option " + key + " for this command");
-    if (i + 1 >= args.size()) usage("missing value for " + key);
-    flags[name] = args[++i];
-  }
-  return flags;
-}
-
-std::string need(const std::map<std::string, std::string>& flags,
-                 const std::string& key) {
-  const auto it = flags.find(key);
-  if (it == flags.end()) usage("missing required --" + key);
-  return it->second;
-}
-
-std::string get(const std::map<std::string, std::string>& flags,
-                const std::string& key, const std::string& fallback) {
-  const auto it = flags.find(key);
-  return it == flags.end() ? fallback : it->second;
-}
-
-int cmd_generate(const std::map<std::string, std::string>& flags) {
-  const std::string out = need(flags, "out");
-  const double scale = std::stod(get(flags, "scale", "0.05"));
-  const auto seed =
-      static_cast<std::uint64_t>(std::stoull(get(flags, "seed", "42")));
-  const int interval = std::stoi(get(flags, "interval", "1"));
-  const std::string family = get(flags, "family", "both");
-  const std::string weeks = get(flags, "weeks", "0:1");
+int cmd_generate(const Args& args) {
+  const std::string out = args.get("out");
+  const double scale = args.get_double("scale");
+  const auto seed = args.get_uint64("seed");
+  const int interval = args.get_int("interval");
+  const std::string family = args.get("family");
+  const std::string weeks = args.get("weeks");
 
   const auto colon = weeks.find(':');
-  if (colon == std::string::npos) usage("--weeks needs the form A:B");
+  if (colon == std::string::npos) {
+    throw cli::UsageError("--weeks needs the form A:B");
+  }
   const int from = std::stoi(weeks.substr(0, colon));
   const int to = std::stoi(weeks.substr(colon + 1));
 
   auto config = sim::paper_fleet_config(scale, seed, interval);
   if (family == "W") config.families.resize(1);
   else if (family == "Q") config.families.erase(config.families.begin());
-  else if (family != "both") usage("--family must be W, Q or both");
 
   const auto fleet = sim::generate_fleet_window(config, from, to);
   data::save_csv_file(fleet, out);
@@ -154,11 +101,11 @@ int cmd_generate(const std::map<std::string, std::string>& flags) {
   return 0;
 }
 
-int cmd_features(const std::map<std::string, std::string>& flags) {
-  const auto fleet = data::load_csv_file(need(flags, "data"));
+int cmd_features(const Args& args) {
+  const auto fleet = data::load_csv_file(args.get("data"));
   stats::FeatureSelectionConfig cfg;
-  cfg.n_levels = std::stoi(get(flags, "levels", "10"));
-  cfg.n_rates = std::stoi(get(flags, "rates", "3"));
+  cfg.n_levels = args.get_int("levels");
+  cfg.n_rates = args.get_int("rates");
 
   const auto scores = stats::score_candidates(fleet, cfg);
   Table t({"rank", "feature", "rank-sum |z|", "trend |z|", "z-score",
@@ -181,17 +128,17 @@ int cmd_features(const std::map<std::string, std::string>& flags) {
   return 0;
 }
 
-int cmd_train(const std::map<std::string, std::string>& flags) {
-  const auto fleet = data::load_csv_file(need(flags, "data"));
-  const std::string model_path = need(flags, "model");
+int cmd_train(const Args& args) {
+  const auto fleet = data::load_csv_file(args.get("data"));
+  const std::string model_path = args.get("model");
 
   // Resolved through the preset registry; unknown names throw with the
   // registered names listed.
-  core::PredictorConfig cfg = core::preset(get(flags, "preset", "ct"));
-  cfg.training.failed_window_hours = std::stoi(
-      get(flags, "window", std::to_string(cfg.training.failed_window_hours)));
-  cfg.tree_params.cp =
-      std::stod(get(flags, "cp", std::to_string(cfg.tree_params.cp)));
+  core::PredictorConfig cfg = core::preset(args.get("preset"));
+  if (args.has("window")) {
+    cfg.training.failed_window_hours = args.get_int("window");
+  }
+  if (args.has("cp")) cfg.tree_params.cp = args.get_double("cp");
 
   const auto split = data::split_dataset(fleet, {});
   core::FailurePredictor predictor(cfg);
@@ -207,10 +154,10 @@ int cmd_train(const std::map<std::string, std::string>& flags) {
   return 0;
 }
 
-int cmd_evaluate(const std::map<std::string, std::string>& flags) {
-  const auto fleet = data::load_csv_file(need(flags, "data"));
-  const auto tree = core::load_tree_file(need(flags, "model"));
-  const int voters = std::stoi(get(flags, "voters", "11"));
+int cmd_evaluate(const Args& args) {
+  const auto fleet = data::load_csv_file(args.get("data"));
+  const auto tree = core::load_tree_file(args.get("model"));
+  const int voters = args.get_int("voters");
 
   const auto split = data::split_dataset(fleet, {});
   const auto features = smart::stat13_features();
@@ -232,10 +179,10 @@ int cmd_evaluate(const std::map<std::string, std::string>& flags) {
   return 0;
 }
 
-int cmd_tune(const std::map<std::string, std::string>& flags) {
-  const auto fleet = data::load_csv_file(need(flags, "data"));
-  const auto tree = core::load_tree_file(need(flags, "model"));
-  const double budget = std::stod(get(flags, "budget", "0.001"));
+int cmd_tune(const Args& args) {
+  const auto fleet = data::load_csv_file(args.get("data"));
+  const auto tree = core::load_tree_file(args.get("model"));
+  const double budget = args.get_double("budget");
   const auto features = smart::stat13_features();
   HDD_REQUIRE(tree.num_features() == features.size(),
               "model feature count does not match the stat13 layout");
@@ -261,11 +208,10 @@ int cmd_tune(const std::map<std::string, std::string>& flags) {
   return 0;
 }
 
-int cmd_predict(const std::map<std::string, std::string>& flags) {
-  const auto fleet = data::load_csv_file(need(flags, "data"));
-  const auto tree = core::load_tree_file(need(flags, "model"));
-  const auto top = static_cast<std::size_t>(
-      std::stoul(get(flags, "top", "15")));
+int cmd_predict(const Args& args) {
+  const auto fleet = data::load_csv_file(args.get("data"));
+  const auto tree = core::load_tree_file(args.get("model"));
+  const auto top = static_cast<std::size_t>(args.get_int("top"));
   const auto features = smart::stat13_features();
   HDD_REQUIRE(tree.num_features() == features.size(),
               "model feature count does not match the stat13 layout");
@@ -291,27 +237,19 @@ int cmd_predict(const std::map<std::string, std::string>& flags) {
   return 0;
 }
 
-int cmd_lint(const std::map<std::string, std::string>& flags) {
+std::optional<smart::FeatureSet> named_feature_set(const std::string& name) {
+  if (name == "stat13") return smart::stat13_features();
+  if (name == "basic12") return smart::basic12_features();
+  if (name == "expert19") return smart::expert19_features();
+  return std::nullopt;
+}
+
+int cmd_lint(const Args& args) {
   const obs::ScopedTimer timer(&obs::Registry::global().histogram(
       "hdd_lint_wall_ns", "lint subcommand wall time (ns)."));
-  const std::string model_path = need(flags, "model");
-  const std::string format = get(flags, "format", "text");
-  if (format != "text" && format != "json") {
-    usage("--format must be text or json");
-  }
-  const std::string features = get(flags, "features", "auto");
-  const auto feature_set =
-      [](const std::string& name) -> std::optional<smart::FeatureSet> {
-    if (name == "stat13") return smart::stat13_features();
-    if (name == "basic12") return smart::basic12_features();
-    if (name == "expert19") return smart::expert19_features();
-    return std::nullopt;
-  };
-  // Flag validation before any I/O: a typo is a usage error (exit 2)
-  // even when the model file is also missing.
-  if (features != "auto" && features != "none" && !feature_set(features)) {
-    usage("--features must be auto, stat13, basic12, expert19 or none");
-  }
+  const std::string model_path = args.get("model");
+  const std::string format = args.get("format");
+  const std::string features = args.get("features");
 
   // Lint wants every diagnostic, so load with verification off and run
   // the verifier explicitly against the resolved feature domains.
@@ -326,7 +264,7 @@ int cmd_lint(const std::map<std::string, std::string>& flags) {
     // Pick the layout whose width matches the model; fall back to
     // unbounded domains when no known layout fits.
     for (const char* name : {"stat13", "basic12", "expert19"}) {
-      const auto fs = feature_set(name);
+      const auto fs = named_feature_set(name);
       if (static_cast<int>(fs->size()) == width) {
         vo.domains = analysis::FeatureDomains::for_feature_set(*fs);
         domain_set = name;
@@ -334,7 +272,7 @@ int cmd_lint(const std::map<std::string, std::string>& flags) {
       }
     }
   } else if (features != "none") {
-    const auto fs = feature_set(features);
+    const auto fs = named_feature_set(features);
     HDD_REQUIRE(static_cast<int>(fs->size()) == width,
                 "--features " + features + " has " +
                     std::to_string(fs->size()) +
@@ -360,12 +298,12 @@ int cmd_lint(const std::map<std::string, std::string>& flags) {
   return report.has_findings() ? 3 : 0;
 }
 
-int cmd_reliability(const std::map<std::string, std::string>& flags) {
+int cmd_reliability(const Args& args) {
   reliability::RaidPredictionParams p;
-  p.n_drives = std::stoi(get(flags, "drives", "500"));
-  p.fdr = std::stod(get(flags, "fdr", "0.9549"));
-  p.tia_hours = std::stod(get(flags, "tia", "355"));
-  p.tolerated_failures = std::stoi(get(flags, "raid", "6")) == 5 ? 1 : 2;
+  p.n_drives = args.get_int("drives");
+  p.fdr = args.get_double("fdr");
+  p.tia_hours = args.get_double("tia");
+  p.tolerated_failures = args.get_int("raid") == 5 ? 1 : 2;
 
   const double with = reliability::mttdl_raid_with_prediction(p);
   auto without = p;
@@ -380,13 +318,15 @@ int cmd_reliability(const std::map<std::string, std::string>& flags) {
   return 0;
 }
 
-int cmd_ingest(const std::map<std::string, std::string>& flags) {
-  const std::string dir = need(flags, "store");
-  const auto fleet = data::load_csv_file(need(flags, "data"));
+int cmd_ingest(const Args& args) {
+  const std::string dir = args.get("store");
+  const auto fleet = data::load_csv_file(args.get("data"));
   store::StoreOptions opt;
-  opt.segment_bytes = std::stoull(
-      get(flags, "segment-bytes", std::to_string(opt.segment_bytes)));
+  if (args.has("segment-bytes")) {
+    opt.segment_bytes = args.get_uint64("segment-bytes");
+  }
   store::TelemetryStore store(dir, opt);
+  io::install_shutdown_handlers();
 
   // Raw vendor telemetry gets the full domain check: a NaN or a value off
   // the 1-253 scale is quarantined (counted, not stored) instead of
@@ -398,6 +338,9 @@ int cmd_ingest(const std::map<std::string, std::string>& flags) {
   std::size_t skipped = 0;
   std::size_t quarantined = 0;
   for (const auto& d : fleet.drives) {
+    // SIGINT/SIGTERM: stop between drives, seal what landed, exit 0 —
+    // re-running the same ingest skips the hours already on disk.
+    if (io::shutdown_requested()) break;
     const std::uint32_t id = store.register_drive(d.serial);
     for (const auto& s : d.samples) {
       const auto fault = smart::classify_sample(s, /*domain_check=*/true);
@@ -423,10 +366,9 @@ int cmd_ingest(const std::map<std::string, std::string>& flags) {
   return 0;
 }
 
-int cmd_compact(const std::map<std::string, std::string>& flags) {
-  const std::string dir = need(flags, "store");
-  const auto min_hour =
-      static_cast<std::int64_t>(std::stoll(need(flags, "min-hour")));
+int cmd_compact(const Args& args) {
+  const std::string dir = args.get("store");
+  const auto min_hour = static_cast<std::int64_t>(args.get_int("min-hour"));
   store::TelemetryStore store(dir);
   const std::size_t before = store.sample_count();
   const auto r = store.compact(min_hour);
@@ -436,16 +378,15 @@ int cmd_compact(const std::map<std::string, std::string>& flags) {
   return 0;
 }
 
-int cmd_replay(const std::map<std::string, std::string>& flags) {
-  const std::string dir = need(flags, "store");
-  auto tree = core::load_tree_file(need(flags, "model"));
-  const int voters = std::stoi(get(flags, "voters", "11"));
-  const auto features = smart::stat13_features();
-  HDD_REQUIRE(tree.num_features() == features.size(),
-              "model feature count does not match the stat13 layout");
+int cmd_replay(const Args& args) {
+  io::install_shutdown_handlers();
+  core::FleetRuntimeConfig rc;
+  rc.model_path = args.get("model");
+  rc.store_dir = args.get("store");
+  rc.vote.voters = args.get_int("voters");
+  core::FleetRuntime runtime(rc);
 
-  store::TelemetryStore store(dir);
-  const auto& rec = store.recovery();
+  const auto& rec = runtime.store().recovery();
   if (rec.tail_truncated || rec.records_dropped > 0 ||
       rec.segments_skipped > 0) {
     std::cout << "recovery: " << rec.records_recovered
@@ -454,12 +395,7 @@ int cmd_replay(const std::map<std::string, std::string>& flags) {
               << " torn bytes truncated\n";
   }
 
-  const auto scorer = core::make_tree_scorer(std::move(tree));
-  core::FleetScorerConfig fc;
-  fc.features = features;
-  fc.vote.voters = voters;
-  core::FleetScorer fleet(*scorer, fc);
-  const auto r = fleet.resume_from(store);
+  const auto r = runtime.resume();
   std::cout << "replayed " << r.samples_replayed << " samples for "
             << r.drives << " drives through hour " << r.last_hour;
   if (r.partial_dropped > 0) {
@@ -468,6 +404,7 @@ int cmd_replay(const std::map<std::string, std::string>& flags) {
   }
   std::cout << '\n';
 
+  const core::FleetScorer& fleet = runtime.fleet();
   const auto alarmed = fleet.alarmed_drives();
   if (alarmed.empty()) {
     std::cout << "no alarms\n";
@@ -484,109 +421,223 @@ int cmd_replay(const std::map<std::string, std::string>& flags) {
   return 0;
 }
 
-int dispatch(const std::string& command, const std::vector<std::string>& rest);
+core::QuarantinePolicy parse_quarantine(const std::string& name) {
+  if (name == "off") return core::QuarantinePolicy::kOff;
+  if (name == "domain") return core::QuarantinePolicy::kFullDomain;
+  return core::QuarantinePolicy::kNonFinite;
+}
 
-// Pulls the global flags out of `rest` (any position), applying --log-level
-// immediately. Returns the --metrics-out path ("" = no dump) and format.
-std::pair<std::string, obs::Format> extract_global_flags(
-    std::vector<std::string>& rest) {
-  std::string metrics_out;
-  obs::Format metrics_format = obs::Format::kPrometheus;
-  for (std::size_t i = 0; i < rest.size();) {
-    const std::string key = rest[i];
-    if (key != "--metrics-out" && key != "--metrics-format" &&
-        key != "--log-level") {
-      ++i;
-      continue;
-    }
-    if (i + 1 >= rest.size()) usage("missing value for " + key);
-    const std::string value = rest[i + 1];
-    if (key == "--metrics-out") {
-      metrics_out = value;
-    } else if (key == "--metrics-format") {
-      const auto f = obs::parse_format(value);
-      if (!f) usage("--metrics-format must be text or json");
-      metrics_format = *f;
-    } else {
-      const auto level = parse_log_level(value);
-      if (!level) usage("--log-level must be debug, info, warn or error");
-      set_log_level(*level);
-    }
-    rest.erase(rest.begin() + static_cast<std::ptrdiff_t>(i),
-               rest.begin() + static_cast<std::ptrdiff_t>(i) + 2);
+int cmd_serve(const Args& args) {
+  // The daemon is the metrics consumer (GET /metrics), so the registry
+  // runs hot even without --metrics-out.
+  obs::Registry::global().set_enabled(true);
+
+  serve::ShardEngineConfig ec;
+  ec.dir = args.get("store");
+  ec.shards = static_cast<std::size_t>(args.get_int("shards"));
+  ec.runtime.model_path = args.get("model");
+  ec.runtime.vote.voters = args.get_int("voters");
+  ec.runtime.quarantine = parse_quarantine(args.get("quarantine"));
+  if (args.has("segment-bytes")) {
+    ec.runtime.store.segment_bytes = args.get_uint64("segment-bytes");
   }
-  return {metrics_out, metrics_format};
+  ec.runtime.store.fsync_appends = args.get("fsync") == "always";
+
+  serve::ShardEngine engine(ec);
+  const std::size_t replayed = engine.resume();
+
+  serve::ServeOptions so;
+  so.host = args.get("host");
+  so.port = args.get_int("port");
+  if (args.has("port-file")) so.port_file = args.get("port-file");
+
+  serve::Server server(engine, so);
+  server.start();
+  std::cout << "serving " << ec.dir << " on " << so.host << ":"
+            << server.port() << " (" << engine.shard_count()
+            << " shard(s), " << replayed << " samples resumed)\n"
+            << std::flush;
+  server.wait();
+
+  const auto stats = engine.stats();
+  std::cout << "served " << stats.drives << " drive(s), " << stats.samples
+            << " samples on disk, " << stats.alarms << " alarm(s)"
+            << (stats.degraded ? " [degraded]" : "") << '\n';
+  return 0;
+}
+
+int cmd_client(const Args& args) {
+  const std::string addr = args.get("addr");
+  const auto colon = addr.rfind(':');
+  if (colon == std::string::npos) {
+    throw cli::UsageError("--addr needs the form HOST:PORT");
+  }
+  const std::string host = addr.substr(0, colon);
+  const int port = std::stoi(addr.substr(colon + 1));
+  const std::string op = args.get("op");
+  // Validate the flag combination before any socket is touched: a bad
+  // invocation must exit 2 even when no daemon is listening.
+  if (op == "ingest" && !args.has("data")) {
+    throw cli::UsageError("--op ingest needs --data");
+  }
+
+  if (op == "metrics") {
+    std::cout << serve::Client::http_get(host, port, "/metrics");
+    return 0;
+  }
+
+  serve::Client client;
+  client.connect(host, port);
+  if (op == "ingest") {
+    const auto fleet = data::load_csv_file(args.get("data"));
+    serve::IngestResponse total;
+    serve::IngestBatch batch;
+    constexpr std::size_t kChunk = 8192;  // stays well under the frame cap
+    const auto send_chunk = [&] {
+      const auto r = client.ingest(batch);
+      total.accepted += r.accepted;
+      total.stale += r.stale;
+      total.quarantined += r.quarantined;
+      total.journal_failed += r.journal_failed;
+      total.degraded = total.degraded || r.degraded;
+      batch.serials.clear();
+      batch.samples.clear();
+    };
+    for (const auto& d : fleet.drives) {
+      for (const auto& s : d.samples) {
+        batch.serials.push_back(d.serial);
+        batch.samples.push_back(s);
+        if (batch.samples.size() >= kChunk) send_chunk();
+      }
+    }
+    if (!batch.samples.empty()) send_chunk();
+    std::cout << "ingested " << total.accepted << " samples (" << total.stale
+              << " stale, " << total.quarantined << " quarantined)"
+              << (total.degraded ? " [degraded]" : "") << '\n';
+    return total.journal_failed > 0 ? 1 : 0;
+  }
+  if (op == "query") {
+    if (!args.has("serial")) {
+      throw cli::UsageError("--op query needs --serial");
+    }
+    const std::string serial = args.get("serial");
+    const auto r = client.query(serial);
+    if (!r.known) {
+      std::cout << serial << ": unknown\n";
+    } else if (r.alarmed) {
+      std::cout << serial << ": ALARM at hour " << r.alarm_hour << " ("
+                << r.samples_seen << " samples, last hour " << r.last_hour
+                << ")\n";
+    } else {
+      std::cout << serial << ": ok (" << r.samples_seen
+                << " samples, last hour " << r.last_hour << ")\n";
+    }
+    return 0;
+  }
+  if (op == "stats") {
+    const auto r = client.stats();
+    std::cout << "drives " << r.drives << ", samples " << r.samples
+              << ", alarms " << r.alarms
+              << (r.degraded ? " [degraded]" : "") << '\n';
+    return 0;
+  }
+  // op == "shutdown" (choice-validated)
+  client.shutdown_server();
+  std::cout << "shutdown requested\n";
+  return 0;
+}
+
+cli::Registry build_registry() {
+  cli::Registry reg("hddpredict");
+  reg.add({"generate", "fabricate a synthetic fleet CSV",
+           {ArgSpec::str("out", "F", /*required=*/true),
+            ArgSpec::real("scale", "S", "0.05"),
+            ArgSpec::uint64("seed", "N", "42"),
+            ArgSpec::choice("family", {"W", "Q", "both"}, "both"),
+            ArgSpec::str("weeks", "A:B", false, "0:1"),
+            ArgSpec::integer("interval", "H", "1")},
+           cmd_generate});
+  reg.add({"features", "rank and select SMART features",
+           {ArgSpec::str("data", "F", /*required=*/true),
+            ArgSpec::integer("levels", "N", "10"),
+            ArgSpec::integer("rates", "N", "3")},
+           cmd_features});
+  reg.add({"train", "fit a failure predictor",
+           {ArgSpec::str("data", "F", /*required=*/true),
+            ArgSpec::str("model", "F", /*required=*/true),
+            ArgSpec::choice("preset", {"ct", "rt", "ann"}, "ct"),
+            ArgSpec::integer("window", "H", ""),
+            ArgSpec::real("cp", "X", "")},
+           cmd_train});
+  reg.add({"evaluate", "holdout FDR/FAR/TIA for a model",
+           {ArgSpec::str("data", "F", /*required=*/true),
+            ArgSpec::str("model", "F", /*required=*/true),
+            ArgSpec::integer("voters", "N", "11")},
+           cmd_evaluate});
+  reg.add({"tune", "pick the voter count for a FAR budget",
+           {ArgSpec::str("data", "F", /*required=*/true),
+            ArgSpec::str("model", "F", /*required=*/true),
+            ArgSpec::real("budget", "FAR", "0.001")},
+           cmd_tune});
+  reg.add({"predict", "rank drives most at risk",
+           {ArgSpec::str("data", "F", /*required=*/true),
+            ArgSpec::str("model", "F", /*required=*/true),
+            ArgSpec::integer("top", "K", "15")},
+           cmd_predict});
+  reg.add({"lint", "static-verify a persisted model",
+           {ArgSpec::str("model", "F", /*required=*/true),
+            ArgSpec::choice("format", {"text", "json"}, "text"),
+            ArgSpec::choice("features",
+                            {"auto", "stat13", "basic12", "expert19", "none"},
+                            "auto")},
+           cmd_lint});
+  reg.add({"reliability", "RAID MTTDL with/without prediction",
+           {ArgSpec::integer("drives", "N", "500"),
+            ArgSpec::real("fdr", "K", "0.9549"),
+            ArgSpec::real("tia", "H", "355"),
+            ArgSpec::integer("raid", "5|6", "6")},
+           cmd_reliability});
+  reg.add({"ingest", "append CSV telemetry to a store",
+           {ArgSpec::str("store", "DIR", /*required=*/true),
+            ArgSpec::str("data", "F", /*required=*/true),
+            ArgSpec::uint64("segment-bytes", "N", "")},
+           cmd_ingest});
+  reg.add({"compact", "drop store samples before a cutoff",
+           {ArgSpec::str("store", "DIR", /*required=*/true),
+            required(ArgSpec::integer("min-hour", "H", ""))},
+           cmd_compact});
+  reg.add({"replay", "resume fleet scoring from a store",
+           {ArgSpec::str("store", "DIR", /*required=*/true),
+            ArgSpec::str("model", "F", /*required=*/true),
+            ArgSpec::integer("voters", "N", "11")},
+           cmd_replay});
+  reg.add({"serve", "run the fleet-scoring daemon",
+           {ArgSpec::str("store", "DIR", /*required=*/true),
+            ArgSpec::str("model", "F", /*required=*/true),
+            ArgSpec::integer("voters", "N", "11"),
+            ArgSpec::integer("shards", "K", "1"),
+            ArgSpec::str("host", "H", false, "127.0.0.1"),
+            ArgSpec::integer("port", "P", "0"),
+            ArgSpec::str("port-file", "F"),
+            ArgSpec::uint64("segment-bytes", "N", ""),
+            ArgSpec::choice("quarantine", {"off", "nonfinite", "domain"},
+                            "nonfinite"),
+            ArgSpec::choice("fsync", {"batch", "always"}, "batch")},
+           cmd_serve});
+  reg.add({"client", "talk to a running serve daemon",
+           {ArgSpec::str("addr", "HOST:PORT", /*required=*/true),
+            required(ArgSpec::choice("op",
+                                     {"ingest", "query", "stats", "metrics",
+                                      "shutdown"},
+                                     "")),
+            ArgSpec::str("data", "F"), ArgSpec::str("serial", "S")},
+           cmd_client});
+  return reg;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 2) usage();
-  const std::string command = argv[1];
-  std::vector<std::string> rest(argv + 2, argv + argc);
-  const auto [metrics_out, metrics_format] = extract_global_flags(rest);
-  // With no dump requested the registry stays off: every instrument still
-  // registers, but each record is a single relaxed load.
-  if (metrics_out.empty()) obs::Registry::global().set_enabled(false);
-
-  int rc = 0;
-  try {
-    rc = dispatch(command, rest);
-  } catch (const std::exception& e) {
-    std::cerr << "error: " << e.what() << '\n';
-    rc = 1;
-  }
-  if (!metrics_out.empty()) {
-    const bool ok = obs::write_snapshot(obs::Registry::global().snapshot(),
-                                        metrics_out, metrics_format);
-    if (!ok && rc == 0) rc = 1;
-  }
-  return rc;
+  cli::Registry registry = build_registry();
+  return registry.dispatch(argc, argv);
 }
-
-namespace {
-
-int dispatch(const std::string& command, const std::vector<std::string>& rest) {
-  {
-    const auto parse = [&](std::initializer_list<const char*> allowed) {
-      return parse_flags(rest, allowed);
-    };
-    if (command == "generate") {
-      return cmd_generate(
-          parse({"out", "scale", "seed", "family", "weeks", "interval"}));
-    }
-    if (command == "features") {
-      return cmd_features(parse({"data", "levels", "rates"}));
-    }
-    if (command == "train") {
-      return cmd_train(parse({"data", "model", "preset", "window", "cp"}));
-    }
-    if (command == "evaluate") {
-      return cmd_evaluate(parse({"data", "model", "voters"}));
-    }
-    if (command == "tune") {
-      return cmd_tune(parse({"data", "model", "budget"}));
-    }
-    if (command == "predict") {
-      return cmd_predict(parse({"data", "model", "top"}));
-    }
-    if (command == "lint") {
-      return cmd_lint(parse({"model", "format", "features"}));
-    }
-    if (command == "reliability") {
-      return cmd_reliability(parse({"drives", "fdr", "tia", "raid"}));
-    }
-    if (command == "ingest") {
-      return cmd_ingest(parse({"store", "data", "segment-bytes"}));
-    }
-    if (command == "compact") {
-      return cmd_compact(parse({"store", "min-hour"}));
-    }
-    if (command == "replay") {
-      return cmd_replay(parse({"store", "model", "voters"}));
-    }
-    usage("unknown command: " + command);
-  }
-}
-
-}  // namespace
