@@ -1,0 +1,194 @@
+// Micro-benchmarks (google-benchmark): the continuous-update pipeline's
+// two costs that sit on the serve hot path.
+//
+//  * BM_HotSwapPublish      — SwappableScorer::swap() latency: the atomic
+//                             generation publish a promotion performs while
+//                             scoring threads keep reading.
+//  * BM_SwappablePredict    — predict() through the swappable indirection
+//                             (acquire-load + shared_ptr-free fast path),
+//                             vs BM_DirectPredict on the underlying model:
+//                             the per-sample cost of hot-swappability.
+//  * BM_FleetObserve        — FleetScorer::observe_samples with no shadow
+//                             installed (the steady state).
+//  * BM_FleetObserveShadow  — the same interval stream while a shadow
+//                             candidate double-scores every sample. The
+//                             delta over BM_FleetObserve is the per-sample
+//                             shadow cost; the acceptance bar (DESIGN.md
+//                             §10) is <= 10% of the daemon's journaled
+//                             ingest path (BM_ServeLoopbackIngest in
+//                             micro_serve). tools/bench.sh records all the
+//                             rows in BENCH_obs.json so CI can diff the
+//                             ratio.
+//
+// Hours advance monotonically across iterations so the stale rule never
+// short-circuits scoring, and the scorers return constant healthy margins
+// so no drive alarms (alarmed drives stop scoring, flattering the rate).
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/fleet.h"
+#include "core/scorer.h"
+#include "core/swappable.h"
+#include "data/matrix.h"
+#include "smart/drive.h"
+#include "smart/features.h"
+#include "tree/tree.h"
+
+namespace {
+
+using namespace hdd;
+
+constexpr std::uint32_t kDrives = 256;
+
+class HealthyScorer final : public core::SampleScorer {
+ public:
+  double predict(std::span<const float>) const override { return 0.5; }
+  void predict_batch(std::span<const float> xs,
+                     std::span<double> out) const override {
+    for (auto& o : out) o = 0.5;
+    benchmark::DoNotOptimize(xs.data());
+  }
+  int num_features() const override { return 2; }
+  std::string summary() const override { return "healthy"; }
+};
+
+// The production hot path scores the paper's 13-feature stat set through a
+// trained CART; the shadow budget is judged against that path, not a toy
+// scorer (a near-free primary path would make any fixed shadow cost look
+// enormous in relative terms).
+class BenchTreeScorer final : public core::SampleScorer {
+ public:
+  explicit BenchTreeScorer(std::uint64_t seed) {
+    Rng rng(seed);
+    data::DataMatrix m(13);
+    m.reserve(20000);
+    std::vector<float> row(13);
+    for (std::size_t i = 0; i < 20000; ++i) {
+      for (auto& v : row) v = static_cast<float>(rng.uniform(0, 100));
+      const bool failed = row[0] + row[1] > 110.0f;
+      m.add_row(row, failed ? -1.0f : 1.0f, 1.0f);
+    }
+    tree_.fit(m, tree::Task::kClassification, tree::TreeParams{});
+  }
+  double predict(std::span<const float> x) const override {
+    return tree_.predict(x);
+  }
+  void predict_batch(std::span<const float> xs,
+                     std::span<double> out) const override {
+    tree_.predict_batch(xs, out);
+  }
+  int num_features() const override { return tree_.num_features(); }
+  std::string summary() const override { return "bench tree"; }
+
+ private:
+  tree::DecisionTree tree_;
+};
+
+// Healthy telemetry (small attribute values land on the trained tree's +1
+// side, so no drive ever alarms and scoring never early-exits).
+std::vector<smart::Sample> make_interval(std::int64_t hour) {
+  std::vector<smart::Sample> interval(kDrives);
+  for (std::uint32_t d = 0; d < kDrives; ++d) {
+    smart::Sample s;
+    s.hour = hour;
+    for (smart::Attr a :
+         {smart::Attr::kRawReadErrorRate, smart::Attr::kSpinUpTime,
+          smart::Attr::kReallocatedSectors, smart::Attr::kSeekErrorRate,
+          smart::Attr::kPowerOnHours, smart::Attr::kReportedUncorrectable,
+          smart::Attr::kHighFlyWrites, smart::Attr::kTemperatureCelsius,
+          smart::Attr::kHardwareEccRecovered,
+          smart::Attr::kReallocatedSectorsRaw}) {
+      s.set(a, 0.1f * static_cast<float>((d + static_cast<int>(a)) % 7));
+    }
+    interval[d] = s;
+  }
+  return interval;
+}
+
+core::FleetScorerConfig fleet_config() {
+  core::FleetScorerConfig fc;
+  fc.features = smart::stat13_features();
+  fc.vote.voters = 11;
+  return fc;
+}
+
+void register_drives(core::FleetScorer& fleet) {
+  for (std::uint32_t d = 0; d < kDrives; ++d) {
+    fleet.add_drive("bench-" + std::to_string(d));
+  }
+}
+
+void BM_HotSwapPublish(benchmark::State& state) {
+  const auto a = std::make_shared<const HealthyScorer>();
+  const auto b = std::make_shared<const HealthyScorer>();
+  core::SwappableScorer slot(a, 0);
+  std::uint64_t gen = 0;
+  for (auto _ : state) {
+    ++gen;
+    slot.swap(gen % 2 == 0 ? a : b, gen);
+    benchmark::DoNotOptimize(slot.generation());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HotSwapPublish)->Unit(benchmark::kNanosecond);
+
+void BM_DirectPredict(benchmark::State& state) {
+  const HealthyScorer scorer;
+  const float x[2] = {0.1f, 0.5f};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scorer.predict(x));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DirectPredict)->Unit(benchmark::kNanosecond);
+
+void BM_SwappablePredict(benchmark::State& state) {
+  core::SwappableScorer slot(std::make_shared<const HealthyScorer>(), 0);
+  const float x[2] = {0.1f, 0.5f};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(slot.predict(x));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SwappablePredict)->Unit(benchmark::kNanosecond);
+
+void BM_FleetObserve(benchmark::State& state) {
+  const BenchTreeScorer scorer(7);
+  core::FleetScorer fleet(scorer, fleet_config());
+  register_drives(fleet);
+  std::int64_t hour = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    const auto interval = make_interval(hour++);
+    state.ResumeTiming();
+    fleet.observe_samples(interval, interval.front().hour);
+  }
+  state.SetItemsProcessed(state.iterations() * kDrives);
+}
+BENCHMARK(BM_FleetObserve)->Unit(benchmark::kMicrosecond)->UseRealTime();
+
+void BM_FleetObserveShadow(benchmark::State& state) {
+  const BenchTreeScorer scorer(7);
+  core::FleetScorer fleet(scorer, fleet_config());
+  register_drives(fleet);
+  fleet.set_shadow(std::make_shared<const BenchTreeScorer>(11));
+  std::int64_t hour = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    const auto interval = make_interval(hour++);
+    state.ResumeTiming();
+    fleet.observe_samples(interval, interval.front().hour);
+  }
+  state.SetItemsProcessed(state.iterations() * kDrives);
+}
+BENCHMARK(BM_FleetObserveShadow)->Unit(benchmark::kMicrosecond)->UseRealTime();
+
+}  // namespace
+
+BENCHMARK_MAIN();

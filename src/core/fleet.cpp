@@ -123,6 +123,107 @@ FleetScorer::FleetScorer(const SampleScorer& scorer, FleetScorerConfig config)
   m_batch_latency_ = &reg.histogram(
       "hdd_fleet_batch_latency_ns",
       "Wall time of one observe_interval/observe_samples call (ns).");
+  m_shadow_samples_ = &reg.counter(
+      "hdd_pipeline_shadow_samples_total",
+      "Live feature rows scored by a shadow candidate model.");
+  m_shadow_divergence_ = &reg.counter(
+      "hdd_pipeline_shadow_divergence_total",
+      "Shadow rows whose failure vote disagreed with the incumbent's.");
+  m_shadow_vote_flips_ = &reg.counter(
+      "hdd_pipeline_shadow_vote_flips_total",
+      "Shadow pushes after which the rolling window verdict disagreed "
+      "with the incumbent's.");
+  m_shadow_alarm_delta_ = &reg.counter(
+      "hdd_pipeline_shadow_alarm_delta_total",
+      "Pushes where exactly one of incumbent/shadow raised its alarm.");
+}
+
+FleetScorer::ScoreCtx FleetScorer::make_ctx(bool live) {
+  ScoreCtx ctx;
+  // Pin the incumbent once per public call: a concurrent hot swap
+  // (SwappableScorer) retires the old generation only after every pin
+  // drops, and no batch ever mixes generations.
+  ctx.pinned = scorer_->pin();
+  ctx.model = ctx.pinned != nullptr ? ctx.pinned.get() : scorer_;
+  if (!live) return ctx;
+  ctx.shadow_pin = shadow_slot_.load();
+  if (ctx.shadow_pin == nullptr || ctx.shadow_pin->model == nullptr) {
+    return ctx;
+  }
+  // Single-threaded preamble (callers serialize per scorer): a freshly
+  // installed candidate starts from cold voting windows.
+  if (ctx.shadow_pin->epoch != shadow_epoch_seen_) {
+    shadow_epoch_seen_ = ctx.shadow_pin->epoch;
+    shadow_states_.assign(states_.size(), DriveVoteState(config_.vote));
+  } else if (shadow_states_.size() < states_.size()) {
+    shadow_states_.resize(states_.size(), DriveVoteState(config_.vote));
+  }
+  ctx.shadow = ctx.shadow_pin->model.get();
+  return ctx;
+}
+
+void FleetScorer::flush_shadow(const ShadowTally& t) {
+  if (t.samples == 0) return;
+  sh_samples_.fetch_add(t.samples, std::memory_order_relaxed);
+  m_shadow_samples_->inc(t.samples);
+  if (t.divergence > 0) {
+    sh_divergence_.fetch_add(t.divergence, std::memory_order_relaxed);
+    m_shadow_divergence_->inc(t.divergence);
+  }
+  if (t.vote_flips > 0) {
+    sh_vote_flips_.fetch_add(t.vote_flips, std::memory_order_relaxed);
+    m_shadow_vote_flips_->inc(t.vote_flips);
+  }
+  if (t.alarm_delta > 0) {
+    sh_alarm_delta_.fetch_add(t.alarm_delta, std::memory_order_relaxed);
+    m_shadow_alarm_delta_->inc(t.alarm_delta);
+  }
+}
+
+void FleetScorer::shadow_push(const ScoreCtx& /*ctx*/, std::size_t i,
+                              std::int64_t hour, double shadow_output,
+                              double primary_output, bool primary_raised,
+                              ShadowTally& tally) {
+  ++tally.samples;
+  // Sample-level vote comparison through the same float rounding push()
+  // applies, so "divergence" means exactly "this row would vote
+  // differently".
+  const bool p_fail = static_cast<float>(primary_output) < 0.0f;
+  const bool s_fail = static_cast<float>(shadow_output) < 0.0f;
+  if (p_fail != s_fail) ++tally.divergence;
+  const bool shadow_raised = shadow_states_[i].push(hour, shadow_output);
+  if (shadow_states_[i].current_decision() !=
+      states_[i].current_decision()) {
+    ++tally.vote_flips;
+  }
+  if (shadow_raised != primary_raised) ++tally.alarm_delta;
+}
+
+void FleetScorer::set_shadow(std::shared_ptr<const SampleScorer> candidate) {
+  if (candidate == nullptr) {
+    shadow_slot_.store(nullptr);
+    return;
+  }
+  HDD_REQUIRE(candidate->num_features() == config_.features.size(),
+              "shadow model width must match the fleet feature set");
+  // One controller installs shadows (the retrain loop); the epoch bump is
+  // what tells the next scoring call to reset shadow voting state.
+  auto slot = std::make_shared<const ShadowSlot>(
+      ShadowSlot{std::move(candidate), ++shadow_installs_});
+  shadow_slot_.store(std::move(slot));
+}
+
+bool FleetScorer::has_shadow() const {
+  return shadow_slot_.load() != nullptr;
+}
+
+FleetScorer::ShadowStats FleetScorer::shadow_stats() const {
+  ShadowStats s;
+  s.samples = sh_samples_.load(std::memory_order_relaxed);
+  s.divergence = sh_divergence_.load(std::memory_order_relaxed);
+  s.vote_flips = sh_vote_flips_.load(std::memory_order_relaxed);
+  s.alarm_delta = sh_alarm_delta_.load(std::memory_order_relaxed);
+  return s;
 }
 
 ThreadPool& FleetScorer::pool() const {
@@ -153,15 +254,31 @@ void FleetScorer::observe_interval(std::span<const float> xs,
   m_samples_scored_->inc(n);
   const std::size_t block = config_.block_rows;
   const std::size_t n_blocks = (n + block - 1) / block;
+  const ScoreCtx ctx = make_ctx(/*live=*/true);
   scratch_.resize(n);  // reused across intervals; no steady-state allocation
+  if (ctx.shadow != nullptr) shadow_scratch_.resize(n);
   pool().parallel_for(0, n_blocks, [&](std::size_t b) {
     const std::size_t lo = b * block;
     const std::size_t hi = std::min(lo + block, n);
-    // Blocks own disjoint slices of the scratch buffer and disjoint states,
-    // so no cross-thread writes.
-    scorer_->predict_batch(xs.subspan(lo * nf, (hi - lo) * nf),
-                           std::span<double>(scratch_.data() + lo, hi - lo));
-    for (std::size_t i = lo; i < hi; ++i) states_[i].push(hour, scratch_[i]);
+    // Blocks own disjoint slices of the scratch buffers and disjoint
+    // states, so no cross-thread writes.
+    ctx.model->predict_batch(
+        xs.subspan(lo * nf, (hi - lo) * nf),
+        std::span<double>(scratch_.data() + lo, hi - lo));
+    if (ctx.shadow != nullptr) {
+      ctx.shadow->predict_batch(
+          xs.subspan(lo * nf, (hi - lo) * nf),
+          std::span<double>(shadow_scratch_.data() + lo, hi - lo));
+    }
+    ShadowTally tally;
+    for (std::size_t i = lo; i < hi; ++i) {
+      const bool raised = states_[i].push(hour, scratch_[i]);
+      if (ctx.shadow != nullptr) {
+        shadow_push(ctx, i, hour, shadow_scratch_[i], scratch_[i], raised,
+                    tally);
+      }
+    }
+    flush_shadow(tally);
   });
 }
 
@@ -270,7 +387,9 @@ void FleetScorer::observe_samples(std::span<const smart::Sample> samples,
   const auto nf = static_cast<std::size_t>(config_.features.size());
   const std::size_t block = config_.block_rows;
   const std::size_t n_blocks = (n + block - 1) / block;
+  const ScoreCtx ctx = make_ctx(/*live=*/true);
   scratch_.resize(n);
+  if (ctx.shadow != nullptr) shadow_scratch_.resize(n);
   std::atomic<std::size_t> scored{0};
   pool().parallel_for(0, n_blocks, [&](std::size_t b) {
     const std::size_t lo = b * block;
@@ -291,11 +410,21 @@ void FleetScorer::observe_samples(std::span<const smart::Sample> samples,
                                     config_.features, xbuf);
     }
     if (rows.empty()) return;
-    scorer_->predict_batch(
+    ctx.model->predict_batch(
         xbuf, std::span<double>(scratch_.data() + lo, rows.size()));
-    for (std::size_t k = 0; k < rows.size(); ++k) {
-      states_[rows[k]].push(hour, scratch_[lo + k]);
+    if (ctx.shadow != nullptr) {
+      ctx.shadow->predict_batch(
+          xbuf, std::span<double>(shadow_scratch_.data() + lo, rows.size()));
     }
+    ShadowTally tally;
+    for (std::size_t k = 0; k < rows.size(); ++k) {
+      const bool raised = states_[rows[k]].push(hour, scratch_[lo + k]);
+      if (ctx.shadow != nullptr) {
+        shadow_push(ctx, rows[k], hour, shadow_scratch_[lo + k],
+                    scratch_[lo + k], raised, tally);
+      }
+    }
+    flush_shadow(tally);
     scored.fetch_add(rows.size(), std::memory_order_relaxed);
   });
   m_samples_scored_->inc(scored.load());
@@ -356,19 +485,22 @@ FleetScorer::IngestResult FleetScorer::ingest_drive(
       return res;
     }
   }
-  replay_drive_samples(i, kept);
+  replay_drive_samples(make_ctx(/*live=*/true), i, kept);
   res.accepted = kept.size();
   return res;
 }
 
 void FleetScorer::replay_drive_samples(
-    std::size_t i, std::span<const smart::Sample> samples) {
+    const ScoreCtx& ctx, std::size_t i,
+    std::span<const smart::Sample> samples) {
   // No early exit at the first alarm: history must stay current through the
   // whole log so post-resume feature rows match the uninterrupted run
   // (push() is a no-op once alarmed, exactly as in live streaming).
   const std::size_t block = config_.block_rows;
   std::vector<float> xbuf;
   std::vector<double> obuf;
+  std::vector<double> sbuf;
+  ShadowTally tally;
   for (std::size_t base = 0; base < samples.size(); base += block) {
     const std::size_t hi = std::min(base + block, samples.size());
     xbuf.clear();
@@ -379,12 +511,21 @@ void FleetScorer::replay_drive_samples(
                                     config_.features, xbuf);
     }
     obuf.resize(hi - base);
-    scorer_->predict_batch(xbuf, obuf);
+    ctx.model->predict_batch(xbuf, obuf);
+    if (ctx.shadow != nullptr) {
+      sbuf.resize(hi - base);
+      ctx.shadow->predict_batch(xbuf, sbuf);
+    }
     m_samples_scored_->inc(hi - base);
     for (std::size_t k = base; k < hi; ++k) {
-      states_[i].push(samples[k].hour, obuf[k - base]);
+      const bool raised = states_[i].push(samples[k].hour, obuf[k - base]);
+      if (ctx.shadow != nullptr) {
+        shadow_push(ctx, i, samples[k].hour, sbuf[k - base], obuf[k - base],
+                    raised, tally);
+      }
     }
   }
+  flush_shadow(tally);
 }
 
 FleetScorer::ResumeResult FleetScorer::resume_from(store::TelemetryStore& store,
@@ -437,8 +578,11 @@ FleetScorer::ResumeResult FleetScorer::resume_from(store::TelemetryStore& store,
     }
   }
 
+  // Replayed telemetry was already scored live once; shadows never see it
+  // (live=false), so the parallel replay touches no shadow state.
+  const ScoreCtx ctx = make_ctx(/*live=*/false);
   pool().parallel_for(0, per.size(), [&](std::size_t i) {
-    replay_drive_samples(i, per[i]);
+    replay_drive_samples(ctx, i, per[i]);
   });
 
   ResumeResult r;
@@ -472,7 +616,8 @@ void FleetScorer::reset() {
   for (smart::DriveRecord& h : history_) h.samples.clear();
 }
 
-eval::DriveOutcome FleetScorer::replay_drive(const smart::DriveRecord& drive,
+eval::DriveOutcome FleetScorer::replay_drive(const SampleScorer& model,
+                                             const smart::DriveRecord& drive,
                                              std::size_t begin) const {
   DriveVoteState st(config_.vote);
   st.set_metrics(m_vote_transitions_, m_alarms_);
@@ -486,7 +631,7 @@ eval::DriveOutcome FleetScorer::replay_drive(const smart::DriveRecord& drive,
     xbuf.clear();
     smart::extract_features_block(drive, base, hi, config_.features, xbuf);
     obuf.resize(hi - base);
-    scorer_->predict_batch(xbuf, obuf);
+    model.predict_batch(xbuf, obuf);
     m_samples_scored_->inc(hi - base);
     for (std::size_t i = base; i < hi; ++i) {
       if (st.push(drive.samples[i].hour, obuf[i - base])) break;  // alarm
@@ -498,9 +643,12 @@ eval::DriveOutcome FleetScorer::replay_drive(const smart::DriveRecord& drive,
 
 std::vector<eval::DriveOutcome> FleetScorer::replay(
     const data::DriveDataset& dataset) const {
+  // Pin once per call: the whole replay scores through one generation.
+  const auto pin = scorer_->pin();
+  const SampleScorer& model = pin != nullptr ? *pin : *scorer_;
   std::vector<eval::DriveOutcome> out(dataset.drives.size());
   pool().parallel_for(0, dataset.drives.size(), [&](std::size_t i) {
-    out[i] = replay_drive(dataset.drives[i], 0);
+    out[i] = replay_drive(model, dataset.drives[i], 0);
   });
   return out;
 }
@@ -525,9 +673,12 @@ eval::EvalResult FleetScorer::evaluate(const data::DriveDataset& dataset,
     jobs.push_back({di, 0});
   }
 
+  const auto pin = scorer_->pin();
+  const SampleScorer& model = pin != nullptr ? *pin : *scorer_;
   std::vector<eval::DriveOutcome> outcomes(jobs.size());
   pool().parallel_for(0, jobs.size(), [&](std::size_t j) {
-    outcomes[j] = replay_drive(dataset.drives[jobs[j].drive], jobs[j].begin);
+    outcomes[j] =
+        replay_drive(model, dataset.drives[jobs[j].drive], jobs[j].begin);
   });
 
   eval::EvalResult r;

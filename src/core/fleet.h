@@ -20,12 +20,15 @@
 //    DriveVoteState so the continued run raises byte-identical alarms.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <string>
 #include <vector>
 
 #include "common/thread_pool.h"
+#include "core/rcu_slot.h"
 #include "core/scorer.h"
 #include "data/dataset.h"
 #include "data/split.h"
@@ -99,6 +102,14 @@ class DriveVoteState {
   std::int64_t alarm_hour() const { return alarm_hour_; }
   std::int64_t samples_seen() const { return seen_; }
   eval::DriveOutcome outcome() const { return {alarmed_, alarm_hour_}; }
+
+  // The rolling vote verdict over the window's current contents (the rule
+  // push() checks at a full window; short windows vote over what they
+  // have), independent of the alarm latch. Shadow scoring compares the
+  // incumbent's and candidate's verdicts sample by sample with this.
+  bool current_decision() const {
+    return filled_ > 0 && decide(std::min(filled_, ring_.size()));
+  }
 
   // Forgets all observations (keeps the configuration).
   void reset();
@@ -212,6 +223,30 @@ class FleetScorer {
   std::uint64_t quarantined_samples() const { return quarantined_; }
   std::uint64_t journal_failures() const { return journal_failures_; }
 
+  // --- Shadow scoring -------------------------------------------------------
+
+  // Divergence between the incumbent and a shadow candidate, accumulated
+  // over live traffic since the shadow was installed (also exported as
+  // hdd_pipeline_shadow_* counters). Shadow vote windows start empty, so
+  // flip/alarm comparisons warm up over the first window.
+  struct ShadowStats {
+    std::uint64_t samples = 0;      // rows the shadow scored
+    std::uint64_t divergence = 0;   // sign(shadow) != sign(incumbent)
+    std::uint64_t vote_flips = 0;   // rolling window verdicts disagree
+    std::uint64_t alarm_delta = 0;  // exactly one side raised its alarm
+  };
+
+  // Installs a candidate to score the same live feature rows as the
+  // incumbent, on separate voting state that never raises real alarms
+  // (nullptr uninstalls). Safe to call from a controller thread while a
+  // scoring thread is mid-call: the running call finishes on the shadow it
+  // pinned at entry. Each install resets the shadow voting states and
+  // leaves the accumulated stats monotonic. Replay/resume paths never
+  // shadow-score — only live traffic does.
+  void set_shadow(std::shared_ptr<const SampleScorer> candidate);
+  bool has_shadow() const;
+  ShadowStats shadow_stats() const;
+
   struct ResumeResult {
     std::size_t drives = 0;
     std::size_t samples_replayed = 0;
@@ -244,11 +279,45 @@ class FleetScorer {
                             const data::DatasetSplit& split) const;
 
  private:
-  eval::DriveOutcome replay_drive(const smart::DriveRecord& drive,
+  // One generation of installed shadow model; readers pin the whole slot.
+  struct ShadowSlot {
+    std::shared_ptr<const SampleScorer> model;
+    std::uint64_t epoch = 0;
+  };
+  // Everything one scoring call needs pinned for its whole duration: the
+  // incumbent (possibly a hot-swap pin) and the shadow generation. Built
+  // once per public call so a batch never mixes model generations.
+  struct ScoreCtx {
+    std::shared_ptr<const SampleScorer> pinned;  // keepalive for `model`
+    const SampleScorer* model = nullptr;
+    const SampleScorer* shadow = nullptr;  // nullptr = no shadow scoring
+    std::shared_ptr<const ShadowSlot> shadow_pin;
+  };
+  // Per-block shadow tallies, flushed once per block to the atomics +
+  // counters (keeps the hot loop free of per-sample atomic traffic).
+  struct ShadowTally {
+    std::uint64_t samples = 0;
+    std::uint64_t divergence = 0;
+    std::uint64_t vote_flips = 0;
+    std::uint64_t alarm_delta = 0;
+  };
+
+  // `live` additionally pins the shadow and (single-threaded) refreshes
+  // shadow voting state for a newly installed candidate.
+  ScoreCtx make_ctx(bool live);
+  void flush_shadow(const ShadowTally& t);
+  // Scores one shadow output against the incumbent's state for drive i.
+  // `primary_raised` is the incumbent push() result for the same sample.
+  void shadow_push(const ScoreCtx& ctx, std::size_t i, std::int64_t hour,
+                   double shadow_output, double primary_output,
+                   bool primary_raised, ShadowTally& tally);
+
+  eval::DriveOutcome replay_drive(const SampleScorer& model,
+                                  const smart::DriveRecord& drive,
                                   std::size_t begin) const;
   ThreadPool& pool() const;
   void push_history(std::size_t i, const smart::Sample& sample);
-  void replay_drive_samples(std::size_t i,
+  void replay_drive_samples(const ScoreCtx& ctx, std::size_t i,
                             std::span<const smart::Sample> samples);
 
   const SampleScorer* scorer_;
@@ -271,6 +340,23 @@ class FleetScorer {
   std::vector<std::string> serials_;
   std::vector<DriveVoteState> states_;
   std::vector<double> scratch_;  // interval model outputs, reused per call
+
+  // Shadow scoring state. The slot is the only cross-thread member
+  // (controller installs, scoring calls pin); the voting states and
+  // scratch follow the scorer's single-caller contract.
+  RcuSlot<const ShadowSlot> shadow_slot_;
+  std::uint64_t shadow_installs_ = 0;  // controller-side epoch source
+  std::uint64_t shadow_epoch_seen_ = 0;
+  std::vector<DriveVoteState> shadow_states_;
+  std::vector<double> shadow_scratch_;
+  std::atomic<std::uint64_t> sh_samples_{0};
+  std::atomic<std::uint64_t> sh_divergence_{0};
+  std::atomic<std::uint64_t> sh_vote_flips_{0};
+  std::atomic<std::uint64_t> sh_alarm_delta_{0};
+  obs::Counter* m_shadow_samples_;
+  obs::Counter* m_shadow_divergence_;
+  obs::Counter* m_shadow_vote_flips_;
+  obs::Counter* m_shadow_alarm_delta_;
 
   // Journaled streaming state.
   store::TelemetryStore* journal_ = nullptr;

@@ -159,6 +159,16 @@ analysis::Report verify_model(const AnyModel& m,
                               model_path);
 }
 
+std::unique_ptr<SampleScorer> make_model_scorer(AnyModel m) {
+  if (auto* tree = std::get_if<tree::DecisionTree>(&m)) {
+    return make_tree_scorer(std::move(*tree));
+  }
+  if (auto* forest = std::get_if<forest::RandomForest>(&m)) {
+    return make_forest_scorer(std::move(*forest));
+  }
+  return make_mlp_scorer(std::move(std::get<ann::MlpModel>(m)));
+}
+
 void save_scorer_file(const SampleScorer& scorer, const std::string& path,
                       io::Env* env) {
   std::ostringstream os;

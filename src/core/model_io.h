@@ -23,6 +23,7 @@
 #pragma once
 
 #include <iosfwd>
+#include <memory>
 #include <string>
 #include <variant>
 
@@ -83,6 +84,10 @@ AnyModel load_model_file(const std::string& path,
 analysis::Report verify_model(const AnyModel& m,
                               const analysis::VerifyOptions& options = {},
                               const std::string& model_path = "model");
+
+// Wraps any loaded model behind the scorer interface (the hot-swap restore
+// path: generation records round-trip through save()/load_model()).
+std::unique_ptr<SampleScorer> make_model_scorer(AnyModel m);
 
 // Persists a trained scorer in its native format (SampleScorer::save);
 // throws ConfigError for backends without one (AdaBoost).

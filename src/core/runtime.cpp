@@ -1,5 +1,6 @@
 #include "core/runtime.h"
 
+#include <sstream>
 #include <utility>
 
 #include "common/error.h"
@@ -19,14 +20,39 @@ FleetRuntime::FleetRuntime(FleetRuntimeConfig config) {
   }
 
   if (config.features.size() == 0) config.features = smart::stat13_features();
-  HDD_REQUIRE(
-      static_cast<std::size_t>(scorer_->num_features()) ==
-          config.features.size(),
-      "model feature count does not match the feature layout");
+  HDD_REQUIRE(scorer_->num_features() == config.features.size(),
+              "model feature count does not match the feature layout");
 
   if (!config.store_dir.empty()) {
     store_ = std::make_unique<store::TelemetryStore>(config.store_dir,
                                                      config.store);
+  }
+
+  if (store_ != nullptr && store_->latest_generation().has_value()) {
+    // A promoted generation in the journal supersedes the configured model
+    // even when this runtime is not itself hot-swappable — this is what
+    // makes any restart after a promotion resume to the promoted model,
+    // not the stale seed.
+    const store::GenerationRecord& rec = *store_->latest_generation();
+    std::istringstream is(rec.model_text);
+    LoadOptions off;  // linted at promotion time; load as-is
+    off.verify = VerifyMode::kOff;
+    owned_scorer_ = make_model_scorer(load_model(is, off));
+    HDD_REQUIRE(owned_scorer_->num_features() == config.features.size(),
+                "journaled generation model does not match the feature "
+                "layout");
+    scorer_ = owned_scorer_.get();
+    generation_ = rec.generation;
+  }
+
+  if (config.hot_swappable) {
+    std::shared_ptr<const SampleScorer> base =
+        owned_scorer_ != nullptr
+            ? std::shared_ptr<const SampleScorer>(std::move(owned_scorer_))
+            : unowned_scorer(scorer_);
+    swappable_ = std::make_unique<SwappableScorer>(std::move(base),
+                                                   generation_);
+    scorer_ = swappable_.get();
   }
 
   FleetScorerConfig fc;

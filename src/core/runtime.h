@@ -11,11 +11,13 @@
 // and the scorer, attached and ready to resume.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <string>
 
 #include "core/fleet.h"
 #include "core/model_io.h"
+#include "core/swappable.h"
 #include "store/telemetry_store.h"
 
 namespace hdd::core {
@@ -41,6 +43,12 @@ struct FleetRuntimeConfig {
   std::size_t block_rows = 256;
   ThreadPool* pool = nullptr;         // nullptr = ThreadPool::global()
   obs::Registry* metrics = nullptr;   // nullptr = obs::Registry::global()
+
+  // Wrap the model in a SwappableScorer so the update pipeline can hot-swap
+  // promoted generations while scoring runs. With a store, the newest
+  // journaled generation record (if any) supersedes the configured model at
+  // construction, restoring what a crashed daemon had promoted.
+  bool hot_swappable = false;
 };
 
 class FleetRuntime {
@@ -69,9 +77,18 @@ class FleetRuntime {
   // the shared shutdown handler calls this on SIGTERM/SIGINT.
   void seal();
 
+  // Non-null exactly when configured hot_swappable: the slot the update
+  // pipeline promotes candidates into.
+  SwappableScorer* swappable() { return swappable_.get(); }
+  std::uint64_t model_generation() const {
+    return swappable_ != nullptr ? swappable_->generation() : generation_;
+  }
+
  private:
   std::unique_ptr<SampleScorer> owned_scorer_;
+  std::unique_ptr<SwappableScorer> swappable_;
   const SampleScorer* scorer_ = nullptr;
+  std::uint64_t generation_ = 0;
   std::unique_ptr<store::TelemetryStore> store_;
   std::unique_ptr<FleetScorer> fleet_;
 };

@@ -64,6 +64,9 @@ class ForestScorer final : public SampleScorer {
     forest_.fit(m, tree::Task::kClassification, config);
   }
 
+  explicit ForestScorer(forest::RandomForest forest)
+      : forest_(std::move(forest)), num_features_(forest_.num_features()) {}
+
   double predict(std::span<const float> x) const override {
     return forest_.predict(x);
   }
@@ -117,6 +120,8 @@ class MlpScorer final : public SampleScorer {
     mlp_.fit(m, config);
   }
 
+  explicit MlpScorer(ann::MlpModel mlp) : mlp_(std::move(mlp)) {}
+
   double predict(std::span<const float> x) const override {
     return mlp_.predict(x);
   }
@@ -161,6 +166,16 @@ std::unique_ptr<SampleScorer> fit_scorer(const PredictorConfig& config,
 std::unique_ptr<SampleScorer> make_tree_scorer(tree::DecisionTree tree) {
   HDD_REQUIRE(tree.trained(), "make_tree_scorer needs a trained tree");
   return std::make_unique<TreeScorer>(std::move(tree));
+}
+
+std::unique_ptr<SampleScorer> make_forest_scorer(forest::RandomForest forest) {
+  HDD_REQUIRE(forest.trained(), "make_forest_scorer needs a trained forest");
+  return std::make_unique<ForestScorer>(std::move(forest));
+}
+
+std::unique_ptr<SampleScorer> make_mlp_scorer(ann::MlpModel mlp) {
+  HDD_REQUIRE(mlp.trained(), "make_mlp_scorer needs a trained network");
+  return std::make_unique<MlpScorer>(std::move(mlp));
 }
 
 }  // namespace hdd::core

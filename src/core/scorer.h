@@ -20,6 +20,14 @@ namespace hdd::tree {
 class DecisionTree;
 }
 
+namespace hdd::forest {
+class RandomForest;
+}
+
+namespace hdd::ann {
+class MlpModel;
+}
+
 namespace hdd::core {
 
 struct PredictorConfig;
@@ -48,6 +56,13 @@ class SampleScorer {
   // persistence); null for every other backend.
   virtual const tree::DecisionTree* tree() const { return nullptr; }
 
+  // Hot-swap support: a scorer whose backing model can change while calls
+  // are in flight (pipeline::SwappableScorer) returns an owning pin of the
+  // current model here, so one scoring pass stays on one generation even if
+  // a promotion lands mid-batch. Fixed scorers return null — callers fall
+  // back to `this` and pay nothing.
+  virtual std::shared_ptr<const SampleScorer> pin() const { return nullptr; }
+
   // Persists the model in its native text format (loadable with
   // core::load_model). Backends without a serialization format (AdaBoost)
   // throw ConfigError.
@@ -64,5 +79,9 @@ std::unique_ptr<SampleScorer> fit_scorer(const PredictorConfig& config,
 // core::load_tree) behind the scorer interface. Throws ConfigError if the
 // tree is untrained.
 std::unique_ptr<SampleScorer> make_tree_scorer(tree::DecisionTree tree);
+
+// Same for the other persisted backends (generation-record reload paths).
+std::unique_ptr<SampleScorer> make_forest_scorer(forest::RandomForest forest);
+std::unique_ptr<SampleScorer> make_mlp_scorer(ann::MlpModel mlp);
 
 }  // namespace hdd::core

@@ -1,0 +1,60 @@
+#include "core/swappable.h"
+
+#include "common/error.h"
+
+namespace hdd::core {
+
+SwappableScorer::SwappableScorer(std::shared_ptr<const SampleScorer> initial,
+                                 std::uint64_t generation) {
+  HDD_REQUIRE(initial != nullptr, "swappable scorer needs an initial model");
+  num_features_ = initial->num_features();
+  slot_.store(std::make_shared<const Generation>(
+      Generation{std::move(initial), generation}));
+}
+
+std::shared_ptr<const SampleScorer> SwappableScorer::current() const {
+  auto gen = load();
+  // Aliasing: the returned pointer targets the model but keeps the whole
+  // generation alive, so model and number can never be torn apart.
+  const SampleScorer* model = gen->model.get();
+  return {std::move(gen), model};
+}
+
+std::uint64_t SwappableScorer::generation() const { return load()->number; }
+
+void SwappableScorer::swap(std::shared_ptr<const SampleScorer> next,
+                           std::uint64_t generation) {
+  HDD_REQUIRE(next != nullptr, "cannot swap in a null model");
+  HDD_REQUIRE(next->num_features() == num_features_,
+              "hot-swap candidate has a different feature width");
+  slot_.store(std::make_shared<const Generation>(
+      Generation{std::move(next), generation}));
+}
+
+double SwappableScorer::predict(std::span<const float> x) const {
+  return load()->model->predict(x);
+}
+
+void SwappableScorer::predict_batch(std::span<const float> xs,
+                                    std::span<double> out) const {
+  load()->model->predict_batch(xs, out);
+}
+
+std::string SwappableScorer::summary() const {
+  const auto gen = load();
+  return "gen " + std::to_string(gen->number) + ": " + gen->model->summary();
+}
+
+std::shared_ptr<const SampleScorer> SwappableScorer::pin() const {
+  return current();
+}
+
+void SwappableScorer::save(std::ostream& os) const { load()->model->save(os); }
+
+std::shared_ptr<const SampleScorer> unowned_scorer(
+    const SampleScorer* scorer) {
+  HDD_REQUIRE(scorer != nullptr, "null scorer");
+  return {std::shared_ptr<const SampleScorer>{}, scorer};
+}
+
+}  // namespace hdd::core

@@ -1,0 +1,68 @@
+// SwappableScorer — an RCU-style indirection that lets a running
+// FleetScorer's model be replaced atomically while scoring calls are in
+// flight.
+//
+// The update pipeline promotes a freshly trained candidate by swapping the
+// generation slot: readers snapshot one `RcuSlot` (a spinlocked shared_ptr
+// — see rcu_slot.h for why not std::atomic<std::shared_ptr>) and the
+// snapshot keeps the outgoing model alive until the last in-flight call
+// drops it. A
+// scoring pass pins the generation once up front (SampleScorer::pin()), so
+// a promotion landing mid-batch never mixes two models' votes within one
+// call — alarms stay deterministic per generation.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "core/rcu_slot.h"
+#include "core/scorer.h"
+
+namespace hdd::core {
+
+class SwappableScorer final : public SampleScorer {
+ public:
+  // Starts at `generation` (0 = the seed model, before any promotion).
+  explicit SwappableScorer(std::shared_ptr<const SampleScorer> initial,
+                           std::uint64_t generation = 0);
+
+  // The live model (owning snapshot; safe to use across a concurrent swap).
+  std::shared_ptr<const SampleScorer> current() const;
+  // The live generation number.
+  std::uint64_t generation() const;
+
+  // Atomically publishes `next` as generation `generation`. The feature
+  // width must match the initial model's — every consumer sized its
+  // buffers against num_features() at attach time. Any thread may call
+  // this; readers never observe a half-installed generation.
+  void swap(std::shared_ptr<const SampleScorer> next, std::uint64_t generation);
+
+  double predict(std::span<const float> x) const override;
+  void predict_batch(std::span<const float> xs,
+                     std::span<double> out) const override;
+  int num_features() const override { return num_features_; }
+  std::string summary() const override;
+  // Null by design: a raw tree pointer could dangle across a swap. Callers
+  // needing the tree must hold a pin() and ask that snapshot.
+  const tree::DecisionTree* tree() const override { return nullptr; }
+  std::shared_ptr<const SampleScorer> pin() const override;
+  void save(std::ostream& os) const override;
+
+ private:
+  struct Generation {
+    std::shared_ptr<const SampleScorer> model;
+    std::uint64_t number = 0;
+  };
+
+  std::shared_ptr<const Generation> load() const { return slot_.load(); }
+
+  RcuSlot<const Generation> slot_;
+  int num_features_;
+};
+
+// Adapts a scorer owned elsewhere (e.g. a FleetRuntimeConfig::scorer raw
+// pointer) to the shared_ptr the swap slot needs, without taking ownership.
+// The caller guarantees `scorer` outlives every generation that aliases it.
+std::shared_ptr<const SampleScorer> unowned_scorer(const SampleScorer* scorer);
+
+}  // namespace hdd::core

@@ -1,0 +1,83 @@
+#include "pipeline/scheduler.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace hdd::pipeline {
+
+const char* strategy_name(Strategy s) {
+  switch (s) {
+    case Strategy::kFixed: return "fixed";
+    case Strategy::kAccumulation: return "accumulation";
+    case Strategy::kReplacing: return "replacing";
+  }
+  return "?";
+}
+
+std::pair<int, int> training_range(Strategy s, int replace_cycle_weeks,
+                                   int test_week) {
+  switch (s) {
+    case Strategy::kFixed:
+      return {0, 1};
+    case Strategy::kAccumulation:
+      return {0, test_week - 1};
+    case Strategy::kReplacing: {
+      const int c = replace_cycle_weeks;
+      // Use the last fully observed cycle; until one completes, fall back
+      // to everything observed so far (only past weeks — never the test
+      // week itself).
+      const int completed = (test_week - 1) / c;
+      if (completed == 0) return {0, test_week - 1};
+      return {(completed - 1) * c, completed * c};
+    }
+  }
+  return {0, 1};
+}
+
+RetrainScheduler::RetrainScheduler(SchedulerConfig config) : config_(config) {
+  if (config_.strategy == Strategy::kReplacing) {
+    HDD_REQUIRE(config_.replace_cycle_weeks >= 1,
+                "replace cycle must be >= 1 week");
+  }
+  HDD_REQUIRE(
+      config_.retrain_every_hours > 0 || config_.retrain_every_samples > 0,
+      "at least one retrain trigger must be enabled");
+}
+
+bool RetrainScheduler::due(std::uint64_t total_samples,
+                           std::int64_t last_hour) const {
+  if (marked_ && config_.strategy == Strategy::kFixed) return false;
+  if (config_.retrain_every_samples > 0 &&
+      total_samples >= marked_samples_ + config_.retrain_every_samples) {
+    return true;
+  }
+  if (config_.retrain_every_hours > 0 &&
+      last_hour >= marked_hour_ + config_.retrain_every_hours) {
+    return true;
+  }
+  return false;
+}
+
+void RetrainScheduler::mark(std::uint64_t total_samples,
+                            std::int64_t last_hour) {
+  marked_ = true;
+  marked_samples_ = total_samples;
+  marked_hour_ = std::max(marked_hour_, last_hour);
+}
+
+std::pair<std::int64_t, std::int64_t> RetrainScheduler::window_hours(
+    std::int64_t last_hour) const {
+  // The live watermark maps onto the paper's week grid: a node that has
+  // observed through `last_hour` is about to predict the week containing
+  // it, so that week is the test week and everything before it is fair
+  // training history.
+  const int test_week =
+      std::max(2, static_cast<int>(last_hour / 168) + 1);
+  const auto range =
+      training_range(config_.strategy, config_.replace_cycle_weeks, test_week);
+  return {static_cast<std::int64_t>(range.first) * 168,
+          static_cast<std::int64_t>(range.second) * 168};
+}
+
+}  // namespace hdd::pipeline

@@ -1,0 +1,71 @@
+// Retrain scheduling for the continuous model-update pipeline.
+//
+// The paper's Section V-B3 updating strategies decide *which* telemetry a
+// refreshed model trains on:
+//   fixed        — train once on week 1, never update;
+//   accumulation — retrain on all good samples seen so far;
+//   replacing    — every c weeks, retrain on only the last completed cycle.
+// This header is the one implementation of that stepping logic: the offline
+// simulation in update/strategies.cpp and the live background pipeline both
+// derive their training windows from training_range(), so the strategies
+// cannot drift apart. RetrainScheduler adds the *when*: a live loop retrains
+// on a wall-clock (telemetry-hour) interval or an ingested-sample count,
+// whichever fires first.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+
+namespace hdd::pipeline {
+
+enum class Strategy { kFixed, kAccumulation, kReplacing };
+
+// "fixed" / "accumulation" / "replacing".
+const char* strategy_name(Strategy s);
+
+// The training weeks a strategy uses before predicting test week
+// `test_week` (1-based weeks; test weeks run 2..last). Returns [from, to)
+// in weeks. For kReplacing, the last fully observed cycle of
+// `replace_cycle_weeks`; until one completes, everything observed so far.
+std::pair<int, int> training_range(Strategy s, int replace_cycle_weeks,
+                                   int test_week);
+
+struct SchedulerConfig {
+  Strategy strategy = Strategy::kAccumulation;
+  int replace_cycle_weeks = 1;  // c, for kReplacing
+
+  // Retrain triggers; 0 disables a trigger. Hours are telemetry hours (the
+  // store's sample clock), not host wall-clock, so offline replays and live
+  // ingest schedule identically.
+  std::int64_t retrain_every_hours = 168;
+  std::uint64_t retrain_every_samples = 0;
+};
+
+// Decides when a retrain cycle is due and which store window it trains on.
+// Single-threaded by contract (owned by the pipeline's control loop).
+class RetrainScheduler {
+ public:
+  explicit RetrainScheduler(SchedulerConfig config);
+
+  const SchedulerConfig& config() const { return config_; }
+
+  // True when either trigger has advanced past the last mark(). A fixed
+  // strategy never retrains once a generation has been marked.
+  bool due(std::uint64_t total_samples, std::int64_t last_hour) const;
+
+  // Records that a cycle ran (promoted or rejected) at this watermark.
+  void mark(std::uint64_t total_samples, std::int64_t last_hour);
+
+  // The strategy's training window as store hours [from_hour, to_hour),
+  // for a retrain at telemetry watermark `last_hour`.
+  std::pair<std::int64_t, std::int64_t> window_hours(
+      std::int64_t last_hour) const;
+
+ private:
+  SchedulerConfig config_;
+  bool marked_ = false;
+  std::uint64_t marked_samples_ = 0;
+  std::int64_t marked_hour_ = 0;
+};
+
+}  // namespace hdd::pipeline

@@ -8,6 +8,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 #include <fstream>
@@ -66,6 +67,9 @@ Server::Server(ShardEngine& engine, ServeOptions options)
                              "Samples accepted by the ingest endpoint.");
   m_http_ = &reg.counter("hdd_serve_http_requests_total",
                          "HTTP requests served (metrics scrapes, healthz).");
+  m_conns_rejected_ = &reg.counter(
+      "hdd_serve_connections_rejected_total",
+      "Connections refused at the --max-conns cap or on idle timeout.");
 }
 
 Server::~Server() { stop(); }
@@ -215,10 +219,34 @@ void Server::acceptor_loop() {
     m_connections_->inc();
     {
       std::lock_guard<std::mutex> lock(conn_mu_);
+      if (options_.max_conns > 0 && conn_fds_.size() >= options_.max_conns) {
+        // Over the cap: answer with a clean error frame instead of a
+        // silent drop, so well-behaved clients can back off and retry.
+        m_conns_rejected_->inc();
+        (void)send_all(fd, frame_payload(encode_error_response(
+                               Status::kError, "connection limit reached")));
+        ::close(fd);
+        continue;
+      }
       conn_fds_.push_back(fd);
       conn_threads_.emplace_back([this, fd] { connection_loop(fd); });
     }
   }
+}
+
+ssize_t Server::recv_idle(int fd, char* buf, std::size_t cap) {
+  if (options_.idle_timeout_ms > 0) {
+    pollfd p{};
+    p.fd = fd;
+    p.events = POLLIN;
+    const int rc = ::poll(&p, 1, options_.idle_timeout_ms);
+    if (rc == 0) {
+      m_conns_rejected_->inc();
+      return 0;  // idle expiry closes the connection like a peer hangup
+    }
+    if (rc < 0) return -1;
+  }
+  return ::recv(fd, buf, cap, 0);
 }
 
 void Server::connection_loop(int fd) {
@@ -227,7 +255,7 @@ void Server::connection_loop(int fd) {
   std::string first;
   char buf[4096];
   while (first.size() < 4) {
-    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    const ssize_t n = recv_idle(fd, buf, sizeof(buf));
     if (n <= 0) break;
     first.append(buf, static_cast<std::size_t>(n));
   }
@@ -268,7 +296,7 @@ void Server::handle_wire(int fd, const std::string& first) {
       if (!process_request(fd, payload)) return;
     }
     if (stopping_.load(std::memory_order_acquire)) return;
-    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    const ssize_t n = recv_idle(fd, buf, sizeof(buf));
     if (n <= 0) return;
     parser.feed(std::string_view(buf, static_cast<std::size_t>(n)));
   }
@@ -406,7 +434,12 @@ bool Server::process_request(int fd, std::string& payload) {
         merged.samples += per_shard[k].samples;
         merged.alarms += per_shard[k].alarms;
         merged.degraded = merged.degraded || per_shard[k].degraded;
+        merged.generation = std::max(merged.generation,
+                                     per_shard[k].generation);
+        merged.shadow_samples += per_shard[k].shadow_samples;
+        merged.shadow_divergence += per_shard[k].shadow_divergence;
       }
+      merged.last_outcome = last_outcome_.load(std::memory_order_relaxed);
       return send_all(fd, frame_payload(encode_stats_response(merged)));
     }
 
@@ -463,6 +496,21 @@ void Server::handle_http(int fd, const std::string& first) {
      << "Connection: close\r\n\r\n"
      << body;
   (void)send_all(fd, os.str());
+}
+
+bool Server::run_on_shard(std::size_t k, const std::function<void()>& task) {
+  Completion comp;
+  comp.pending = 1;
+  const bool posted = post(k, [&task, &comp] {
+    DoneGuard g{comp};
+    task();
+  });
+  if (!posted) {
+    comp.done();
+    return false;
+  }
+  comp.wait();
+  return true;
 }
 
 bool Server::post(std::size_t k, std::function<void()> task) {

@@ -52,6 +52,14 @@ struct ServeOptions {
   int port = 0;           // 0 = ephemeral (read the bound port with port())
   std::string port_file;  // if set, the bound port is written here on start
   std::size_t max_queue = 64;  // per-shard queued tasks before backpressure
+  // Open-connection cap (0 = unlimited). A connection over the cap gets a
+  // clean kError frame ("connection limit reached") and is closed — never
+  // a silent drop.
+  std::size_t max_conns = 0;
+  // Per-connection idle timeout (0 = none): a connection that sends no
+  // bytes for this long is closed. Bounds fd lifetime under clients that
+  // connect and stall.
+  int idle_timeout_ms = 0;
   // Registry rendered by GET /metrics; nullptr = obs::Registry::global().
   obs::Registry* metrics = nullptr;
 };
@@ -80,6 +88,18 @@ class Server {
   // drain workers, seal the journals.
   void stop();
 
+  // Runs `task` on shard k's worker thread and blocks until it finishes —
+  // how the retrain loop touches shard state (stores, training windows)
+  // without violating the one-thread-per-shard contract. Returns false
+  // (task not run) when the shard is crashed or closed.
+  bool run_on_shard(std::size_t k, const std::function<void()>& task);
+
+  // Pipeline status surfaced in stats responses (set by the retrain loop
+  // after each cycle; a pipeline::Outcome code).
+  void set_last_outcome(std::uint8_t outcome) {
+    last_outcome_.store(outcome, std::memory_order_relaxed);
+  }
+
  private:
   struct ShardWorker {
     std::thread thread;
@@ -104,6 +124,9 @@ class Server {
   bool process_request(int fd, std::string& payload);
   void handle_http(int fd, const std::string& first);
   bool send_all(int fd, std::string_view bytes);
+  // recv() guarded by the idle timeout: returns <= 0 on EOF, error, or
+  // idle expiry (like a peer hangup, the connection then closes).
+  ssize_t recv_idle(int fd, char* buf, std::size_t cap);
 
   ShardEngine& engine_;
   ServeOptions options_;
@@ -118,10 +141,12 @@ class Server {
   std::vector<int> conn_fds_;
   std::vector<std::thread> conn_threads_;
   std::mutex stop_mu_;
+  std::atomic<std::uint8_t> last_outcome_{0};
   obs::Counter* m_connections_;
   obs::Counter* m_requests_;
   obs::Counter* m_ingested_;
   obs::Counter* m_http_;
+  obs::Counter* m_conns_rejected_;
 };
 
 }  // namespace hdd::serve

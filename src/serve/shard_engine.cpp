@@ -1,9 +1,12 @@
 #include "serve/shard_engine.h"
 
+#include <algorithm>
 #include <filesystem>
 #include <span>
 
 #include "common/error.h"
+#include "common/log.h"
+#include "pipeline/pipeline.h"
 
 namespace fs = std::filesystem;
 
@@ -83,7 +86,42 @@ std::size_t ShardEngine::resume() {
       sh.index.emplace(fleet.serial(i), i);
     }
   }
+
+  // Generation reconciliation: a promotion journals shard by shard, so a
+  // crash mid-way leaves a prefix on generation N and the rest on N-1. The
+  // newest journaled record (same model text in every shard that has it)
+  // wins; lagging shards journal it and swap, restoring one fleet-wide
+  // model.
+  std::uint64_t newest = 0;
+  const store::GenerationRecord* best = nullptr;
+  for (Shard& sh : shards_) {
+    if (sh.runtime->swappable() == nullptr) continue;
+    const auto& rec = sh.runtime->store().latest_generation();
+    if (rec.has_value() && rec->generation > newest) {
+      newest = rec->generation;
+      best = &*rec;
+    }
+  }
+  if (best != nullptr) {
+    auto model = pipeline::load_generation_model(best->model_text);
+    for (Shard& sh : shards_) {
+      if (sh.runtime->swappable() == nullptr) continue;
+      if (sh.runtime->model_generation() >= newest) continue;
+      log_warn() << "serve: shard missed generation " << newest
+                 << " (crash mid-promotion); reconciling";
+      sh.runtime->store().append_generation(newest, best->model_text);
+      sh.runtime->swappable()->swap(model, newest);
+    }
+  }
   return replayed;
+}
+
+std::uint64_t ShardEngine::max_generation() const {
+  std::uint64_t g = 0;
+  for (const Shard& sh : shards_) {
+    g = std::max(g, sh.runtime->model_generation());
+  }
+  return g;
 }
 
 std::size_t ShardEngine::drive_index(Shard& shard, const std::string& serial) {
@@ -141,6 +179,10 @@ StatsResponse ShardEngine::shard_stats(std::size_t k) const {
   res.alarms = rt.fleet().alarm_count();
   res.degraded = rt.fleet().degraded();
   res.samples = rt.store().sample_count();
+  res.generation = rt.model_generation();
+  const auto sh = rt.fleet().shadow_stats();
+  res.shadow_samples = sh.samples;
+  res.shadow_divergence = sh.divergence;
   return res;
 }
 
@@ -152,6 +194,9 @@ StatsResponse ShardEngine::stats() const {
     res.samples += s.samples;
     res.alarms += s.alarms;
     res.degraded = res.degraded || s.degraded;
+    res.generation = std::max(res.generation, s.generation);
+    res.shadow_samples += s.shadow_samples;
+    res.shadow_divergence += s.shadow_divergence;
   }
   return res;
 }

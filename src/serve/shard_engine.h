@@ -54,8 +54,16 @@ class ShardEngine {
   // Stable serial -> shard routing (FNV-1a, identical across restarts).
   std::size_t shard_of(std::string_view serial) const;
 
-  // Replays every shard's journal; returns total samples replayed.
+  // Replays every shard's journal; returns total samples replayed. With a
+  // hot-swappable runtime, also reconciles model generations across shards:
+  // a crash mid-promotion journals the new generation into only a prefix of
+  // the shards, so the lagging shards re-journal and swap to the newest
+  // generation found anywhere — after resume, every shard scores with one
+  // well-defined model again.
   std::size_t resume();
+
+  // Newest promoted generation across shards (0 = seed model everywhere).
+  std::uint64_t max_generation() const;
 
   // Ingest one batch routed to shard k (every entry's serial must hash
   // there). Consecutive same-serial runs become single ingest_drive

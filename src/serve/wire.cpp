@@ -155,12 +155,16 @@ std::string encode_query_response(const QueryResponse& r) {
 
 std::string encode_stats_response(const StatsResponse& r) {
   std::string out;
-  out.reserve(1 + 3 * 8 + 1);
+  out.reserve(1 + 6 * 8 + 2);
   put_u8(out, static_cast<std::uint8_t>(Status::kOk));
   put_u64(out, r.drives);
   put_u64(out, r.samples);
   put_u64(out, r.alarms);
   put_u8(out, r.degraded ? 1 : 0);
+  put_u64(out, r.generation);
+  put_u64(out, r.shadow_samples);
+  put_u64(out, r.shadow_divergence);
+  put_u8(out, r.last_outcome);
   return out;
 }
 
@@ -228,7 +232,9 @@ std::optional<StatsResponse> decode_stats_response(std::string_view payload) {
   StatsResponse res;
   if (!r.u8(status) || status != static_cast<std::uint8_t>(Status::kOk) ||
       !r.u64(res.drives) || !r.u64(res.samples) || !r.u64(res.alarms) ||
-      !r.u8(degraded)) {
+      !r.u8(degraded) || !r.u64(res.generation) ||
+      !r.u64(res.shadow_samples) || !r.u64(res.shadow_divergence) ||
+      !r.u8(res.last_outcome)) {
     return std::nullopt;
   }
   res.degraded = degraded != 0;

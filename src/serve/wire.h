@@ -19,7 +19,9 @@
 //                   journal_failed u64 | degraded u8
 //   query  ok body: known u8 [| alarmed u8 | alarm_hour i64 |
 //                   samples_seen i64 | last_hour i64]
-//   stats  ok body: drives u64 | samples u64 | alarms u64 | degraded u8
+//   stats  ok body: drives u64 | samples u64 | alarms u64 | degraded u8 |
+//                   generation u64 | shadow_samples u64 |
+//                   shadow_divergence u64 | last_outcome u8
 //   shutdown ok body: (empty)
 //
 // All integers little-endian, floats IEEE-754 bit patterns — identical
@@ -101,6 +103,13 @@ struct StatsResponse {
   std::uint64_t samples = 0;
   std::uint64_t alarms = 0;
   bool degraded = false;
+  // Update-pipeline status: the live model generation (max across shards;
+  // 0 = the seed model), shadow-scoring progress, and the last retrain
+  // cycle's pipeline::Outcome code (0 = no cycle has run).
+  std::uint64_t generation = 0;
+  std::uint64_t shadow_samples = 0;
+  std::uint64_t shadow_divergence = 0;
+  std::uint8_t last_outcome = 0;
 };
 
 std::string encode_ingest_response(const IngestResponse& r);

@@ -178,6 +178,17 @@ std::string encode_sample_record(std::uint32_t drive,
   return out;
 }
 
+std::string encode_generation_record(std::uint64_t generation,
+                                     std::string_view model_text) {
+  std::string out;
+  out.reserve(1 + 8 + 4 + model_text.size());
+  put_u8(out, static_cast<std::uint8_t>(RecordType::kGeneration));
+  put_u64(out, generation);
+  put_u32(out, static_cast<std::uint32_t>(model_text.size()));
+  out.append(model_text);
+  return out;
+}
+
 std::string frame_record(std::string_view payload) {
   std::string out;
   out.reserve(kFrameHeaderBytes + payload.size());
@@ -226,6 +237,16 @@ std::optional<DecodedRecord> decode_record(std::string_view payload) {
       if (!r.u32(bits)) return std::nullopt;
       v = std::bit_cast<float>(bits);
     }
+    return rec;
+  }
+  if (type == static_cast<std::uint8_t>(RecordType::kGeneration)) {
+    rec.type = RecordType::kGeneration;
+    std::uint32_t len = 0;
+    if (!r.u64(rec.generation) || !r.u32(len) || !r.remaining(len) ||
+        r.pos + len != payload.size()) {
+      return std::nullopt;
+    }
+    rec.model_text.assign(payload.substr(r.pos, len));
     return rec;
   }
   return std::nullopt;

@@ -10,6 +10,8 @@
 //   payload  = type u8 | body
 //     type 1 (drive registration): id u32 | serial_len u16 | serial bytes
 //     type 2 (SMART sample):       drive u32 | hour i64 | 12 x f32 attrs
+//     type 3 (model generation):   generation u64 | model_len u32 | model
+//                                  bytes (core/model_io text serialization)
 //
 // All integers are little-endian; floats are IEEE-754 bit patterns. The
 // codec lives in its own header so tests can craft corrupt segments
@@ -40,7 +42,11 @@ inline constexpr std::uint32_t kMaxPayloadBytes = 1u << 20;
 // segments may still be on disk if the process died before unlinking them).
 inline constexpr std::uint32_t kSegCompacted = 1u << 0;
 
-enum class RecordType : std::uint8_t { kDrive = 1, kSample = 2 };
+enum class RecordType : std::uint8_t {
+  kDrive = 1,
+  kSample = 2,
+  kGeneration = 3,
+};
 
 // CRC-32 (IEEE 802.3, reflected 0xEDB88320), the checksum of zlib/gzip.
 // Computed slice-by-8 (eight table lookups per 8 input bytes); the values
@@ -86,6 +92,11 @@ std::optional<SegmentHeader> decode_segment_header(std::string_view bytes);
 std::string encode_drive_record(std::uint32_t id, std::string_view serial);
 std::string encode_sample_record(std::uint32_t drive,
                                  const smart::Sample& sample);
+// A promoted model: its generation number plus its full serialized text.
+// The update pipeline journals one of these atomically with each hot-swap
+// so kill -> resume restores the promoted model byte-identically.
+std::string encode_generation_record(std::uint64_t generation,
+                                     std::string_view model_text);
 
 // Wraps a payload in a length + CRC frame.
 std::string frame_record(std::string_view payload);
@@ -103,8 +114,10 @@ inline constexpr std::size_t kSampleFrameBytes =
 struct DecodedRecord {
   RecordType type = RecordType::kSample;
   std::uint32_t drive = 0;
-  std::string serial;     // kDrive only
-  smart::Sample sample;   // kSample only
+  std::string serial;       // kDrive only
+  smart::Sample sample;     // kSample only
+  std::uint64_t generation = 0;  // kGeneration only
+  std::string model_text;        // kGeneration only
 };
 
 // nullopt on an unknown type or a body that does not match its type's

@@ -107,6 +107,7 @@ void TelemetryStore::recover() {
   drives_.clear();
   drive_segments_.clear();
   by_serial_.clear();
+  generation_.reset();
   recovery_ = {};
   next_seq_ = 1;
 
@@ -248,7 +249,7 @@ bool TelemetryStore::scan_segment(Segment& seg) {
 }
 
 void TelemetryStore::apply_record(std::string_view payload, Segment& seg) {
-  const auto rec = decode_record(payload);
+  auto rec = decode_record(payload);
   if (!rec) {
     ++recovery_.records_dropped;  // unknown type / malformed body
     m_rec_record_dropped_->inc();
@@ -267,6 +268,16 @@ void TelemetryStore::apply_record(std::string_view payload, Segment& seg) {
       ++recovery_.records_dropped;  // id/serial mismatch
       m_rec_record_dropped_->inc();
     }
+    return;
+  }
+  if (rec->type == RecordType::kGeneration) {
+    // Highest generation wins: promotions are journaled in order, but a
+    // compacted segment replays its (single, latest) record first.
+    if (!generation_ || rec->generation >= generation_->generation) {
+      generation_ = GenerationRecord{rec->generation,
+                                     std::move(rec->model_text)};
+    }
+    ++recovery_.records_recovered;
     return;
   }
   if (rec->drive >= drives_.size()) {
@@ -474,6 +485,19 @@ void TelemetryStore::append_batch(std::uint32_t drive,
   }
 }
 
+void TelemetryStore::append_generation(std::uint64_t generation,
+                                       std::string_view model_text) {
+  const std::size_t payload_bytes = 1 + 8 + 4 + model_text.size();
+  if (payload_bytes > kMaxPayloadBytes) {
+    throw DataError("telemetry store: serialized model too large for a "
+                    "generation record (" +
+                    std::to_string(model_text.size()) + " bytes)");
+  }
+  write_frame(encode_generation_record(generation, model_text));
+  flush();  // a promotion must be durable before the in-memory swap
+  generation_ = GenerationRecord{generation, std::string(model_text)};
+}
+
 void TelemetryStore::flush() {
   if (out_ == nullptr) return;
   const auto s = retryer_.run("fsync segment", [&] { return out_->sync(); });
@@ -572,6 +596,10 @@ TelemetryStore::CompactionResult TelemetryStore::write_compacted(
   put(encode_segment_header(seq, kSegCompacted));
   for (std::uint32_t id = 0; id < drives_.size(); ++id) {
     put(frame_record(encode_drive_record(id, drives_[id].serial)));
+  }
+  if (generation_) {
+    put(frame_record(encode_generation_record(generation_->generation,
+                                              generation_->model_text)));
   }
   CompactionResult res;
   scan([&](std::uint32_t drive, const smart::Sample& s) {

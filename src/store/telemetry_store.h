@@ -80,6 +80,13 @@ struct DriveInfo {
   std::int64_t last_hour = -1;
 };
 
+// The promoted model the log knows about: generation number + serialized
+// model text (core/model_io format). Highest generation wins on recovery.
+struct GenerationRecord {
+  std::uint64_t generation = 0;
+  std::string model_text;
+};
+
 class TelemetryStore {
  public:
   // Opens (creating the directory if needed) and recovers the log.
@@ -119,6 +126,19 @@ class TelemetryStore {
   // indexed (recovery truncates whatever prefix tore).
   void append_batch(std::uint32_t drive, const smart::Sample* samples,
                     std::size_t n);
+
+  // Journals a promoted model generation durably (frame + fsync): the
+  // update pipeline writes this record *before* hot-swapping the scorer, so
+  // a crash at any promotion step resumes to a well-defined generation.
+  // Throws DataError when the serialized model exceeds kMaxPayloadBytes.
+  void append_generation(std::uint64_t generation,
+                         std::string_view model_text);
+
+  // Highest-generation record recovered or appended; nullopt when the log
+  // holds none.
+  const std::optional<GenerationRecord>& latest_generation() const {
+    return generation_;
+  }
 
   // Durable flush: fsyncs buffered appends to stable storage.
   void flush();
@@ -217,6 +237,7 @@ class TelemetryStore {
   // Segment seqs holding at least one sample of each drive (ascending).
   std::vector<std::vector<std::uint64_t>> drive_segments_;
   std::unordered_map<std::string, std::uint32_t> by_serial_;
+  std::optional<GenerationRecord> generation_;
   std::uint64_t next_seq_ = 1;
   mutable std::unique_ptr<io::File> out_;  // current segment writer (lazy)
   std::string batch_buf_;  // reused frame buffer for append_batch

@@ -11,15 +11,6 @@
 
 namespace hdd::update {
 
-const char* strategy_name(Strategy s) {
-  switch (s) {
-    case Strategy::kFixed: return "fixed";
-    case Strategy::kAccumulation: return "accumulation";
-    case Strategy::kReplacing: return "replacing";
-  }
-  return "?";
-}
-
 GeneratorTelemetrySource::GeneratorTelemetrySource(
     const sim::FleetConfig& fleet)
     : fleet_(&fleet),
@@ -91,26 +82,13 @@ std::size_t ingest_good_telemetry(const sim::FleetConfig& fleet,
 
 namespace {
 
-// The training weeks a strategy uses before predicting test week `w`
-// (1-based weeks; test weeks run 2..last). Returns [from, to) in weeks.
+// One implementation of the strategy stepping, shared with the live
+// pipeline (pipeline/scheduler.h): the weeks a strategy trains on before
+// predicting `test_week`, as [from, to).
 std::pair<int, int> training_range(const LongTermConfig& config,
                                    int test_week) {
-  switch (config.strategy) {
-    case Strategy::kFixed:
-      return {0, 1};
-    case Strategy::kAccumulation:
-      return {0, test_week - 1};
-    case Strategy::kReplacing: {
-      const int c = config.replace_cycle_weeks;
-      // Use the last fully observed cycle; until one completes, fall back
-      // to everything observed so far (only past weeks — never the test
-      // week itself).
-      const int completed = (test_week - 1) / c;
-      if (completed == 0) return {0, test_week - 1};
-      return {(completed - 1) * c, completed * c};
-    }
-  }
-  return {0, 1};
+  return pipeline::training_range(config.strategy, config.replace_cycle_weeks,
+                                  test_week);
 }
 
 }  // namespace

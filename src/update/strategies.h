@@ -19,6 +19,7 @@
 
 #include "data/training.h"
 #include "eval/detection.h"
+#include "pipeline/scheduler.h"
 #include "sim/generator.h"
 
 namespace hdd::store {
@@ -27,9 +28,11 @@ class TelemetryStore;
 
 namespace hdd::update {
 
-enum class Strategy { kFixed, kAccumulation, kReplacing };
-
-const char* strategy_name(Strategy s);
+// The strategy enum and its week-stepping logic live in pipeline/ (the live
+// background retrain loop shares them); this simulation is the synchronous-
+// clock client of the same implementation.
+using Strategy = pipeline::Strategy;
+using pipeline::strategy_name;
 
 // Trains a sample-level model from a weighted matrix. Lets the simulation
 // drive CT, RT, BP ANN, forests... uniformly.

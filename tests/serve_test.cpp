@@ -8,6 +8,7 @@
 // kill -> restart -> resume property test under injected crash points.
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cstdint>
 #include <filesystem>
 #include <string>
@@ -417,6 +418,65 @@ TEST_F(ServeTest, ServerRejectsMalformedFrame) {
   // A valid frame whose payload is not a request: error response + close.
   const std::string reply = client.roundtrip(frame_payload("\x7fgarbage"));
   EXPECT_EQ(decode_status(reply), Status::kBadRequest);
+  server.stop();
+}
+
+TEST_F(ServeTest, ServerMaxConnsRejectsWithCleanErrorFrame) {
+  ShardEngine engine(engine_config(base_dir_ / "s", 1, &scorer_, nullptr));
+  obs::Registry reg;
+  ServeOptions so;
+  so.metrics = &reg;
+  so.max_conns = 1;
+  Server server(engine, so);
+  server.start();
+
+  Client first;
+  first.connect("127.0.0.1", server.port());
+  // Prove the slot is actually held by a served connection.
+  EXPECT_EQ(first.ingest(batch_for_drive(0, 0, 4)).accepted, 4u);
+
+  // The second connection is answered with an error frame, then closed —
+  // not silently dropped.
+  Client second;
+  second.connect("127.0.0.1", server.port());
+  const std::string reply =
+      second.roundtrip(frame_payload(encode_stats_request()));
+  EXPECT_EQ(decode_status(reply), Status::kError);
+  EXPECT_EQ(reg.counter("hdd_serve_connections_rejected_total", "").value(),
+            1u);
+
+  // The served connection keeps working throughout.
+  EXPECT_EQ(first.ingest(batch_for_drive(0, 4, 8)).accepted, 4u);
+  server.stop();
+}
+
+TEST_F(ServeTest, ServerIdleTimeoutClosesStaleConnections) {
+  ShardEngine engine(engine_config(base_dir_ / "s", 1, &scorer_, nullptr));
+  obs::Registry reg;
+  ServeOptions so;
+  so.metrics = &reg;
+  so.idle_timeout_ms = 50;
+  Server server(engine, so);
+  server.start();
+
+  Client client;
+  client.connect("127.0.0.1", server.port());
+  EXPECT_EQ(client.ingest(batch_for_drive(0, 0, 4)).accepted, 4u);
+  // Go idle past the timeout: the server reaps the connection (counted),
+  // and the next request on it fails instead of hanging.
+  const auto& reaped =
+      reg.counter("hdd_serve_connections_rejected_total", "");
+  for (int i = 0; i < 100 && reaped.value() == 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_GE(reaped.value(), 1u);
+  EXPECT_THROW((void)client.roundtrip(frame_payload(encode_stats_request())),
+               DataError);
+
+  // A fresh connection still gets served.
+  Client again;
+  again.connect("127.0.0.1", server.port());
+  EXPECT_EQ(again.stats().samples, 4u);
   server.stop();
 }
 

@@ -2,7 +2,8 @@
 # Machine-readable micro-benchmark runner: builds and runs the micro_*
 # google-benchmark binaries (micro_perf: fleet scoring, micro_lint: static
 # verifier, micro_obs: metrics instrumentation, micro_io: the Env seam,
-# micro_serve: the daemon ingest path) and merges their JSON output into
+# micro_serve: the daemon ingest path, micro_pipeline: hot-swap publish
+# and shadow-scoring overhead) and merges their JSON output into
 # one flat BENCH_obs.json — an array of {name, value, unit} objects,
 # `value` being real (wall) time per iteration; benchmarks that report a
 # throughput get a second <name>/items_per_second row. CI diffs this file
@@ -11,7 +12,9 @@
 # §7, the io entries for the <=3% Env-indirection budget in DESIGN.md §8
 # (BM_EnvAppend vs BM_DirectAppend), and the serve entries for the >= 1M
 # sustained samples/s ingest bar in DESIGN.md §9
-# (BM_ServeLoopbackIngest).
+# (BM_ServeLoopbackIngest), and the pipeline entries for the <= 10%
+# shadow-scoring overhead bound in DESIGN.md §10 (BM_FleetObserveShadow
+# vs BM_FleetObserve).
 #
 # Usage: tools/bench.sh [--out FILE] [--build-dir DIR] [--filter REGEX]
 set -euo pipefail
@@ -32,7 +35,8 @@ done
 
 cmake -B "${BUILD_DIR}" -S . > /dev/null
 cmake --build "${BUILD_DIR}" -j "$(nproc)" \
-    --target micro_perf micro_lint micro_obs micro_io micro_serve
+    --target micro_perf micro_lint micro_obs micro_io micro_serve \
+    micro_pipeline
 
 TMP="$(mktemp -d)"
 trap 'rm -rf "${TMP}"' EXIT
@@ -56,9 +60,10 @@ run_bench micro_lint "${TMP}/lint.json" 'BM_VerifyTree/20000|BM_VerifyForest/64'
 run_bench micro_obs  "${TMP}/obs.json"  ''
 run_bench micro_io   "${TMP}/io.json"   ''
 run_bench micro_serve "${TMP}/serve.json" ''
+run_bench micro_pipeline "${TMP}/pipeline.json" ''
 
 python3 - "${OUT}" "${TMP}/perf.json" "${TMP}/lint.json" "${TMP}/obs.json" \
-    "${TMP}/io.json" "${TMP}/serve.json" <<'PY'
+    "${TMP}/io.json" "${TMP}/serve.json" "${TMP}/pipeline.json" <<'PY'
 import json
 import sys
 

@@ -49,6 +49,9 @@ run_config() {
   echo "=== ctest ${build_dir} (label: serve) ==="
   ctest --test-dir "${build_dir}" --output-on-failure -j "${JOBS}" \
       -L serve
+  echo "=== ctest ${build_dir} (label: pipeline) ==="
+  ctest --test-dir "${build_dir}" --output-on-failure -j "${JOBS}" \
+      -L pipeline
 }
 
 # End-to-end smoke of the metrics pipeline: generate -> train -> ingest ->
@@ -128,9 +131,42 @@ serve_smoke() {
   echo "=== serve smoke passed ==="
 }
 
+# End-to-end smoke of the continuous-update pipeline: ingest a fleet into
+# a store, run one forced autoretrain cycle against it, and assert the
+# promoted generation shows up both in the CLI summary and as the
+# hdd_pipeline_generation gauge in the metrics dump.
+pipeline_smoke() {
+  local build_dir="$1"
+  local tmp
+  tmp="$(mktemp -d)"
+  trap 'rm -rf "${tmp}"' RETURN
+  local bin="${build_dir}/tools/hddpredict"
+  echo "=== pipeline smoke (${bin}) ==="
+  "${bin}" generate --out "${tmp}/fleet.csv" --scale 0.02 --family W \
+      --seed 11 --interval 2 > /dev/null
+  "${bin}" train --data "${tmp}/fleet.csv" --model "${tmp}/m.tree" \
+      > /dev/null
+  "${bin}" ingest --store "${tmp}/store" --data "${tmp}/fleet.csv" \
+      > /dev/null
+  "${bin}" autoretrain --store "${tmp}/store" --model "${tmp}/m.tree" \
+      --failed-data "${tmp}/fleet.csv" --cycles 1 \
+      --metrics-out "${tmp}/metrics.txt" > "${tmp}/out.txt"
+  grep -q "generation 0 -> 1" "${tmp}/out.txt" || {
+    echo "pipeline smoke FAILED: no generation bump in CLI summary" >&2
+    cat "${tmp}/out.txt" >&2
+    return 1
+  }
+  grep -q "^hdd_pipeline_generation 1" "${tmp}/metrics.txt" || {
+    echo "pipeline smoke FAILED: hdd_pipeline_generation gauge not 1" >&2
+    return 1
+  }
+  echo "=== pipeline smoke passed ==="
+}
+
 run_config build
 obs_smoke build
 serve_smoke build
+pipeline_smoke build
 if [[ "${FAST}" == "1" ]]; then
   echo "=== fast check passed (plain only) ==="
   exit 0
@@ -139,14 +175,15 @@ run_config build-asan -DHDD_SANITIZE=address
 run_config build-ubsan -DHDD_SANITIZE=undefined
 
 # ThreadSanitizer over the concurrency surfaces: the sharded-atomic
-# counters and the multi-threaded serve daemon both claim TSan-clean, so
-# hold them to that.
+# counters, the multi-threaded serve daemon and the hot-swap/shadow path
+# of the update pipeline all claim TSan-clean, so hold them to that.
 echo "=== configure build-tsan (-DHDD_SANITIZE=thread) ==="
 cmake -B build-tsan -S . -DHDD_SANITIZE=thread
-echo "=== build build-tsan (obs_test serve_test) ==="
-cmake --build build-tsan -j "${JOBS}" --target obs_test serve_test
-echo "=== ctest build-tsan (labels: obs serve) ==="
+echo "=== build build-tsan (obs_test serve_test pipeline_test retrain_loop_test) ==="
+cmake --build build-tsan -j "${JOBS}" \
+    --target obs_test serve_test pipeline_test retrain_loop_test
+echo "=== ctest build-tsan (labels: obs serve pipeline) ==="
 ctest --test-dir build-tsan --output-on-failure -j "${JOBS}" \
-    -L 'obs|serve'
+    -L 'obs|serve|pipeline'
 
-echo "=== all checks passed (plain + asan + ubsan + tsan-obs/serve) ==="
+echo "=== all checks passed (plain + asan + ubsan + tsan-obs/serve/pipeline) ==="

@@ -33,6 +33,7 @@
 #include <algorithm>
 #include <cstdint>
 #include <iostream>
+#include <memory>
 #include <optional>
 #include <string>
 #include <utility>
@@ -54,8 +55,10 @@
 #include "io/shutdown.h"
 #include "obs/exposition.h"
 #include "obs/metrics.h"
+#include "pipeline/pipeline.h"
 #include "reliability/raid.h"
 #include "serve/client.h"
+#include "serve/retrain_loop.h"
 #include "serve/server.h"
 #include "serve/shard_engine.h"
 #include "sim/generator.h"
@@ -427,6 +430,82 @@ core::QuarantinePolicy parse_quarantine(const std::string& name) {
   return core::QuarantinePolicy::kNonFinite;
 }
 
+pipeline::Strategy parse_strategy(const std::string& name) {
+  if (name == "fixed") return pipeline::Strategy::kFixed;
+  if (name == "replacing") return pipeline::Strategy::kReplacing;
+  return pipeline::Strategy::kAccumulation;
+}
+
+// Shared by `autoretrain` and `serve --retrain-every`: scheduler, trainer
+// preset and guardrail rails from the common flag set.
+pipeline::PipelineConfig pipeline_config_from(const Args& args) {
+  pipeline::PipelineConfig pc;
+  pc.trainer = core::preset(args.get("preset"));
+  pc.trainer.vote.voters = args.get_int("voters");
+  pc.scheduler.strategy = parse_strategy(args.get("strategy"));
+  pc.scheduler.replace_cycle_weeks = args.get_int("replace-weeks");
+  pc.guardrail.max_far = args.get_double("max-far");
+  pc.guardrail.min_fdr = args.get_double("min-fdr");
+  return pc;
+}
+
+// The labeled failure records every retrain shares (the store's own drives
+// are the good population).
+std::vector<smart::DriveRecord> load_failed_pool(const std::string& path) {
+  auto fleet = data::load_csv_file(path);
+  std::vector<smart::DriveRecord> failed;
+  for (auto& d : fleet.drives) {
+    if (d.failed && !d.empty()) failed.push_back(std::move(d));
+  }
+  HDD_REQUIRE(!failed.empty(),
+              "--failed-data " + path + " holds no failed drives");
+  return failed;
+}
+
+int cmd_autoretrain(const Args& args) {
+  // Offline single-store pipeline: the journal is the good population;
+  // every cycle is forced (an operator said "retrain now"), but the lint
+  // and FAR/FDR gates still decide whether anything is promoted.
+  core::FleetRuntimeConfig rc;
+  rc.model_path = args.get("model");
+  rc.store_dir = args.get("store");
+  rc.vote.voters = args.get_int("voters");
+  rc.hot_swappable = true;
+  core::FleetRuntime runtime(rc);
+  const std::uint64_t start_gen = runtime.model_generation();
+
+  pipeline::PipelineConfig pc = pipeline_config_from(args);
+  pc.scheduler.retrain_every_hours = args.get_int("every-hours");
+  pc.scheduler.retrain_every_samples = args.get_uint64("every-samples");
+  pipeline::UpdatePipeline pipe(*runtime.swappable(), runtime.store(),
+                                load_failed_pool(args.get("failed-data")),
+                                pc);
+
+  const int cycles = args.get_int("cycles");
+  Table t({"cycle", "outcome", "generation", "val FAR (%)", "val FDR (%)",
+           "detail"});
+  for (int c = 0; c < cycles; ++c) {
+    const auto r = pipe.run_cycle(/*force=*/true);
+    t.row()
+        .cell(static_cast<long long>(c + 1))
+        .cell(pipeline::outcome_name(r.outcome))
+        .cell(static_cast<long long>(r.generation))
+        .cell(100 * r.val_far, 3)
+        .cell(100 * r.val_fdr, 2)
+        .cell(r.reason);
+  }
+  t.print(std::cout);
+  std::cout << "generation " << start_gen << " -> "
+            << runtime.model_generation() << " (journaled in "
+            << args.get("store") << ")\n";
+  if (args.has("out")) {
+    core::save_scorer_file(*runtime.swappable()->current(), args.get("out"));
+    std::cout << "live model written to " << args.get("out") << '\n';
+  }
+  runtime.seal();
+  return 0;
+}
+
 int cmd_serve(const Args& args) {
   // The daemon is the metrics consumer (GET /metrics), so the registry
   // runs hot even without --metrics-out.
@@ -443,6 +522,19 @@ int cmd_serve(const Args& args) {
   }
   ec.runtime.store.fsync_appends = args.get("fsync") == "always";
 
+  // Continuous update: any retrain trigger makes the shards hot-swappable
+  // and starts the background RetrainLoop after the server is up.
+  const std::int64_t retrain_every = args.get_int("retrain-every");
+  const std::uint64_t retrain_samples = args.get_uint64("retrain-samples");
+  const bool retraining = retrain_every > 0 || retrain_samples > 0;
+  if (retraining && !args.has("failed-data")) {
+    throw cli::UsageError("--retrain-every/--retrain-samples need "
+                          "--failed-data (the labeled failure pool)");
+  }
+  // Always swappable: a restart without retrain flags must still restore
+  // and reconcile whatever generation a previous daemon promoted.
+  ec.runtime.hot_swappable = true;
+
   serve::ShardEngine engine(ec);
   const std::size_t replayed = engine.resume();
 
@@ -450,18 +542,34 @@ int cmd_serve(const Args& args) {
   so.host = args.get("host");
   so.port = args.get_int("port");
   if (args.has("port-file")) so.port_file = args.get("port-file");
+  so.max_conns = static_cast<std::size_t>(args.get_int("max-conns"));
+  so.idle_timeout_ms = args.get_int("idle-timeout-ms");
 
   serve::Server server(engine, so);
+  std::unique_ptr<serve::RetrainLoop> loop;
+  if (retraining) {
+    serve::RetrainLoopConfig lc;
+    lc.pipeline = pipeline_config_from(args);
+    lc.pipeline.scheduler.retrain_every_hours = retrain_every;
+    lc.pipeline.scheduler.retrain_every_samples = retrain_samples;
+    lc.pipeline.min_shadow_samples = args.get_uint64("min-shadow-samples");
+    lc.failed_pool = load_failed_pool(args.get("failed-data"));
+    loop = std::make_unique<serve::RetrainLoop>(engine, server, std::move(lc));
+  }
   server.start();
+  if (loop != nullptr) loop->start();
   std::cout << "serving " << ec.dir << " on " << so.host << ":"
             << server.port() << " (" << engine.shard_count()
-            << " shard(s), " << replayed << " samples resumed)\n"
+            << " shard(s), " << replayed << " samples resumed"
+            << (retraining ? ", retrain loop on" : "") << ")\n"
             << std::flush;
   server.wait();
+  if (loop != nullptr) loop->stop();
 
   const auto stats = engine.stats();
   std::cout << "served " << stats.drives << " drive(s), " << stats.samples
             << " samples on disk, " << stats.alarms << " alarm(s)"
+            << ", model generation " << engine.max_generation()
             << (stats.degraded ? " [degraded]" : "") << '\n';
   return 0;
 }
@@ -537,8 +645,15 @@ int cmd_client(const Args& args) {
   if (op == "stats") {
     const auto r = client.stats();
     std::cout << "drives " << r.drives << ", samples " << r.samples
-              << ", alarms " << r.alarms
-              << (r.degraded ? " [degraded]" : "") << '\n';
+              << ", alarms " << r.alarms << ", generation " << r.generation
+              << ", last retrain "
+              << pipeline::outcome_name(
+                     static_cast<pipeline::Outcome>(r.last_outcome));
+    if (r.shadow_samples > 0) {
+      std::cout << ", shadow " << r.shadow_divergence << "/"
+                << r.shadow_samples << " divergent";
+    }
+    std::cout << (r.degraded ? " [degraded]" : "") << '\n';
     return 0;
   }
   // op == "shutdown" (choice-validated)
@@ -611,6 +726,23 @@ cli::Registry build_registry() {
             ArgSpec::str("model", "F", /*required=*/true),
             ArgSpec::integer("voters", "N", "11")},
            cmd_replay});
+  reg.add({"autoretrain", "run forced retrain cycles against a store",
+           {ArgSpec::str("store", "DIR", /*required=*/true),
+            ArgSpec::str("model", "F", /*required=*/true),
+            ArgSpec::str("failed-data", "F", /*required=*/true),
+            ArgSpec::choice("preset", {"ct", "rt", "ann"}, "ct"),
+            ArgSpec::choice("strategy",
+                            {"fixed", "accumulation", "replacing"},
+                            "accumulation"),
+            ArgSpec::integer("replace-weeks", "C", "1"),
+            ArgSpec::integer("every-hours", "H", "168"),
+            ArgSpec::uint64("every-samples", "N", "0"),
+            ArgSpec::real("max-far", "X", "1.0"),
+            ArgSpec::real("min-fdr", "X", "0.0"),
+            ArgSpec::integer("voters", "N", "11"),
+            ArgSpec::integer("cycles", "N", "1"),
+            ArgSpec::str("out", "F")},
+           cmd_autoretrain});
   reg.add({"serve", "run the fleet-scoring daemon",
            {ArgSpec::str("store", "DIR", /*required=*/true),
             ArgSpec::str("model", "F", /*required=*/true),
@@ -622,7 +754,20 @@ cli::Registry build_registry() {
             ArgSpec::uint64("segment-bytes", "N", ""),
             ArgSpec::choice("quarantine", {"off", "nonfinite", "domain"},
                             "nonfinite"),
-            ArgSpec::choice("fsync", {"batch", "always"}, "batch")},
+            ArgSpec::choice("fsync", {"batch", "always"}, "batch"),
+            ArgSpec::integer("max-conns", "N", "0"),
+            ArgSpec::integer("idle-timeout-ms", "MS", "0"),
+            ArgSpec::integer("retrain-every", "H", "0"),
+            ArgSpec::uint64("retrain-samples", "N", "0"),
+            ArgSpec::str("failed-data", "F"),
+            ArgSpec::choice("preset", {"ct", "rt", "ann"}, "ct"),
+            ArgSpec::choice("strategy",
+                            {"fixed", "accumulation", "replacing"},
+                            "accumulation"),
+            ArgSpec::integer("replace-weeks", "C", "1"),
+            ArgSpec::real("max-far", "X", "1.0"),
+            ArgSpec::real("min-fdr", "X", "0.0"),
+            ArgSpec::uint64("min-shadow-samples", "N", "0")},
            cmd_serve});
   reg.add({"client", "talk to a running serve daemon",
            {ArgSpec::str("addr", "HOST:PORT", /*required=*/true),
