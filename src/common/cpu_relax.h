@@ -1,0 +1,22 @@
+// cpu_relax() — the polite way to spin.
+//
+// Inside a spin-wait loop the core should tell the CPU it is waiting:
+// x86's PAUSE de-pipelines the loop (cutting the memory-order mis-
+// speculation penalty when the awaited store lands and easing hyper-
+// thread contention), ARM's YIELD is the moral equivalent. On anything
+// else this compiles to nothing — the loop is still correct, just rude.
+#pragma once
+
+namespace hdd {
+
+inline void cpu_relax() noexcept {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#elif defined(__aarch64__) || defined(__arm__)
+  asm volatile("yield" ::: "memory");
+#else
+  // No architectural hint available; plain busy-wait.
+#endif
+}
+
+}  // namespace hdd

@@ -29,7 +29,7 @@ class CsvReader {
 
   // Reads the next record (which may span multiple physical lines if
   // quoted). Returns false at end of input.
-  bool read_row(std::vector<std::string>& cells);
+  [[nodiscard]] bool read_row(std::vector<std::string>& cells);
 
  private:
   std::istream& is_;

@@ -3,7 +3,8 @@
 #include <atomic>
 #include <cstdlib>
 #include <iostream>
-#include <mutex>
+
+#include "common/mutex.h"
 
 namespace hdd {
 
@@ -26,7 +27,9 @@ std::atomic<int>& level_store() {
   return level;
 }
 
-std::mutex g_mutex;
+// Serializes sink writes only (no guarded fields). Ranked as a leaf:
+// subsystems log while holding their own locks, never the reverse.
+Mutex g_mutex{lock_order::Rank::kLog, "log"};
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -56,7 +59,7 @@ LogLevel log_level() { return static_cast<LogLevel>(level_store().load()); }
 
 void log_message(LogLevel level, const std::string& message) {
   if (static_cast<int>(level) < level_store().load()) return;
-  std::lock_guard lock(g_mutex);
+  MutexLock lock(&g_mutex);
   std::cerr << '[' << level_name(level) << "] " << message << '\n';
 }
 

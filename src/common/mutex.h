@@ -1,0 +1,115 @@
+// hdd::Mutex / MutexLock / CondVar — annotated, rank-checked lock wrappers.
+//
+// Every mutex in the system goes through these instead of raw std::mutex,
+// which buys two enforced contracts for the price of one wrapper:
+//  * Clang thread-safety analysis (common/thread_annotations.h): the
+//    capability annotations make "which field needs which lock" a compile
+//    error under tools/static.sh.
+//  * The runtime lock-rank checker (common/lock_order.h): each Mutex names
+//    its Rank at construction; acquiring against the declared global order
+//    aborts with both stacks, in any compiler's build.
+//
+// CondVar wraps std::condition_variable_any so waits go through
+// Mutex::lock()/unlock() and the rank bookkeeping stays exact across the
+// sleep. Predicates are deliberately NOT taken as lambdas: clang's
+// analysis treats a lambda body as a separate unannotated function, so the
+// idiomatic form here is the explicit while-loop in the caller, where the
+// guarded reads are visibly under the capability.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+#include "common/lock_order.h"
+#include "common/thread_annotations.h"
+
+namespace hdd {
+
+class HDD_CAPABILITY("mutex") Mutex {
+ public:
+  // `name` labels rank-violation diagnostics; it must outlive the mutex
+  // (string literals in practice).
+  explicit Mutex(lock_order::Rank rank, const char* name)
+      : rank_(rank), name_(name) {}
+
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() HDD_ACQUIRE() {
+    // Rank check happens before blocking: a true inversion aborts with
+    // stacks instead of deadlocking inside std::mutex.
+    lock_order::note_acquire(rank_, this, name_);
+    mu_.lock();
+  }
+
+  void unlock() HDD_RELEASE() {
+    lock_order::note_release(rank_, this, name_);
+    mu_.unlock();
+  }
+
+  bool try_lock() HDD_TRY_ACQUIRE(true) {
+    if (!mu_.try_lock()) return false;
+    // A successful try_lock still participates in the hierarchy: ordering
+    // discipline is about what a thread may hold, not how it blocked.
+    lock_order::note_acquire(rank_, this, name_);
+    return true;
+  }
+
+  lock_order::Rank rank() const { return rank_; }
+  const char* name() const { return name_; }
+
+ private:
+  friend class CondVar;
+
+  std::mutex mu_;
+  lock_order::Rank rank_;
+  const char* name_;
+};
+
+// RAII scoped lock (the only way the codebase takes a Mutex).
+class HDD_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex* mu) HDD_ACQUIRE(mu) : mu_(mu) { mu_->lock(); }
+  ~MutexLock() HDD_RELEASE() { mu_->unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex* mu_;
+};
+
+// Condition variable over hdd::Mutex. wait() releases and reacquires the
+// mutex through Mutex::unlock()/lock(), so the lock-rank bookkeeping (and
+// clang's view of the held capability) survives the sleep.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void wait(Mutex& mu) HDD_REQUIRES(mu) { cv_.wait(mu); }
+
+  template <class Clock, class Duration>
+  std::cv_status wait_until(Mutex& mu,
+                            const std::chrono::time_point<Clock, Duration>& tp)
+      HDD_REQUIRES(mu) {
+    return cv_.wait_until(mu, tp);
+  }
+
+  template <class Rep, class Period>
+  std::cv_status wait_for(Mutex& mu,
+                          const std::chrono::duration<Rep, Period>& d)
+      HDD_REQUIRES(mu) {
+    return cv_.wait_for(mu, d);
+  }
+
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+ private:
+  std::condition_variable_any cv_;
+};
+
+}  // namespace hdd

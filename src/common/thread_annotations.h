@@ -1,0 +1,82 @@
+// Portable Clang thread-safety (capability) annotations.
+//
+// Under clang with -Wthread-safety (tools/static.sh turns it on with
+// -Werror), these macros make the codebase's lock discipline a compile-time
+// contract: HDD_GUARDED_BY names the mutex that must be held to touch a
+// field, HDD_REQUIRES the capability a function demands from its caller,
+// HDD_ACQUIRE/HDD_RELEASE the functions that take and drop it. Everywhere
+// else (GCC, MSVC) they expand to nothing, and the runtime lock-rank
+// checker (common/lock_order.h) enforces the dynamic half of the same
+// contract — the two detectors cover each other's blind spots.
+//
+// This header is the ONLY place HDD_NO_THREAD_SAFETY_ANALYSIS may be
+// defined; tools/static.sh fails the build if the escape hatch appears
+// anywhere else in the tree. Reference:
+// https://clang.llvm.org/docs/ThreadSafetyAnalysis.html
+#pragma once
+
+#if defined(__clang__) && !defined(SWIG)
+#define HDD_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define HDD_THREAD_ANNOTATION(x)  // no-op outside clang
+#endif
+
+// Type annotations --------------------------------------------------------
+
+// Marks a class as a capability (a lock). The string is the capability
+// kind shown in diagnostics ("mutex", "spinlock").
+#define HDD_CAPABILITY(x) HDD_THREAD_ANNOTATION(capability(x))
+
+// Marks an RAII class that acquires a capability in its constructor and
+// releases it in its destructor (MutexLock).
+#define HDD_SCOPED_CAPABILITY HDD_THREAD_ANNOTATION(scoped_lockable)
+
+// Field annotations -------------------------------------------------------
+
+// The declared field may only be read or written while holding `x`.
+#define HDD_GUARDED_BY(x) HDD_THREAD_ANNOTATION(guarded_by(x))
+
+// The pointed-to data (not the pointer itself) is guarded by `x`.
+#define HDD_PT_GUARDED_BY(x) HDD_THREAD_ANNOTATION(pt_guarded_by(x))
+
+// Function annotations ----------------------------------------------------
+
+// The caller must hold the listed capabilities (exclusively / shared).
+#define HDD_REQUIRES(...) \
+  HDD_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define HDD_REQUIRES_SHARED(...) \
+  HDD_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+
+// The function acquires / releases the listed capabilities. With no
+// argument (on a member of the capability class itself) they refer to
+// `this`.
+#define HDD_ACQUIRE(...) \
+  HDD_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define HDD_ACQUIRE_SHARED(...) \
+  HDD_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+#define HDD_RELEASE(...) \
+  HDD_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define HDD_RELEASE_SHARED(...) \
+  HDD_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+
+// The function acquires the capability only when it returns the given
+// value (try_lock).
+#define HDD_TRY_ACQUIRE(...) \
+  HDD_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+// The caller must NOT hold the listed capabilities (deadlock guard for
+// functions that acquire them internally).
+#define HDD_EXCLUDES(...) HDD_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+// Asserts (without acquiring) that the capability is held — for helper
+// functions called only with the lock already taken via an alias the
+// analysis cannot follow.
+#define HDD_ASSERT_CAPABILITY(x) HDD_THREAD_ANNOTATION(assert_capability(x))
+
+// The function returns a reference to the named capability (accessor).
+#define HDD_RETURN_CAPABILITY(x) HDD_THREAD_ANNOTATION(lock_returned(x))
+
+// Escape hatch: disables the analysis for one function. Must never appear
+// outside this header (tools/static.sh enforces zero uses in the tree).
+#define HDD_NO_THREAD_SAFETY_ANALYSIS \
+  HDD_THREAD_ANNOTATION(no_thread_safety_analysis)

@@ -28,7 +28,7 @@ ThreadPool::ThreadPool(std::size_t n_threads, obs::Registry* metrics) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(&mutex_);
     stopping_ = true;
   }
   cv_.notify_all();
@@ -39,7 +39,7 @@ std::future<void> ThreadPool::submit(std::function<void()> task) {
   std::packaged_task<void()> packaged(std::move(task));
   auto future = packaged.get_future();
   {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(&mutex_);
     HDD_ASSERT(!stopping_);
     tasks_.push(std::move(packaged));
   }
@@ -52,8 +52,8 @@ void ThreadPool::worker_loop() {
   for (;;) {
     std::packaged_task<void()> task;
     {
-      std::unique_lock lock(mutex_);
-      cv_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
+      MutexLock lock(&mutex_);
+      while (!stopping_ && tasks_.empty()) cv_.wait(mutex_);
       if (stopping_ && tasks_.empty()) return;
       task = std::move(tasks_.front());
       tasks_.pop();

@@ -5,14 +5,15 @@
 // times low without per-call thread churn.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <functional>
 #include <future>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace hdd::obs {
 class Counter;
@@ -53,10 +54,10 @@ class ThreadPool {
   void worker_loop();
 
   std::vector<std::thread> workers_;
-  std::queue<std::packaged_task<void()>> tasks_;
-  std::mutex mutex_;
-  std::condition_variable cv_;
-  bool stopping_ = false;
+  Mutex mutex_{lock_order::Rank::kPoolQueue, "pool-queue"};
+  CondVar cv_;
+  std::queue<std::packaged_task<void()>> tasks_ HDD_GUARDED_BY(mutex_);
+  bool stopping_ HDD_GUARDED_BY(mutex_) = false;
 
   obs::Counter* tasks_total_;     // tasks executed by workers
   obs::Gauge* queue_depth_;       // submitted, not yet dequeued

@@ -19,13 +19,47 @@
 // or shadow install per retrain cycle). The outgoing value always drops
 // outside the critical section so a model destructor can never stall
 // readers spinning on the lock.
+//
+// The spinlock is a declared capability: clang's -Wthread-safety proves
+// ptr_ is only touched under it, and it carries the terminal lock rank
+// (lock_order::Rank::kRcuSpin) — acquiring ANY lock while holding it is a
+// rank-checker abort, which is exactly the discipline a spin section
+// needs (nothing blocking may ever run inside it).
 #pragma once
 
 #include <atomic>
 #include <memory>
 #include <utility>
 
+#include "common/cpu_relax.h"
+#include "common/lock_order.h"
+#include "common/thread_annotations.h"
+
 namespace hdd::core {
+
+// Test-and-test-and-set spinlock with release-store unlock (see above).
+class HDD_CAPABILITY("spinlock") RcuSpinLock {
+ public:
+  void lock() HDD_ACQUIRE() {
+    lock_order::note_acquire(lock_order::Rank::kRcuSpin, this, "rcu-spin");
+    while (locked_.exchange(true, std::memory_order_acquire)) {
+      // Inner read-only spin: stay off the cache line's exclusive state,
+      // and tell the core it is waiting (PAUSE/YIELD) so the owner's
+      // release store lands without a mis-speculation flush.
+      while (locked_.load(std::memory_order_relaxed)) {
+        cpu_relax();
+      }
+    }
+  }
+
+  void unlock() HDD_RELEASE() {
+    lock_order::note_release(lock_order::Rank::kRcuSpin, this, "rcu-spin");
+    locked_.store(false, std::memory_order_release);
+  }
+
+ private:
+  std::atomic<bool> locked_{false};
+};
 
 template <typename T>
 class RcuSlot {
@@ -39,32 +73,24 @@ class RcuSlot {
   // Owning snapshot of the current value; safe to use across a
   // concurrent store().
   std::shared_ptr<T> load() const {
-    lock();
+    lock_.lock();
     std::shared_ptr<T> snap = ptr_;
-    unlock();
+    lock_.unlock();
     return snap;
   }
 
   // Publishes `next`; in-flight snapshots keep the old value alive.
   void store(std::shared_ptr<T> next) {
-    lock();
+    lock_.lock();
     ptr_.swap(next);
-    unlock();
+    lock_.unlock();
     // `next` now holds the outgoing value and destroys it here, after
     // the lock is released.
   }
 
  private:
-  void lock() const {
-    while (locked_.exchange(true, std::memory_order_acquire)) {
-      while (locked_.load(std::memory_order_relaxed)) {
-      }
-    }
-  }
-  void unlock() const { locked_.store(false, std::memory_order_release); }
-
-  mutable std::atomic<bool> locked_{false};
-  std::shared_ptr<T> ptr_;
+  mutable RcuSpinLock lock_;
+  std::shared_ptr<T> ptr_ HDD_GUARDED_BY(lock_);
 };
 
 }  // namespace hdd::core

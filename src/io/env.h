@@ -34,7 +34,10 @@ enum class ErrorClass { kNone, kTransient, kPermanent, kCorrupting };
 // "none" / "transient" / "permanent" / "corrupting".
 const char* error_class_name(ErrorClass c);
 
-struct IoStatus {
+// [[nodiscard]] on the type: every IoStatus-returning call, present and
+// future, warns when the status is dropped. Intentional discards say so
+// with a (void) cast at the call site.
+struct [[nodiscard]] IoStatus {
   ErrorClass cls = ErrorClass::kNone;
   int sys_errno = 0;       // errno when the failure came from a syscall
   std::string message;     // human-readable context ("fsync seg-01.log: ...")
@@ -117,7 +120,7 @@ class Env {
                                std::uint64_t size) = 0;
   virtual IoStatus file_size(const std::string& path,
                              std::uint64_t& out) const = 0;
-  virtual bool file_exists(const std::string& path) const = 0;
+  [[nodiscard]] virtual bool file_exists(const std::string& path) const = 0;
   // fsyncs the directory itself, making renames/creates inside it durable.
   virtual IoStatus sync_dir(const std::string& dir) = 0;
 
@@ -147,7 +150,7 @@ class EnvWrapper : public Env {
   IoStatus resize_file(const std::string& path, std::uint64_t size) override;
   IoStatus file_size(const std::string& path,
                      std::uint64_t& out) const override;
-  bool file_exists(const std::string& path) const override;
+  [[nodiscard]] bool file_exists(const std::string& path) const override;
   IoStatus sync_dir(const std::string& dir) override;
 
  private:

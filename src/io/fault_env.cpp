@@ -60,7 +60,7 @@ std::uint64_t FaultEnv::State::tick(const char* what) {
 void FaultEnv::State::record_fault(std::uint64_t op, const std::string& what) {
   faults.fetch_add(1);
   if (m_faults != nullptr) m_faults->inc();
-  const std::lock_guard<std::mutex> lock(log_mutex);
+  const MutexLock lock(&log_mutex);
   log.push_back("op " + std::to_string(op) + ": " + what);
 }
 
@@ -93,8 +93,10 @@ class FaultFile final : public File {
       if (plan.torn_crash && !data.empty()) {
         const std::size_t keep = static_cast<std::size_t>(
             state_->rng.bits(kTearLen, op) % data.size());
-        base_->append(data.substr(0, keep));
-        base_->flush();
+        // Best effort by design: the injected fault *is* the partial
+        // landing; the base env's own status is irrelevant here.
+        (void)base_->append(data.substr(0, keep));
+        (void)base_->flush();
         state_->record_fault(op, "crash tearing append to " + path_ +
                                      " at " + std::to_string(keep) + "/" +
                                      std::to_string(data.size()) + " bytes");
@@ -108,8 +110,8 @@ class FaultFile final : public File {
       const std::size_t keep = plan.enospc_after_bytes > written
           ? static_cast<std::size_t>(plan.enospc_after_bytes - written)
           : 0;
-      base_->append(data.substr(0, keep));
-      base_->flush();
+      (void)base_->append(data.substr(0, keep));
+      (void)base_->flush();
       state_->bytes_appended.store(plan.enospc_after_bytes);
       state_->record_fault(op, "ENOSPC tearing append to " + path_ + " at " +
                                    std::to_string(keep) + "/" +
@@ -129,8 +131,8 @@ class FaultFile final : public File {
         state_->rng.chance(plan.short_write_prob, kShortDraw, op)) {
       const std::size_t keep = static_cast<std::size_t>(
           state_->rng.bits(kShortLen, op) % data.size());
-      base_->append(data.substr(0, keep));
-      base_->flush();
+      (void)base_->append(data.substr(0, keep));
+      (void)base_->flush();
       state_->bytes_appended.fetch_add(keep);
       state_->record_fault(op, "short write to " + path_ + ": " +
                                    std::to_string(keep) + "/" +
@@ -156,7 +158,7 @@ class FaultFile final : public File {
     if (plan.fail_fsync_n != FaultPlan::kNever && n == plan.fail_fsync_n) {
       // The buffer still reaches the OS (this harness does not model page-
       // cache loss); only the durability barrier itself fails.
-      base_->flush();
+      (void)base_->flush();
       state_->record_fault(n, "injected fsync failure (" +
                                   std::string(error_class_name(
                                       plan.fsync_error)) +
@@ -198,7 +200,7 @@ FaultEnv::FaultEnv(Env& base, FaultPlan plan, obs::Registry* metrics)
 }
 
 std::vector<std::string> FaultEnv::fault_log() const {
-  const std::lock_guard<std::mutex> lock(state_->log_mutex);
+  const MutexLock lock(&state_->log_mutex);
   return state_->log;
 }
 

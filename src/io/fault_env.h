@@ -26,11 +26,12 @@
 #include <cstdint>
 #include <limits>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/rng.h"
+#include "common/thread_annotations.h"
 #include "io/env.h"
 
 namespace hdd::obs {
@@ -114,8 +115,8 @@ class FaultEnv final : public EnvWrapper {
     std::atomic<std::uint64_t> reads{0};
     std::atomic<bool> crashed{false};
     obs::Counter* m_faults = nullptr;
-    mutable std::mutex log_mutex;
-    std::vector<std::string> log;
+    mutable Mutex log_mutex{lock_order::Rank::kFaultLog, "fault-log"};
+    std::vector<std::string> log HDD_GUARDED_BY(log_mutex);
 
     explicit State(FaultPlan p) : plan(p), rng(p.seed) {}
 

@@ -105,7 +105,7 @@ Registry::Entry& Registry::find_or_create(MetricType type,
                 "label key '" + key + "' of metric '" + name +
                     "' is not Prometheus-compatible");
   }
-  std::lock_guard lock(mutex_);
+  MutexLock lock(&mutex_);
   for (const auto& e : entries_) {
     if (e->name != name || e->labels != labels) continue;
     HDD_REQUIRE(e->type == type,
@@ -152,14 +152,14 @@ Histogram& Registry::histogram(const std::string& name,
 }
 
 std::size_t Registry::size() const {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(&mutex_);
   return entries_.size();
 }
 
 Snapshot Registry::snapshot() const {
   Snapshot snap;
   {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(&mutex_);
     snap.metrics.reserve(entries_.size());
     for (const auto& e : entries_) {
       MetricSnapshot m;

@@ -30,10 +30,12 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace hdd::obs {
 
@@ -266,8 +268,10 @@ class Registry {
                         const std::string& help, Labels labels);
 
   std::atomic<bool> enabled_;
-  mutable std::mutex mutex_;
-  std::vector<std::unique_ptr<Entry>> entries_;  // stable addresses
+  mutable Mutex mutex_{lock_order::Rank::kObsRegistry, "obs-registry"};
+  // Entry pointers are stable: instruments hand out raw references that
+  // outlive the lock, so entries_ only ever grows.
+  std::vector<std::unique_ptr<Entry>> entries_ HDD_GUARDED_BY(mutex_);
 };
 
 }  // namespace hdd::obs

@@ -51,7 +51,8 @@ class RetrainScheduler {
 
   // True when either trigger has advanced past the last mark(). A fixed
   // strategy never retrains once a generation has been marked.
-  bool due(std::uint64_t total_samples, std::int64_t last_hour) const;
+  [[nodiscard]] bool due(std::uint64_t total_samples,
+                         std::int64_t last_hour) const;
 
   // Records that a cycle ran (promoted or rejected) at this watermark.
   void mark(std::uint64_t total_samples, std::int64_t last_hour);

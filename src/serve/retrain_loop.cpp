@@ -37,7 +37,7 @@ void RetrainLoop::start() {
 
 void RetrainLoop::stop() {
   {
-    std::lock_guard<std::mutex> lock(stop_mu_);
+    MutexLock lock(&stop_mu_);
     stop_requested_ = true;
     stop_cv_.notify_all();
   }
@@ -47,10 +47,16 @@ void RetrainLoop::stop() {
 void RetrainLoop::loop() {
   for (;;) {
     {
-      std::unique_lock<std::mutex> lock(stop_mu_);
-      stop_cv_.wait_for(lock,
-                        std::chrono::milliseconds(config_.poll_interval_ms),
-                        [&] { return stop_requested_; });
+      // Wait out the poll interval unless stop() interrupts it. The
+      // deadline is absolute so spurious wakeups don't extend the wait.
+      const auto deadline =
+          std::chrono::steady_clock::now() +
+          std::chrono::milliseconds(config_.poll_interval_ms);
+      MutexLock lock(&stop_mu_);
+      while (!stop_requested_ &&
+             stop_cv_.wait_until(stop_mu_, deadline) !=
+                 std::cv_status::timeout) {
+      }
       if (stop_requested_) return;
     }
     try {
@@ -64,13 +70,13 @@ void RetrainLoop::loop() {
 }
 
 pipeline::CycleResult RetrainLoop::last_result() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return last_;
 }
 
 void RetrainLoop::publish(const pipeline::CycleResult& r) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     last_ = r;
   }
   if (r.outcome != pipeline::Outcome::kSkipped) {

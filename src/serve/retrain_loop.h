@@ -25,14 +25,14 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "pipeline/pipeline.h"
 #include "smart/drive.h"
 
@@ -95,13 +95,13 @@ class RetrainLoop {
   double pending_far_ = 0.0;
   double pending_fdr_ = 0.0;
 
-  mutable std::mutex mu_;
-  pipeline::CycleResult last_;
+  mutable Mutex mu_{lock_order::Rank::kRetrainResult, "retrain-result"};
+  pipeline::CycleResult last_ HDD_GUARDED_BY(mu_);
 
   std::thread thread_;
-  std::mutex stop_mu_;
-  std::condition_variable stop_cv_;
-  bool stop_requested_ = false;
+  Mutex stop_mu_{lock_order::Rank::kRetrainStop, "retrain-stop"};
+  CondVar stop_cv_;
+  bool stop_requested_ HDD_GUARDED_BY(stop_mu_) = false;
 };
 
 }  // namespace hdd::serve

@@ -31,18 +31,18 @@ namespace {
 // run on every path out of a task, including CrashPoint unwinding, so the
 // tasks hold it in an RAII guard.
 struct Completion {
-  std::mutex mu;
-  std::condition_variable cv;
-  std::size_t pending = 0;
+  Mutex mu{lock_order::Rank::kServeCompletion, "serve-completion"};
+  CondVar cv;
+  std::size_t pending HDD_GUARDED_BY(mu) = 0;
 
   void done() {
-    std::lock_guard<std::mutex> lock(mu);
+    MutexLock lock(&mu);
     --pending;
     cv.notify_all();
   }
   void wait() {
-    std::unique_lock<std::mutex> lock(mu);
-    cv.wait(lock, [&] { return pending == 0; });
+    MutexLock lock(&mu);
+    while (pending != 0) cv.wait(mu);
   }
 };
 
@@ -144,7 +144,7 @@ void Server::wait() {
 }
 
 void Server::stop() {
-  std::lock_guard<std::mutex> lock(stop_mu_);
+  MutexLock lock(&stop_mu_);
   if (stopped_.load(std::memory_order_acquire)) return;
   stopping_.store(true, std::memory_order_release);
 
@@ -159,17 +159,21 @@ void Server::stop() {
   }
 
   // Kick every open connection out of recv(); their threads then unwind.
+  // The thread handles move out under the lock and join outside it — a
+  // connection thread's last act is re-taking conn_mu_ to deregister its
+  // fd, so joining under the lock would deadlock.
+  std::vector<std::thread> conn_threads;
   {
-    std::lock_guard<std::mutex> conn_lock(conn_mu_);
+    MutexLock conn_lock(&conn_mu_);
     for (const int fd : conn_fds_) (void)::shutdown(fd, SHUT_RDWR);
+    conn_threads.swap(conn_threads_);
   }
-  for (std::thread& t : conn_threads_) {
+  for (std::thread& t : conn_threads) {
     if (t.joinable()) t.join();
   }
-  conn_threads_.clear();
 
   for (const auto& w : workers_) {
-    std::lock_guard<std::mutex> wlock(w->mu);
+    MutexLock wlock(&w->mu);
     w->closed = true;
     w->cv_pop.notify_all();
     w->cv_push.notify_all();
@@ -218,7 +222,7 @@ void Server::acceptor_loop() {
     (void)setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
     m_connections_->inc();
     {
-      std::lock_guard<std::mutex> lock(conn_mu_);
+      MutexLock lock(&conn_mu_);
       if (options_.max_conns > 0 && conn_fds_.size() >= options_.max_conns) {
         // Over the cap: answer with a clean error frame instead of a
         // silent drop, so well-behaved clients can back off and retry.
@@ -267,7 +271,7 @@ void Server::connection_loop(int fd) {
     }
   }
   {
-    std::lock_guard<std::mutex> lock(conn_mu_);
+    MutexLock lock(&conn_mu_);
     for (std::size_t i = 0; i < conn_fds_.size(); ++i) {
       if (conn_fds_[i] == fd) {
         conn_fds_[i] = conn_fds_.back();
@@ -515,10 +519,10 @@ bool Server::run_on_shard(std::size_t k, const std::function<void()>& task) {
 
 bool Server::post(std::size_t k, std::function<void()> task) {
   ShardWorker& w = *workers_[k];
-  std::unique_lock<std::mutex> lock(w.mu);
-  w.cv_push.wait(lock, [&] {
-    return w.closed || w.crashed || w.queue.size() < options_.max_queue;
-  });
+  MutexLock lock(&w.mu);
+  while (!w.closed && !w.crashed && w.queue.size() >= options_.max_queue) {
+    w.cv_push.wait(w.mu);
+  }
   if (w.closed || w.crashed) return false;
   w.queue.push_back(std::move(task));
   w.cv_pop.notify_one();
@@ -530,8 +534,8 @@ void Server::worker_loop(std::size_t k) {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(w.mu);
-      w.cv_pop.wait(lock, [&] { return w.closed || !w.queue.empty(); });
+      MutexLock lock(&w.mu);
+      while (!w.closed && w.queue.empty()) w.cv_pop.wait(w.mu);
       if (w.queue.empty()) return;  // closed and fully drained
       task = std::move(w.queue.front());
       w.queue.pop_front();
@@ -543,7 +547,7 @@ void Server::worker_loop(std::size_t k) {
       // The fault plan "killed" this shard mid-write. Real crash-resume is
       // exercised by restarting the engine; here we just fence the shard
       // off so no post-crash writes contaminate its journal.
-      std::lock_guard<std::mutex> lock(w.mu);
+      MutexLock lock(&w.mu);
       w.crashed = true;
       w.cv_push.notify_all();
       log_warn() << "serve: shard " << k

@@ -28,15 +28,16 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace hdd::obs {
 class Counter;
@@ -92,7 +93,8 @@ class Server {
   // how the retrain loop touches shard state (stores, training windows)
   // without violating the one-thread-per-shard contract. Returns false
   // (task not run) when the shard is crashed or closed.
-  bool run_on_shard(std::size_t k, const std::function<void()>& task);
+  [[nodiscard]] bool run_on_shard(std::size_t k,
+                                  const std::function<void()>& task);
 
   // Pipeline status surfaced in stats responses (set by the retrain loop
   // after each cycle; a pipeline::Outcome code).
@@ -103,12 +105,13 @@ class Server {
  private:
   struct ShardWorker {
     std::thread thread;
-    std::mutex mu;
-    std::condition_variable cv_push;  // waiters: enqueuers (backpressure)
-    std::condition_variable cv_pop;   // waiters: the worker
-    std::deque<std::function<void()>> queue;
-    bool closed = false;
-    bool crashed = false;  // a CrashPoint escaped a task on this shard
+    Mutex mu{lock_order::Rank::kShardQueue, "shard-queue"};
+    CondVar cv_push;  // waiters: enqueuers (backpressure)
+    CondVar cv_pop;   // waiters: the worker
+    std::deque<std::function<void()>> queue HDD_GUARDED_BY(mu);
+    bool closed HDD_GUARDED_BY(mu) = false;
+    // A CrashPoint escaped a task on this shard.
+    bool crashed HDD_GUARDED_BY(mu) = false;
   };
 
   void acceptor_loop();
@@ -117,13 +120,13 @@ class Server {
   // Enqueues `task` on shard k's worker, blocking while the queue is full
   // (backpressure). Returns false — without running the task — when the
   // shard is crashed or closed.
-  bool post(std::size_t k, std::function<void()> task);
+  [[nodiscard]] bool post(std::size_t k, std::function<void()> task);
   void handle_wire(int fd, const std::string& first);
   // Handles one decoded request; returns false when the connection must
   // close.
-  bool process_request(int fd, std::string& payload);
+  [[nodiscard]] bool process_request(int fd, std::string& payload);
   void handle_http(int fd, const std::string& first);
-  bool send_all(int fd, std::string_view bytes);
+  [[nodiscard]] bool send_all(int fd, std::string_view bytes);
   // recv() guarded by the idle timeout: returns <= 0 on EOF, error, or
   // idle expiry (like a peer hangup, the connection then closes).
   ssize_t recv_idle(int fd, char* buf, std::size_t cap);
@@ -137,10 +140,10 @@ class Server {
   std::atomic<bool> stopped_{false};
   std::thread acceptor_;
   std::vector<std::unique_ptr<ShardWorker>> workers_;
-  std::mutex conn_mu_;
-  std::vector<int> conn_fds_;
-  std::vector<std::thread> conn_threads_;
-  std::mutex stop_mu_;
+  Mutex conn_mu_{lock_order::Rank::kServeConns, "serve-conns"};
+  std::vector<int> conn_fds_ HDD_GUARDED_BY(conn_mu_);
+  std::vector<std::thread> conn_threads_ HDD_GUARDED_BY(conn_mu_);
+  Mutex stop_mu_{lock_order::Rank::kServeStop, "serve-stop"};
   std::atomic<std::uint8_t> last_outcome_{0};
   obs::Counter* m_connections_;
   obs::Counter* m_requests_;

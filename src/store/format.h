@@ -65,17 +65,21 @@ void put_u64(std::string& out, std::uint64_t v);
 // Overwrites 4 bytes at `pos` (for length/CRC patched in after the fact).
 void patch_u32(std::string& out, std::size_t pos, std::uint32_t v);
 
-// Bounds-checked little-endian cursor over a payload.
+// Bounds-checked little-endian cursor over a payload. Every accessor's
+// return value is the bounds check — ignoring one reads garbage, hence
+// [[nodiscard]] throughout.
 struct Reader {
   std::string_view bytes;
   std::size_t pos = 0;
 
-  bool remaining(std::size_t n) const { return bytes.size() - pos >= n; }
+  [[nodiscard]] bool remaining(std::size_t n) const {
+    return bytes.size() - pos >= n;
+  }
 
-  bool u8(std::uint8_t& v);
-  bool u16(std::uint16_t& v);
-  bool u32(std::uint32_t& v);
-  bool u64(std::uint64_t& v);
+  [[nodiscard]] bool u8(std::uint8_t& v);
+  [[nodiscard]] bool u16(std::uint16_t& v);
+  [[nodiscard]] bool u32(std::uint32_t& v);
+  [[nodiscard]] bool u64(std::uint64_t& v);
 };
 
 struct SegmentHeader {

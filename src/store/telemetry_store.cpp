@@ -129,7 +129,7 @@ void TelemetryStore::recover() {
   for (const std::string& name : names) {
     const std::string path = (fs::path(dir_) / name).string();
     if (name.size() > 4 && name.compare(name.size() - 4, 4, ".tmp") == 0) {
-      env_->remove_file(path);  // interrupted compaction output
+      (void)env_->remove_file(path);  // interrupted compaction output
       m_rec_tmp_deleted_->inc();
       continue;
     }
@@ -137,7 +137,7 @@ void TelemetryStore::recover() {
     if (!seq) continue;
     std::uint64_t size = 0;
     if (env_->file_size(path, size).ok() && size == 0) {
-      env_->remove_file(path);  // crash before the header: nothing durable
+      (void)env_->remove_file(path);  // crash before the header: nothing durable
       m_rec_empty_deleted_->inc();
       continue;
     }
@@ -168,7 +168,9 @@ void TelemetryStore::recover() {
   }
   for (const Candidate& c : candidates) {
     if (c.seq < start_seq) {
-      env_->remove_file(c.path);
+      // Superseded by the compacted segment; a failed unlink is retried
+      // by the next recovery pass.
+      (void)env_->remove_file(c.path);
       continue;
     }
     Segment seg;
@@ -376,7 +378,7 @@ void TelemetryStore::write_frame(std::string_view payload) {
     // truncate any torn tail this append left behind.
     segments_.back().clean = false;
     m_sealed_->inc();
-    out_->flush();  // best effort: earlier complete frames reach the OS
+    (void)out_->flush();  // best effort: earlier complete frames reach the OS
     close_writer(/*strict=*/false);
     throw DataError("telemetry store: append to " + segments_.back().path +
                     " failed: " + s.message);
@@ -458,7 +460,7 @@ void TelemetryStore::append_batch(std::uint32_t drive,
       // this batch is indexed.
       seg->clean = false;
       m_sealed_->inc();
-      out_->flush();
+      (void)out_->flush();  // best effort: earlier complete frames reach the OS
       close_writer(/*strict=*/false);
       throw DataError("telemetry store: append to " + seg->path +
                       " failed: " + s.message);
@@ -545,7 +547,9 @@ void TelemetryStore::scan_range(
 }
 
 void TelemetryStore::scan(const SampleFn& fn) const {
-  if (out_ != nullptr) out_->flush();  // make buffered appends readable
+  // Best effort: a failed flush means readers see a shorter (still
+  // well-formed) log; append paths surface the error.
+  if (out_ != nullptr) (void)out_->flush();
   for (const Segment& seg : segments_) {
     scan_range(seg, [&fn](std::string_view payload) {
       const auto rec = decode_record(payload);
@@ -559,7 +563,7 @@ void TelemetryStore::scan(const SampleFn& fn) const {
 std::vector<smart::Sample> TelemetryStore::read_drive(
     std::uint32_t drive, std::int64_t from_hour, std::int64_t to_hour) const {
   HDD_REQUIRE(drive < drives_.size(), "drive id out of range");
-  if (out_ != nullptr) out_->flush();
+  if (out_ != nullptr) (void)out_->flush();  // best effort, as in scan()
   std::vector<smart::Sample> out;
   const auto& segs = drive_segments_[drive];
   for (const Segment& seg : segments_) {
@@ -626,7 +630,9 @@ TelemetryStore::CompactionResult TelemetryStore::write_compacted(
     throw DataError("telemetry store: cannot publish " + path_final + ": " +
                     s.message);
   }
-  env_->sync_dir(fs::path(path_final).parent_path().string());
+  // Best effort: until the directory entry is durable a crash falls back
+  // to the old generation, which stays fully intact — never a mix.
+  (void)env_->sync_dir(fs::path(path_final).parent_path().string());
   return res;
 }
 
@@ -640,7 +646,7 @@ TelemetryStore::CompactionResult TelemetryStore::compact(
   // The flagged segment is durable; unlinking the old generation can now
   // fail/crash at any point without losing the supersede guarantee.
   for (const Segment& seg : segments_) {
-    if (seg.seq < seq) env_->remove_file(seg.path);
+    if (seg.seq < seq) (void)env_->remove_file(seg.path);
   }
   recover();  // rebuild the index through the same path open uses
   return res;
@@ -661,7 +667,7 @@ TelemetryStore::CompactionResult TelemetryStore::snapshot_to(
     HDD_REQUIRE(!parse_segment_name(name).has_value(),
                 "snapshot destination already holds segments");
   }
-  if (out_ != nullptr) out_->flush();
+  if (out_ != nullptr) (void)out_->flush();  // best effort, as in scan()
   const fs::path final = fs::path(dest_dir) / (std::string(kSegmentPrefix) +
                                                "00000001" + kSegmentSuffix);
   return write_compacted(final.string() + ".tmp", final.string(), 1, min_hour);

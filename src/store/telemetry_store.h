@@ -87,6 +87,12 @@ struct GenerationRecord {
   std::string model_text;
 };
 
+// Concurrency contract: externally synchronized, single caller at a time —
+// no internal locking, deliberately. Serve pins each store to one shard
+// worker thread (ShardEngine), and the retrain loop reaches it only via
+// Server::run_on_shard, so every access is already serialized; a mutex here
+// would only hide violations of that design. The annotated-capability
+// subsystems (common/mutex.h) cover the genuinely shared state around it.
 class TelemetryStore {
  public:
   // Opens (creating the directory if needed) and recovers the log.
@@ -200,7 +206,7 @@ class TelemetryStore {
   void close_writer(bool strict);
   // Scans one segment file, applying records to the index. Returns false
   // when the header was unreadable.
-  bool scan_segment(Segment& seg);
+  [[nodiscard]] bool scan_segment(Segment& seg);
   void apply_record(std::string_view payload, Segment& seg);
   void ensure_writer();
   void write_frame(std::string_view payload);

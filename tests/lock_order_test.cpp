@@ -1,0 +1,190 @@
+// Tests for the runtime lock-rank checker (common/lock_order.h) and the
+// annotated hdd::Mutex wrappers it rides on (common/mutex.h).
+//
+// The violation tests are death tests: a rank inversion aborts the process
+// (with both acquisition stacks on stderr), so each one runs in a forked
+// child and asserts on the diagnostic. The clean-path tests run the real
+// serve/retrain-shaped nesting orders with the checker enabled and assert
+// silence — that pins the rank table in lock_order.h to the lock nesting
+// the system actually performs.
+#include "common/lock_order.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_pool.h"
+
+namespace hdd {
+namespace {
+
+using lock_order::Rank;
+
+// Flips the checker on for a scope and restores the previous state, so the
+// suite behaves the same in plain builds (checker default-off) and
+// sanitizer builds (default-on via HDD_LOCK_ORDER_CHECKS).
+class CheckerOn {
+ public:
+  CheckerOn() : was_(lock_order::enabled()) { lock_order::set_enabled(true); }
+  ~CheckerOn() { lock_order::set_enabled(was_); }
+
+ private:
+  bool was_;
+};
+
+TEST(LockOrderDeathTest, InversionAbortsWithBothStacks) {
+  testing::FLAGS_gtest_death_test_style = "threadsafe";
+  Mutex low{Rank::kServeStop, "low-rank"};
+  Mutex high{Rank::kLog, "high-rank"};
+  EXPECT_DEATH(
+      {
+        CheckerOn on;
+        MutexLock a(&high);  // rank 80 first...
+        MutexLock b(&low);   // ...then rank 10: inversion
+      },
+      "lock-rank violation");
+}
+
+TEST(LockOrderDeathTest, SameRankNestingAborts) {
+  testing::FLAGS_gtest_death_test_style = "threadsafe";
+  Mutex a{Rank::kShardQueue, "shard-a"};
+  Mutex b{Rank::kShardQueue, "shard-b"};
+  EXPECT_DEATH(
+      {
+        CheckerOn on;
+        MutexLock la(&a);
+        MutexLock lb(&b);  // equal ranks never nest
+      },
+      "lock-rank violation");
+}
+
+TEST(LockOrderDeathTest, ReentrantAcquisitionAborts) {
+  testing::FLAGS_gtest_death_test_style = "threadsafe";
+  Mutex mu{Rank::kObsRegistry, "reentrant"};
+  EXPECT_DEATH(
+      {
+        CheckerOn on;
+        mu.lock();
+        mu.lock();  // std::mutex would deadlock here; the checker aborts
+      },
+      "lock-rank violation");
+}
+
+TEST(LockOrderTest, AscendingAcquisitionIsSilent) {
+  CheckerOn on;
+  // The full hierarchy, outermost to leaf — the exact order stop()/worker/
+  // logging paths nest in production.
+  Mutex stop{Rank::kServeStop, "t-stop"};
+  Mutex conns{Rank::kServeConns, "t-conns"};
+  Mutex queue{Rank::kShardQueue, "t-queue"};
+  Mutex log{Rank::kLog, "t-log"};
+  {
+    MutexLock l1(&stop);
+    MutexLock l2(&conns);
+    MutexLock l3(&queue);
+    MutexLock l4(&log);
+    EXPECT_EQ(lock_order::held_count(), 4);
+  }
+  EXPECT_EQ(lock_order::held_count(), 0);
+}
+
+TEST(LockOrderTest, ReacquiringAfterReleaseIsSilent) {
+  CheckerOn on;
+  Mutex a{Rank::kServeConns, "t-a"};
+  Mutex b{Rank::kShardQueue, "t-b"};
+  // Dropping back down then climbing again is fine; only *held* ranks
+  // constrain the next acquisition.
+  for (int i = 0; i < 3; ++i) {
+    MutexLock la(&a);
+    MutexLock lb(&b);
+  }
+  { MutexLock la(&a); }
+  { MutexLock lb(&b); }
+  EXPECT_EQ(lock_order::held_count(), 0);
+}
+
+TEST(LockOrderTest, TryLockParticipates) {
+  CheckerOn on;
+  Mutex mu{Rank::kFaultLog, "t-try"};
+  ASSERT_TRUE(mu.try_lock());
+  EXPECT_EQ(lock_order::held_count(), 1);
+  mu.unlock();
+  EXPECT_EQ(lock_order::held_count(), 0);
+}
+
+TEST(LockOrderTest, DisabledCheckerIsInert) {
+  const bool was = lock_order::enabled();
+  lock_order::set_enabled(false);
+  Mutex low{Rank::kServeStop, "off-low"};
+  Mutex high{Rank::kLog, "off-high"};
+  {
+    // The same inversion that aborts when enabled: silently tolerated.
+    MutexLock a(&high);
+    MutexLock b(&low);
+    EXPECT_EQ(lock_order::held_count(), 0);  // no bookkeeping when off
+  }
+  lock_order::set_enabled(was);
+}
+
+TEST(LockOrderTest, PerThreadStacksAreIndependent) {
+  CheckerOn on;
+  // Two threads holding the same ranks concurrently is not nesting: the
+  // held-lock stack is thread-local.
+  Mutex a{Rank::kServeConns, "mt-a"};
+  Mutex b{Rank::kShardQueue, "mt-b"};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 100; ++i) {
+        MutexLock la(&a);
+        MutexLock lb(&b);
+      }
+      EXPECT_EQ(lock_order::held_count(), 0);
+    });
+  }
+  for (auto& t : threads) t.join();
+}
+
+TEST(LockOrderTest, CondVarWaitKeepsBookkeepingExact) {
+  CheckerOn on;
+  Mutex mu{Rank::kShardQueue, "cv-mu"};
+  CondVar cv;
+  bool ready = false;
+  std::thread waiter([&] {
+    MutexLock lock(&mu);
+    while (!ready) cv.wait(mu);
+    // Reacquired through Mutex::lock(): the checker still sees it held.
+    EXPECT_EQ(lock_order::held_count(), 1);
+  });
+  {
+    MutexLock lock(&mu);
+    ready = true;
+    cv.notify_one();
+  }
+  waiter.join();
+  EXPECT_EQ(lock_order::held_count(), 0);
+}
+
+TEST(LockOrderTest, ThreadPoolRunsCleanUnderChecker) {
+  CheckerOn on;
+  // The pool's queue mutex + the log mutex nesting inside submitted work is
+  // the common production shape; the checker must stay silent.
+  ThreadPool pool(4);
+  std::vector<std::future<void>> futs;
+  Mutex log{Rank::kLog, "pool-log"};
+  for (int i = 0; i < 64; ++i) {
+    futs.push_back(pool.submit([&] { MutexLock l(&log); }));
+  }
+  for (auto& f : futs) f.get();
+}
+
+TEST(LockOrderTest, RankNamesCoverTheTable) {
+  EXPECT_STREQ(lock_order::rank_name(Rank::kServeStop), "serve-stop");
+  EXPECT_STREQ(lock_order::rank_name(Rank::kRcuSpin), "rcu-spin");
+  EXPECT_STREQ(lock_order::rank_name(Rank::kLog), "log");
+}
+
+}  // namespace
+}  // namespace hdd

@@ -14,9 +14,14 @@
 # round trip, and a ThreadSanitizer build runs the `obs` and `serve`
 # labels (sharded counters and the multi-threaded daemon both claim
 # TSan-clean).
+# Before any build, tools/static.sh gates the concurrency contracts
+# (thread-safety-annotation suppression audit; clang -Wthread-safety and
+# clang-tidy concurrency-* when LLVM is installed). Sanitizer configs
+# compile with HDD_LOCK_ORDER_CHECKS, so the runtime lock-rank checker
+# (src/common/lock_order.h) is live throughout the ASan/UBSan/TSan legs.
 #
 # Usage: tools/check.sh [--fast] [jobs]
-#   --fast   plain configuration only (skips the sanitizer builds)
+#   --fast   static gate + plain configuration only (skips the sanitizers)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -52,6 +57,9 @@ run_config() {
   echo "=== ctest ${build_dir} (label: pipeline) ==="
   ctest --test-dir "${build_dir}" --output-on-failure -j "${JOBS}" \
       -L pipeline
+  echo "=== ctest ${build_dir} (label: concurrency) ==="
+  ctest --test-dir "${build_dir}" --output-on-failure -j "${JOBS}" \
+      -L concurrency
 }
 
 # End-to-end smoke of the metrics pipeline: generate -> train -> ingest ->
@@ -163,12 +171,17 @@ pipeline_smoke() {
   echo "=== pipeline smoke passed ==="
 }
 
+# Concurrency-contract gate (suppression audit + clang thread-safety build
+# + clang-tidy; skips the LLVM layers gracefully when clang is absent).
+echo "=== static gate (tools/static.sh) ==="
+tools/static.sh "${JOBS}"
+
 run_config build
 obs_smoke build
 serve_smoke build
 pipeline_smoke build
 if [[ "${FAST}" == "1" ]]; then
-  echo "=== fast check passed (plain only) ==="
+  echo "=== fast check passed (static gate + plain) ==="
   exit 0
 fi
 run_config build-asan -DHDD_SANITIZE=address
@@ -179,11 +192,11 @@ run_config build-ubsan -DHDD_SANITIZE=undefined
 # of the update pipeline all claim TSan-clean, so hold them to that.
 echo "=== configure build-tsan (-DHDD_SANITIZE=thread) ==="
 cmake -B build-tsan -S . -DHDD_SANITIZE=thread
-echo "=== build build-tsan (obs_test serve_test pipeline_test retrain_loop_test) ==="
+echo "=== build build-tsan (obs_test serve_test pipeline_test retrain_loop_test lock_order_test) ==="
 cmake --build build-tsan -j "${JOBS}" \
-    --target obs_test serve_test pipeline_test retrain_loop_test
-echo "=== ctest build-tsan (labels: obs serve pipeline) ==="
+    --target obs_test serve_test pipeline_test retrain_loop_test lock_order_test
+echo "=== ctest build-tsan (labels: obs serve pipeline concurrency) ==="
 ctest --test-dir build-tsan --output-on-failure -j "${JOBS}" \
-    -L 'obs|serve|pipeline'
+    -L 'obs|serve|pipeline|concurrency'
 
-echo "=== all checks passed (plain + asan + ubsan + tsan-obs/serve/pipeline) ==="
+echo "=== all checks passed (static gate + plain + asan + ubsan + tsan-obs/serve/pipeline/concurrency) ==="
