@@ -6,10 +6,12 @@
 // BENCH_obs.json.
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
 #include <sstream>
 
 #include "obs/exposition.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace {
 
@@ -88,6 +90,53 @@ void BM_ScopedTimerDisabled(benchmark::State& state) {
   benchmark::DoNotOptimize(h.count());
 }
 BENCHMARK(BM_ScopedTimerDisabled);
+
+// Span-tracing hot paths (obs/trace.h). The acceptance bar for tracing
+// the full request path (DESIGN.md §12): an enabled span costs two clock
+// reads (BM_SpanTimestampFloor — pure hardware, ~14 ns on desktop cores,
+// ~30 ns where rdtsc is slow) plus <= ~10 ns of ring bookkeeping, i.e.
+// BM_SpanEnabled - BM_SpanTimestampFloor <= ~10 ns and BM_SpanEnabled
+// itself <= ~25 ns wherever the clock pair stays under ~15 ns; a
+// disabled span is one relaxed flag load, <= ~2 ns.
+void BM_SpanTimestampFloor(benchmark::State& state) {
+  std::uint64_t sink = 0;
+  for (auto _ : state) {
+    sink += obs::trace_now_ticks();
+    sink += obs::trace_now_ticks();
+  }
+  benchmark::DoNotOptimize(sink);
+}
+BENCHMARK(BM_SpanTimestampFloor);
+
+void BM_SpanEnabled(benchmark::State& state) {
+  obs::Tracer::global().set_enabled(true);
+  for (auto _ : state) {
+    const obs::ScopedSpan span("bench_span");
+    benchmark::ClobberMemory();
+  }
+  obs::Tracer::global().set_enabled(false);
+}
+BENCHMARK(BM_SpanEnabled);
+
+void BM_SpanEnabledArg(benchmark::State& state) {
+  obs::Tracer::global().set_enabled(true);
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    const obs::ScopedSpan span("bench_span", "i", ++i);
+    benchmark::ClobberMemory();
+  }
+  obs::Tracer::global().set_enabled(false);
+}
+BENCHMARK(BM_SpanEnabledArg);
+
+void BM_SpanDisabled(benchmark::State& state) {
+  obs::Tracer::global().set_enabled(false);
+  for (auto _ : state) {
+    const obs::ScopedSpan span("bench_span");
+    benchmark::ClobberMemory();
+  }
+}
+BENCHMARK(BM_SpanDisabled);
 
 // Snapshot + render cost for a realistically sized registry — the price of
 // one --metrics-out dump at process exit.

@@ -207,7 +207,8 @@ std::string Registry::usage_text() const {
   os << "global flags (any command):\n"
         "  --metrics-out FILE|-    dump the metrics registry at exit\n"
         "  --metrics-format text|json\n"
-        "  --log-level debug|info|warn|error\n";
+        "  --log-level debug|info|warn|error\n"
+        "  --log-format text|json  json adds timestamp + trace id fields\n";
   return os.str();
 }
 
@@ -216,7 +217,7 @@ GlobalOptions Registry::extract_globals(std::vector<std::string>& rest) const {
   for (std::size_t i = 0; i < rest.size();) {
     const std::string key = rest[i];
     if (key != "--metrics-out" && key != "--metrics-format" &&
-        key != "--log-level") {
+        key != "--log-level" && key != "--log-format") {
       ++i;
       continue;
     }
@@ -228,6 +229,10 @@ GlobalOptions Registry::extract_globals(std::vector<std::string>& rest) const {
       const auto f = obs::parse_format(value);
       if (!f) throw UsageError("--metrics-format must be text or json");
       g.metrics_format = *f;
+    } else if (key == "--log-format") {
+      const auto format = parse_log_format(value);
+      if (!format) throw UsageError("--log-format must be text or json");
+      set_log_format(*format);
     } else {
       const auto level = parse_log_level(value);
       if (!level) {

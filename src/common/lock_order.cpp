@@ -7,6 +7,8 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "obs/trace.h"
+
 namespace hdd::lock_order {
 
 namespace {
@@ -68,6 +70,9 @@ void print_stack(const char* label, void* const* stack, int depth) {
   const int depth = backtrace(here, kStackDepth * 2);
   print_stack("  violating acquisition at:", here, depth);
   std::fflush(stderr);
+  // Leave a timeline behind: the rank violation usually implicates a
+  // specific request/retrain interleaving that the stacks alone can't show.
+  obs::dump_flight_recorder("lock-rank-abort");
   std::abort();
 }
 

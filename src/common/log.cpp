@@ -1,10 +1,14 @@
 #include "common/log.h"
 
 #include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
 #include <cstdlib>
 #include <iostream>
 
 #include "common/mutex.h"
+#include "obs/trace.h"
 
 namespace hdd {
 
@@ -25,6 +29,39 @@ int initial_level() {
 std::atomic<int>& level_store() {
   static std::atomic<int> level{initial_level()};
   return level;
+}
+
+// HDD_LOG_FORMAT seeds the format once; set_log_format overrides it.
+int initial_format() {
+  if (const char* env = std::getenv("HDD_LOG_FORMAT")) {
+    if (const auto format = parse_log_format(env)) {
+      return static_cast<int>(*format);
+    }
+  }
+  return static_cast<int>(LogFormat::kText);
+}
+
+std::atomic<int>& format_store() {
+  static std::atomic<int> format{initial_format()};
+  return format;
+}
+
+// Minimal JSON string escaping: quotes, backslashes and control bytes.
+void append_json_escaped(std::string& out, const std::string& s) {
+  static const char* kHex = "0123456789abcdef";
+  for (const char c : s) {
+    const auto u = static_cast<unsigned char>(c);
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (u < 0x20) {
+      out += "\\u00";
+      out += kHex[u >> 4];
+      out += kHex[u & 0xf];
+    } else {
+      out += c;
+    }
+  }
 }
 
 // Serializes sink writes only (no guarded fields). Ranked as a leaf:
@@ -57,8 +94,46 @@ void set_log_level(LogLevel level) {
 
 LogLevel log_level() { return static_cast<LogLevel>(level_store().load()); }
 
+std::optional<LogFormat> parse_log_format(std::string_view name) {
+  if (name == "text") return LogFormat::kText;
+  if (name == "json") return LogFormat::kJson;
+  return std::nullopt;
+}
+
+void set_log_format(LogFormat format) {
+  format_store().store(static_cast<int>(format));
+}
+
+LogFormat log_format() { return static_cast<LogFormat>(format_store().load()); }
+
 void log_message(LogLevel level, const std::string& message) {
   if (static_cast<int>(level) < level_store().load()) return;
+  if (log_format() == LogFormat::kJson) {
+    const auto ts_ms =
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::system_clock::now().time_since_epoch())
+            .count();
+    std::string line = "{\"ts_ms\":";
+    line += std::to_string(ts_ms);
+    line += ",\"level\":\"";
+    line += level_name(level);
+    line += "\",\"msg\":\"";
+    append_json_escaped(line, message);
+    line += '"';
+    if (const std::uint64_t trace_id = obs::current_trace_id();
+        trace_id != 0) {
+      char id[32];
+      std::snprintf(id, sizeof id, "0x%llx",
+                    static_cast<unsigned long long>(trace_id));
+      line += ",\"trace_id\":\"";
+      line += id;
+      line += '"';
+    }
+    line += '}';
+    MutexLock lock(&g_mutex);
+    std::cerr << line << '\n';
+    return;
+  }
   MutexLock lock(&g_mutex);
   std::cerr << '[' << level_name(level) << "] " << message << '\n';
 }

@@ -5,6 +5,12 @@
 // in increasing precedence: the kInfo default, the HDD_LOG_LEVEL
 // environment variable (read once, at first use), and set_log_level()
 // (the CLI's global --log-level flag).
+//
+// Output format is selectable the same way (HDD_LOG_FORMAT /
+// --log-format): kText is the classic "[level] message" line; kJson emits
+// one JSON object per line with severity, epoch-millisecond timestamp and
+// — when the calling thread is inside a span (obs/trace.h) — the current
+// trace id, so daemon logs correlate with /debug/trace captures.
 #pragma once
 
 #include <optional>
@@ -22,6 +28,16 @@ std::optional<LogLevel> parse_log_level(std::string_view name);
 // Sets/gets the global threshold (messages below it are dropped).
 void set_log_level(LogLevel level);
 LogLevel log_level();
+
+enum class LogFormat { kText = 0, kJson = 1 };
+
+// "text" / "json" -> format; nullopt for anything else.
+std::optional<LogFormat> parse_log_format(std::string_view name);
+
+// Sets/gets the global output format (default kText, seeded once from
+// HDD_LOG_FORMAT, overridden by the CLI's global --log-format flag).
+void set_log_format(LogFormat format);
+LogFormat log_format();
 
 // Emits one line ("[level] message") to stderr if enabled.
 void log_message(LogLevel level, const std::string& message);

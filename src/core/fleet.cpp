@@ -435,6 +435,8 @@ FleetScorer::IngestResult FleetScorer::ingest_drive(
   HDD_REQUIRE(i < states_.size(), "ingest for an unregistered drive");
   IngestResult res;
   if (samples.empty()) return res;
+  const obs::ScopedSpan span("fleet.ingest", "samples",
+                             static_cast<std::uint64_t>(samples.size()));
   const obs::ScopedTimer timer(m_batch_latency_);
   std::vector<smart::Sample>& kept = ingest_buf_;
   kept.clear();
@@ -485,7 +487,11 @@ FleetScorer::IngestResult FleetScorer::ingest_drive(
       return res;
     }
   }
-  replay_drive_samples(make_ctx(/*live=*/true), i, kept);
+  {
+    const obs::ScopedSpan score_span("fleet.score", "samples",
+                                     static_cast<std::uint64_t>(kept.size()));
+    replay_drive_samples(make_ctx(/*live=*/true), i, kept);
+  }
   res.accepted = kept.size();
   return res;
 }

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/error.h"
+#include "obs/trace.h"
 #include "smart/features.h"
 
 namespace hdd::core {
@@ -78,6 +79,7 @@ const store::TelemetryStore& FleetRuntime::store() const {
 }
 
 FleetScorer::ResumeResult FleetRuntime::resume(bool drop_partial_tail) {
+  const obs::ScopedSpan span("runtime.resume");
   return fleet_->resume_from(store(), drop_partial_tail);
 }
 

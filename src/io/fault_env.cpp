@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace hdd::io {
 
@@ -65,7 +66,10 @@ void FaultEnv::State::record_fault(std::uint64_t op, const std::string& what) {
 }
 
 void FaultEnv::State::crash(std::uint64_t op) {
-  crashed.store(true);
+  // First crash of this simulated process life flushes the flight
+  // recorder: the 200-seed fault harness then has a span timeline next to
+  // the store it tore.
+  if (!crashed.exchange(true)) obs::dump_flight_recorder("crash-point");
   throw CrashPoint(op);
 }
 

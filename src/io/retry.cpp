@@ -6,6 +6,7 @@
 #include "common/error.h"
 #include "common/log.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace hdd::io {
 
@@ -24,11 +25,17 @@ IoStatus Retryer::run(const char* what,
   auto backoff = policy_.initial_backoff;
   IoStatus status;
   for (int attempt = 1;; ++attempt) {
+    const std::uint64_t t0 = obs::trace_now_ticks();
     status = op();
     if (status.ok() || !status.transient() ||
         attempt >= policy_.max_attempts) {
       return status;
     }
+    // A transiently failed attempt that will be retried: make it visible
+    // as a child span of whatever store operation is running, so
+    // fault-injected retries show up in request traces.
+    obs::record_child_span("io.retry", t0, obs::trace_now_ticks(), "attempt",
+                           static_cast<std::uint64_t>(attempt));
     retries_->inc();
     log_message(LogLevel::kDebug,
                 std::string("io retry: ") + what + " attempt " +

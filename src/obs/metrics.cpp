@@ -75,17 +75,16 @@ std::uint64_t Histogram::count() const {
 }
 
 ScopedTrace::ScopedTrace(Histogram* h, const char* name)
-    : h_(h != nullptr && h->enabled() ? h : nullptr), name_(name) {
-  if (h_ != nullptr) start_ = std::chrono::steady_clock::now();
-}
+    : h_(h != nullptr && h->enabled() ? h : nullptr),
+      name_(name),
+      start_(h_ != nullptr ? trace_now_ticks() : 0),
+      span_(name) {}
 
 ScopedTrace::~ScopedTrace() {
   if (h_ == nullptr) return;
-  const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
-                      std::chrono::steady_clock::now() - start_)
-                      .count();
-  h_->record(static_cast<double>(ns));
-  log_debug() << name_ << ": " << static_cast<double>(ns) / 1e3 << "us";
+  const double ns = trace_ticks_to_ns(trace_now_ticks() - start_);
+  h_->record(ns);
+  log_debug() << name_ << ": " << ns / 1e3 << "us";
 }
 
 Registry& Registry::global() {

@@ -36,6 +36,7 @@
 
 #include "common/mutex.h"
 #include "common/thread_annotations.h"
+#include "obs/trace.h"
 
 namespace hdd::obs {
 
@@ -185,9 +186,12 @@ class ScopedTimer {
   std::chrono::steady_clock::time_point start_;
 };
 
-// ScopedTimer that additionally emits a debug-level trace line
-// ("<name>: <µs>us") through common/log.h — visible under
-// --log-level debug / HDD_LOG_LEVEL=debug, free otherwise.
+// One timing primitive for "histogram + per-request span + debug line":
+// records the elapsed time into the histogram, emits a span named `name`
+// into the trace rings (obs/trace.h) when tracing is enabled, and still
+// prints the legacy "<name>: <µs>us" line under --log-level debug /
+// HDD_LOG_LEVEL=debug. Histogram and span share one clock source (the
+// span's tick pair), so the aggregate and the trace always agree.
 class ScopedTrace {
  public:
   ScopedTrace(Histogram* h, const char* name);
@@ -199,7 +203,8 @@ class ScopedTrace {
  private:
   Histogram* h_;
   const char* name_;
-  std::chrono::steady_clock::time_point start_;
+  std::uint64_t start_;
+  ScopedSpan span_;
 };
 
 // Point-in-time copy of one instrument, decoupled from the live atomics.

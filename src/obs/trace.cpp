@@ -1,0 +1,553 @@
+#include "obs/trace.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cinttypes>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <mutex>
+#include <unordered_set>
+
+namespace hdd::obs {
+namespace trace_detail {
+
+std::atomic<bool> g_enabled{false};
+std::atomic<std::uint64_t> g_slow_ticks{~0ull};
+
+namespace {
+
+// Tick <-> nanosecond calibration. On x86 the rings store raw TSC values;
+// a one-time ~200 us spin against steady_clock measures the tick rate so
+// snapshots can convert. Elsewhere now_ticks() already returns
+// steady_clock nanoseconds and the rate is exactly 1.
+struct Calibration {
+  std::atomic<bool> ready{false};
+  std::uint64_t base_ticks = 0;
+  std::uint64_t base_ns = 0;
+  double ns_per_tick = 1.0;
+};
+Calibration g_calib;
+std::once_flag g_calib_once;
+
+std::uint64_t steady_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+void ensure_calibrated() {
+  std::call_once(g_calib_once, [] {
+#ifdef HDD_TRACE_TSC
+    const std::uint64_t ns0 = steady_ns();
+    const std::uint64_t t0 = __rdtsc();
+    std::uint64_t ns1 = ns0;
+    while (ns1 - ns0 < 200'000) ns1 = steady_ns();
+    const std::uint64_t t1 = __rdtsc();
+    g_calib.base_ticks = t0;
+    g_calib.base_ns = ns0;
+    g_calib.ns_per_tick =
+        t1 > t0 ? static_cast<double>(ns1 - ns0) / static_cast<double>(t1 - t0)
+                : 1.0;
+#else
+    g_calib.base_ticks = steady_ns();
+    g_calib.base_ns = g_calib.base_ticks;
+    g_calib.ns_per_tick = 1.0;
+#endif
+    g_calib.ready.store(true, std::memory_order_release);
+  });
+}
+
+// Nanoseconds the requested slow threshold was set with (for read-back).
+std::atomic<std::uint64_t> g_slow_ns{0};
+
+// Global ring table: slot i owned by the i-th thread that ever recorded.
+// Registered once, never freed, so the signal-handler dump can walk it.
+std::atomic<ThreadRing*> g_rings[kMaxThreads] = {};
+std::atomic<std::uint32_t> g_ring_count{0};
+std::atomic<std::uint64_t> g_dropped{0};
+thread_local bool t_overflowed = false;
+
+// Shared multi-writer tail-sampling ring. Writers claim an index with
+// fetch_add, fill the slot, then publish the claim into `seq` (release);
+// readers accept a slot only when `seq` reads the same claimed value
+// before and after copying the fields.
+struct SlowSlot {
+  std::atomic<std::uint64_t> seq{0};
+  SpanSlot span;
+  std::atomic<std::uint32_t> tid{0};
+};
+struct SlowRing {
+  std::atomic<std::uint64_t> head{0};
+  SlowSlot slots[kSlowSlots];
+};
+SlowRing g_slow;
+
+void copy_span_fields(const SpanSlot& from, SpanSlot& to) {
+  to.trace_id.store(from.trace_id.load(std::memory_order_relaxed),
+                    std::memory_order_relaxed);
+  to.span_id.store(from.span_id.load(std::memory_order_relaxed),
+                   std::memory_order_relaxed);
+  to.parent_id.store(from.parent_id.load(std::memory_order_relaxed),
+                     std::memory_order_relaxed);
+  to.start_ticks.store(from.start_ticks.load(std::memory_order_relaxed),
+                       std::memory_order_relaxed);
+  to.end_ticks.store(from.end_ticks.load(std::memory_order_relaxed),
+                     std::memory_order_relaxed);
+  to.arg.store(from.arg.load(std::memory_order_relaxed),
+               std::memory_order_relaxed);
+  to.name.store(from.name.load(std::memory_order_relaxed),
+                std::memory_order_relaxed);
+  to.arg_name.store(from.arg_name.load(std::memory_order_relaxed),
+                    std::memory_order_relaxed);
+}
+
+}  // namespace
+
+ThreadRing* register_ring() {
+  if (t_overflowed) {
+    g_dropped.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  }
+  ensure_calibrated();
+  const std::uint32_t i = g_ring_count.fetch_add(1, std::memory_order_relaxed);
+  if (i >= kMaxThreads) {
+    t_overflowed = true;
+    g_dropped.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  }
+  auto* r = new ThreadRing();  // intentionally leaked: flight recorder
+  r->index = i;
+  t_ring = r;
+  g_rings[i].store(r, std::memory_order_release);
+  return r;
+}
+
+std::uint64_t overflow_id() {
+  static std::atomic<std::uint64_t> counter{0};
+  return (static_cast<std::uint64_t>(kMaxThreads) + 1) << 40 |
+         (counter.fetch_add(1, std::memory_order_relaxed) + 1);
+}
+
+void slow_copy(const ThreadRing& r, const SpanSlot& s) {
+  const std::uint64_t h = g_slow.head.fetch_add(1, std::memory_order_relaxed);
+  SlowSlot& slot = g_slow.slots[h % kSlowSlots];
+  copy_span_fields(s, slot.span);
+  slot.tid.store(r.index, std::memory_order_relaxed);
+  slot.seq.store(h + 1, std::memory_order_release);
+}
+
+}  // namespace trace_detail
+
+namespace {
+
+using trace_detail::g_calib;
+using trace_detail::kRingSlots;
+using trace_detail::kSlowSlots;
+using trace_detail::SpanSlot;
+using trace_detail::ThreadRing;
+
+double ns_per_tick() {
+  return g_calib.ready.load(std::memory_order_acquire) ? g_calib.ns_per_tick
+                                                       : 1.0;
+}
+
+std::uint64_t ticks_to_abs_ns(std::uint64_t t) {
+  if (!g_calib.ready.load(std::memory_order_acquire)) return t;
+  if (t <= g_calib.base_ticks) return g_calib.base_ns;
+  return g_calib.base_ns +
+         static_cast<std::uint64_t>(
+             static_cast<double>(t - g_calib.base_ticks) *
+             g_calib.ns_per_tick);
+}
+
+}  // namespace
+
+double trace_ticks_to_ns(std::uint64_t dticks) {
+  trace_detail::ensure_calibrated();
+  return static_cast<double>(dticks) * g_calib.ns_per_tick;
+}
+
+namespace trace_detail {
+
+void record_span_on(ThreadRing* r, const char* name, std::uint64_t trace_id,
+                    std::uint64_t span_id, std::uint64_t parent_id,
+                    std::uint64_t start_ticks, std::uint64_t end_ticks,
+                    const char* arg_name, std::uint64_t arg) {
+  if (r == nullptr) return;  // > kMaxThreads threads; counted as dropped
+  const std::uint64_t h = r->head.load(std::memory_order_relaxed);
+  SpanSlot& s = r->slots[h & (kRingSlots - 1)];
+  s.trace_id.store(trace_id, std::memory_order_relaxed);
+  s.span_id.store(span_id, std::memory_order_relaxed);
+  s.parent_id.store(parent_id, std::memory_order_relaxed);
+  s.start_ticks.store(start_ticks, std::memory_order_relaxed);
+  s.end_ticks.store(end_ticks, std::memory_order_relaxed);
+  s.arg.store(arg, std::memory_order_relaxed);
+  s.name.store(name, std::memory_order_relaxed);
+  s.arg_name.store(arg_name, std::memory_order_relaxed);
+  r->head.store(h + 1, std::memory_order_release);
+
+  const std::uint64_t slow = g_slow_ticks.load(std::memory_order_relaxed);
+  if (slow == ~0ull) return;  // slow log off
+  if (end_ticks - start_ticks >= slow) {
+    slow_copy(*r, s);
+  } else if (++r->sample_clock >= Tracer::global().slow_sample_every()) {
+    r->sample_clock = 0;
+    slow_copy(*r, s);
+  }
+}
+
+}  // namespace trace_detail
+
+void record_span(const char* name, std::uint64_t trace_id,
+                 std::uint64_t span_id, std::uint64_t parent_id,
+                 std::uint64_t start_ticks, std::uint64_t end_ticks,
+                 const char* arg_name, std::uint64_t arg) {
+  trace_detail::record_span_on(trace_detail::ring(), name, trace_id,
+                               span_id, parent_id, start_ticks, end_ticks,
+                               arg_name, arg);
+}
+
+void record_child_span(const char* name, std::uint64_t start_ticks,
+                       std::uint64_t end_ticks, const char* arg_name,
+                       std::uint64_t arg) {
+  if (!trace_enabled()) return;
+  const TraceContext ctx = trace_detail::t_context;
+  if (ctx.trace_id == 0) return;  // outside any trace: stay silent
+  record_span(name, ctx.trace_id, trace_detail::next_id(), ctx.span_id,
+              start_ticks, end_ticks, arg_name, arg);
+}
+
+void ScopedSpan::begin(const char* name, std::uint64_t start_ticks,
+                       const char* arg_name, std::uint64_t arg) {
+  name_ = name;
+  arg_name_ = arg_name;
+  arg_ = arg;
+  start_ = start_ticks;
+  saved_ = trace_detail::t_context;
+  parent_id_ = saved_.span_id;
+  // One thread-local ring lookup serves both id draws here and the slot
+  // write in end().
+  ring_ = trace_detail::ring();
+  if (ring_ != nullptr) {
+    const std::uint64_t base =
+        (static_cast<std::uint64_t>(ring_->index) + 1) << 40;
+    span_id_ = base | ++ring_->next_span;
+    trace_id_ = saved_.trace_id != 0 ? saved_.trace_id
+                                     : (base | ++ring_->next_span);
+  } else {
+    span_id_ = trace_detail::overflow_id();
+    trace_id_ =
+        saved_.trace_id != 0 ? saved_.trace_id : trace_detail::overflow_id();
+  }
+  trace_detail::t_context = TraceContext{trace_id_, span_id_};
+}
+
+void ScopedSpan::end() {
+  trace_detail::t_context = saved_;
+  // Record even if tracing was flipped off mid-span: the begin already
+  // claimed ids, and a half-open scope would otherwise vanish.
+  trace_detail::record_span_on(ring_, name_, trace_id_, span_id_,
+                               parent_id_, start_,
+                               trace_detail::now_ticks(), arg_name_, arg_);
+}
+
+Tracer& Tracer::global() {
+  static Tracer tracer;
+  return tracer;
+}
+
+void Tracer::set_slow_threshold_ns(std::uint64_t ns) {
+  trace_detail::ensure_calibrated();
+  trace_detail::g_slow_ns.store(ns, std::memory_order_relaxed);
+  if (ns == 0) {
+    trace_detail::g_slow_ticks.store(~0ull, std::memory_order_relaxed);
+    return;
+  }
+  const double ticks = static_cast<double>(ns) / g_calib.ns_per_tick;
+  trace_detail::g_slow_ticks.store(
+      ticks < 1.0 ? 1 : static_cast<std::uint64_t>(ticks),
+      std::memory_order_relaxed);
+}
+
+std::uint64_t Tracer::slow_threshold_ns() const {
+  return trace_detail::g_slow_ns.load(std::memory_order_relaxed);
+}
+
+std::uint64_t Tracer::dropped() const {
+  return trace_detail::g_dropped.load(std::memory_order_relaxed);
+}
+
+std::vector<SpanView> Tracer::snapshot(std::uint64_t window_ms) const {
+  trace_detail::ensure_calibrated();
+  const std::uint64_t now = trace_detail::now_ticks();
+  std::uint64_t window_ticks = ~0ull;
+  if (window_ms != 0) {
+    window_ticks = static_cast<std::uint64_t>(
+        static_cast<double>(window_ms) * 1e6 / g_calib.ns_per_tick);
+  }
+  const std::uint64_t oldest_end =
+      window_ticks == ~0ull || window_ticks > now ? 0 : now - window_ticks;
+
+  std::vector<SpanView> out;
+  std::unordered_set<std::uint64_t> seen;
+  auto emit = [&](const SpanSlot& s, std::uint32_t tid, bool slow) {
+    const char* name = s.name.load(std::memory_order_relaxed);
+    if (name == nullptr) return;
+    const std::uint64_t end = s.end_ticks.load(std::memory_order_relaxed);
+    if (end < oldest_end) return;
+    const std::uint64_t id = s.span_id.load(std::memory_order_relaxed);
+    if (!seen.insert(id).second) return;
+    SpanView v;
+    v.trace_id = s.trace_id.load(std::memory_order_relaxed);
+    v.span_id = id;
+    v.parent_id = s.parent_id.load(std::memory_order_relaxed);
+    const std::uint64_t start = s.start_ticks.load(std::memory_order_relaxed);
+    v.start_ns = ticks_to_abs_ns(start);
+    v.dur_ns = end > start
+                   ? static_cast<std::uint64_t>(
+                         static_cast<double>(end - start) * ns_per_tick())
+                   : 0;
+    v.arg = s.arg.load(std::memory_order_relaxed);
+    v.name = name;
+    v.arg_name = s.arg_name.load(std::memory_order_relaxed);
+    v.tid = tid;
+    v.slow = slow;
+    out.push_back(v);
+  };
+
+  const std::uint32_t count = std::min<std::uint32_t>(
+      trace_detail::g_ring_count.load(std::memory_order_acquire),
+      trace_detail::kMaxThreads);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const ThreadRing* r =
+        trace_detail::g_rings[i].load(std::memory_order_acquire);
+    if (r == nullptr) continue;
+    const std::uint64_t h1 = r->head.load(std::memory_order_acquire);
+    const std::uint64_t lo = h1 > kRingSlots ? h1 - kRingSlots : 0;
+    // Copy candidates, then re-read the head: any index the writer could
+    // have been re-filling during the copy (at or below h2 - kRingSlots)
+    // is discarded as torn.
+    std::vector<std::pair<std::uint64_t, SpanSlot*>> copies;
+    copies.reserve(static_cast<std::size_t>(h1 - lo));
+    std::vector<SpanSlot> stash(static_cast<std::size_t>(h1 - lo));
+    for (std::uint64_t idx = lo; idx < h1; ++idx) {
+      SpanSlot& dst = stash[static_cast<std::size_t>(idx - lo)];
+      trace_detail::copy_span_fields(r->slots[idx & (kRingSlots - 1)], dst);
+      copies.emplace_back(idx, &dst);
+    }
+    const std::uint64_t h2 = r->head.load(std::memory_order_acquire);
+    for (auto& [idx, slot] : copies) {
+      if (h2 >= kRingSlots && idx <= h2 - kRingSlots) continue;
+      emit(*slot, r->index, false);
+    }
+  }
+
+  // Slow ring: seq must read the same claimed value before and after the
+  // field copy, otherwise a concurrent writer was re-filling the slot.
+  const std::uint64_t slow_head =
+      trace_detail::g_slow.head.load(std::memory_order_acquire);
+  const std::uint64_t slow_lo =
+      slow_head > kSlowSlots ? slow_head - kSlowSlots : 0;
+  for (std::uint64_t idx = slow_lo; idx < slow_head; ++idx) {
+    const trace_detail::SlowSlot& s = trace_detail::g_slow.slots[idx % kSlowSlots];
+    const std::uint64_t seq1 = s.seq.load(std::memory_order_acquire);
+    if (seq1 != idx + 1) continue;
+    SpanSlot copy;
+    trace_detail::copy_span_fields(s.span, copy);
+    const std::uint32_t tid = s.tid.load(std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_acquire);
+    if (s.seq.load(std::memory_order_relaxed) != seq1) continue;
+    emit(copy, tid, true);
+  }
+
+  std::sort(out.begin(), out.end(), [](const SpanView& a, const SpanView& b) {
+    return a.start_ns < b.start_ns;
+  });
+  return out;
+}
+
+namespace {
+
+// ---- flight recorder ------------------------------------------------------
+// Everything below the dump entry point is async-signal-safe: fixed
+// buffers, snprintf of integers/strings only, write(2). No locks, no
+// allocation, no floating-point formatting.
+
+char g_flight_dir[256] = {};
+std::atomic<bool> g_flight_set{false};
+std::atomic<bool> g_dumping{false};
+
+void write_all(int fd, const char* buf, std::size_t n) {
+  std::size_t off = 0;
+  while (off < n) {
+    const ssize_t w = ::write(fd, buf + off, n - off);
+    if (w <= 0) return;
+    off += static_cast<std::size_t>(w);
+  }
+}
+
+// One trace_event line for a slot; returns bytes formatted (0 = skip).
+int format_event(char* buf, std::size_t cap, const SpanSlot& s,
+                 std::uint32_t tid, int pid, bool first) {
+  const char* name = s.name.load(std::memory_order_relaxed);
+  if (name == nullptr) return 0;
+  const std::uint64_t start = s.start_ticks.load(std::memory_order_relaxed);
+  const std::uint64_t end = s.end_ticks.load(std::memory_order_relaxed);
+  const std::uint64_t start_ns = ticks_to_abs_ns(start);
+  const std::uint64_t dur_ns =
+      end > start ? static_cast<std::uint64_t>(
+                        static_cast<double>(end - start) * ns_per_tick())
+                  : 0;
+  const char* arg_name = s.arg_name.load(std::memory_order_relaxed);
+  char arg_field[96] = {};
+  if (arg_name != nullptr) {
+    std::snprintf(arg_field, sizeof arg_field, ",\"%s\":%" PRIu64, arg_name,
+                  s.arg.load(std::memory_order_relaxed));
+  }
+  return std::snprintf(
+      buf, cap,
+      "%s{\"name\":\"%s\",\"cat\":\"hdd\",\"ph\":\"X\","
+      "\"ts\":%" PRIu64 ".%03" PRIu64 ",\"dur\":%" PRIu64 ".%03" PRIu64 ","
+      "\"pid\":%d,\"tid\":%u,\"args\":{"
+      "\"trace_id\":\"0x%" PRIx64 "\",\"span_id\":\"0x%" PRIx64 "\","
+      "\"parent_id\":\"0x%" PRIx64 "\"%s}}",
+      first ? "" : ",\n", name, start_ns / 1000, start_ns % 1000,
+      dur_ns / 1000, dur_ns % 1000, pid, tid,
+      s.trace_id.load(std::memory_order_relaxed),
+      s.span_id.load(std::memory_order_relaxed),
+      s.parent_id.load(std::memory_order_relaxed), arg_field);
+}
+
+}  // namespace
+
+void dump_flight_recorder(const char* reason) {
+  if (!g_flight_set.load(std::memory_order_acquire)) return;
+  if (g_dumping.exchange(true)) return;
+
+  char path[320];
+  const int pid = static_cast<int>(::getpid());
+  std::snprintf(path, sizeof path, "%s/flight-%d.json", g_flight_dir, pid);
+  const int fd = ::open(path, O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    g_dumping.store(false);
+    return;
+  }
+
+  char buf[768];
+  int n = std::snprintf(buf, sizeof buf,
+                        "{\"flightReason\":\"%s\",\"traceEvents\":[\n",
+                        reason != nullptr ? reason : "unknown");
+  write_all(fd, buf, static_cast<std::size_t>(n));
+
+  bool first = true;
+  const std::uint32_t count = std::min<std::uint32_t>(
+      trace_detail::g_ring_count.load(std::memory_order_acquire),
+      trace_detail::kMaxThreads);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const ThreadRing* r =
+        trace_detail::g_rings[i].load(std::memory_order_acquire);
+    if (r == nullptr) continue;
+    const std::uint64_t h = r->head.load(std::memory_order_acquire);
+    const std::uint64_t lo = h > kRingSlots ? h - kRingSlots : 0;
+    for (std::uint64_t idx = lo; idx < h; ++idx) {
+      n = format_event(buf, sizeof buf, r->slots[idx & (kRingSlots - 1)],
+                       r->index, pid, first);
+      if (n <= 0) continue;
+      write_all(fd, buf, static_cast<std::size_t>(n));
+      first = false;
+    }
+  }
+  const std::uint64_t slow_head =
+      trace_detail::g_slow.head.load(std::memory_order_acquire);
+  const std::uint64_t slow_lo =
+      slow_head > kSlowSlots ? slow_head - kSlowSlots : 0;
+  for (std::uint64_t idx = slow_lo; idx < slow_head; ++idx) {
+    const trace_detail::SlowSlot& s =
+        trace_detail::g_slow.slots[idx % kSlowSlots];
+    if (s.seq.load(std::memory_order_acquire) != idx + 1) continue;
+    n = format_event(buf, sizeof buf, s.span,
+                     s.tid.load(std::memory_order_relaxed), pid, first);
+    if (n <= 0) continue;
+    write_all(fd, buf, static_cast<std::size_t>(n));
+    first = false;
+  }
+
+  write_all(fd, "\n]}\n", 4);
+  ::close(fd);
+  g_dumping.store(false);
+}
+
+void Tracer::set_flight_dir(const std::string& dir) {
+  if (dir.empty()) {
+    g_flight_set.store(false, std::memory_order_release);
+    return;
+  }
+  std::snprintf(g_flight_dir, sizeof g_flight_dir, "%s", dir.c_str());
+  g_flight_set.store(true, std::memory_order_release);
+}
+
+std::string Tracer::render_chrome_json(std::uint64_t window_ms) const {
+  const std::vector<SpanView> spans = snapshot(window_ms);
+  const int pid = static_cast<int>(::getpid());
+  std::string out = "{\"traceEvents\":[\n";
+  char buf[768];
+  bool first = true;
+  for (const SpanView& v : spans) {
+    char arg_field[96] = {};
+    if (v.arg_name != nullptr) {
+      std::snprintf(arg_field, sizeof arg_field, ",\"%s\":%" PRIu64,
+                    v.arg_name, v.arg);
+    }
+    const int n = std::snprintf(
+        buf, sizeof buf,
+        "%s{\"name\":\"%s\",\"cat\":\"hdd\",\"ph\":\"X\","
+        "\"ts\":%" PRIu64 ".%03" PRIu64 ",\"dur\":%" PRIu64 ".%03" PRIu64 ","
+        "\"pid\":%d,\"tid\":%u,\"args\":{"
+        "\"trace_id\":\"0x%" PRIx64 "\",\"span_id\":\"0x%" PRIx64 "\","
+        "\"parent_id\":\"0x%" PRIx64 "\"%s%s}}",
+        first ? "" : ",\n", v.name, v.start_ns / 1000, v.start_ns % 1000,
+        v.dur_ns / 1000, v.dur_ns % 1000, pid, v.tid, v.trace_id, v.span_id,
+        v.parent_id, v.slow ? ",\"slow\":1" : "", arg_field);
+    if (n <= 0) continue;
+    out.append(buf, static_cast<std::size_t>(n));
+    first = false;
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+namespace {
+
+void flight_signal_handler(int sig) {
+  const char* reason = "signal";
+  switch (sig) {
+    case SIGSEGV: reason = "SIGSEGV"; break;
+    case SIGBUS: reason = "SIGBUS"; break;
+    case SIGILL: reason = "SIGILL"; break;
+    case SIGFPE: reason = "SIGFPE"; break;
+    case SIGABRT: reason = "SIGABRT"; break;
+    default: break;
+  }
+  dump_flight_recorder(reason);
+  ::signal(sig, SIG_DFL);
+  ::raise(sig);
+}
+
+}  // namespace
+
+void install_flight_signal_handlers() {
+  struct sigaction sa;
+  std::memset(&sa, 0, sizeof sa);
+  sa.sa_handler = flight_signal_handler;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = SA_NODEFER;
+  for (int sig : {SIGSEGV, SIGBUS, SIGILL, SIGFPE, SIGABRT}) {
+    ::sigaction(sig, &sa, nullptr);
+  }
+}
+
+}  // namespace hdd::obs

@@ -12,6 +12,7 @@
 #include "data/training.h"
 #include "eval/detection.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "store/telemetry_store.h"
 
 namespace hdd::pipeline {
@@ -126,6 +127,7 @@ GateResult train_and_gate(std::vector<smart::DriveRecord> goods,
   std::unique_ptr<core::SampleScorer> scorer;
   std::size_t rows = 0;
   try {
+    const obs::ScopedSpan train_span("pipeline.train");
     const auto matrix = data::build_training_matrix(train_ds, train_split, tc);
     rows = matrix.rows();
     scorer = core::fit_scorer(config.trainer, matrix);
@@ -135,6 +137,8 @@ GateResult train_and_gate(std::vector<smart::DriveRecord> goods,
     return res;
   }
   res.train_rows = rows;
+
+  const obs::ScopedSpan gate_span("pipeline.gate");
 
   // Gate 1: the static verifier. Tree-backed candidates are linted; other
   // backends have their own verifier run at load time and pass through
@@ -224,6 +228,7 @@ UpdatePipeline::UpdatePipeline(core::SwappableScorer& scorer,
 }
 
 CycleResult UpdatePipeline::run_cycle(bool force) {
+  const obs::ScopedSpan span("pipeline.cycle");
   CycleResult r;
   r.generation = scorer_->generation();
   const std::uint64_t total = store_->sample_count();

@@ -10,6 +10,7 @@
 #include <cstring>
 
 #include "common/error.h"
+#include "obs/trace.h"
 
 namespace hdd::serve {
 
@@ -102,8 +103,14 @@ std::string Client::roundtrip(std::string_view framed) {
   return read_frame();
 }
 
+// Each op wraps itself in a span and forwards the resulting trace id on
+// the wire (the encoder omits the field when tracing is off, keeping the
+// frames byte-identical to the pre-trace protocol for old servers).
 IngestResponse Client::ingest(const IngestBatch& batch) {
-  const std::string payload = request(encode_ingest_request(batch));
+  const obs::ScopedSpan span("client.ingest", "samples",
+                             static_cast<std::uint64_t>(batch.samples.size()));
+  const std::string payload =
+      request(encode_ingest_request(batch, span.trace_id()));
   require_ok(payload);
   const auto r = decode_ingest_response(payload);
   if (!r) throw DataError("client: malformed ingest response");
@@ -111,7 +118,9 @@ IngestResponse Client::ingest(const IngestBatch& batch) {
 }
 
 QueryResponse Client::query(std::string_view serial) {
-  const std::string payload = request(encode_query_request(serial));
+  const obs::ScopedSpan span("client.query");
+  const std::string payload =
+      request(encode_query_request(serial, span.trace_id()));
   require_ok(payload);
   const auto r = decode_query_response(payload);
   if (!r) throw DataError("client: malformed query response");
@@ -119,7 +128,8 @@ QueryResponse Client::query(std::string_view serial) {
 }
 
 StatsResponse Client::stats() {
-  const std::string payload = request(encode_stats_request());
+  const obs::ScopedSpan span("client.stats");
+  const std::string payload = request(encode_stats_request(span.trace_id()));
   require_ok(payload);
   const auto r = decode_stats_response(payload);
   if (!r) throw DataError("client: malformed stats response");
@@ -127,7 +137,9 @@ StatsResponse Client::stats() {
 }
 
 void Client::shutdown_server() {
-  const std::string payload = request(encode_shutdown_request());
+  const obs::ScopedSpan span("client.shutdown");
+  const std::string payload =
+      request(encode_shutdown_request(span.trace_id()));
   require_ok(payload);
 }
 

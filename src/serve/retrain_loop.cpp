@@ -9,6 +9,7 @@
 #include "common/log.h"
 #include "core/runtime.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "serve/server.h"
 #include "serve/shard_engine.h"
 #include "store/telemetry_store.h"
@@ -93,17 +94,24 @@ std::uint64_t RetrainLoop::fleet_shadow_samples() const {
 }
 
 pipeline::CycleResult RetrainLoop::tick(bool force) {
+  // Each cycle is its own trace (never a child of whatever request
+  // context happens to linger on the caller's thread).
+  const obs::WithTraceContext fresh(obs::TraceContext{});
+  const obs::ScopedSpan cycle("retrain.cycle");
   if (pending_ != nullptr) return maybe_promote(force);
 
   // Scheduler watermarks, each shard read on its own worker.
   std::uint64_t total = 0;
   std::int64_t last = -1;
-  for (std::size_t k = 0; k < engine_->shard_count(); ++k) {
-    (void)server_->run_on_shard(k, [&] {
-      const store::TelemetryStore& st = engine_->shard(k).store();
-      total += st.sample_count();
-      last = std::max(last, st.last_hour());
-    });
+  {
+    const obs::ScopedSpan span("retrain.watermarks");
+    for (std::size_t k = 0; k < engine_->shard_count(); ++k) {
+      (void)server_->run_on_shard(k, [&] {
+        const store::TelemetryStore& st = engine_->shard(k).store();
+        total += st.sample_count();
+        last = std::max(last, st.last_hour());
+      });
+    }
   }
 
   pipeline::CycleResult r;
@@ -117,16 +125,19 @@ pipeline::CycleResult RetrainLoop::tick(bool force) {
   const auto window =
       scheduler_.window_hours(std::max<std::int64_t>(last, 0));
   std::vector<smart::DriveRecord> goods;
-  for (std::size_t k = 0; k < engine_->shard_count(); ++k) {
-    (void)server_->run_on_shard(k, [&] {
-      store::TelemetryStore& st = engine_->shard(k).store();
-      for (std::uint32_t id = 0; id < st.drive_count(); ++id) {
-        smart::DriveRecord rec;
-        rec.serial = st.drive(id).serial;
-        rec.samples = st.read_drive(id, window.first, window.second - 1);
-        goods.push_back(std::move(rec));
-      }
-    });
+  {
+    const obs::ScopedSpan span("retrain.materialize");
+    for (std::size_t k = 0; k < engine_->shard_count(); ++k) {
+      (void)server_->run_on_shard(k, [&] {
+        store::TelemetryStore& st = engine_->shard(k).store();
+        for (std::uint32_t id = 0; id < st.drive_count(); ++id) {
+          smart::DriveRecord rec;
+          rec.serial = st.drive(id).serial;
+          rec.samples = st.read_drive(id, window.first, window.second - 1);
+          goods.push_back(std::move(rec));
+        }
+      });
+    }
   }
   const int weeks = static_cast<int>((window.second - window.first) / 168);
   auto gate = pipeline::train_and_gate(std::move(goods), config_.failed_pool,
@@ -196,6 +207,7 @@ pipeline::CycleResult RetrainLoop::maybe_promote(bool force) {
 void RetrainLoop::promote(
     std::shared_ptr<const core::SampleScorer> candidate,
     pipeline::CycleResult& r) {
+  const obs::ScopedSpan span("retrain.promote");
   std::ostringstream os;
   candidate->save(os);
   const std::string text = std::move(os).str();

@@ -21,6 +21,8 @@
 #include "io/shutdown.h"
 #include "obs/exposition.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
+#include "pipeline/pipeline.h"
 #include "serve/shard_engine.h"
 
 namespace hdd::serve {
@@ -128,6 +130,7 @@ void Server::start() {
     workers_[k]->thread = std::thread([this, k] { worker_loop(k); });
   }
   acceptor_ = std::thread([this] { acceptor_loop(); });
+  started_ = std::chrono::steady_clock::now();
   log_info() << "serve: listening on " << options_.host << ":" << port_
              << " (" << engine_.shard_count() << " shard(s))";
 }
@@ -254,6 +257,8 @@ ssize_t Server::recv_idle(int fd, char* buf, std::size_t cap) {
 }
 
 void Server::connection_loop(int fd) {
+  ConnTrace trace;
+  trace.accept_ticks = obs::trace_now_ticks();
   // Sniff the protocol from the first four bytes. "GET " cannot begin a
   // wire frame: as a little-endian length it exceeds kMaxWirePayloadBytes.
   std::string first;
@@ -267,7 +272,7 @@ void Server::connection_loop(int fd) {
     if (first.compare(0, 4, "GET ") == 0) {
       handle_http(fd, first);
     } else {
-      handle_wire(fd, first);
+      handle_wire(fd, first, trace);
     }
   }
   {
@@ -283,7 +288,7 @@ void Server::connection_loop(int fd) {
   ::close(fd);
 }
 
-void Server::handle_wire(int fd, const std::string& first) {
+void Server::handle_wire(int fd, const std::string& first, ConnTrace& trace) {
   FrameParser parser;
   parser.feed(first);
   std::string payload;
@@ -297,7 +302,7 @@ void Server::handle_wire(int fd, const std::string& first) {
                                Status::kBadRequest, "corrupt frame")));
         return;
       }
-      if (!process_request(fd, payload)) return;
+      if (!process_request(fd, payload, trace)) return;
     }
     if (stopping_.load(std::memory_order_acquire)) return;
     const ssize_t n = recv_idle(fd, buf, sizeof(buf));
@@ -306,7 +311,8 @@ void Server::handle_wire(int fd, const std::string& first) {
   }
 }
 
-bool Server::process_request(int fd, std::string& payload) {
+bool Server::process_request(int fd, std::string& payload, ConnTrace& trace) {
+  const std::uint64_t t_parse0 = obs::trace_now_ticks();
   auto req = decode_request(payload);
   if (!req) {
     (void)send_all(fd, frame_payload(encode_error_response(
@@ -314,6 +320,21 @@ bool Server::process_request(int fd, std::string& payload) {
     return false;
   }
   m_requests_->inc();
+
+  // Adopt the client's trace id (0 = untraced client: the root span then
+  // starts a fresh server-side trace). The first request on a connection
+  // also absorbs the accept-to-first-byte interval.
+  const obs::WithTraceContext adopt(
+      obs::TraceContext{req->trace_id, /*span_id=*/0});
+  const std::uint64_t root_start = trace.first ? trace.accept_ticks : t_parse0;
+  const obs::ScopedSpan root("serve.request", root_start, "op",
+                             static_cast<std::uint64_t>(req->op));
+  if (trace.first) {
+    trace.first = false;
+    obs::record_child_span("serve.accept", trace.accept_ticks, t_parse0);
+  }
+  obs::record_child_span("wire.parse", t_parse0, obs::trace_now_ticks(),
+                         "bytes", static_cast<std::uint64_t>(payload.size()));
 
   switch (req->op) {
     case Op::kIngest: {
@@ -347,6 +368,9 @@ bool Server::process_request(int fd, std::string& payload) {
         const bool posted =
             post(shard, [this, shard, k, &parts, &slots, &comp] {
               DoneGuard g{comp};
+              const obs::ScopedSpan span(
+                  "shard.ingest", "samples",
+                  static_cast<std::uint64_t>(parts[k].samples.size()));
               try {
                 slots[k].r = engine_.ingest(shard, parts[k]);
               } catch (const std::exception& e) {
@@ -373,11 +397,10 @@ bool Server::process_request(int fd, std::string& payload) {
         merged.degraded = merged.degraded || s.r.degraded;
       }
       if (!error.empty()) {
-        return send_all(fd, frame_payload(encode_error_response(
-                                Status::kError, error)));
+        return send_response(fd, encode_error_response(Status::kError, error));
       }
       m_ingested_->inc(merged.accepted);
-      return send_all(fd, frame_payload(encode_ingest_response(merged)));
+      return send_response(fd, encode_ingest_response(merged));
     }
 
     case Op::kQuery: {
@@ -389,6 +412,7 @@ bool Server::process_request(int fd, std::string& payload) {
       const std::string serial = std::move(req->serial);
       const bool posted = post(shard, [this, &qr, &failed, &serial, &comp] {
         DoneGuard g{comp};
+        const obs::ScopedSpan span("shard.query");
         try {
           qr = engine_.query(serial);
         } catch (const std::exception&) {
@@ -401,10 +425,10 @@ bool Server::process_request(int fd, std::string& payload) {
       }
       comp.wait();
       if (failed) {
-        return send_all(fd, frame_payload(encode_error_response(
-                                Status::kError, "query failed")));
+        return send_response(
+            fd, encode_error_response(Status::kError, "query failed"));
       }
-      return send_all(fd, frame_payload(encode_query_response(qr)));
+      return send_response(fd, encode_query_response(qr));
     }
 
     case Op::kStats: {
@@ -444,11 +468,11 @@ bool Server::process_request(int fd, std::string& payload) {
         merged.shadow_divergence += per_shard[k].shadow_divergence;
       }
       merged.last_outcome = last_outcome_.load(std::memory_order_relaxed);
-      return send_all(fd, frame_payload(encode_stats_response(merged)));
+      return send_response(fd, encode_stats_response(merged));
     }
 
     case Op::kShutdown: {
-      (void)send_all(fd, frame_payload(encode_shutdown_response()));
+      (void)send_response(fd, encode_shutdown_response());
       io::request_shutdown();
       return false;
     }
@@ -473,7 +497,13 @@ void Server::handle_http(int fd, const std::string& first) {
   const std::size_t sp2 =
       sp1 == std::string::npos ? std::string::npos : req.find(' ', sp1 + 1);
   if (sp2 != std::string::npos) path = req.substr(sp1 + 1, sp2 - sp1 - 1);
+  std::string query;
+  if (const std::size_t q = path.find('?'); q != std::string::npos) {
+    query = path.substr(q + 1);
+    path.erase(q);
+  }
 
+  const obs::ScopedSpan span("http.request");
   int code = 200;
   const char* reason = "OK";
   std::string content_type = "text/plain; charset=utf-8";
@@ -487,6 +517,22 @@ void Server::handle_http(int fd, const std::string& first) {
     content_type = "text/plain; version=0.0.4; charset=utf-8";
   } else if (path == "/healthz") {
     body = "ok\n";
+  } else if (path == "/debug/trace") {
+    // ?ms=N bounds the window (default 10 s; ms=0 = everything retained).
+    std::uint64_t window_ms = 10'000;
+    if (const std::size_t at = query.find("ms="); at != std::string::npos) {
+      window_ms = 0;
+      for (std::size_t i = at + 3; i < query.size(); ++i) {
+        const char c = query[i];
+        if (c < '0' || c > '9') break;
+        window_ms = window_ms * 10 + static_cast<std::uint64_t>(c - '0');
+      }
+    }
+    body = obs::Tracer::global().render_chrome_json(window_ms);
+    content_type = "application/json";
+  } else if (path == "/debug/vars") {
+    body = debug_vars_json();
+    content_type = "application/json";
   } else {
     code = 404;
     reason = "Not Found";
@@ -500,6 +546,35 @@ void Server::handle_http(int fd, const std::string& first) {
      << "Connection: close\r\n\r\n"
      << body;
   (void)send_all(fd, os.str());
+}
+
+std::string Server::debug_vars_json() {
+  std::size_t conns = 0;
+  {
+    MutexLock lock(&conn_mu_);
+    conns = conn_fds_.size();
+  }
+  const auto uptime_ms =
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now() - started_)
+          .count();
+  const obs::Tracer& tracer = obs::Tracer::global();
+  std::ostringstream os;
+  os << "{\"build\":{\"compiler\":\"" << __VERSION__
+     << "\",\"cpp\":" << __cplusplus << "}"
+     << ",\"pid\":" << ::getpid()
+     << ",\"uptime_ms\":" << uptime_ms
+     << ",\"shards\":" << engine_.shard_count()
+     << ",\"model_generation\":" << engine_.max_generation()
+     << ",\"retrain_outcome\":\""
+     << pipeline::outcome_name(static_cast<pipeline::Outcome>(
+            last_outcome_.load(std::memory_order_relaxed)))
+     << "\""
+     << ",\"connections\":" << conns
+     << ",\"tracing\":" << (tracer.enabled() ? 1 : 0)
+     << ",\"trace_slow_threshold_ns\":" << tracer.slow_threshold_ns()
+     << ",\"trace_dropped\":" << tracer.dropped() << "}\n";
+  return os.str();
 }
 
 bool Server::run_on_shard(std::size_t k, const std::function<void()>& task) {
@@ -518,6 +593,20 @@ bool Server::run_on_shard(std::size_t k, const std::function<void()>& task) {
 }
 
 bool Server::post(std::size_t k, std::function<void()> task) {
+  if (obs::trace_enabled()) {
+    // Carry the enqueuer's trace context onto the worker thread and
+    // surface the time the task sat queued. record_child_span no-ops for
+    // untraced enqueuers, so uninstrumented callers stay span-free.
+    const obs::TraceContext ctx = obs::current_trace_context();
+    const std::uint64_t t_enq = obs::trace_now_ticks();
+    task = [k, ctx, t_enq, inner = std::move(task)] {
+      const obs::WithTraceContext adopt(ctx);
+      obs::record_child_span("shard.queue_wait", t_enq,
+                             obs::trace_now_ticks(), "shard",
+                             static_cast<std::uint64_t>(k));
+      inner();
+    };
+  }
   ShardWorker& w = *workers_[k];
   MutexLock lock(&w.mu);
   while (!w.closed && !w.crashed && w.queue.size() >= options_.max_queue) {
@@ -554,6 +643,15 @@ void Server::worker_loop(std::size_t k) {
                  << " hit an injected crash point; fenced until restart";
     }
   }
+}
+
+bool Server::send_response(int fd, std::string_view payload) {
+  const std::uint64_t t0 = obs::trace_now_ticks();
+  const std::string framed = frame_payload(payload);
+  const bool ok = send_all(fd, framed);
+  obs::record_child_span("wire.respond", t0, obs::trace_now_ticks(), "bytes",
+                         static_cast<std::uint64_t>(framed.size()));
+  return ok;
 }
 
 bool Server::send_all(int fd, std::string_view bytes) {

@@ -10,8 +10,17 @@
 //
 // The same port speaks two protocols, sniffed from the first bytes of the
 // connection: the CRC-framed wire codec (serve/wire.h), or HTTP GET for
-// the Prometheus scrape path — `GET /metrics` renders the process metrics
-// registry (obs/exposition.h), `GET /healthz` answers "ok".
+// the observability surface — `GET /metrics` renders the process metrics
+// registry (obs/exposition.h), `GET /healthz` answers "ok",
+// `GET /debug/trace?ms=N` returns the last N ms of the span flight
+// recorder as Chrome trace_event JSON (obs/trace.h), and
+// `GET /debug/vars` returns a JSON snapshot of build/uptime/shard/model/
+// connection state.
+//
+// Tracing: every wire request runs under a `serve.request` root span
+// (adopting the client's trace id when the frame carries one), with
+// accept/parse/queue-wait/shard work/respond as child spans; post()
+// carries the enqueuer's trace context onto the shard worker.
 //
 // Shutdown: SIGTERM/SIGINT (io/shutdown.h), the wire shutdown op, or
 // stop() all converge on the same sequence — stop accepting, shut down
@@ -28,11 +37,13 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <thread>
 #include <vector>
 
@@ -114,19 +125,35 @@ class Server {
     bool crashed HDD_GUARDED_BY(mu) = false;
   };
 
+  // Per-connection trace state: when the connection was accepted, and
+  // whether the next request is its first (only that one charges the
+  // accept interval to its trace).
+  struct ConnTrace {
+    std::uint64_t accept_ticks = 0;
+    bool first = true;
+  };
+
   void acceptor_loop();
   void connection_loop(int fd);
   void worker_loop(std::size_t k);
   // Enqueues `task` on shard k's worker, blocking while the queue is full
   // (backpressure). Returns false — without running the task — when the
-  // shard is crashed or closed.
+  // shard is crashed or closed. The enqueuer's trace context rides along:
+  // the worker runs the task under it, with the queue wait recorded as a
+  // "shard.queue_wait" child span.
   [[nodiscard]] bool post(std::size_t k, std::function<void()> task);
-  void handle_wire(int fd, const std::string& first);
+  void handle_wire(int fd, const std::string& first, ConnTrace& trace);
   // Handles one decoded request; returns false when the connection must
   // close.
-  [[nodiscard]] bool process_request(int fd, std::string& payload);
+  [[nodiscard]] bool process_request(int fd, std::string& payload,
+                                     ConnTrace& trace);
   void handle_http(int fd, const std::string& first);
+  // JSON body of GET /debug/vars.
+  std::string debug_vars_json();
   [[nodiscard]] bool send_all(int fd, std::string_view bytes);
+  // Frames and sends a wire response, recording the encode+send as a
+  // "wire.respond" child span of the current request.
+  [[nodiscard]] bool send_response(int fd, std::string_view payload);
   // recv() guarded by the idle timeout: returns <= 0 on EOF, error, or
   // idle expiry (like a peer hangup, the connection then closes).
   ssize_t recv_idle(int fd, char* buf, std::size_t cap);
@@ -145,6 +172,7 @@ class Server {
   std::vector<std::thread> conn_threads_ HDD_GUARDED_BY(conn_mu_);
   Mutex stop_mu_{lock_order::Rank::kServeStop, "serve-stop"};
   std::atomic<std::uint8_t> last_outcome_{0};
+  std::chrono::steady_clock::time_point started_{};  // set by start()
   obs::Counter* m_connections_;
   obs::Counter* m_requests_;
   obs::Counter* m_ingested_;

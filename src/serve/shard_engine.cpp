@@ -6,6 +6,7 @@
 
 #include "common/error.h"
 #include "common/log.h"
+#include "obs/trace.h"
 #include "pipeline/pipeline.h"
 
 namespace fs = std::filesystem;
@@ -71,6 +72,7 @@ std::size_t ShardEngine::shard_of(std::string_view serial) const {
 }
 
 std::size_t ShardEngine::resume() {
+  const obs::ScopedSpan span("serve.resume");
   std::size_t replayed = 0;
   for (Shard& sh : shards_) {
     if (sh.runtime->store().drive_count() == 0) continue;

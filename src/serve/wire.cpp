@@ -44,11 +44,22 @@ bool read_sample(Reader& r, smart::Sample& s) {
   return true;
 }
 
+// Consumes the optional trailing trace id: exactly 8 bytes past the body
+// is the field, zero bytes is an untraced (old-client) request, anything
+// else is the trailing-garbage protocol error it always was.
+bool read_trace_id(Reader& r, std::string_view payload,
+                   std::uint64_t& trace_id) {
+  if (r.pos == payload.size()) return true;
+  if (payload.size() - r.pos != 8) return false;
+  return r.u64(trace_id);
+}
+
 }  // namespace
 
-std::string encode_ingest_request(const IngestBatch& batch) {
+std::string encode_ingest_request(const IngestBatch& batch,
+                                  std::uint64_t trace_id) {
   std::string out;
-  std::size_t bytes = 1 + 4;
+  std::size_t bytes = 1 + 4 + (trace_id != 0 ? 8 : 0);
   for (const std::string& s : batch.serials) {
     bytes += 2 + s.size() + 8 + 4 * smart::kNumAttributes;
   }
@@ -62,23 +73,30 @@ std::string encode_ingest_request(const IngestBatch& batch) {
       put_u32(out, std::bit_cast<std::uint32_t>(v));
     }
   }
+  if (trace_id != 0) put_u64(out, trace_id);
   return out;
 }
 
-std::string encode_query_request(std::string_view serial) {
+std::string encode_query_request(std::string_view serial,
+                                 std::uint64_t trace_id) {
   std::string out;
-  out.reserve(1 + 2 + serial.size());
+  out.reserve(1 + 2 + serial.size() + (trace_id != 0 ? 8 : 0));
   put_u8(out, static_cast<std::uint8_t>(Op::kQuery));
   put_serial(out, serial);
+  if (trace_id != 0) put_u64(out, trace_id);
   return out;
 }
 
-std::string encode_stats_request() {
-  return std::string(1, static_cast<char>(Op::kStats));
+std::string encode_stats_request(std::uint64_t trace_id) {
+  std::string out(1, static_cast<char>(Op::kStats));
+  if (trace_id != 0) put_u64(out, trace_id);
+  return out;
 }
 
-std::string encode_shutdown_request() {
-  return std::string(1, static_cast<char>(Op::kShutdown));
+std::string encode_shutdown_request(std::uint64_t trace_id) {
+  std::string out(1, static_cast<char>(Op::kShutdown));
+  if (trace_id != 0) put_u64(out, trace_id);
+  return out;
 }
 
 std::optional<Request> decode_request(std::string_view payload) {
@@ -106,23 +124,23 @@ std::optional<Request> decode_request(std::string_view payload) {
         req.ingest.serials.push_back(std::move(serial));
         req.ingest.samples.push_back(s);
       }
-      if (r.pos != payload.size()) return std::nullopt;  // trailing bytes
+      if (!read_trace_id(r, payload, req.trace_id)) return std::nullopt;
       return req;
     }
     case Op::kQuery:
       req.op = Op::kQuery;
       if (!read_serial(r, payload, req.serial) || req.serial.empty() ||
-          r.pos != payload.size()) {
+          !read_trace_id(r, payload, req.trace_id)) {
         return std::nullopt;
       }
       return req;
     case Op::kStats:
       req.op = Op::kStats;
-      if (r.pos != payload.size()) return std::nullopt;
+      if (!read_trace_id(r, payload, req.trace_id)) return std::nullopt;
       return req;
     case Op::kShutdown:
       req.op = Op::kShutdown;
-      if (r.pos != payload.size()) return std::nullopt;
+      if (!read_trace_id(r, payload, req.trace_id)) return std::nullopt;
       return req;
   }
   return std::nullopt;

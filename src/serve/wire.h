@@ -4,12 +4,20 @@
 // (store/format.h): every message is one CRC-framed record,
 //
 //   frame    = length u32 | crc u32 | payload     -- CRC-32 of the payload
-//   request  = op u8 | body
+//   request  = op u8 | body [| trace_id u64]
 //     op 1 (ingest):   count u32, then per sample:
 //                      serial_len u16 | serial | hour i64 | 12 x f32 attrs
 //     op 2 (query):    serial_len u16 | serial
 //     op 3 (stats):    (empty)
 //     op 4 (shutdown): (empty)
+//
+// The trailing trace_id is optional: a tracing client appends its current
+// span's trace id (never 0) after the body so the daemon's spans join the
+// caller's trace; an old client simply omits it and decodes exactly as
+// before — the decoder treats "exactly 8 bytes past the body" as a trace
+// id and any other surplus as the protocol error it always was. Old
+// servers reject the field (trailing bytes), so clients only attach it
+// when tracing is actually recording.
 //   response = status u8 | body
 //     status 0 (ok):          body is op-specific (below)
 //     status 1 (bad request) |
@@ -69,13 +77,17 @@ struct Request {
   Op op = Op::kStats;
   IngestBatch ingest;  // kIngest
   std::string serial;  // kQuery
+  std::uint64_t trace_id = 0;  // 0 = request arrived untraced
 };
 
 // Payload encoders (unframed — wrap with frame_payload to put on the wire).
-std::string encode_ingest_request(const IngestBatch& batch);
-std::string encode_query_request(std::string_view serial);
-std::string encode_stats_request();
-std::string encode_shutdown_request();
+// A nonzero trace_id appends the optional trailing field.
+std::string encode_ingest_request(const IngestBatch& batch,
+                                  std::uint64_t trace_id = 0);
+std::string encode_query_request(std::string_view serial,
+                                 std::uint64_t trace_id = 0);
+std::string encode_stats_request(std::uint64_t trace_id = 0);
+std::string encode_shutdown_request(std::uint64_t trace_id = 0);
 
 // nullopt on an unknown op or a body that does not match its op's layout.
 std::optional<Request> decode_request(std::string_view payload);

@@ -8,6 +8,7 @@
 #include "common/error.h"
 #include "common/log.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "store/format.h"
 
 namespace fs = std::filesystem;
@@ -102,6 +103,7 @@ std::string TelemetryStore::segment_path(std::uint64_t seq) const {
 }
 
 void TelemetryStore::recover() {
+  const obs::ScopedSpan span("store.recover");
   close_writer(/*strict=*/false);
   segments_.clear();
   drives_.clear();
@@ -387,6 +389,7 @@ void TelemetryStore::write_frame(std::string_view payload) {
   m_appends_->inc();
   m_bytes_->inc(static_cast<std::uint64_t>(frame.size()));
   if (options_.fsync_appends) {
+    const obs::ScopedSpan fsync_span("store.fsync");
     const auto s = retryer_.run("fsync segment", [&] { return out_->sync(); });
     m_fsyncs_->inc();
     if (!s.ok()) {
@@ -426,6 +429,8 @@ void TelemetryStore::append_batch(std::uint32_t drive,
                                   const smart::Sample* samples,
                                   std::size_t n) {
   HDD_REQUIRE(drive < drives_.size(), "append to an unregistered drive");
+  const obs::ScopedSpan span("store.append", "samples",
+                             static_cast<std::uint64_t>(n));
   std::size_t done = 0;
   while (done < n) {
     ensure_writer();
@@ -478,6 +483,7 @@ void TelemetryStore::append_batch(std::uint32_t drive,
     done += k;
   }
   if (options_.fsync_appends && out_ != nullptr) {
+    const obs::ScopedSpan fsync_span("store.fsync");
     const auto s = retryer_.run("fsync segment", [&] { return out_->sync(); });
     m_fsyncs_->inc();
     if (!s.ok()) {
@@ -502,6 +508,7 @@ void TelemetryStore::append_generation(std::uint64_t generation,
 
 void TelemetryStore::flush() {
   if (out_ == nullptr) return;
+  const obs::ScopedSpan span("store.fsync");
   const auto s = retryer_.run("fsync segment", [&] { return out_->sync(); });
   m_fsyncs_->inc();
   if (!s.ok()) {
@@ -512,6 +519,7 @@ void TelemetryStore::flush() {
 
 void TelemetryStore::flush_to_os() {
   if (out_ == nullptr) return;
+  const obs::ScopedSpan span("store.flush_os");
   if (auto s = out_->flush(); !s.ok()) {
     // Buffered bytes may have partially landed: same poisoned state as a
     // failed append, so seal the segment rather than risk duplicates.
@@ -638,6 +646,7 @@ TelemetryStore::CompactionResult TelemetryStore::write_compacted(
 
 TelemetryStore::CompactionResult TelemetryStore::compact(
     std::int64_t min_hour) {
+  const obs::ScopedSpan span("store.compact");
   flush();
   close_writer(/*strict=*/true);
   const std::uint64_t seq = next_seq_++;

@@ -16,12 +16,17 @@
 //    keeps scoring.
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <cerrno>
 #include <cstdint>
 #include <filesystem>
+#include <fstream>
 #include <limits>
+#include <sstream>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/error.h"
@@ -31,7 +36,9 @@
 #include "io/env.h"
 #include "io/fault_env.h"
 #include "io/retry.h"
+#include "json_lite.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "serve/shard_engine.h"
 #include "store/telemetry_store.h"
 
@@ -401,6 +408,82 @@ TEST_F(FaultInjectionTest, TransientFsyncIsRetriedAndCounted) {
   EXPECT_EQ(reg.counter("hdd_io_retries_total", "").value(), 1u);
   EXPECT_EQ(reg.counter("hdd_io_faults_injected_total", "").value(), 1u);
   EXPECT_EQ(store.read_drive(0).size(), 1u);
+}
+
+// An injected CrashPoint dumps the flight recorder before the exception
+// unwinds: the spans recorded up to the crash land in
+// <dir>/flight-<pid>.json as valid Chrome trace JSON for the post-mortem.
+TEST_F(FaultInjectionTest, CrashPointDumpsFlightRecorder) {
+  obs::Tracer::global().set_enabled(true);
+  obs::Tracer::global().set_flight_dir(base_dir_.string());
+  {
+    // A completed span the dump must contain (in-flight spans are only
+    // recorded when their scope closes, which is after the dump).
+    const obs::ScopedSpan marker("fault_test_flight_marker");
+  }
+  io::FaultPlan plan;
+  plan.crash_at_op = 5;
+  io::FaultEnv fenv(io::Env::posix(), plan);
+  store::StoreOptions so;
+  so.env = &fenv;
+  bool crashed = false;
+  try {
+    store::TelemetryStore store((base_dir_ / "flight").string(), so);
+    store.register_drive("d0");
+    for (std::int64_t h = 0; h < 40; ++h) store.append(0, sample_for(0, h));
+    store.flush();
+  } catch (const io::CrashPoint&) {
+    crashed = true;
+  }
+  obs::Tracer::global().set_flight_dir("");
+  obs::Tracer::global().set_enabled(false);
+  ASSERT_TRUE(crashed);
+
+  const fs::path file =
+      base_dir_ / ("flight-" + std::to_string(::getpid()) + ".json");
+  ASSERT_TRUE(fs::exists(file));
+  std::ifstream is(file);
+  std::stringstream buf;
+  buf << is.rdbuf();
+  const std::string json = buf.str();
+  EXPECT_TRUE(testjson::json_valid(json)) << json.substr(0, 400);
+  EXPECT_NE(json.find("\"flightReason\":\"crash-point\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"fault_test_flight_marker\""), std::string::npos);
+}
+
+// A transiently failing operation retried behind the store's back shows
+// up in the request's trace as an io.retry child span.
+TEST_F(FaultInjectionTest, TransientRetryAppearsAsChildSpan) {
+  obs::Tracer::global().set_enabled(true);
+  io::FaultPlan plan;
+  plan.fail_fsync_n = 1;
+  plan.fsync_error = io::ErrorClass::kTransient;
+  io::FaultEnv fenv(io::Env::posix(), plan);
+  store::StoreOptions so;
+  so.env = &fenv;
+  so.retry.sleep = false;
+  std::uint64_t trace_id = 0;
+  {
+    const obs::ScopedSpan root("fault_test_retry_root");
+    trace_id = root.trace_id();
+    store::TelemetryStore store((base_dir_ / "span").string(), so);
+    store.register_drive("d0");
+    store.append(0, sample_for(0, 0));
+    store.flush();  // injected fsync failure -> one retry
+  }
+  obs::Tracer::global().set_enabled(false);
+  bool found = false;
+  for (const auto& s : obs::Tracer::global().snapshot(0)) {
+    if (s.name != nullptr && std::string_view(s.name) == "io.retry" &&
+        s.trace_id == trace_id) {
+      found = true;
+      ASSERT_NE(s.arg_name, nullptr);
+      EXPECT_EQ(std::string_view(s.arg_name), "attempt");
+      EXPECT_NE(s.parent_id, 0u);
+    }
+  }
+  EXPECT_TRUE(found);
 }
 
 // A permanently failing fsync exhausts no retries (non-transient errors

@@ -1,0 +1,142 @@
+// Minimal strict JSON validator for tests. Not a parser library: it only
+// answers "is this byte string one well-formed JSON value?", which is what
+// the trace-endpoint and flight-recorder tests assert about their output.
+// Kept deliberately tiny and recursive-descent so a JSON bug in the
+// tracer cannot be masked by leniency here (trailing garbage, unquoted
+// keys, bare NaN and unescaped control characters all fail).
+#pragma once
+
+#include <cctype>
+#include <cstddef>
+#include <string_view>
+
+namespace hdd::testjson {
+
+class Checker {
+ public:
+  explicit Checker(std::string_view text) : text_(text) {}
+
+  bool valid() {
+    skip_ws();
+    if (!value()) return false;
+    skip_ws();
+    return pos_ == text_.size();
+  }
+
+ private:
+  bool eof() const { return pos_ >= text_.size(); }
+  char peek() const { return text_[pos_]; }
+  bool eat(char c) {
+    if (eof() || text_[pos_] != c) return false;
+    ++pos_;
+    return true;
+  }
+  void skip_ws() {
+    while (!eof() && (peek() == ' ' || peek() == '\t' || peek() == '\n' ||
+                      peek() == '\r')) {
+      ++pos_;
+    }
+  }
+  bool literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) return false;
+    pos_ += word.size();
+    return true;
+  }
+
+  bool string() {
+    if (!eat('"')) return false;
+    while (!eof()) {
+      const unsigned char c = static_cast<unsigned char>(text_[pos_]);
+      if (c == '"') {
+        ++pos_;
+        return true;
+      }
+      if (c < 0x20) return false;  // raw control character
+      if (c == '\\') {
+        ++pos_;
+        if (eof()) return false;
+        const char e = text_[pos_++];
+        if (e == 'u') {
+          for (int i = 0; i < 4; ++i) {
+            if (eof() || std::isxdigit(static_cast<unsigned char>(
+                             text_[pos_])) == 0) {
+              return false;
+            }
+            ++pos_;
+          }
+        } else if (e != '"' && e != '\\' && e != '/' && e != 'b' &&
+                   e != 'f' && e != 'n' && e != 'r' && e != 't') {
+          return false;
+        }
+      } else {
+        ++pos_;
+      }
+    }
+    return false;  // unterminated
+  }
+
+  bool digits() {
+    if (eof() || std::isdigit(static_cast<unsigned char>(peek())) == 0) {
+      return false;
+    }
+    while (!eof() && std::isdigit(static_cast<unsigned char>(peek())) != 0) {
+      ++pos_;
+    }
+    return true;
+  }
+
+  bool number() {
+    (void)eat('-');
+    if (!digits()) return false;
+    if (!eof() && peek() == '.') {
+      ++pos_;
+      if (!digits()) return false;
+    }
+    if (!eof() && (peek() == 'e' || peek() == 'E')) {
+      ++pos_;
+      if (!eof() && (peek() == '+' || peek() == '-')) ++pos_;
+      if (!digits()) return false;
+    }
+    return true;
+  }
+
+  bool members(char close, bool keyed) {
+    skip_ws();
+    if (eat(close)) return true;
+    for (;;) {
+      skip_ws();
+      if (keyed) {
+        if (!string()) return false;
+        skip_ws();
+        if (!eat(':')) return false;
+        skip_ws();
+      }
+      if (!value()) return false;
+      skip_ws();
+      if (eat(close)) return true;
+      if (!eat(',')) return false;
+    }
+  }
+
+  bool value() {
+    if (eof()) return false;
+    switch (peek()) {
+      case '{': ++pos_; return members('}', /*keyed=*/true);
+      case '[': ++pos_; return members(']', /*keyed=*/false);
+      case '"': return string();
+      case 't': return literal("true");
+      case 'f': return literal("false");
+      case 'n': return literal("null");
+      default: return number();
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+inline bool json_valid(std::string_view text) {
+  return Checker(text).valid();
+}
+
+}  // namespace hdd::testjson

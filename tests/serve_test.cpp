@@ -12,7 +12,9 @@
 #include <cstdint>
 #include <filesystem>
 #include <string>
+#include <string_view>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "common/error.h"
@@ -21,7 +23,9 @@
 #include "io/env.h"
 #include "io/fault_env.h"
 #include "io/shutdown.h"
+#include "json_lite.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "serve/client.h"
 #include "serve/server.h"
 #include "serve/shard_engine.h"
@@ -227,6 +231,41 @@ TEST(Wire, RejectsMalformedRequests) {
   lying[3] = '\xff';
   lying[4] = '\x7f';
   EXPECT_FALSE(decode_request(lying).has_value());
+}
+
+TEST(Wire, TraceIdRoundTripsOnEveryOp) {
+  constexpr std::uint64_t kId = 0xabcdef1234567890ull;
+  const auto i =
+      decode_request(encode_ingest_request(batch_for_drive(1, 0, 3), kId));
+  ASSERT_TRUE(i.has_value());
+  EXPECT_EQ(i->trace_id, kId);
+  const auto q = decode_request(encode_query_request("serial-x", kId));
+  ASSERT_TRUE(q.has_value());
+  EXPECT_EQ(q->trace_id, kId);
+  EXPECT_EQ(q->serial, "serial-x");
+  const auto s = decode_request(encode_stats_request(kId));
+  ASSERT_TRUE(s.has_value());
+  EXPECT_EQ(s->trace_id, kId);
+  const auto d = decode_request(encode_shutdown_request(kId));
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(d->trace_id, kId);
+}
+
+TEST(Wire, TraceIdFieldIsBackwardCompatible) {
+  // Untraced frames are byte-identical to the pre-trace wire format, so
+  // old servers keep accepting them.
+  EXPECT_EQ(encode_query_request("abc", 0), encode_query_request("abc"));
+  EXPECT_EQ(encode_stats_request(0).size() + 8,
+            encode_stats_request(77).size());
+  // Old-client frames (no trailing field) decode with trace_id 0.
+  const auto req = decode_request(encode_query_request("abc"));
+  ASSERT_TRUE(req.has_value());
+  EXPECT_EQ(req->trace_id, 0u);
+  // Only exactly 8 trailing bytes are a trace id; anything else is still
+  // a protocol error.
+  const std::string stats = encode_stats_request();
+  EXPECT_FALSE(decode_request(stats + "1234567").has_value());
+  EXPECT_FALSE(decode_request(stats + "123456789").has_value());
 }
 
 TEST(Wire, FrameParserReassemblesByteAtATime) {
@@ -556,6 +595,116 @@ TEST_F(ServeTest, ConcurrentIngestKillRestartResume) {
     ingest_all(engine);  // journaled hours are stale-skipped
     EXPECT_EQ(outcomes(engine), expected) << "seed " << seed;
   }
+}
+
+// ---------------------------------------------------------------------------
+// Request tracing: /debug/trace, /debug/vars and the wire-propagated ids
+
+// Tracing is process-global; scope it to one test so the rest of this
+// binary keeps exercising the untraced (default) paths.
+struct TracingOn {
+  TracingOn() { obs::Tracer::global().set_enabled(true); }
+  ~TracingOn() { obs::Tracer::global().set_enabled(false); }
+};
+
+TEST_F(ServeTest, DebugTraceServesConnectedSpanTreeForWireIngest) {
+  const TracingOn tracing;
+  auto ec = engine_config(base_dir_ / "s", 2, &scorer_, nullptr);
+  ec.runtime.store.fsync_appends = true;  // journal fsyncs inside requests
+  ShardEngine engine(ec);
+  Server server(engine, {});
+  server.start();
+  {
+    Client client;
+    client.connect("127.0.0.1", server.port());
+    const auto r = client.ingest(batch_for_drive(0, 0, kHours));
+    EXPECT_EQ(r.accepted, static_cast<std::uint64_t>(kHours));
+    EXPECT_TRUE(client.query(serial_of(0)).known);
+  }
+
+  // The HTTP endpoint returns well-formed Chrome trace_event JSON that
+  // names the whole request path.
+  const std::string json =
+      Client::http_get("127.0.0.1", server.port(), "/debug/trace?ms=60000");
+  EXPECT_TRUE(testjson::json_valid(json)) << json.substr(0, 400);
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  for (const char* name :
+       {"serve.request", "serve.accept", "wire.parse", "shard.queue_wait",
+        "shard.ingest", "fleet.ingest", "store.append", "store.fsync",
+        "wire.respond", "shard.query", "client.ingest"}) {
+    EXPECT_NE(json.find(std::string("\"") + name + "\""),
+              std::string::npos)
+        << name << " missing from /debug/trace";
+  }
+  server.stop();
+
+  // The span tree is connected: a journal fsync recorded on a shard
+  // worker walks parent links back to the serve.request root, and the
+  // client-side span shares the trace id that rode the wire frame.
+  const auto spans = obs::Tracer::global().snapshot(60000);
+  std::unordered_map<std::uint64_t, const obs::SpanView*> by_id;
+  for (const obs::SpanView& s : spans) by_id[s.span_id] = &s;
+  // Walks parent links to the trace root; every hop must resolve and
+  // stay inside the same trace.
+  const auto root_of = [&](const obs::SpanView& leaf, int& hops) {
+    const obs::SpanView* node = &leaf;
+    hops = 0;
+    while (node->parent_id != 0 && hops < 16) {
+      const auto it = by_id.find(node->parent_id);
+      if (it == by_id.end() || it->second->trace_id != leaf.trace_id) {
+        return static_cast<const obs::SpanView*>(nullptr);
+      }
+      node = it->second;
+      ++hops;
+    }
+    return node;
+  };
+  // At least one journal fsync recorded on a shard worker must chain all
+  // the way up to a serve.request root (a fsync from store open/recovery
+  // roots elsewhere, so search rather than take the first).
+  const obs::SpanView* fsync = nullptr;
+  int best_hops = 0;
+  for (const obs::SpanView& s : spans) {
+    if (s.name == nullptr || std::string_view(s.name) != "store.fsync" ||
+        s.parent_id == 0) {
+      continue;
+    }
+    int hops = 0;
+    const obs::SpanView* root = root_of(s, hops);
+    if (root != nullptr && root->name != nullptr &&
+        std::string_view(root->name) == "serve.request" &&
+        hops > best_hops) {
+      fsync = &s;
+      best_hops = hops;
+    }
+  }
+  ASSERT_NE(fsync, nullptr)
+      << "no store.fsync span chains to a serve.request root";
+  // The batch-tail fsync nests under the whole dispatch chain:
+  // fsync -> store.append -> fleet.ingest -> shard.ingest -> request.
+  EXPECT_GE(best_hops, 3);
+  bool client_span_in_same_trace = false;
+  for (const obs::SpanView& s : spans) {
+    if (s.name != nullptr && std::string_view(s.name) == "client.ingest" &&
+        s.trace_id == fsync->trace_id) {
+      client_span_in_same_trace = true;
+    }
+  }
+  EXPECT_TRUE(client_span_in_same_trace);
+}
+
+TEST_F(ServeTest, DebugVarsReportsBuildAndRuntimeState) {
+  ShardEngine engine(engine_config(base_dir_ / "s", 2, &scorer_, nullptr));
+  Server server(engine, {});
+  server.start();
+  const std::string vars =
+      Client::http_get("127.0.0.1", server.port(), "/debug/vars");
+  EXPECT_TRUE(testjson::json_valid(vars)) << vars;
+  EXPECT_NE(vars.find("\"shards\":2"), std::string::npos);
+  EXPECT_NE(vars.find("\"model_generation\":0"), std::string::npos);
+  EXPECT_NE(vars.find("\"uptime_ms\""), std::string::npos);
+  EXPECT_NE(vars.find("\"tracing\":0"), std::string::npos);
+  server.stop();
 }
 
 }  // namespace

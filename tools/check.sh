@@ -9,10 +9,12 @@
 # the full suite is noisy (the `fault` label is the randomized
 # kill-and-resume property harness — hundreds of seeded fault schedules,
 # also exercised under ASan).
-# The plain configuration also smoke-tests `--metrics-out -` end to end
-# and boots a real `hddpredict serve` daemon for an ingest/query/metrics
-# round trip, and a ThreadSanitizer build runs the `obs` and `serve`
-# labels (sharded counters and the multi-threaded daemon both claim
+# The plain configuration also smoke-tests `--metrics-out -` end to end,
+# boots a real `hddpredict serve` daemon for an ingest/query/metrics
+# round trip and again for a tracing round trip (`hddpredict trace`
+# fetching /debug/trace, span chain asserted from the JSON), and a
+# ThreadSanitizer build runs the `obs` and `serve` labels (sharded
+# counters, the span rings and the multi-threaded daemon all claim
 # TSan-clean).
 # Before any build, tools/static.sh gates the concurrency contracts
 # (thread-safety-annotation suppression audit; clang -Wthread-safety and
@@ -171,6 +173,70 @@ pipeline_smoke() {
   echo "=== pipeline smoke passed ==="
 }
 
+# End-to-end smoke of request tracing: boot `serve` (tracing defaults on),
+# push a fleet through the wire client so a traced request crosses the
+# daemon, fetch the flight recorder with `hddpredict trace`, and assert
+# the JSON parses and holds the ingest -> journal span chain.
+trace_smoke() {
+  local build_dir="$1"
+  local tmp
+  tmp="$(mktemp -d)"
+  trap 'rm -rf "${tmp}"' RETURN
+  local bin="${build_dir}/tools/hddpredict"
+  echo "=== trace smoke (${bin}) ==="
+  "${bin}" generate --out "${tmp}/fleet.csv" --scale 0.02 --family W \
+      --seed 11 --interval 2 > /dev/null
+  "${bin}" train --data "${tmp}/fleet.csv" --model "${tmp}/m.tree" \
+      > /dev/null
+  "${bin}" serve --store "${tmp}/store" --model "${tmp}/m.tree" \
+      --fsync always --port 0 --port-file "${tmp}/port" \
+      > "${tmp}/serve.log" &
+  local serve_pid=$!
+  local port=""
+  for _ in $(seq 1 100); do
+    [[ -s "${tmp}/port" ]] && { port="$(cat "${tmp}/port")"; break; }
+    sleep 0.1
+  done
+  if [[ -z "${port}" ]]; then
+    echo "trace smoke FAILED: daemon never wrote its port file" >&2
+    kill "${serve_pid}" 2> /dev/null || true
+    return 1
+  fi
+  "${bin}" client --addr "127.0.0.1:${port}" --op ingest \
+      --data "${tmp}/fleet.csv" > /dev/null || {
+    echo "trace smoke FAILED: wire ingest" >&2; return 1; }
+  "${bin}" trace --addr "127.0.0.1:${port}" --ms 60000 \
+      --out "${tmp}/trace.json" > /dev/null || {
+    echo "trace smoke FAILED: hddpredict trace" >&2; return 1; }
+  "${bin}" client --addr "127.0.0.1:${port}" --op shutdown > /dev/null
+  wait "${serve_pid}" || {
+    echo "trace smoke FAILED: daemon exited non-zero" >&2
+    cat "${tmp}/serve.log" >&2
+    return 1
+  }
+  if command -v python3 > /dev/null; then
+    python3 - "${tmp}/trace.json" << 'EOF' || return 1
+import json, sys
+with open(sys.argv[1]) as f:
+    trace = json.load(f)
+names = {e["name"] for e in trace["traceEvents"]}
+need = {"serve.request", "wire.parse", "shard.queue_wait", "shard.ingest",
+        "fleet.ingest", "store.append", "store.fsync", "wire.respond"}
+missing = need - names
+if missing:
+    sys.exit("trace smoke FAILED: spans missing from /debug/trace: "
+             + ", ".join(sorted(missing)))
+EOF
+  else
+    local name
+    for name in serve.request shard.ingest store.fsync wire.respond; do
+      grep -q "\"${name}\"" "${tmp}/trace.json" || {
+        echo "trace smoke FAILED: span ${name} missing" >&2; return 1; }
+    done
+  fi
+  echo "=== trace smoke passed ==="
+}
+
 # Concurrency-contract gate (suppression audit + clang thread-safety build
 # + clang-tidy; skips the LLVM layers gracefully when clang is absent).
 echo "=== static gate (tools/static.sh) ==="
@@ -180,6 +246,7 @@ run_config build
 obs_smoke build
 serve_smoke build
 pipeline_smoke build
+trace_smoke build
 if [[ "${FAST}" == "1" ]]; then
   echo "=== fast check passed (static gate + plain) ==="
   exit 0
@@ -192,9 +259,10 @@ run_config build-ubsan -DHDD_SANITIZE=undefined
 # of the update pipeline all claim TSan-clean, so hold them to that.
 echo "=== configure build-tsan (-DHDD_SANITIZE=thread) ==="
 cmake -B build-tsan -S . -DHDD_SANITIZE=thread
-echo "=== build build-tsan (obs_test serve_test pipeline_test retrain_loop_test lock_order_test) ==="
+echo "=== build build-tsan (obs_test trace_test serve_test pipeline_test retrain_loop_test lock_order_test) ==="
 cmake --build build-tsan -j "${JOBS}" \
-    --target obs_test serve_test pipeline_test retrain_loop_test lock_order_test
+    --target obs_test trace_test serve_test pipeline_test \
+        retrain_loop_test lock_order_test
 echo "=== ctest build-tsan (labels: obs serve pipeline concurrency) ==="
 ctest --test-dir build-tsan --output-on-failure -j "${JOBS}" \
     -L 'obs|serve|pipeline|concurrency'

@@ -32,6 +32,7 @@
 // stdout carries results only.
 #include <algorithm>
 #include <cstdint>
+#include <fstream>
 #include <iostream>
 #include <memory>
 #include <optional>
@@ -55,6 +56,7 @@
 #include "io/shutdown.h"
 #include "obs/exposition.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "pipeline/pipeline.h"
 #include "reliability/raid.h"
 #include "serve/client.h"
@@ -511,6 +513,18 @@ int cmd_serve(const Args& args) {
   // runs hot even without --metrics-out.
   obs::Registry::global().set_enabled(true);
 
+  // Flight recorder: on by default. The rings double as the /debug/trace
+  // source and the crash dump, so the daemon keeps them hot unless the
+  // operator opts out.
+  if (args.get("trace") == "on") {
+    obs::Tracer& tracer = obs::Tracer::global();
+    tracer.set_flight_dir(args.get("store"));
+    const std::uint64_t slow_ms = args.get_uint64("trace-slow-ms");
+    tracer.set_slow_threshold_ns(slow_ms * 1'000'000ull);
+    tracer.set_enabled(true);
+    obs::install_flight_signal_handlers();
+  }
+
   serve::ShardEngineConfig ec;
   ec.dir = args.get("store");
   ec.shards = static_cast<std::size_t>(args.get_int("shards"));
@@ -662,6 +676,31 @@ int cmd_client(const Args& args) {
   return 0;
 }
 
+int cmd_trace(const Args& args) {
+  const std::string addr = args.get("addr");
+  const auto colon = addr.rfind(':');
+  if (colon == std::string::npos) {
+    throw cli::UsageError("--addr needs the form HOST:PORT");
+  }
+  const std::string host = addr.substr(0, colon);
+  const int port = std::stoi(addr.substr(colon + 1));
+  const std::string json = serve::Client::http_get(
+      host, port, "/debug/trace?ms=" + std::to_string(args.get_uint64("ms")));
+  const std::string out = args.get("out");
+  if (out == "-") {
+    std::cout << json;
+    if (json.empty() || json.back() != '\n') std::cout << '\n';
+    return 0;
+  }
+  std::ofstream os(out, std::ios::binary | std::ios::trunc);
+  os << json;
+  os.flush();
+  if (!os) throw DataError("cannot write trace to " + out);
+  std::cout << "trace written to " << out
+            << " (load in chrome://tracing or ui.perfetto.dev)\n";
+  return 0;
+}
+
 cli::Registry build_registry() {
   cli::Registry reg("hddpredict");
   reg.add({"generate", "fabricate a synthetic fleet CSV",
@@ -767,7 +806,9 @@ cli::Registry build_registry() {
             ArgSpec::integer("replace-weeks", "C", "1"),
             ArgSpec::real("max-far", "X", "1.0"),
             ArgSpec::real("min-fdr", "X", "0.0"),
-            ArgSpec::uint64("min-shadow-samples", "N", "0")},
+            ArgSpec::uint64("min-shadow-samples", "N", "0"),
+            ArgSpec::choice("trace", {"on", "off"}, "on"),
+            ArgSpec::uint64("trace-slow-ms", "MS", "50")},
            cmd_serve});
   reg.add({"client", "talk to a running serve daemon",
            {ArgSpec::str("addr", "HOST:PORT", /*required=*/true),
@@ -777,6 +818,11 @@ cli::Registry build_registry() {
                                      "")),
             ArgSpec::str("data", "F"), ArgSpec::str("serial", "S")},
            cmd_client});
+  reg.add({"trace", "fetch a Chrome trace from a serve daemon",
+           {ArgSpec::str("addr", "HOST:PORT", /*required=*/true),
+            ArgSpec::uint64("ms", "N", "10000"),
+            ArgSpec::str("out", "F|-", false, "-")},
+           cmd_trace});
   return reg;
 }
 
