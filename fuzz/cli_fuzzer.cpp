@@ -1,0 +1,53 @@
+// cli_fuzzer — hostile argv against the real hddpredict command table.
+//
+// Bytes split on whitespace/NUL into tokens, then through
+// cli::Registry::check(): the parse-only path (global-flag extraction,
+// command lookup, typed ArgSpec validation) with no handler execution and
+// no process-wide side effects. Outcomes must be exactly 0 (clean parse)
+// or 2 (usage error) — any throw or crash is a finding.
+#include "fuzz/harness.h"
+
+#include <string>
+#include <vector>
+
+#include "hddpredict_commands.h"
+
+namespace hdd::fuzz {
+
+int fuzz_cli(const std::uint8_t* data, std::size_t size) {
+  static const cli::Registry& registry = *new cli::Registry(
+      tools::build_registry());  // leaked: lives for the whole fuzz run
+
+  constexpr std::size_t kMaxTokens = 64;
+  constexpr std::size_t kMaxTokenBytes = 256;
+  std::vector<std::string> argv_tail;
+  std::string token;
+  auto flush_token = [&] {
+    if (!token.empty() && argv_tail.size() < kMaxTokens) {
+      argv_tail.push_back(token);
+    }
+    token.clear();
+  };
+  for (std::size_t i = 0; i < size; ++i) {
+    const char c = static_cast<char>(data[i]);
+    if (c == ' ' || c == '\t' || c == '\n' || c == '\r' || c == '\0') {
+      flush_token();
+    } else if (token.size() < kMaxTokenBytes) {
+      token.push_back(c);
+    }
+  }
+  flush_token();
+
+  const int rc = registry.check(argv_tail);
+  if (rc != 0 && rc != 2) __builtin_trap();
+  return 0;
+}
+
+}  // namespace hdd::fuzz
+
+#ifdef HDD_FUZZ_TARGET
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  return hdd::fuzz::fuzz_cli(data, size);
+}
+#endif

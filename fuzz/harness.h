@@ -1,0 +1,50 @@
+// Fuzz harness entry points (DESIGN.md §13).
+//
+// Each harness body lives in its own translation unit and is compiled
+// twice:
+//  * into the always-built hdd_fuzz_harnesses library, which the
+//    fuzz_regression_test links to replay the checked-in corpus
+//    (tests/fuzz/corpus/<harness>/) under plain ctest in every build
+//    configuration — no clang required;
+//  * into a fuzz binary when -DHDD_FUZZ=ON: a real libFuzzer target under
+//    clang (-fsanitize=fuzzer defines HDD_FUZZ_TARGET and each file's
+//    LLVMFuzzerTestOneInput wrapper), or a standalone corpus-replay main
+//    (standalone_main.cpp) under gcc.
+//
+// Contract: a harness must return 0 and NEVER crash, hang, or leak on
+// arbitrary bytes. Structured rejection (DataError/ParseError, nullopt,
+// Result::kCorrupt, exit code 2) is the expected outcome for garbage;
+// anything else — HDD_ASSERT (std::logic_error), a sanitizer report, an
+// uncaught exception, unbounded allocation — is a finding. Found defects
+// get fixed in-tree and their inputs checked in as regression seeds.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace hdd::fuzz {
+
+// bytes -> serve::FrameParser (chunked feeding, first byte picks the chunk
+// pattern) -> wire request/response decoders, incl. the trailing trace-id
+// path; the raw bytes are also decoded directly as unframed payloads.
+int fuzz_frame(const std::uint8_t* data, std::size_t size);
+
+// bytes -> store::format decoders (segment header, frame walk, records),
+// then the bytes become a segment file and a TelemetryStore recovers the
+// directory — the full scan_segment recovery taxonomy on hostile input.
+int fuzz_segment(const std::uint8_t* data, std::size_t size);
+
+// bytes -> core::load_model (header-sniffing AnyModel loader) with
+// VerifyMode::kStrict, so the analysis verifier runs over whatever loads.
+int fuzz_model(const std::uint8_t* data, std::size_t size);
+
+// bytes -> an op sequence (register/append/batch/flush/rotate/compact/
+// reopen/crash-point) driven against a real TelemetryStore and
+// cross-checked per step against an in-memory reference map.
+int fuzz_store_op(const std::uint8_t* data, std::size_t size);
+
+// bytes -> argv tokens -> cli::Registry::check() parse-only mode over the
+// real hddpredict command table.
+int fuzz_cli(const std::uint8_t* data, std::size_t size);
+
+}  // namespace hdd::fuzz

@@ -1,0 +1,34 @@
+// Standalone replay driver for fuzz binaries built without libFuzzer
+// (gcc, or clang without the fuzzer runtime): each argv path is read and
+// run once through LLVMFuzzerTestOneInput. This is the long-run interface
+// tools/fuzz.sh falls back to for corpus replay; coverage-guided mutation
+// needs the real libFuzzer build.
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size);
+
+int main(int argc, char** argv) {
+  int ran = 0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string path = argv[i];
+    if (path.rfind("-", 0) == 0) continue;  // ignore libFuzzer-style flags
+    std::ifstream is(path, std::ios::binary);
+    if (!is) {
+      std::cerr << "cannot read " << path << '\n';
+      return 1;
+    }
+    std::ostringstream buf;
+    buf << is.rdbuf();
+    const std::string bytes = buf.str();
+    (void)LLVMFuzzerTestOneInput(
+        reinterpret_cast<const std::uint8_t*>(bytes.data()), bytes.size());
+    ++ran;
+  }
+  std::cout << "replayed " << ran << " input(s), no crashes\n";
+  return 0;
+}

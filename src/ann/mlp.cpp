@@ -197,6 +197,19 @@ MlpModel MlpModel::load(std::istream& is) {
         m.hidden_ <= 0) {
       throw DataError("bad mlp header");
     }
+    if (m.inputs_ > kMaxLoadWidth) {
+      throw ParseError("mlp inputs", static_cast<std::uint64_t>(m.inputs_),
+                       static_cast<std::uint64_t>(kMaxLoadWidth));
+    }
+    if (m.hidden_ > kMaxLoadWidth) {
+      throw ParseError("mlp hidden", static_cast<std::uint64_t>(m.hidden_),
+                       static_cast<std::uint64_t>(kMaxLoadWidth));
+    }
+    const auto weights = static_cast<std::uint64_t>(m.inputs_) *
+                         static_cast<std::uint64_t>(m.hidden_);
+    if (weights > kMaxLoadWeights) {
+      throw ParseError("mlp weights", weights, kMaxLoadWeights);
+    }
   }
   const auto ni = static_cast<std::size_t>(m.inputs_);
   const auto nh = static_cast<std::size_t>(m.hidden_);

@@ -20,6 +20,14 @@
 
 namespace hdd::ann {
 
+// Hard ceilings a persisted MLP file may declare before load() rejects it
+// with hdd::ParseError: per-layer width, and the w1 element count
+// (hidden * inputs), checked *before* any weight vector is allocated so a
+// hostile "inputs 60000 hidden 60000" header cannot drive a multi-GiB
+// allocation.
+inline constexpr int kMaxLoadWidth = 65536;
+inline constexpr std::uint64_t kMaxLoadWeights = 1u << 24;
+
 struct MlpConfig {
   int hidden = 13;
   double learning_rate = 0.1;

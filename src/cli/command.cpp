@@ -213,6 +213,11 @@ std::string Registry::usage_text() const {
 }
 
 GlobalOptions Registry::extract_globals(std::vector<std::string>& rest) const {
+  return extract_globals_impl(rest, /*apply=*/true);
+}
+
+GlobalOptions Registry::extract_globals_impl(std::vector<std::string>& rest,
+                                             bool apply) const {
   GlobalOptions g;
   for (std::size_t i = 0; i < rest.size();) {
     const std::string key = rest[i];
@@ -232,18 +237,33 @@ GlobalOptions Registry::extract_globals(std::vector<std::string>& rest) const {
     } else if (key == "--log-format") {
       const auto format = parse_log_format(value);
       if (!format) throw UsageError("--log-format must be text or json");
-      set_log_format(*format);
+      if (apply) set_log_format(*format);
     } else {
       const auto level = parse_log_level(value);
       if (!level) {
         throw UsageError("--log-level must be debug, info, warn or error");
       }
-      set_log_level(*level);
+      if (apply) set_log_level(*level);
     }
     rest.erase(rest.begin() + static_cast<std::ptrdiff_t>(i),
                rest.begin() + static_cast<std::ptrdiff_t>(i) + 2);
   }
   return g;
+}
+
+int Registry::check(std::vector<std::string> rest) const {
+  try {
+    if (rest.empty()) throw UsageError("");
+    const std::string name = rest.front();
+    rest.erase(rest.begin());
+    (void)extract_globals_impl(rest, /*apply=*/false);
+    const Command* command = find(name);
+    if (command == nullptr) throw UsageError("unknown command: " + name);
+    (void)parse(*command, rest);
+    return 0;
+  } catch (const UsageError&) {
+    return 2;
+  }
 }
 
 Args Registry::parse(const Command& command,

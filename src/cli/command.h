@@ -99,6 +99,15 @@ class Registry {
   // (mutating it), throwing UsageError on bad values.
   GlobalOptions extract_globals(std::vector<std::string>& rest) const;
 
+  // Parse-only dry run over the argv tail (everything after the program
+  // name): global-flag extraction, command lookup, and full ArgSpec
+  // validation — but no handler runs, nothing prints, and the process-wide
+  // log/metrics state is left untouched. Returns the exit code dispatch's
+  // parsing would have produced: 0 when the line parses cleanly, 2 on any
+  // usage error. This is the fuzzer's entry point into the real command
+  // table, so it must stay side-effect-free.
+  int check(std::vector<std::string> rest) const;
+
   // Validates `rest` against the command's ArgSpec table: every flag must
   // be known, carry a value, parse under its type, and satisfy choice
   // membership; required flags must be present. Throws UsageError.
@@ -112,6 +121,9 @@ class Registry {
   int dispatch(int argc, char** argv) const;
 
  private:
+  GlobalOptions extract_globals_impl(std::vector<std::string>& rest,
+                                     bool apply) const;
+
   std::string program_;
   std::vector<Command> commands_;
 };

@@ -5,6 +5,7 @@
 // HDD_ASSERT for internal invariants that indicate a programming error.
 #pragma once
 
+#include <cstdint>
 #include <sstream>
 #include <stdexcept>
 #include <string>
@@ -22,6 +23,31 @@ class ConfigError : public std::runtime_error {
 class DataError : public std::runtime_error {
  public:
   explicit DataError(const std::string& what) : std::runtime_error(what) {}
+};
+
+// A DataError carrying the structured shape of a declared-size violation:
+// which field of the input blew past which limit. Parsers throw this
+// *before* allocating storage for the declared size, so a hostile header
+// ("nodes 4000000000") fails fast instead of exhausting memory — the
+// contract the model/segment fuzzers pin.
+class ParseError : public DataError {
+ public:
+  ParseError(const std::string& field, std::uint64_t requested,
+             std::uint64_t limit)
+      : DataError(field + " " + std::to_string(requested) +
+                  " exceeds the load limit " + std::to_string(limit)),
+        field_(field),
+        requested_(requested),
+        limit_(limit) {}
+
+  const std::string& field() const { return field_; }
+  std::uint64_t requested() const { return requested_; }
+  std::uint64_t limit() const { return limit_; }
+
+ private:
+  std::string field_;
+  std::uint64_t requested_;
+  std::uint64_t limit_;
 };
 
 namespace detail {

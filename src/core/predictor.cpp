@@ -91,6 +91,15 @@ PredictorConfig paper_rt_classifier_config() {
   return c;
 }
 
+PredictorConfig forest_config() {
+  PredictorConfig c = paper_ct_config();
+  c.model = ModelType::kRandomForest;
+  c.forest.n_trees = 40;
+  c.forest.feature_fraction = 0.6;
+  c.forest.tree_params = c.tree_params;
+  return c;
+}
+
 namespace {
 constexpr PresetInfo kPresets[] = {
     {"ct", "paper CT: stat13, 168 h window, 10:1 loss, 11 voters",
@@ -99,6 +108,8 @@ constexpr PresetInfo kPresets[] = {
      &paper_ann_config},
     {"rt", "RT classifier control (Figure 10, average-mode vote)",
      &paper_rt_classifier_config},
+    {"forest", "random forest over the CT settings (40 trees, 0.6 subspace)",
+     &forest_config},
 };
 }  // namespace
 

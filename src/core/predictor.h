@@ -68,6 +68,10 @@ PredictorConfig paper_ct_config();
 PredictorConfig paper_ann_config();
 // RT control group for Figure 10 (binary +1/-1 targets, average-mode vote).
 PredictorConfig paper_rt_classifier_config();
+// Random-forest ensemble over the CT settings (the Section VI ensemble
+// direction): 40 bootstrap trees on random feature subspaces, majority
+// margin, same stat13 features / windows / voting as the CT preset.
+PredictorConfig forest_config();
 
 // Named preset registry over the paper configurations above.
 struct PresetInfo {

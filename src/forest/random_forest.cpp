@@ -137,6 +137,11 @@ RandomForest RandomForest::load(std::istream& is) {
     if (ls.fail() || word != "features" || forest.num_features_ <= 0) {
       throw DataError("bad features line");
     }
+    if (forest.num_features_ > tree::kMaxLoadFeatures) {
+      throw ParseError("forest features",
+                       static_cast<std::uint64_t>(forest.num_features_),
+                       tree::kMaxLoadFeatures);
+    }
   }
   {
     if (!std::getline(is, line)) throw DataError("forest file truncated");
@@ -144,6 +149,9 @@ RandomForest RandomForest::load(std::istream& is) {
     ls >> word >> count;
     if (ls.fail() || word != "trees" || count == 0) {
       throw DataError("bad trees line");
+    }
+    if (count > kMaxLoadMembers) {
+      throw ParseError("forest trees", count, kMaxLoadMembers);
     }
   }
   forest.trees_.reserve(count);

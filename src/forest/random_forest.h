@@ -15,6 +15,12 @@
 
 namespace hdd::forest {
 
+// Hard ceiling on the member count a persisted forest file may declare;
+// load() rejects larger headers with hdd::ParseError before reserving
+// anything (each member also carries a full tree, itself bounded by
+// tree::kMaxLoadNodes).
+inline constexpr std::size_t kMaxLoadMembers = 4096;
+
 struct ForestConfig {
   int n_trees = 40;
   // Fraction of features each tree sees (random subspace per tree).

@@ -274,31 +274,50 @@ std::string frame_payload(std::string_view payload) {
   return store::frame_record(payload);
 }
 
+namespace {
+std::uint32_t read_u32_le(const std::string& buf, std::size_t at) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(
+             static_cast<unsigned char>(buf[at + static_cast<std::size_t>(i)]))
+         << (8 * i);
+  }
+  return v;
+}
+}  // namespace
+
 void FrameParser::feed(std::string_view bytes) {
+  if (corrupt_) return;  // framing is untrusted; hold nothing more
   // Compact before growing: pos_ only moves forward within one buffer
   // generation, so this bounds memory at one frame plus one read() worth.
   if (pos_ > 0 && (pos_ == buf_.size() || pos_ >= (64u << 10))) {
     buf_.erase(0, pos_);
+    scan_ -= pos_;
     pos_ = 0;
   }
   buf_.append(bytes);
+  // Validate every newly complete length prefix *now*, before the bytes it
+  // announces are allowed to accumulate: frame boundaries chain through the
+  // declared lengths, so headers can be walked without touching payloads.
+  while (buf_.size() - scan_ >= store::kFrameHeaderBytes) {
+    const std::uint32_t len = read_u32_le(buf_, scan_);
+    if (len == 0 || len > kMaxWirePayloadBytes) {
+      corrupt_ = true;
+      std::string().swap(buf_);  // release, don't just clear
+      pos_ = scan_ = 0;
+      return;
+    }
+    if (buf_.size() - scan_ < store::kFrameHeaderBytes + len) break;
+    scan_ += store::kFrameHeaderBytes + len;
+  }
 }
 
 FrameParser::Result FrameParser::next(std::string& payload) {
   if (corrupt_) return Result::kCorrupt;
   const std::size_t avail = buf_.size() - pos_;
   if (avail < store::kFrameHeaderBytes) return Result::kNeedMore;
-  auto u32_at = [this](std::size_t at) {
-    std::uint32_t v = 0;
-    for (int i = 0; i < 4; ++i) {
-      v |= static_cast<std::uint32_t>(
-               static_cast<unsigned char>(buf_[at + static_cast<std::size_t>(i)]))
-           << (8 * i);
-    }
-    return v;
-  };
-  const std::uint32_t len = u32_at(pos_);
-  const std::uint32_t crc = u32_at(pos_ + 4);
+  const std::uint32_t len = read_u32_le(buf_, pos_);
+  const std::uint32_t crc = read_u32_le(buf_, pos_ + 4);
   if (len == 0 || len > kMaxWirePayloadBytes) {
     corrupt_ = true;
     return Result::kCorrupt;
@@ -307,6 +326,8 @@ FrameParser::Result FrameParser::next(std::string& payload) {
   const char* data = buf_.data() + pos_ + store::kFrameHeaderBytes;
   if (store::crc32(data, len) != crc) {
     corrupt_ = true;
+    std::string().swap(buf_);
+    pos_ = scan_ = 0;
     return Result::kCorrupt;
   }
   payload.assign(data, len);

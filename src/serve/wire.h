@@ -147,6 +147,12 @@ std::string frame_payload(std::string_view payload);
 // arrive; next() yields complete, CRC-verified payloads. kCorrupt is
 // sticky — framing can't be trusted past a bad frame, so the connection
 // must be dropped.
+//
+// Length prefixes are validated at feed() time, as soon as the 8 header
+// bytes of each frame are buffered: a hostile "4 GiB follows" prefix trips
+// kCorrupt immediately and releases the buffer, so a peer can never make
+// the parser hold more than one valid frame's worth of unparsed bytes. A
+// corrupt parser also stops buffering further input.
 class FrameParser {
  public:
   enum class Result { kNeedMore, kFrame, kCorrupt };
@@ -154,12 +160,15 @@ class FrameParser {
   void feed(std::string_view bytes);
   Result next(std::string& payload);
 
-  // Bytes currently buffered (bounded by kMaxWirePayloadBytes + header).
+  // Bytes currently buffered. With a caller that drains next() after each
+  // feed (the server does), this is bounded by kMaxWirePayloadBytes +
+  // header + one read() chunk.
   std::size_t buffered() const { return buf_.size() - pos_; }
 
  private:
   std::string buf_;
-  std::size_t pos_ = 0;
+  std::size_t pos_ = 0;   // start of the next undrained frame
+  std::size_t scan_ = 0;  // start of the next length-unvalidated header
   bool corrupt_ = false;
 };
 

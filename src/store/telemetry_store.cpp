@@ -467,6 +467,21 @@ void TelemetryStore::append_batch(std::uint32_t drive,
       m_sealed_->inc();
       (void)out_->flush();  // best effort: earlier complete frames reach the OS
       close_writer(/*strict=*/false);
+      // Unlike write_frame's single record, a torn multi-frame buffer can
+      // leave *complete* frames of this failed batch on disk. The live
+      // store does not index them, so recovery must not either — a
+      // re-sent batch would otherwise replay those samples twice. Cut the
+      // file back to the last indexed frame; when even that fails
+      // (permanent env failure), the segment is sealed and degraded
+      // already, and the duplicate-on-resend hazard is the smaller of the
+      // node's problems.
+      std::uint64_t on_disk = 0;
+      if (env_->file_size(seg->path, on_disk).ok() &&
+          on_disk > seg->data_end) {
+        (void)retryer_.run("truncate torn append", [&] {
+          return env_->resize_file(seg->path, seg->data_end);
+        });
+      }
       throw DataError("telemetry store: append to " + seg->path +
                       " failed: " + s.message);
     }

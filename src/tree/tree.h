@@ -28,6 +28,13 @@ namespace hdd::tree {
 
 enum class Task { kClassification, kRegression };
 
+// Hard ceilings a persisted tree file may declare before load() rejects it
+// with hdd::ParseError — checked *before* any reservation, so a hostile
+// header cannot drive a giant allocation. Both are far above anything
+// training can produce (TreeParams::max_nodes defaults to 32768).
+inline constexpr std::size_t kMaxLoadNodes = 1u << 20;
+inline constexpr int kMaxLoadFeatures = 4096;
+
 struct TreeParams {
   // Minimum samples (by count) a node needs before a split is attempted.
   int min_split = 20;

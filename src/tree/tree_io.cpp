@@ -51,12 +51,19 @@ DecisionTree DecisionTree::load(std::istream& is) {
     if (word != "features" || features <= 0) {
       throw DataError("bad features line");
     }
+    if (features > kMaxLoadFeatures) {
+      throw ParseError("tree features", static_cast<std::uint64_t>(features),
+                       kMaxLoadFeatures);
+    }
   }
   std::size_t count = 0;
   {
     std::istringstream ls(next_line());
     ls >> word >> count;
     if (word != "nodes" || count == 0) throw DataError("bad nodes line");
+    if (count > kMaxLoadNodes) {
+      throw ParseError("tree nodes", count, kMaxLoadNodes);
+    }
   }
   std::vector<Node> nodes;
   nodes.reserve(count);

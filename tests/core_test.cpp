@@ -85,7 +85,7 @@ TEST(ModelTypeNames, OutOfRangeValueThrows) {
 
 TEST(Presets, RegistryCoversThePaperConfigs) {
   const auto all = presets();
-  ASSERT_EQ(all.size(), 3u);
+  ASSERT_EQ(all.size(), 4u);
   for (const auto& p : all) {
     EXPECT_FALSE(p.name.empty());
     EXPECT_FALSE(p.description.empty());
@@ -97,6 +97,8 @@ TEST(Presets, RegistryCoversThePaperConfigs) {
   EXPECT_EQ(preset("ann").model, ModelType::kBpAnn);
   EXPECT_EQ(preset("rt").model, ModelType::kRegressionTree);
   EXPECT_TRUE(preset("rt").vote.average_mode);
+  EXPECT_EQ(preset("forest").model, ModelType::kRandomForest);
+  EXPECT_EQ(preset("forest").forest.n_trees, 40);
   // The registry resolves to the same settings as the underlying functions.
   EXPECT_EQ(preset("ct").tree_params.min_split,
             paper_ct_config().tree_params.min_split);

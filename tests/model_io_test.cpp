@@ -131,6 +131,62 @@ TEST(MlpIo, RejectsMalformedInput) {
   }
 }
 
+// A hostile header may declare any size it likes; load() must reject it
+// with ParseError *before* reserving storage for the declared count, so
+// none of these (which announce gigabytes) can move the process RSS.
+TEST(LoadLimits, HostileDeclaredSizesAreRejectedBeforeAllocation) {
+  {
+    std::istringstream is(
+        "hddpred-tree v1\ntask classification\nfeatures 1\n"
+        "nodes 4000000000\n");
+    EXPECT_THROW(tree::DecisionTree::load(is), ParseError);
+  }
+  {
+    std::istringstream is(
+        "hddpred-tree v1\ntask classification\nfeatures 100000\nnodes 1\n");
+    EXPECT_THROW(tree::DecisionTree::load(is), ParseError);
+  }
+  {
+    std::istringstream is(
+        "hddpred-forest v1\nfeatures 2\ntrees 4000000000\n");
+    EXPECT_THROW(forest::RandomForest::load(is), ParseError);
+  }
+  {
+    std::istringstream is("hddpred-forest v1\nfeatures 100000\ntrees 1\n");
+    EXPECT_THROW(forest::RandomForest::load(is), ParseError);
+  }
+  {
+    std::istringstream is("hddpred-mlp v1\ninputs 1000000 hidden 1\n");
+    EXPECT_THROW(ann::MlpModel::load(is), ParseError);
+  }
+  {
+    std::istringstream is("hddpred-mlp v1\ninputs 1 hidden 1000000\n");
+    EXPECT_THROW(ann::MlpModel::load(is), ParseError);
+  }
+  {
+    // Each width passes on its own; the w1 product (2^30 doubles) must not.
+    std::istringstream is("hddpred-mlp v1\ninputs 32768 hidden 32768\n");
+    EXPECT_THROW(ann::MlpModel::load(is), ParseError);
+  }
+}
+
+TEST(LoadLimits, ParseErrorCarriesFieldAndSizes) {
+  std::istringstream is(
+      "hddpred-tree v1\ntask classification\nfeatures 1\nnodes 9999999\n");
+  try {
+    tree::DecisionTree::load(is);
+    FAIL() << "load() accepted a hostile node count";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.field(), "tree nodes");
+    EXPECT_EQ(e.requested(), 9999999u);
+    EXPECT_EQ(e.limit(), tree::kMaxLoadNodes);
+  }
+  // ParseError is a DataError, so every existing catch site still works.
+  std::istringstream again(
+      "hddpred-tree v1\ntask classification\nfeatures 1\nnodes 9999999\n");
+  EXPECT_THROW(tree::DecisionTree::load(again), DataError);
+}
+
 TEST(MlpIo, SaveRequiresTraining) {
   ann::MlpModel model;
   std::ostringstream os;

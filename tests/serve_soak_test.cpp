@@ -1,0 +1,260 @@
+// Bounded serve soak (ctest label: soak): a live Server over localhost,
+// several client threads driving mixed ops (batched ingest, queries,
+// stats, /healthz scrapes) for a wall-clock budget, with transient I/O
+// faults injected under the journals the whole time. The run must end
+// with: no fd leaked, every client op answered, and — after a graceful
+// stop — a resumed engine whose per-drive alarm state is byte-identical
+// to a reference engine fed the same telemetry directly.
+//
+// The budget comes from HDD_SOAK_MS (default 2000 ms, so the default
+// ctest run stays fast); tools/check.sh runs the long version.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/scorer.h"
+#include "io/env.h"
+#include "io/fault_env.h"
+#include "io/shutdown.h"
+#include "serve/client.h"
+#include "serve/server.h"
+#include "serve/shard_engine.h"
+#include "serve/wire.h"
+
+namespace hdd::serve {
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr std::uint32_t kDrives = 12;
+constexpr std::size_t kShards = 2;
+constexpr std::size_t kThreads = 3;  // kDrives spread across client threads
+constexpr std::int64_t kHoursPerBatch = 4;
+
+int soak_budget_ms() {
+  if (const char* ms = std::getenv("HDD_SOAK_MS")) {
+    const int v = std::atoi(ms);
+    if (v > 0) return v;
+  }
+  return 2000;
+}
+
+// Deterministic telemetry: every value a pure function of (drive, hour),
+// so the reference engine can regenerate exactly what the clients sent.
+float hval(std::uint32_t d, std::int64_t h, std::uint32_t salt) {
+  std::uint32_t x = d * 2654435761u +
+                    static_cast<std::uint32_t>(h) * 40503u + salt * 97u;
+  x ^= x >> 13;
+  x *= 2246822519u;
+  x ^= x >> 16;
+  return static_cast<float>(x & 0xFFFF) / 32768.0f - 1.0f;
+}
+
+smart::Sample sample_for(std::uint32_t d, std::int64_t h) {
+  smart::Sample s;
+  s.hour = h;
+  const float bias = 0.9f * (static_cast<float>(d % 3) - 1.0f);
+  s.set(smart::Attr::kRawReadErrorRate, hval(d, h, 1) + bias);
+  s.set(smart::Attr::kTemperatureCelsius, 10.0f * hval(d, h, 2));
+  return s;
+}
+
+smart::FeatureSet two_features() {
+  return {"t2",
+          {{smart::Attr::kRawReadErrorRate, 0},
+           {smart::Attr::kTemperatureCelsius, 6}}};
+}
+
+class MixScorer final : public core::SampleScorer {
+ public:
+  double predict(std::span<const float> x) const override {
+    return static_cast<double>(x[0]) + 0.03 * static_cast<double>(x[1]);
+  }
+  void predict_batch(std::span<const float> xs,
+                     std::span<double> out) const override {
+    for (std::size_t r = 0; r < out.size(); ++r) {
+      out[r] = predict(xs.subspan(2 * r, 2));
+    }
+  }
+  int num_features() const override { return 2; }
+  std::string summary() const override { return "mix"; }
+};
+
+std::string serial_of(std::uint32_t d) {
+  return "soak-drive-" + std::to_string(d);
+}
+
+IngestBatch batch_for_drive(std::uint32_t d, std::int64_t from,
+                            std::int64_t to) {
+  IngestBatch b;
+  for (std::int64_t h = from; h < to; ++h) {
+    b.serials.push_back(serial_of(d));
+    b.samples.push_back(sample_for(d, h));
+  }
+  return b;
+}
+
+ShardEngineConfig engine_config(const fs::path& dir,
+                                const core::SampleScorer* scorer,
+                                io::Env* env) {
+  ShardEngineConfig ec;
+  ec.dir = dir.string();
+  ec.shards = kShards;
+  ec.runtime.scorer = scorer;
+  ec.runtime.features = two_features();
+  ec.runtime.vote.voters = 5;
+  ec.runtime.block_rows = 4;
+  ec.runtime.store.env = env;
+  // Transient faults must never surface as lost samples: give the store's
+  // retryer enough attempts that the probabilistic faults below are
+  // absorbed with certainty for the soak's op count.
+  ec.runtime.store.retry.max_attempts = 8;
+  ec.runtime.store.retry.sleep = false;
+  return ec;
+}
+
+std::size_t open_fd_count() {
+  std::size_t n = 0;
+  for (const auto& e : fs::directory_iterator("/proc/self/fd")) {
+    (void)e;
+    ++n;
+  }
+  return n;
+}
+
+struct Outcome {
+  bool known = false;
+  bool alarmed = false;
+  std::int64_t alarm_hour = -1;
+  std::int64_t samples_seen = 0;
+  bool operator==(const Outcome&) const = default;
+};
+
+std::vector<Outcome> outcomes(const ShardEngine& engine) {
+  std::vector<Outcome> out(kDrives);
+  for (std::uint32_t d = 0; d < kDrives; ++d) {
+    const auto q = engine.query(serial_of(d));
+    out[d] = {q.known, q.alarmed, q.alarm_hour, q.samples_seen};
+  }
+  return out;
+}
+
+TEST(ServeSoak, MixedOpsUnderFaultsThenByteIdenticalResume) {
+  const fs::path base =
+      fs::temp_directory_path() /
+      ("hdd_serve_soak." + std::to_string(::getpid()));
+  fs::remove_all(base);
+  fs::create_directories(base);
+
+  MixScorer scorer;
+  io::FaultPlan plan;
+  plan.seed = 20260809;
+  plan.short_write_prob = 0.02;   // transient: a prefix lands, retry wins
+  plan.write_error_prob = 0.02;   // transient: nothing lands, retry wins
+  plan.fail_fsync_n = 5;          // one scheduled transient fsync failure
+  plan.fsync_error = io::ErrorClass::kTransient;
+  io::FaultEnv fault(io::Env::posix(), plan);
+
+  // /proc/self/fd is sampled outside the engine/server lifetimes; the
+  // whole serving stack must give every descriptor back. The process-wide
+  // shutdown self-pipe (2 fds, installed once on the first Server::start)
+  // is forced into existence first so it doesn't read as a leak.
+  io::install_shutdown_handlers();
+  const std::size_t fds_before = open_fd_count();
+
+  std::vector<std::int64_t> reached(kDrives, 0);
+  {
+    ShardEngine engine(engine_config(base / "s", &scorer, &fault));
+    Server server(engine, ServeOptions{});
+    server.start();
+    const int port = server.port();
+
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::milliseconds(soak_budget_ms());
+    std::atomic<bool> failed{false};
+    std::vector<std::thread> clients;
+    for (std::size_t t = 0; t < kThreads; ++t) {
+      clients.emplace_back([&, t] {
+        try {
+          Client client;
+          client.connect("127.0.0.1", port);
+          std::uint64_t round = 0;
+          while (std::chrono::steady_clock::now() < deadline) {
+            for (std::uint32_t d = static_cast<std::uint32_t>(t);
+                 d < kDrives; d += kThreads) {
+              const std::int64_t from = reached[d];
+              const auto batch =
+                  batch_for_drive(d, from, from + kHoursPerBatch);
+              // The journal never re-sends a torn append; it reports
+              // journal_failed and relies on the producer re-sending the
+              // batch (landed chunks are stale-skipped). Behave like that
+              // producer.
+              int attempts = 0;
+              for (;;) {
+                const auto r = client.ingest(batch);
+                if (r.journal_failed == 0) break;
+                if (++attempts > 50) {
+                  failed = true;
+                  break;
+                }
+              }
+              reached[d] = from + kHoursPerBatch;  // only thread t writes d
+            }
+            // Interleave the read paths the daemon serves concurrently.
+            const auto q =
+                client.query(serial_of(static_cast<std::uint32_t>(t)));
+            if (!q.known) failed = true;
+            if (round % 8 == 0) (void)client.stats();
+            if (round % 16 == 0) {
+              const std::string health =
+                  Client::http_get("127.0.0.1", port, "/healthz");
+              if (health.find("ok") == std::string::npos) failed = true;
+            }
+            ++round;
+          }
+          client.close();
+        } catch (const std::exception&) {
+          failed = true;
+        }
+      });
+    }
+    for (auto& c : clients) c.join();
+    EXPECT_FALSE(failed.load())
+        << "a client saw a failed op during the soak";
+    for (std::uint32_t d = 0; d < kDrives; ++d) {
+      EXPECT_GT(reached[d], 0) << "drive " << d << " never ingested";
+    }
+    server.stop();
+  }
+
+  EXPECT_EQ(fds_before, open_fd_count()) << "fd leaked across the soak";
+
+  // Byte-identical resume: a fresh engine over the soak's journals must
+  // answer exactly like a reference engine fed the same telemetry
+  // directly (no server, no faults).
+  ShardEngine resumed(engine_config(base / "s", &scorer, nullptr));
+  resumed.resume();
+  ShardEngine reference(engine_config(base / "ref", &scorer, nullptr));
+  for (std::uint32_t d = 0; d < kDrives; ++d) {
+    const auto batch = batch_for_drive(d, 0, reached[d]);
+    (void)reference.ingest(reference.shard_of(serial_of(d)), batch);
+  }
+  EXPECT_EQ(outcomes(reference), outcomes(resumed));
+
+  const auto stats = resumed.stats();
+  EXPECT_EQ(stats.drives, kDrives);
+
+  fs::remove_all(base);
+}
+
+}  // namespace
+}  // namespace hdd::serve

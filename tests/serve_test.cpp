@@ -300,6 +300,36 @@ TEST(Wire, FrameParserRejectsCorruptFrames) {
   EXPECT_EQ(parser2.next(got), FrameParser::Result::kCorrupt);
 }
 
+TEST(Wire, FrameParserRefusesToBufferPastHostileLength) {
+  // The hostile length prefix is caught at feed() time: once the 8 header
+  // bytes announce an over-cap payload, the parser drops its buffer and
+  // stops accepting bytes instead of accumulating toward 4 GiB.
+  FrameParser parser;
+  std::string header;
+  for (unsigned char c : {0xff, 0xff, 0xff, 0xff}) header.push_back(char(c));
+  header.append(4, '\0');
+  parser.feed(header);
+  EXPECT_EQ(parser.buffered(), 0u);
+  parser.feed(std::string(1 << 16, 'x'));
+  EXPECT_EQ(parser.buffered(), 0u);
+  std::string got;
+  EXPECT_EQ(parser.next(got), FrameParser::Result::kCorrupt);
+
+  // A zero length is the same protocol error.
+  FrameParser parser2;
+  parser2.feed(std::string(8, '\0'));
+  EXPECT_EQ(parser2.buffered(), 0u);
+  EXPECT_EQ(parser2.next(got), FrameParser::Result::kCorrupt);
+
+  // The boundary walk follows chained lengths: a hostile header *behind* a
+  // valid undrained frame is also caught at feed() time.
+  FrameParser parser3;
+  parser3.feed(frame_payload(encode_stats_request()));
+  parser3.feed(header);
+  EXPECT_EQ(parser3.buffered(), 0u);
+  EXPECT_EQ(parser3.next(got), FrameParser::Result::kCorrupt);
+}
+
 // ---------------------------------------------------------------------------
 // ShardEngine
 

@@ -9,10 +9,12 @@
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "common/error.h"
+#include "io/env.h"
 #include "store/format.h"
 #include "store/telemetry_store.h"
 
@@ -232,6 +234,86 @@ TEST_F(StoreTest, TornTailIsTruncatedAndStoreStaysAppendable) {
   EXPECT_EQ(store.drive(0).last_hour, 10);
   EXPECT_FALSE(store.recovery().tail_truncated);
   EXPECT_EQ(store.segment_count(), 1u);  // appends went to the same segment
+}
+
+// An Env whose Nth File::append tears: a byte-count prefix reaches the
+// real file, then a transient error is reported — the shape of a batched
+// write dying partway with whole frames already on disk.
+class TearingEnv final : public io::EnvWrapper {
+ public:
+  TearingEnv(io::Env& target, int fail_on_append, std::size_t landed_bytes)
+      : EnvWrapper(target),
+        fail_on_append_(fail_on_append),
+        landed_bytes_(landed_bytes) {}
+
+  io::IoStatus new_append_file(const std::string& path, bool truncate,
+                               std::unique_ptr<io::File>& out) override {
+    std::unique_ptr<io::File> real;
+    if (auto s = EnvWrapper::new_append_file(path, truncate, real); !s.ok()) {
+      return s;
+    }
+    out = std::make_unique<TearingFile>(std::move(real), this);
+    return io::IoStatus::success();
+  }
+
+ private:
+  class TearingFile final : public io::File {
+   public:
+    TearingFile(std::unique_ptr<io::File> real, TearingEnv* env)
+        : real_(std::move(real)), env_(env) {}
+    io::IoStatus append(std::string_view data) override {
+      if (++env_->appends_ == env_->fail_on_append_) {
+        const auto landed = std::min(env_->landed_bytes_, data.size());
+        (void)real_->append(data.substr(0, landed));
+        (void)real_->flush();
+        return io::IoStatus::transient_error("injected torn append");
+      }
+      return real_->append(data);
+    }
+    io::IoStatus flush() override { return real_->flush(); }
+    io::IoStatus sync() override { return real_->sync(); }
+    io::IoStatus close() override { return real_->close(); }
+    void abandon() override { real_->abandon(); }
+
+   private:
+    std::unique_ptr<io::File> real_;
+    TearingEnv* env_;
+  };
+
+  int appends_ = 0;
+  const int fail_on_append_;
+  const std::size_t landed_bytes_;
+};
+
+TEST_F(StoreTest, TornBatchPrefixIsNotReplayedWhenTheBatchIsResent) {
+  // Append #1 is the segment header; #2 is the registration; #3 is the
+  // batch, torn after exactly two complete frames have landed.
+  TearingEnv env(io::Env::posix(), /*fail_on_append=*/3,
+                 /*landed_bytes=*/2 * kSampleFrameBytes);
+  StoreOptions opt;
+  opt.env = &env;
+  std::vector<smart::Sample> batch;
+  for (std::int64_t h = 0; h < 6; ++h) batch.push_back(make_sample(h));
+  {
+    TelemetryStore store(dir(), opt);
+    const auto id = store.register_drive("D");
+    EXPECT_THROW(store.append_batch(id, batch.data(), batch.size()),
+                 DataError);
+    EXPECT_EQ(store.drive(id).n_samples, 0u);  // none of the batch indexed
+    // The producer's contract after a journal failure: re-send the whole
+    // batch. The two frames that landed before the tear must not turn
+    // into duplicates, in this store or any recovered one.
+    store.append_batch(id, batch.data(), batch.size());
+    EXPECT_EQ(store.drive(id).n_samples, 6u);
+    store.flush();
+  }
+  TelemetryStore reopened(dir());
+  EXPECT_EQ(reopened.drive(0).n_samples, 6u);
+  const auto got = reopened.read_drive(0);
+  ASSERT_EQ(got.size(), 6u);
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].hour, static_cast<std::int64_t>(i));
+  }
 }
 
 TEST_F(StoreTest, FlippedPayloadBitSkipsRecordAndStopsTheSegment) {

@@ -16,6 +16,13 @@
 # shadow-scoring overhead bound in DESIGN.md §10 (BM_FleetObserveShadow
 # vs BM_FleetObserve).
 #
+# The file also carries adversarial-robustness rows (adversary/<preset>/
+# eps<ε>/{evade_fdr,alarm_far}): `hddpredict adversary` run on a seeded
+# synthetic fleet, so a model change that makes detection evadable (or
+# healthy drives alarm-prone) under small SMART perturbations shows up in
+# the same CI diff as a hot-path regression. Values are ratios, not
+# times; the fleet and training are deterministic, so the rows are too.
+#
 # Usage: tools/bench.sh [--out FILE] [--build-dir DIR] [--filter REGEX]
 set -euo pipefail
 
@@ -36,10 +43,24 @@ done
 cmake -B "${BUILD_DIR}" -S . > /dev/null
 cmake --build "${BUILD_DIR}" -j "$(nproc)" \
     --target micro_perf micro_lint micro_obs micro_io micro_serve \
-    micro_pipeline
+    micro_pipeline hddpredict
 
 TMP="$(mktemp -d)"
 trap 'rm -rf "${TMP}"' EXIT
+
+# Adversarial robustness rows: train the ct and forest presets on one
+# seeded fleet and record evade-FDR / alarm-FAR per epsilon.
+HDD="${BUILD_DIR}/tools/hddpredict"
+echo "=== adversary (ct, forest) ===" >&2
+"${HDD}" generate --out "${TMP}/fleet.csv" --scale 0.04 --family W \
+    --seed 11 --interval 2 > /dev/null
+for preset in ct forest; do
+  "${HDD}" train --data "${TMP}/fleet.csv" --model "${TMP}/${preset}.model" \
+      --preset "${preset}" > /dev/null
+  "${HDD}" adversary --data "${TMP}/fleet.csv" \
+      --model "${TMP}/${preset}.model" --format json \
+      > "${TMP}/adv_${preset}.json" || [[ $? == 3 ]]
+done
 
 # micro_perf sweeps large fleets; keep the suite's wall time bounded by
 # running one representative size per benchmark family.
@@ -62,12 +83,13 @@ run_bench micro_io   "${TMP}/io.json"   ''
 run_bench micro_serve "${TMP}/serve.json" ''
 run_bench micro_pipeline "${TMP}/pipeline.json" ''
 
-python3 - "${OUT}" "${TMP}/perf.json" "${TMP}/lint.json" "${TMP}/obs.json" \
-    "${TMP}/io.json" "${TMP}/serve.json" "${TMP}/pipeline.json" <<'PY'
+python3 - "${OUT}" "${TMP}" "${TMP}/perf.json" "${TMP}/lint.json" \
+    "${TMP}/obs.json" "${TMP}/io.json" "${TMP}/serve.json" \
+    "${TMP}/pipeline.json" <<'PY'
 import json
 import sys
 
-out_path, *inputs = sys.argv[1:]
+out_path, tmp_dir, *inputs = sys.argv[1:]
 rows = []
 for path in inputs:
     with open(path) as f:
@@ -86,6 +108,31 @@ for path in inputs:
                 "value": round(b["items_per_second"], 1),
                 "unit": "items/s",
             })
+for preset in ("ct", "forest"):
+    with open(f"{tmp_dir}/adv_{preset}.json") as f:
+        adv = json.load(f)["robustness"]
+    rows.append({
+        "name": f"adversary/{preset}/baseline_fdr",
+        "value": round(adv["baseline"]["fdr"], 4),
+        "unit": "ratio",
+    })
+    rows.append({
+        "name": f"adversary/{preset}/baseline_far",
+        "value": round(adv["baseline"]["far"], 4),
+        "unit": "ratio",
+    })
+    for p in adv["points"]:
+        eps = p["epsilon"]
+        rows.append({
+            "name": f"adversary/{preset}/eps{eps}/evade_fdr",
+            "value": round(p["evade_fdr"], 4),
+            "unit": "ratio",
+        })
+        rows.append({
+            "name": f"adversary/{preset}/eps{eps}/alarm_far",
+            "value": round(p["alarm_far"], 4),
+            "unit": "ratio",
+        })
 with open(out_path, "w") as f:
     json.dump(rows, f, indent=2)
     f.write("\n")

@@ -16,6 +16,10 @@
 # ThreadSanitizer build runs the `obs` and `serve` labels (sharded
 # counters, the span rings and the multi-threaded daemon all claim
 # TSan-clean).
+# The full (non-fast) run additionally stretches the serve soak test to
+# ~30 s of fault-injected mixed operations (HDD_SOAK_MS=30000) and
+# replays the checked-in fuzz corpus through the five fuzz entry points
+# under ASan+UBSan (tools/fuzz.sh --regress).
 # Before any build, tools/static.sh gates the concurrency contracts
 # (thread-safety-annotation suppression audit; clang -Wthread-safety and
 # clang-tidy concurrency-* when LLVM is installed). Sanitizer configs
@@ -62,6 +66,21 @@ run_config() {
   echo "=== ctest ${build_dir} (label: concurrency) ==="
   ctest --test-dir "${build_dir}" --output-on-failure -j "${JOBS}" \
       -L concurrency
+  echo "=== ctest ${build_dir} (label: fuzz) ==="
+  ctest --test-dir "${build_dir}" --output-on-failure -j "${JOBS}" \
+      -L fuzz
+}
+
+# Bounded serve soak: the multi-client ingest/query/stats loop against a
+# fault-injecting store (tests/serve_soak_test.cpp) stretched to ~30 s of
+# mixed operations, with the byte-identical-resume and fd-leak assertions
+# it always carries. The default ctest pass runs the same test at ~2 s;
+# this leg is the longer shake-out.
+soak_smoke() {
+  local build_dir="$1"
+  echo "=== serve soak (label: soak, HDD_SOAK_MS=30000) ==="
+  HDD_SOAK_MS=30000 ctest --test-dir "${build_dir}" \
+      --output-on-failure -L soak
 }
 
 # End-to-end smoke of the metrics pipeline: generate -> train -> ingest ->
@@ -251,8 +270,15 @@ if [[ "${FAST}" == "1" ]]; then
   echo "=== fast check passed (static gate + plain) ==="
   exit 0
 fi
+soak_smoke build
 run_config build-asan -DHDD_SANITIZE=address
 run_config build-ubsan -DHDD_SANITIZE=undefined
+
+# Fuzz corpus regression under ASan+UBSan: every checked-in seed replayed
+# through the five fuzz entry points (tools/fuzz.sh builds build-fuzz with
+# clang/libFuzzer when available, gcc standalone-replay binaries
+# otherwise).
+tools/fuzz.sh --regress "${JOBS}"
 
 # ThreadSanitizer over the concurrency surfaces: the sharded-atomic
 # counters, the multi-threaded serve daemon and the hot-swap/shadow path
@@ -267,4 +293,4 @@ echo "=== ctest build-tsan (labels: obs serve pipeline concurrency) ==="
 ctest --test-dir build-tsan --output-on-failure -j "${JOBS}" \
     -L 'obs|serve|pipeline|concurrency'
 
-echo "=== all checks passed (static gate + plain + asan + ubsan + tsan-obs/serve/pipeline/concurrency) ==="
+echo "=== all checks passed (static gate + plain + soak + asan + ubsan + fuzz regress + tsan-obs/serve/pipeline/concurrency) ==="

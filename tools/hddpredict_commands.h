@@ -1,0 +1,15 @@
+// The hddpredict command table, exposed as a library so the binary, the
+// cli fuzzer (fuzz/cli_fuzzer.cpp, through Registry::check's parse-only
+// mode) and tests all share the one real registry — a fuzzed flag table
+// that diverged from the shipped one would pin nothing.
+#pragma once
+
+#include "cli/command.h"
+
+namespace hdd::tools {
+
+// Declares every subcommand (generate/train/.../serve/client/adversary)
+// with its typed ArgSpec table and handler.
+cli::Registry build_registry();
+
+}  // namespace hdd::tools
